@@ -1,0 +1,71 @@
+// Ablation: the safety factor alpha (Sec. 3.2 sets alpha = 3).
+//
+// Sweeps the threshold inflation and measures, on the BERT mini: (i) the honest-run
+// false-positive rate (fresh inputs, cross-device) and (ii) the detection rate for
+// injected perturbations of several magnitudes. The trade-off the paper's choice
+// navigates: alpha too small -> benign FP disputes; alpha too large -> small
+// injections slip past the search-time checks.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace tao;
+using namespace tao::bench;
+
+namespace {
+
+// Detection rate: fraction of perturbed runs whose *output-node* check (the dispute
+// trigger) fires under the scaled thresholds.
+double DetectionRate(const Model& model, const ThresholdSet& thresholds, double scale,
+                     float magnitude, int trials, uint64_t seed) {
+  const ThresholdSet scaled = thresholds.Scaled(scale);
+  const Graph& graph = *model.graph;
+  const Executor proposer(graph, DeviceRegistry::ByName("H100"));
+  const Executor challenger(graph, DeviceRegistry::ByName("RTX4090"));
+  Rng rng(seed);
+  int detected = 0;
+  for (int t = 0; t < trials; ++t) {
+    const std::vector<Tensor> input = model.sample_input(rng);
+    const NodeId site =
+        graph.op_nodes()[rng.NextBounded(static_cast<uint64_t>(graph.num_ops() - 1))];
+    Rng delta_rng(rng.NextU64());
+    const Tensor delta = Tensor::Randn(graph.node(site).shape, delta_rng, magnitude);
+    const ExecutionTrace bad = proposer.RunPerturbed(input, {{site, delta}});
+    const ExecutionTrace ref = challenger.Run(input);
+    if (scaled.Exceeds(graph.output(), bad.value(graph.output()),
+                       ref.value(graph.output()))) {
+      ++detected;
+    }
+  }
+  return static_cast<double>(detected) / trials;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: threshold safety factor alpha ===\n\n");
+  const Model model = BuildBertMini();
+  const Calibration calibration = CalibrateModel(model, /*samples=*/8);
+  const ThresholdSet thresholds = calibration.MakeThresholds(1.0);  // base envelope
+
+  TablePrinter table({"alpha", "honest FP rate", "detect @1e-3", "detect @1e-2",
+                      "detect @5e-2"});
+  for (const double alpha : {0.5, 1.0, 2.0, 3.0, 5.0, 10.0}) {
+    const double fp = HonestFalsePositiveRate(model, thresholds, alpha, 16, 0xab1a);
+    const double d3 = DetectionRate(model, thresholds, alpha, 1e-3f, 10, 0xd3);
+    const double d2 = DetectionRate(model, thresholds, alpha, 1e-2f, 10, 0xd2);
+    const double d1 = DetectionRate(model, thresholds, alpha, 5e-2f, 10, 0xd1);
+    table.AddRow({TablePrinter::Fixed(alpha, 1), TablePrinter::Pct(fp, 1),
+                  TablePrinter::Pct(d3, 0), TablePrinter::Pct(d2, 0),
+                  TablePrinter::Pct(d1, 0)});
+    std::printf("alpha=%.1f done\n", alpha);
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf("\nNote: detection here is the Phase-1 output-node trigger only; sub-\n"
+              "threshold injections that survive it are exactly the admissible set the\n"
+              "attack study (Table 2) shows cannot flip decisions. alpha = 3 keeps\n"
+              "honest FP at 0 while still detecting meaningful injections.\n");
+  return 0;
+}

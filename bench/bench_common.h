@@ -1,0 +1,125 @@
+// Shared helpers for the bench harnesses. Each bench binary regenerates one table or
+// figure of the paper's evaluation (see DESIGN.md's per-experiment index); these
+// helpers provide common calibration, attack-sweep, and formatting plumbing.
+
+#ifndef TAO_BENCH_BENCH_COMMON_H_
+#define TAO_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/attack/pgd.h"
+#include "src/calib/calibrator.h"
+#include "src/graph/executor.h"
+#include "src/models/model_zoo.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace tao {
+namespace bench {
+
+// Calibration with a bench-friendly sample count. The paper uses m=50 on real GPUs;
+// the simulated fleet is perfectly stationary, so smaller m converges to the same
+// envelopes (the stability bench quantifies this).
+inline Calibration CalibrateModel(const Model& model, int samples = 8,
+                                  uint64_t seed = 0xca11b8a7e) {
+  CalibrateOptions options;
+  options.num_samples = samples;
+  options.seed = seed;
+  return Calibrate(model, DeviceRegistry::Fleet(), options);
+}
+
+// Aggregated outcome of a bucketed attack sweep (one Table 2 cell).
+struct BucketCell {
+  int attacks = 0;
+  int successes = 0;
+  std::vector<double> delta_m_failed;
+  std::vector<double> delta_rel_failed;
+
+  double Asr() const {
+    return attacks == 0 ? 0.0 : static_cast<double>(successes) / attacks;
+  }
+  double MeanDeltaM() const {
+    return delta_m_failed.empty() ? 0.0 : Mean(delta_m_failed);
+  }
+  double MeanDeltaRel() const {
+    return delta_rel_failed.empty() ? 0.0 : Mean(delta_rel_failed);
+  }
+};
+
+// Runs the PGD attack over `num_inputs` fresh inputs x 5 margin buckets and
+// accumulates per-bucket statistics. Also returns every failed-attack delta_rel in
+// `all_failed_rel` when non-null (for the Fig. 5 boxplots).
+inline std::vector<BucketCell> RunBucketedAttacks(const Model& model,
+                                                  const ThresholdSet& thresholds,
+                                                  const AttackConfig& config, int num_inputs,
+                                                  uint64_t seed,
+                                                  std::vector<double>* all_failed_rel = nullptr) {
+  std::vector<BucketCell> buckets(5);
+  const PgdAttack attack(model, thresholds, config);
+  Rng input_rng(seed);
+  Rng bucket_rng(seed ^ 0xabcdef);
+  const Executor exec(*model.graph, DeviceRegistry::Reference());
+  for (int i = 0; i < num_inputs; ++i) {
+    const std::vector<Tensor> input = model.sample_input(input_rng);
+    const Tensor logits = exec.RunOutput(input);
+    const std::vector<int64_t> targets = PgdAttack::SampleBucketTargets(logits, bucket_rng);
+    for (size_t bucket = 0; bucket < targets.size(); ++bucket) {
+      const AttackOutcome outcome = attack.Attack(input, targets[bucket]);
+      BucketCell& cell = buckets[bucket];
+      ++cell.attacks;
+      if (outcome.success) {
+        ++cell.successes;
+      } else {
+        cell.delta_m_failed.push_back(outcome.delta_m);
+        cell.delta_rel_failed.push_back(outcome.delta_rel);
+        if (all_failed_rel != nullptr) {
+          all_failed_rel->push_back(outcome.delta_rel);
+        }
+      }
+    }
+  }
+  return buckets;
+}
+
+// False-positive rate of the full verification pipeline over honest cross-device runs
+// at threshold scale alpha: fraction of inputs whose *output* check (the dispute
+// trigger) flags an honest proposer.
+inline double HonestFalsePositiveRate(const Model& model, const ThresholdSet& thresholds,
+                                      double scale, int num_inputs, uint64_t seed) {
+  const ThresholdSet scaled = thresholds.Scaled(scale);
+  Rng rng(seed);
+  int flagged = 0;
+  const Graph& graph = *model.graph;
+  const Executor proposer(graph, DeviceRegistry::ByName("H100"));
+  const Executor challenger(graph, DeviceRegistry::ByName("RTX4090"));
+  for (int i = 0; i < num_inputs; ++i) {
+    const std::vector<Tensor> input = model.sample_input(rng);
+    const ExecutionTrace tp = proposer.Run(input);
+    const ExecutionTrace tc = challenger.Run(input);
+    bool any = false;
+    for (const NodeId id : graph.op_nodes()) {
+      if (scaled.Exceeds(id, tp.value(id), tc.value(id))) {
+        any = true;
+        break;
+      }
+    }
+    if (any) {
+      ++flagged;
+    }
+  }
+  return static_cast<double>(flagged) / num_inputs;
+}
+
+inline std::string CellString(const BucketCell& cell) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1f  %.3f(%.1f%%)", cell.Asr() * 100.0,
+                cell.MeanDeltaM(), cell.MeanDeltaRel() * 100.0);
+  return buffer;
+}
+
+}  // namespace bench
+}  // namespace tao
+
+#endif  // TAO_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,110 @@
+// Fig. 8: dispute-game microbenchmarks on the BERT mini — varying the partition width
+// N in {2, 4, 6, 8, 12, 16}: average dispute rounds, average off-chain dispute time,
+// average Merkle proof checks; plus per-round substep time (proposer partition vs
+// challenger re-execution/selection) at N = 4, measured across eight different
+// perturbed operators spread through the model.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/protocol/dispute.h"
+#include "src/util/stopwatch.h"
+
+using namespace tao;
+using namespace tao::bench;
+
+int main() {
+  std::printf("=== Fig. 8: dispute game vs partition width N (BERT mini) ===\n\n");
+  const Model model = BuildBertMini();
+  const Graph& graph = *model.graph;
+  const Calibration calibration = CalibrateModel(model, /*samples=*/8);
+  const ThresholdSet thresholds = calibration.MakeThresholds(3.0);
+  const ModelCommitment commitment(graph, thresholds);
+
+  // Eight perturbation sites spread through the canonical order (as in the paper).
+  std::vector<NodeId> sites;
+  for (int i = 0; i < 8; ++i) {
+    sites.push_back(graph.op_nodes()[static_cast<size_t>((i * graph.num_ops()) / 8 +
+                                                         graph.num_ops() / 16)]);
+  }
+
+  Rng input_rng(0xd15b);
+  const std::vector<Tensor> input = model.sample_input(input_rng);
+
+  TablePrinter table({"N", "avg rounds", "avg dispute time (ms)", "avg merkle checks",
+                      "avg gas (kgas)", "avg cost ratio"});
+  std::vector<std::vector<RoundStats>> n4_round_stats;
+
+  for (const int64_t n : {2, 4, 6, 8, 12, 16}) {
+    double total_rounds = 0.0;
+    double total_time_ms = 0.0;
+    double total_checks = 0.0;
+    double total_gas = 0.0;
+    double total_ratio = 0.0;
+    int games = 0;
+    for (const NodeId site : sites) {
+      Rng delta_rng(0xde17a + static_cast<uint64_t>(site));
+      const Tensor delta = Tensor::Randn(graph.node(site).shape, delta_rng, 5e-2f);
+      Coordinator coordinator;
+      DisputeOptions options;
+      options.partition_n = n;
+      DisputeGame game(model, commitment, thresholds, coordinator, options);
+      Stopwatch watch;
+      const DisputeResult result =
+          game.Run(input, DeviceRegistry::ByName("H100"), DeviceRegistry::ByName("RTX4090"),
+                   {{site, delta}});
+      const double elapsed = watch.ElapsedMillis();
+      if (!result.proposer_guilty) {
+        continue;  // perturbation hidden by shift-invariance at this site; skip
+      }
+      total_rounds += static_cast<double>(result.rounds);
+      total_time_ms += elapsed;
+      total_checks += static_cast<double>(result.total_merkle_checks);
+      total_gas += static_cast<double>(result.gas_used) / 1000.0;
+      total_ratio += result.cost_ratio;
+      ++games;
+      if (n == 4) {
+        n4_round_stats.push_back(result.round_stats);
+      }
+    }
+    table.AddRow({std::to_string(n), TablePrinter::Fixed(total_rounds / games, 1),
+                  TablePrinter::Fixed(total_time_ms / games, 1),
+                  TablePrinter::Fixed(total_checks / games, 0),
+                  TablePrinter::Fixed(total_gas / games, 1),
+                  TablePrinter::Fixed(total_ratio / games, 2)});
+    std::printf("N=%lld done (%d/%zu games convicted)\n", static_cast<long long>(n), games,
+                sites.size());
+  }
+  std::printf("\n");
+  table.Print();
+
+  // Per-round substep time at N = 4, aggregated across the eight dispute games.
+  std::printf("\nper-round substep time at N=4 (across %zu games):\n", n4_round_stats.size());
+  TablePrinter substeps({"round", "proposer partition ms (med)", "challenger select ms (med)",
+                         "slice size (med)"});
+  size_t max_rounds = 0;
+  for (const auto& stats : n4_round_stats) {
+    max_rounds = std::max(max_rounds, stats.size());
+  }
+  for (size_t r = 0; r < max_rounds; ++r) {
+    std::vector<double> partition_ms;
+    std::vector<double> select_ms;
+    std::vector<double> sizes;
+    for (const auto& stats : n4_round_stats) {
+      if (r < stats.size()) {
+        partition_ms.push_back(stats[r].proposer_partition_ms);
+        select_ms.push_back(stats[r].challenger_selection_ms);
+        sizes.push_back(static_cast<double>(stats[r].slice_size));
+      }
+    }
+    substeps.AddRow({std::to_string(r), TablePrinter::Fixed(Median(partition_ms), 2),
+                     TablePrinter::Fixed(Median(select_ms), 2),
+                     TablePrinter::Fixed(Median(sizes), 0)});
+  }
+  substeps.Print();
+  std::printf("\nShape check vs paper (Fig. 8): rounds fall ~log_N |V| (from ~log2 at\n"
+              "N=2 to ~3 at N>=12); dispute time drops sharply then plateaus; Merkle\n"
+              "checks shrink with N; both substeps decay with round index as slices\n"
+              "shrink. Guideline N in [8,12].\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Operator-level microbenchmarks (google-benchmark): forward throughput per device
+// profile and the cost of theoretical-bound co-execution, quantifying the "negligible
+// overhead / no custom kernels" implementation claims of Sec. 6.
+
+#include <benchmark/benchmark.h>
+
+#include "src/device/device.h"
+#include "src/graph/executor.h"
+#include "src/models/model_zoo.h"
+#include "src/ops/op_kernel.h"
+#include "src/util/rng.h"
+
+namespace tao {
+namespace {
+
+void BM_DeviceAccumulate(benchmark::State& state) {
+  RegisterAllOps();
+  const auto& device = DeviceRegistry::Fleet()[static_cast<size_t>(state.range(0))];
+  Rng rng(1);
+  std::vector<float> xs(1 << 14);
+  for (float& x : xs) {
+    x = static_cast<float>(rng.NextGaussian());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.Accumulate(xs));
+  }
+  state.SetLabel(device.name);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xs.size()));
+}
+BENCHMARK(BM_DeviceAccumulate)->DenseRange(0, 3);
+
+void BM_MatmulForward(benchmark::State& state) {
+  RegisterAllOps();
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  const std::vector<Tensor> inputs = {Tensor::Randn(Shape{n, n}, rng),
+                                      Tensor::Randn(Shape{n, n}, rng)};
+  const OpKernel& kernel = OpRegistry::Instance().Get("matmul");
+  const OpContext ctx{DeviceRegistry::ByName("A100"), inputs, {}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.Forward(ctx));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulForward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatmulBound(benchmark::State& state) {
+  RegisterAllOps();
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  const std::vector<Tensor> inputs = {Tensor::Randn(Shape{n, n}, rng),
+                                      Tensor::Randn(Shape{n, n}, rng)};
+  const OpKernel& kernel = OpRegistry::Instance().Get("matmul");
+  const OpContext fwd{DeviceRegistry::ByName("A100"), inputs, {}};
+  const Tensor out = kernel.Forward(fwd);
+  const BoundContext bctx{DeviceRegistry::ByName("A100"), inputs, out, {},
+                          BoundMode::kProbabilistic, kDefaultLambda};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.Bound(bctx));
+  }
+}
+BENCHMARK(BM_MatmulBound)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SoftmaxForwardVsBound(benchmark::State& state) {
+  RegisterAllOps();
+  Rng rng(4);
+  Attrs attrs;
+  attrs.Set("axis", static_cast<int64_t>(-1));
+  const std::vector<Tensor> inputs = {Tensor::Randn(Shape{64, 256}, rng)};
+  const OpKernel& kernel = OpRegistry::Instance().Get("softmax");
+  const OpContext fwd{DeviceRegistry::ByName("H100"), inputs, attrs};
+  if (state.range(0) == 0) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(kernel.Forward(fwd));
+    }
+    state.SetLabel("forward");
+  } else {
+    const Tensor out = kernel.Forward(fwd);
+    const BoundContext bctx{DeviceRegistry::ByName("H100"), inputs, out, attrs,
+                            BoundMode::kProbabilistic, kDefaultLambda};
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(kernel.Bound(bctx));
+    }
+    state.SetLabel("bound");
+  }
+}
+BENCHMARK(BM_SoftmaxForwardVsBound)->Arg(0)->Arg(1);
+
+void BM_ModelForward(benchmark::State& state) {
+  static const Model model = BuildBertMini();
+  Rng rng(5);
+  const std::vector<Tensor> input = model.sample_input(rng);
+  const Executor exec(*model.graph, DeviceRegistry::Fleet()[
+      static_cast<size_t>(state.range(0))]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec.RunOutput(input));
+  }
+  state.SetLabel(DeviceRegistry::Fleet()[static_cast<size_t>(state.range(0))].name);
+}
+BENCHMARK(BM_ModelForward)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tao
+
+BENCHMARK_MAIN();

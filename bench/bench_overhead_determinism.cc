@@ -1,0 +1,98 @@
+// Sec. 6 "negligible overhead" claims, two measurements on the Qwen mini:
+//
+// (a) Optimistic-phase runtime overhead: the proposer's extra Phase-1 work on top of
+//     a plain forward — canonical output serialization + SHA-256 commitment C0. The
+//     paper reports ~0.3% added latency on Qwen3-8B for its instrumented runtime.
+//
+// (b) Schedule-pinning cost: latency delta between each fleet profile's native
+//     reduction schedule and the canonical sequential order. In the paper this is the
+//     cuDNN/cuBLAS determinism-flag cost (~0.3%); in this simulator every profile is
+//     already run-to-run deterministic, so the delta measures only the arithmetic
+//     reordering itself (sign can go either way on scalar CPU loops).
+
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_common.h"
+#include "src/protocol/commitment.h"
+#include "src/util/stopwatch.h"
+
+using namespace tao;
+using namespace tao::bench;
+
+namespace {
+
+constexpr int kRepeats = 30;
+
+double TimeLoop(const std::function<void()>& body) {
+  body();  // warmup
+  Stopwatch watch;
+  for (int i = 0; i < kRepeats; ++i) {
+    body();
+  }
+  return watch.ElapsedMillis() / kRepeats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Optimistic-execution overhead (Sec. 6.3) ===\n\n");
+  const Model model = BuildQwenMini();
+  Rng rng(0x0ead);
+  std::vector<std::vector<Tensor>> inputs;
+  for (int i = 0; i < 8; ++i) {
+    inputs.push_back(model.sample_input(rng));
+  }
+  int cursor = 0;
+  auto next_input = [&]() -> const std::vector<Tensor>& {
+    return inputs[static_cast<size_t>(cursor++ % 8)];
+  };
+
+  // (a) Plain forward vs forward + result commitment (the proposer's Phase-1 duty).
+  const Executor exec(*model.graph, DeviceRegistry::ByName("A100"));
+  const Calibration calibration = CalibrateModel(model, /*samples=*/4);
+  const ThresholdSet thresholds = calibration.MakeThresholds(3.0);
+  const ModelCommitment commitment(*model.graph, thresholds);
+  ResultMeta meta;
+  meta.device = "A100";
+
+  const double plain_ms = TimeLoop([&] { (void)exec.RunOutput(next_input()); });
+  const double committed_ms = TimeLoop([&] {
+    const std::vector<Tensor>& input = next_input();
+    const Tensor y = exec.RunOutput(input);
+    volatile auto c0 = ComputeResultCommitment(commitment, input, y, meta);
+    (void)c0;
+  });
+  TablePrinter phase1({"configuration", "latency (ms)", "overhead"});
+  phase1.AddRow({"plain forward", TablePrinter::Fixed(plain_ms, 3), "-"});
+  phase1.AddRow({"forward + TAO commitment (Phase 1)", TablePrinter::Fixed(committed_ms, 3),
+                 TablePrinter::Pct((committed_ms - plain_ms) / plain_ms, 2)});
+  phase1.Print();
+  std::printf("absolute commitment cost: %.3f ms — input-size-bound, independent of\n"
+              "model depth; at the paper's Qwen3-8B scale (~10^5x more forward FLOPs)\n"
+              "the relative overhead is <<0.3%%.\n",
+              committed_ms - plain_ms);
+
+  // (b) Native schedule vs pinned canonical order, per fleet profile.
+  std::printf("\nschedule pinning (native order -> canonical sequential):\n");
+  TablePrinter pinning({"device", "native (ms)", "pinned (ms)", "delta"});
+  for (const DeviceProfile& device : DeviceRegistry::Fleet()) {
+    const Executor native_exec(*model.graph, device);
+    DeviceProfile pinned = device;
+    pinned.order = AccumulationOrder::kSequential;
+    const Executor pinned_exec(*model.graph, pinned);
+    const double native_ms = TimeLoop([&] { (void)native_exec.RunOutput(next_input()); });
+    const double pinned_ms = TimeLoop([&] { (void)pinned_exec.RunOutput(next_input()); });
+    pinning.AddRow({device.name, TablePrinter::Fixed(native_ms, 3),
+                    TablePrinter::Fixed(pinned_ms, 3),
+                    TablePrinter::Pct((pinned_ms - native_ms) / native_ms, 2)});
+  }
+  pinning.Print();
+  std::printf("\nShape check vs paper: the optimistic-phase additions are a small,\n"
+              "model-size-independent constant (the paper measures ~0.3%% on Qwen3-8B;\n"
+              "on the mini model the same absolute cost is a larger fraction). Pinned\n"
+              "scalar loops here are cheaper than blocked ones — the opposite of real\n"
+              "GPUs — but pinning cannot remove cross-vendor heterogeneity either way,\n"
+              "which is why TAO verifies up to tolerances instead of determinism.\n");
+  return 0;
+}

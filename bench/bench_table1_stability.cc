@@ -1,0 +1,61 @@
+// Table 1: stability metrics of the empirical error percentile profiles at selected
+// percentiles (p30, p50, p70) for Qwen, BERT, and ResNet minis — SupNorm, Jackknife,
+// TailAdj, RollSD at the 50th and 90th percentile across operators (Appendix B,
+// W = 10).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/calib/stability.h"
+
+using namespace tao;
+using namespace tao::bench;
+
+namespace {
+
+size_t GridIndexOf(const Calibration& calibration, double percentile) {
+  for (size_t g = 0; g < calibration.grid.size(); ++g) {
+    if (calibration.grid[g] == percentile) {
+      return g;
+    }
+  }
+  return calibration.grid.size() / 2;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 1: stability of empirical error percentile profiles ===\n");
+  std::printf("(n = 24 calibration samples, W = 10, diagnostics of Appendix B)\n\n");
+
+  TablePrinter table({"Model", "p", "SupNorm@50", "SupNorm@90", "Jack@50", "Jack@90",
+                      "TailAdj@50", "TailAdj@90", "RollSD@50", "RollSD@90"});
+  struct Entry {
+    const char* label;
+    Model model;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"Qwen", BuildQwenMini()});
+  entries.push_back({"BERT", BuildBertMini()});
+  entries.push_back({"ResNet", BuildResNetMini()});
+
+  for (const Entry& entry : entries) {
+    const Calibration calibration = CalibrateModel(entry.model, /*samples=*/24);
+    for (const double p : {30.0, 50.0, 70.0}) {
+      const StabilitySummary s =
+          SummarizeStability(calibration, GridIndexOf(calibration, p));
+      table.AddRow({entry.label, TablePrinter::Fixed(p, 0),
+                    TablePrinter::Fixed(s.supnorm_p50, 2), TablePrinter::Fixed(s.supnorm_p90, 2),
+                    TablePrinter::Fixed(s.jackknife_p50, 2),
+                    TablePrinter::Fixed(s.jackknife_p90, 2),
+                    TablePrinter::Fixed(s.tailadj_p50, 2), TablePrinter::Fixed(s.tailadj_p90, 2),
+                    TablePrinter::Fixed(s.rollsd_p50, 2), TablePrinter::Fixed(s.rollsd_p90, 2)});
+    }
+    std::printf("calibrated %s\n", entry.model.name.c_str());
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf("\nShape check vs paper (Table 1): central tendencies ~0 with tight\n"
+              "90th-percentile bounds — near-stationary operator estimates.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Attack demo: a white-box adversarial proposer runs the PGD/Adam attack of Sec. 4.4
+// against both admissible sets on the ResNet-mini, showing that the empirical
+// thresholds admit essentially no progress toward a label flip while the loose
+// deterministic worst-case bounds admit much more.
+
+#include <cstdio>
+
+#include "src/attack/pgd.h"
+#include "src/calib/calibrator.h"
+#include "src/graph/executor.h"
+#include "src/util/table.h"
+
+using namespace tao;
+
+int main() {
+  std::printf("=== TAO bound-aware attack demo (Sec. 4) ===\n\n");
+  const Model model = BuildResNetMini();
+  CalibrateOptions calib_options;
+  calib_options.num_samples = 8;
+  const Calibration calibration = Calibrate(model, DeviceRegistry::Fleet(), calib_options);
+  const ThresholdSet thresholds = calibration.MakeThresholds(3.0);
+
+  Rng rng(12);
+  const std::vector<Tensor> input = model.sample_input(rng);
+  const Executor exec(*model.graph, DeviceRegistry::Reference());
+  const Tensor logits = exec.RunOutput(input);
+  Rng bucket_rng(13);
+  const std::vector<int64_t> targets = PgdAttack::SampleBucketTargets(logits, bucket_rng);
+  const int64_t target = targets[0];  // the easiest (smallest-margin) bucket
+
+  struct Setting {
+    const char* label;
+    AttackConfig config;
+  };
+  std::vector<Setting> settings;
+  {
+    AttackConfig emp;
+    emp.feasible = FeasibleSetKind::kEmpirical;
+    emp.max_iters = 30;
+    settings.push_back({"empirical thresholds (alpha=1)", emp});
+    AttackConfig emp3 = emp;
+    emp3.scale = 3.0;
+    settings.push_back({"empirical thresholds (alpha=3)", emp3});
+    AttackConfig theo_p;
+    theo_p.feasible = FeasibleSetKind::kTheoretical;
+    theo_p.theo_mode = BoundMode::kProbabilistic;
+    theo_p.max_iters = 30;
+    settings.push_back({"theoretical bounds (probabilistic)", theo_p});
+    AttackConfig theo_d = theo_p;
+    theo_d.theo_mode = BoundMode::kDeterministic;
+    settings.push_back({"theoretical bounds (deterministic)", theo_d});
+  }
+
+  TablePrinter table({"admissible set", "flip?", "m0", "m_final", "delta_m (rel)"});
+  for (const Setting& setting : settings) {
+    const PgdAttack attack(model, thresholds, setting.config);
+    const AttackOutcome outcome = attack.Attack(input, target);
+    char rel[32];
+    std::snprintf(rel, sizeof(rel), "%.4f (%.1f%%)", outcome.delta_m,
+                  outcome.delta_rel * 100.0);
+    table.AddRow({setting.label, outcome.success ? "YES" : "no",
+                  TablePrinter::Fixed(outcome.m0, 4), TablePrinter::Fixed(outcome.m_final, 4),
+                  rel});
+    std::printf("finished: %s\n", setting.label);
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf("\nEmpirical thresholds are 1e2-1e3x tighter than worst-case IEEE-754\n"
+              "bounds, so the admissible perturbations barely move the logit margin;\n"
+              "loose deterministic bounds leave far more attack headroom (Table 2).\n");
+  return 0;
+}

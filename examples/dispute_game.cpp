@@ -1,0 +1,74 @@
+// Dispute game walkthrough: a malicious proposer injects a perturbation into an
+// intermediate tensor (a service "discrepancy" a user could never see from the API);
+// a challenger detects the violation at the output, opens a dispute, and the
+// Merkle-anchored N-way partition game localizes the disagreement to the exact
+// operator, where leaf adjudication slashes the proposer.
+
+#include <cstdio>
+
+#include "src/calib/calibrator.h"
+#include "src/protocol/dispute.h"
+
+using namespace tao;
+
+int main() {
+  const Model model = BuildQwenMini();
+  std::printf("=== TAO dispute game: catching a cheating proposer ===\n\n");
+  std::printf("model: %s (%lld operators)\n", model.name.c_str(),
+              static_cast<long long>(model.graph->num_ops()));
+
+  CalibrateOptions calib_options;
+  calib_options.num_samples = 8;
+  const Calibration calibration = Calibrate(model, DeviceRegistry::Fleet(), calib_options);
+  const ThresholdSet thresholds = calibration.MakeThresholds(3.0);
+  const ModelCommitment commitment(*model.graph, thresholds);
+
+  // The malicious proposer perturbs the SwiGLU gate of a middle layer — e.g. to steer
+  // generations — while hoping to stay under the radar.
+  const Graph& graph = *model.graph;
+  NodeId target = -1;
+  for (const NodeId id : graph.op_nodes()) {
+    if (graph.node(id).label == "layer2.mlp.silu") {
+      target = id;
+      break;
+    }
+  }
+  Rng delta_rng(7);
+  const Tensor delta = Tensor::Randn(graph.node(target).shape, delta_rng, 3e-2f);
+  std::printf("malicious proposer perturbs node %d (%s) with ||delta||_inf ~ 1e-1\n\n",
+              target, graph.node(target).label.c_str());
+
+  Coordinator coordinator;
+  DisputeOptions options;
+  options.partition_n = 4;
+  DisputeGame game(model, commitment, thresholds, coordinator, options);
+  Rng rng(99);
+  const std::vector<Tensor> input = model.sample_input(rng);
+  const DisputeResult result = game.Run(input, DeviceRegistry::ByName("A100"),
+                                        DeviceRegistry::ByName("RTX6000"),
+                                        {{target, delta}});
+
+  std::printf("challenge raised: %s\n\n", result.challenge_raised ? "YES" : "no");
+  std::printf("%-6s %-12s %-9s %-9s %-13s %-10s\n", "round", "slice size", "children",
+              "selected", "merkle proofs", "reexec ms");
+  for (const RoundStats& round : result.round_stats) {
+    std::printf("%-6lld %-12lld %-9lld %-9lld %-13lld %-10.2f\n",
+                static_cast<long long>(round.round), static_cast<long long>(round.slice_size),
+                static_cast<long long>(round.children),
+                static_cast<long long>(round.selected_child),
+                static_cast<long long>(round.merkle_proofs),
+                round.challenger_selection_ms);
+  }
+  std::printf("\nlocalized to node %d (%s) after %lld rounds — injected node was %d\n",
+              result.leaf_op, graph.node(result.leaf_op).label.c_str(),
+              static_cast<long long>(result.rounds), target);
+  std::printf("leaf path: %s\n", result.leaf.path == LeafPath::kTheoreticalBound
+                                     ? "theoretical IEEE-754 bound check"
+                                     : "committee vote vs empirical thresholds");
+  std::printf("verdict: proposer %s — state %s\n",
+              result.proposer_guilty ? "GUILTY (slashed)" : "acquitted",
+              ClaimStateName(result.final_state));
+  std::printf("dispute cost: %.2fx of one forward pass (DCR), %.1f kgas on-chain\n",
+              result.cost_ratio, static_cast<double>(result.gas_used) / 1000.0);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Economics explorer: sweeps the supervision knobs of Sec. 5.5 and prints how the
+// feasible S_slash region (L, D_p] responds — which audit/challenge intensities make
+// honest execution a dominant strategy at a given deposit.
+
+#include <cstdio>
+
+#include "src/protocol/economics.h"
+#include "src/util/table.h"
+
+using namespace tao;
+
+int main() {
+  std::printf("=== TAO economics explorer (Sec. 5.5) ===\n\n");
+  const EconomicParams base;
+  std::printf("base parameters: C_p=%.2f C'_p=%.2f R_p=%.2f D_p=%.1f S_slash=%.1f\n",
+              base.cost_honest, base.cost_cheap_cheat, base.task_reward,
+              base.proposer_deposit, base.slash);
+  std::printf("detection d = (phi + phi_ch)(1 - eps1) = %.4f\n\n",
+              DetectionProbability(base));
+
+  TablePrinter table({"phi (audit)", "phi_ch", "L1", "L2", "L3", "L", "region",
+                      "IC @ S=6"});
+  for (const double phi : {0.01, 0.02, 0.05, 0.10, 0.20}) {
+    for (const double phi_ch : {0.05, 0.10, 0.20}) {
+      EconomicParams params = base;
+      params.audit_prob = phi;
+      params.challenge_prob = phi_ch;
+      const FeasibleRegion region = ComputeFeasibleRegion(params);
+      char interval[48];
+      if (region.non_empty) {
+        std::snprintf(interval, sizeof(interval), "(%.2f, %.1f]", region.lower, region.upper);
+      } else {
+        std::snprintf(interval, sizeof(interval), "empty");
+      }
+      table.AddRow({TablePrinter::Fixed(phi, 2), TablePrinter::Fixed(phi_ch, 2),
+                    TablePrinter::Fixed(region.l1, 2), TablePrinter::Fixed(region.l2, 2),
+                    TablePrinter::Fixed(region.l3, 2), TablePrinter::Fixed(region.lower, 2),
+                    interval, IncentiveCompatible(params) ? "yes" : "no"});
+    }
+  }
+  table.Print();
+
+  std::printf("\nutilities at the base point:\n");
+  std::printf("  proposer honest      : %+.3f\n", ProposerUtilityHonest(base));
+  std::printf("  proposer cheap cheat : %+.3f\n", ProposerUtilityCheapCheat(base));
+  std::printf("  proposer targeted    : %+.3f  (C''_p >> R_p per Sec. 4)\n",
+              ProposerUtilityTargetedCheat(base));
+  std::printf("  challenger vs guilty : %+.3f\n", ChallengerUtilityVsGuilty(base));
+  std::printf("  challenger vs clean  : %+.3f  (spam deterred)\n",
+              ChallengerUtilityVsClean(base));
+  std::printf("  committee (guilty)   : %+.3f\n", CommitteeUtilityRuledGuilty(base));
+  std::printf("  committee (clean)    : %+.3f\n", CommitteeUtilityRuledClean(base));
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include "src/attack/adam.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace tao {
+
+void AdamState::Step(Tensor& params, const Tensor& grad) {
+  TAO_CHECK(params.shape() == grad.shape());
+  ++t_;
+  auto pv = params.mutable_values();
+  const auto gv = grad.values();
+  auto mv = m_.mutable_values();
+  auto vv = v_.mutable_values();
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < pv.size(); ++i) {
+    const double g = gv[i];
+    mv[i] = beta1_ * mv[i] + (1.0 - beta1_) * g;
+    vv[i] = beta2_ * vv[i] + (1.0 - beta2_) * g * g;
+    const double m_hat = mv[i] / bc1;
+    const double v_hat = vv[i] / bc2;
+    pv[i] += static_cast<float>(step_size_ * m_hat / (std::sqrt(v_hat) + eps_));
+  }
+}
+
+}  // namespace tao

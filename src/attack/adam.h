@@ -1,0 +1,41 @@
+// Adam optimizer state for the PGD attack updates of Sec. 4.4
+// ((beta1, beta2, eps) = (0.9, 0.999, 1e-8) per the paper).
+
+#ifndef TAO_SRC_ATTACK_ADAM_H_
+#define TAO_SRC_ATTACK_ADAM_H_
+
+#include "src/tensor/tensor.h"
+
+namespace tao {
+
+class AdamState {
+ public:
+  AdamState(Shape shape, double step_size, double beta1 = 0.9, double beta2 = 0.999,
+            double eps = 1e-8)
+      : m_(DTensor::Zeros(shape)),
+        v_(DTensor::Zeros(shape)),
+        step_size_(step_size),
+        beta1_(beta1),
+        beta2_(beta2),
+        eps_(eps) {}
+
+  // One ascent step on `params` along `grad` (maximization; callers negate for
+  // minimization). Bias-corrected first/second moments.
+  void Step(Tensor& params, const Tensor& grad);
+
+  int64_t steps() const { return t_; }
+  double step_size() const { return step_size_; }
+
+ private:
+  DTensor m_;
+  DTensor v_;
+  double step_size_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  int64_t t_ = 0;
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_ATTACK_ADAM_H_

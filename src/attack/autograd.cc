@@ -1,0 +1,65 @@
+#include "src/attack/autograd.h"
+
+#include "src/util/check.h"
+
+namespace tao {
+
+std::vector<Tensor> BackpropFromOutput(const Graph& graph, const ExecutionTrace& trace,
+                                       const Tensor& grad_seed) {
+  const NodeId output = graph.output();
+  TAO_CHECK(grad_seed.shape() == graph.node(output).shape)
+      << "grad seed shape " << grad_seed.shape().ToString() << " != output shape "
+      << graph.node(output).shape.ToString();
+
+  std::vector<Tensor> grads(static_cast<size_t>(graph.num_nodes()));
+  std::vector<bool> has_grad(static_cast<size_t>(graph.num_nodes()), false);
+  grads[static_cast<size_t>(output)] = grad_seed.Clone();
+  has_grad[static_cast<size_t>(output)] = true;
+
+  auto accumulate = [&](NodeId id, const Tensor& grad) {
+    const size_t k = static_cast<size_t>(id);
+    if (!has_grad[k]) {
+      grads[k] = grad.Clone();
+      has_grad[k] = true;
+      return;
+    }
+    auto dst = grads[k].mutable_values();
+    const auto src = grad.values();
+    TAO_CHECK_EQ(dst.size(), src.size());
+    for (size_t i = 0; i < dst.size(); ++i) {
+      dst[i] += src[i];
+    }
+  };
+
+  const std::vector<NodeId>& ops = graph.op_nodes();
+  for (size_t idx = ops.size(); idx > 0; --idx) {
+    const NodeId id = ops[idx - 1];
+    if (!has_grad[static_cast<size_t>(id)]) {
+      continue;  // output does not depend on this node
+    }
+    const Node& node = graph.node(id);
+    const OpKernel& kernel = OpRegistry::Instance().Get(node.op);
+    std::vector<Tensor> op_inputs;
+    op_inputs.reserve(node.inputs.size());
+    for (const NodeId in : node.inputs) {
+      op_inputs.push_back(trace.value(in));
+    }
+    const VjpContext ctx{op_inputs, trace.value(id), grads[static_cast<size_t>(id)],
+                         node.attrs};
+    const std::vector<Tensor> input_grads = kernel.Vjp(ctx);
+    TAO_CHECK_EQ(input_grads.size(), node.inputs.size()) << node.label;
+    for (size_t i = 0; i < input_grads.size(); ++i) {
+      accumulate(node.inputs[i], input_grads[i]);
+    }
+  }
+
+  // Materialize zeros for unreached nodes so callers can index uniformly.
+  for (const Node& node : graph.nodes()) {
+    if (!has_grad[static_cast<size_t>(node.id)]) {
+      grads[static_cast<size_t>(node.id)] = Tensor::Zeros(node.shape);
+    }
+  }
+  return grads;
+}
+
+}  // namespace tao

@@ -1,0 +1,26 @@
+// Reverse-mode automatic differentiation over the graph IR.
+//
+// The bound-aware attacks of Sec. 4.4 need d(logit margin)/d(h_v) for every operator
+// output h_v the adversary may perturb. Given a forward trace, BackpropFromOutput seeds
+// a cotangent at the graph output and sweeps the operator list in reverse topological
+// order, accumulating per-op VJPs. Gradients are returned for every node id (zero where
+// the output does not depend on the node).
+
+#ifndef TAO_SRC_ATTACK_AUTOGRAD_H_
+#define TAO_SRC_ATTACK_AUTOGRAD_H_
+
+#include <vector>
+
+#include "src/graph/executor.h"
+#include "src/graph/graph.h"
+
+namespace tao {
+
+// grads[id] has the shape of node id's output. `grad_seed` must match the output
+// node's shape.
+std::vector<Tensor> BackpropFromOutput(const Graph& graph, const ExecutionTrace& trace,
+                                       const Tensor& grad_seed);
+
+}  // namespace tao
+
+#endif  // TAO_SRC_ATTACK_AUTOGRAD_H_

@@ -1,0 +1,166 @@
+#include "src/attack/pgd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/attack/adam.h"
+#include "src/attack/autograd.h"
+#include "src/attack/projection.h"
+#include "src/graph/executor.h"
+#include "src/util/check.h"
+
+namespace tao {
+namespace {
+
+// Flattened logits of the output node (classifiers in the zoo emit [1, C] or [C]).
+std::vector<double> LogitsOf(const Tensor& output) {
+  std::vector<double> logits(static_cast<size_t>(output.numel()));
+  for (int64_t i = 0; i < output.numel(); ++i) {
+    logits[static_cast<size_t>(i)] = output[i];
+  }
+  return logits;
+}
+
+int64_t ArgMax(const std::vector<double>& v) {
+  return static_cast<int64_t>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace
+
+PgdAttack::PgdAttack(const Model& model, const ThresholdSet& thresholds, AttackConfig config)
+    : model_(model), thresholds_(thresholds), config_(config) {}
+
+std::vector<int64_t> PgdAttack::SampleBucketTargets(const Tensor& logits, Rng& rng) {
+  const std::vector<double> z = LogitsOf(logits);
+  const int64_t c1 = ArgMax(z);
+  // Candidates sorted by margin (ascending = easiest targets first).
+  std::vector<int64_t> candidates;
+  for (int64_t c = 0; c < static_cast<int64_t>(z.size()); ++c) {
+    if (c != c1) {
+      candidates.push_back(c);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](int64_t a, int64_t b) {
+    return z[static_cast<size_t>(a)] > z[static_cast<size_t>(b)];  // larger logit = smaller margin
+  });
+  std::vector<int64_t> targets;
+  const size_t n = candidates.size();
+  for (int bucket = 0; bucket < 5; ++bucket) {
+    const size_t lo = n * static_cast<size_t>(bucket) / 5;
+    const size_t hi = std::max(lo + 1, n * static_cast<size_t>(bucket + 1) / 5);
+    targets.push_back(candidates[lo + rng.NextBounded(hi - lo)]);
+  }
+  return targets;
+}
+
+AttackOutcome PgdAttack::Attack(const std::vector<Tensor>& input, int64_t target_class) const {
+  const Graph& graph = *model_.graph;
+  const DeviceProfile& device = DeviceRegistry::Reference();
+  const Executor exec(graph, device);
+
+  // Honest forward fixes c1 and the initial margin.
+  const ExecutionTrace honest = exec.Run(input);
+  const std::vector<double> z0 = LogitsOf(honest.value(graph.output()));
+  AttackOutcome outcome;
+  outcome.original_class = ArgMax(z0);
+  outcome.target_class = target_class;
+  TAO_CHECK_NE(outcome.original_class, target_class);
+  outcome.m0 = z0[static_cast<size_t>(outcome.original_class)] -
+               z0[static_cast<size_t>(target_class)];
+  outcome.m_final = outcome.m0;
+
+  // Per-node perturbations and Adam states. Step size: 1/4 of the node's median
+  // admissible magnitude (paper default); nodes with zero headroom are skipped.
+  struct PerNode {
+    NodeId id;
+    Tensor delta;
+    AdamState adam;
+  };
+  std::vector<PerNode> nodes;
+  const ExecutorOptions bound_opts{/*with_bounds=*/config_.feasible ==
+                                       FeasibleSetKind::kTheoretical,
+                                   config_.theo_mode, kDefaultLambda};
+  const ExecutionTrace honest_bounds =
+      config_.feasible == FeasibleSetKind::kTheoretical ? exec.Run(input, bound_opts) : honest;
+
+  for (const NodeId id : graph.op_nodes()) {
+    if (id == graph.output()) {
+      continue;  // perturbing the committed output directly is checked at Phase 1
+    }
+    double median_cap = 0.0;
+    if (config_.feasible == FeasibleSetKind::kEmpirical) {
+      median_cap = config_.scale * thresholds_.AbsCap(id, 0.5);
+    } else {
+      std::vector<double> taus(honest_bounds.bound(id).values().begin(),
+                               honest_bounds.bound(id).values().end());
+      std::sort(taus.begin(), taus.end());
+      median_cap = config_.scale * taus[taus.size() / 2];
+    }
+    if (median_cap <= 0.0) {
+      continue;
+    }
+    nodes.push_back(PerNode{id, Tensor::Zeros(graph.node(id).shape),
+                            AdamState(graph.node(id).shape, median_cap / 4.0)});
+  }
+
+  double prev_margin = outcome.m0;
+  int stall = 0;
+  for (int iter = 0; iter < config_.max_iters; ++iter) {
+    outcome.iters = iter + 1;
+    std::vector<Executor::Perturbation> perturbations;
+    perturbations.reserve(nodes.size());
+    for (const PerNode& node : nodes) {
+      perturbations.push_back({node.id, node.delta});
+    }
+    ExecutorOptions opts;
+    opts.with_bounds = config_.feasible == FeasibleSetKind::kTheoretical;
+    opts.bound_mode = config_.theo_mode;
+    const ExecutionTrace trace = exec.RunPerturbed(input, perturbations, opts);
+    const std::vector<double> z = LogitsOf(trace.value(graph.output()));
+    const double margin = z[static_cast<size_t>(outcome.original_class)] -
+                          z[static_cast<size_t>(target_class)];
+    outcome.m_final = margin;
+    if (margin < 0.0) {
+      outcome.success = true;
+      break;
+    }
+    // Stall detection (the paper's early stop).
+    if (std::abs(margin - prev_margin) < config_.stall_rel * std::abs(outcome.m0)) {
+      if (++stall >= config_.stall_patience) {
+        break;
+      }
+    } else {
+      stall = 0;
+    }
+    prev_margin = margin;
+
+    // Gradient of L_margin = z_target - z_c1 through the perturbed trace.
+    Tensor seed = Tensor::Zeros(graph.node(graph.output()).shape);
+    seed.mutable_values()[static_cast<size_t>(target_class)] = 1.0f;
+    seed.mutable_values()[static_cast<size_t>(outcome.original_class)] = -1.0f;
+    const std::vector<Tensor> grads = BackpropFromOutput(graph, trace, seed);
+
+    for (PerNode& node : nodes) {
+      node.adam.Step(node.delta, grads[static_cast<size_t>(node.id)]);
+      if (config_.feasible == FeasibleSetKind::kEmpirical) {
+        ProjectEmpirical(node.delta, thresholds_, node.id, config_.scale);
+      } else {
+        // Runtime bounds from the current perturbed inputs, scaled by alpha.
+        DTensor tau = trace.bound(node.id).Clone();
+        if (config_.scale != 1.0) {
+          for (double& t : tau.mutable_values()) {
+            t *= config_.scale;
+          }
+        }
+        ProjectTheoretical(node.delta, tau);
+      }
+    }
+  }
+
+  outcome.delta_m = outcome.m0 - outcome.m_final;
+  outcome.delta_rel = outcome.m0 != 0.0 ? outcome.delta_m / outcome.m0 : 0.0;
+  return outcome;
+}
+
+}  // namespace tao

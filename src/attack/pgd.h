@@ -1,0 +1,70 @@
+// Optimization-based bound-aware attacks (Sec. 4.4-4.5).
+//
+// A white-box adversarial proposer injects perturbations {Delta_v} after operator
+// outputs to flip the model's decision to a chosen target class while staying inside
+// the verifier's admissible set — either the empirical cap curves (search-time checks)
+// or the element-wise theoretical bounds (leaf check). Updates are PGD with Adam on
+// the logit-margin objective L = z_target - z_top (Eq. 10), projected after each step
+// (Eq. 11/12), with the paper's stall-based early stopping.
+
+#ifndef TAO_SRC_ATTACK_PGD_H_
+#define TAO_SRC_ATTACK_PGD_H_
+
+#include <vector>
+
+#include "src/calib/threshold.h"
+#include "src/models/model_zoo.h"
+#include "src/ops/fperror.h"
+
+namespace tao {
+
+enum class FeasibleSetKind {
+  kEmpirical,    // committed percentile cap curves (Eq. 8)
+  kTheoretical,  // element-wise runtime IEEE-754 bounds (Eq. 9)
+};
+
+struct AttackConfig {
+  FeasibleSetKind feasible = FeasibleSetKind::kEmpirical;
+  // For the theoretical set: deterministic (d) or probabilistic (p) gamma.
+  BoundMode theo_mode = BoundMode::kProbabilistic;
+  // Bound-scaling knob alpha of Table 2 (>1 loosens, <1 tightens).
+  double scale = 1.0;
+  int max_iters = 60;
+  // Early stop when the margin change stalls below `stall_rel * |m0|` for
+  // `stall_patience` consecutive iterations.
+  double stall_rel = 1e-3;
+  int stall_patience = 10;
+};
+
+struct AttackOutcome {
+  bool success = false;     // prediction flipped to the target class
+  int64_t original_class = -1;
+  int64_t target_class = -1;
+  double m0 = 0.0;          // initial logit margin z_c1 - z_target (> 0)
+  double m_final = 0.0;     // final margin
+  double delta_m = 0.0;     // m0 - m_final (progress toward flipping)
+  double delta_rel = 0.0;   // delta_m / m0
+  int iters = 0;
+};
+
+class PgdAttack {
+ public:
+  PgdAttack(const Model& model, const ThresholdSet& thresholds, AttackConfig config);
+
+  // Attacks one input toward `target_class`. Perturbations are injected at every
+  // operator node (the adversary controls the full execution).
+  AttackOutcome Attack(const std::vector<Tensor>& input, int64_t target_class) const;
+
+  // Buckets candidate targets by their logit-margin percentile among all non-predicted
+  // classes ([0-20%], ..., [80-100%]) and samples one per bucket (Sec. 4.5).
+  static std::vector<int64_t> SampleBucketTargets(const Tensor& logits, Rng& rng);
+
+ private:
+  const Model& model_;
+  const ThresholdSet& thresholds_;
+  AttackConfig config_;
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_ATTACK_PGD_H_

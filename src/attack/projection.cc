@@ -1,0 +1,89 @@
+#include "src/attack/projection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace tao {
+
+void ProjectTheoretical(Tensor& delta, const DTensor& tau) {
+  TAO_CHECK(delta.shape() == tau.shape());
+  auto dv = delta.mutable_values();
+  const auto tv = tau.values();
+  for (size_t i = 0; i < dv.size(); ++i) {
+    // Round the FP32 cap toward zero so the clipped value never exceeds the FP64 tau.
+    float cap = static_cast<float>(tv[i]);
+    if (static_cast<double>(cap) > tv[i]) {
+      cap = std::nextafterf(cap, 0.0f);
+    }
+    dv[i] = std::clamp(dv[i], -cap, cap);
+  }
+}
+
+void ProjectEmpirical(Tensor& delta, const ThresholdSet& thresholds, NodeId id,
+                      double scale) {
+  auto dv = delta.mutable_values();
+  const size_t n = dv.size();
+  if (n == 0) {
+    return;
+  }
+  // sigma sorts magnitudes increasingly (Eq. 12).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return std::abs(dv[a]) < std::abs(dv[b]);
+  });
+  double running_cap = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    const double rank = (static_cast<double>(k) + 0.5) / static_cast<double>(n);
+    // Monotone caps: c_k <- max(c_k, c_{k-1}).
+    running_cap = std::max(running_cap, scale * thresholds.AbsCap(id, rank));
+    const size_t idx = order[k];
+    const float magnitude = std::abs(dv[idx]);
+    if (magnitude > running_cap) {
+      // Round the FP32 cap toward zero so the stored value never exceeds the FP64 cap.
+      float cap = static_cast<float>(running_cap);
+      if (static_cast<double>(cap) > running_cap) {
+        cap = std::nextafterf(cap, 0.0f);
+      }
+      dv[idx] = std::copysign(cap, dv[idx]);
+    }
+  }
+}
+
+bool SatisfiesTheoretical(const Tensor& delta, const DTensor& tau) {
+  TAO_CHECK(delta.shape() == tau.shape());
+  const auto dv = delta.values();
+  const auto tv = tau.values();
+  for (size_t i = 0; i < dv.size(); ++i) {
+    if (std::abs(static_cast<double>(dv[i])) > tv[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SatisfiesEmpirical(const Tensor& delta, const ThresholdSet& thresholds, NodeId id,
+                        double scale) {
+  const auto dv = delta.values();
+  const size_t n = dv.size();
+  std::vector<double> magnitudes(n);
+  for (size_t i = 0; i < n; ++i) {
+    magnitudes[i] = std::abs(static_cast<double>(dv[i]));
+  }
+  std::sort(magnitudes.begin(), magnitudes.end());
+  double running_cap = 0.0;
+  constexpr double kSlack = 1.0 + 1e-6;  // float-rounding slack from sign restoration
+  for (size_t k = 0; k < n; ++k) {
+    const double rank = (static_cast<double>(k) + 0.5) / static_cast<double>(n);
+    running_cap = std::max(running_cap, scale * thresholds.AbsCap(id, rank));
+    if (magnitudes[k] > running_cap * kSlack) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tao

@@ -1,0 +1,36 @@
+// Projections onto the verifier's admissible sets (Sec. 4.4).
+//
+// (i) Theoretical feasible set F_theo (Eq. 9/11): element-wise clipping of the
+//     perturbation to [-tau_theo, +tau_theo] with tau computed at runtime from the
+//     operator's actual inputs.
+// (ii) Empirical feasible set F_emp (Eq. 8/12): the sorted magnitudes of the
+//     perturbation must lie under the committed cap curve C_i(r); the projection clips
+//     order statistics against the monotone cap and restores signs/positions.
+
+#ifndef TAO_SRC_ATTACK_PROJECTION_H_
+#define TAO_SRC_ATTACK_PROJECTION_H_
+
+#include "src/calib/threshold.h"
+#include "src/tensor/tensor.h"
+
+namespace tao {
+
+// Element-wise clip of delta into [-tau, tau] (shapes must match).
+void ProjectTheoretical(Tensor& delta, const DTensor& tau);
+
+// Order-statistics projection onto the empirical cap curve of node `id`:
+//   ranks r_k = (k - 1/2)/n, caps c_k = C_i(r_k) made monotone, a*_sigma(k) =
+//   min(a_sigma(k), c_k), signs restored. `scale` multiplies the caps (the alpha knob).
+void ProjectEmpirical(Tensor& delta, const ThresholdSet& thresholds, NodeId id,
+                      double scale = 1.0);
+
+// True when |delta| <= tau element-wise.
+bool SatisfiesTheoretical(const Tensor& delta, const DTensor& tau);
+
+// True when the sorted |delta| lies under the cap curve at every rank.
+bool SatisfiesEmpirical(const Tensor& delta, const ThresholdSet& thresholds, NodeId id,
+                        double scale = 1.0);
+
+}  // namespace tao
+
+#endif  // TAO_SRC_ATTACK_PROJECTION_H_

@@ -1,0 +1,97 @@
+#include "src/calib/calibrator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/graph/executor.h"
+#include "src/util/check.h"
+
+namespace tao {
+
+ThresholdSet Calibration::MakeThresholds(double alpha) const {
+  ThresholdSet thresholds(grid, alpha);
+  for (const auto& [id, calibration] : nodes) {
+    OpThreshold tau;
+    tau.abs.reserve(grid.size());
+    tau.rel.reserve(grid.size());
+    for (const double v : calibration.abs_envelope) {
+      tau.abs.push_back(alpha * v);
+    }
+    for (const double v : calibration.rel_envelope) {
+      tau.rel.push_back(alpha * v);
+    }
+    thresholds.SetNode(id, std::move(tau));
+  }
+  return thresholds;
+}
+
+Calibration Calibrate(const Model& model, const std::vector<DeviceProfile>& devices,
+                      const CalibrateOptions& options) {
+  TAO_CHECK_GE(devices.size(), 2u) << "calibration needs at least two devices";
+  const Graph& graph = *model.graph;
+  Calibration calibration;
+  calibration.grid = PercentileGrid();
+  calibration.num_samples = options.num_samples;
+  calibration.num_devices = static_cast<int>(devices.size());
+  for (const NodeId id : graph.op_nodes()) {
+    NodeCalibration nc;
+    nc.abs_envelope.assign(calibration.grid.size(), 0.0);
+    nc.rel_envelope.assign(calibration.grid.size(), 0.0);
+    calibration.nodes.emplace(id, std::move(nc));
+  }
+
+  Rng rng(options.seed);
+  double mean_error_weight = 0.0;
+  for (int s = 0; s < options.num_samples; ++s) {
+    const std::vector<Tensor> input = model.sample_input(rng);
+    // One full traced run per device.
+    std::vector<ExecutionTrace> traces;
+    traces.reserve(devices.size());
+    for (const DeviceProfile& device : devices) {
+      const Executor exec(graph, device);
+      traces.push_back(exec.Run(input));
+    }
+
+    for (const NodeId id : graph.op_nodes()) {
+      NodeCalibration& nc = calibration.nodes.at(id);
+      std::vector<double> sample_abs(calibration.grid.size(), 0.0);
+      std::vector<double> sample_rel(calibration.grid.size(), 0.0);
+      double mean_acc = 0.0;
+      int pair_count = 0;
+      for (size_t j = 0; j < devices.size(); ++j) {
+        for (size_t k = j + 1; k < devices.size(); ++k) {
+          const Tensor& yj = traces[j].value(id);
+          const Tensor& yk = traces[k].value(id);
+          const std::vector<double> abs_err = AbsErrors(yj, yk);
+          const std::vector<double> rel_err = RelErrors(yj, yk, options.rel_eps);
+          const std::vector<double> abs_profile = ComputeProfile(abs_err);
+          const std::vector<double> rel_profile = ComputeProfile(rel_err);
+          for (size_t g = 0; g < calibration.grid.size(); ++g) {
+            sample_abs[g] = std::max(sample_abs[g], abs_profile[g]);
+            sample_rel[g] = std::max(sample_rel[g], rel_profile[g]);
+          }
+          double sum = 0.0;
+          for (const double e : abs_err) {
+            sum += e;
+          }
+          mean_acc += sum / static_cast<double>(abs_err.size());
+          ++pair_count;
+        }
+      }
+      for (size_t g = 0; g < calibration.grid.size(); ++g) {
+        nc.abs_envelope[g] = std::max(nc.abs_envelope[g], sample_abs[g]);
+        nc.rel_envelope[g] = std::max(nc.rel_envelope[g], sample_rel[g]);
+      }
+      nc.abs_profiles.push_back(std::move(sample_abs));
+      nc.rel_profiles.push_back(std::move(sample_rel));
+      nc.mean_abs_error += mean_acc / static_cast<double>(pair_count);
+    }
+    mean_error_weight += 1.0;
+  }
+  for (auto& [id, nc] : calibration.nodes) {
+    nc.mean_abs_error /= std::max(1.0, mean_error_weight);
+  }
+  return calibration;
+}
+
+}  // namespace tao

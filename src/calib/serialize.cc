@@ -1,0 +1,87 @@
+#include "src/calib/serialize.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace tao {
+namespace {
+
+void AppendDoubles(std::ostringstream& out, const std::vector<double>& values) {
+  for (const double v : values) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out << " " << buf;
+  }
+}
+
+std::vector<double> ReadDoubles(std::istringstream& in, size_t count) {
+  std::vector<double> values(count);
+  for (size_t i = 0; i < count; ++i) {
+    TAO_CHECK(static_cast<bool>(in >> values[i])) << "truncated threshold data";
+  }
+  return values;
+}
+
+}  // namespace
+
+std::string SerializeThresholds(const ThresholdSet& thresholds) {
+  std::ostringstream out;
+  out << "tao-thresholds v1\n";
+  out << "alpha " << thresholds.alpha() << "\n";
+  out << "grid";
+  AppendDoubles(out, thresholds.grid());
+  out << "\n";
+  for (const NodeId id : thresholds.NodeIds()) {
+    const OpThreshold& tau = thresholds.node(id);
+    out << "node " << id << " abs";
+    AppendDoubles(out, tau.abs);
+    out << " rel";
+    AppendDoubles(out, tau.rel);
+    out << "\n";
+  }
+  return out.str();
+}
+
+ThresholdSet DeserializeThresholds(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  TAO_CHECK(static_cast<bool>(std::getline(in, line))) << "empty threshold file";
+  TAO_CHECK_EQ(line, "tao-thresholds v1");
+
+  TAO_CHECK(static_cast<bool>(std::getline(in, line)));
+  std::istringstream alpha_line(line);
+  std::string keyword;
+  double alpha = 0.0;
+  TAO_CHECK(static_cast<bool>(alpha_line >> keyword >> alpha) && keyword == "alpha");
+
+  TAO_CHECK(static_cast<bool>(std::getline(in, line)));
+  std::istringstream grid_line(line);
+  TAO_CHECK(static_cast<bool>(grid_line >> keyword) && keyword == "grid");
+  std::vector<double> grid;
+  double value = 0.0;
+  while (grid_line >> value) {
+    grid.push_back(value);
+  }
+  TAO_CHECK(!grid.empty());
+
+  ThresholdSet thresholds(grid, alpha);
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream node_line(line);
+    int64_t id = -1;
+    TAO_CHECK(static_cast<bool>(node_line >> keyword >> id) && keyword == "node") << line;
+    TAO_CHECK(static_cast<bool>(node_line >> keyword) && keyword == "abs");
+    OpThreshold tau;
+    tau.abs = ReadDoubles(node_line, grid.size());
+    TAO_CHECK(static_cast<bool>(node_line >> keyword) && keyword == "rel");
+    tau.rel = ReadDoubles(node_line, grid.size());
+    thresholds.SetNode(static_cast<NodeId>(id), std::move(tau));
+  }
+  return thresholds;
+}
+
+}  // namespace tao

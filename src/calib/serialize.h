@@ -1,0 +1,27 @@
+// Text serialization for threshold sets, so calibrations can be published alongside
+// the model commitment (Phase 0), post-verified by third parties, and reloaded by
+// challengers/committee members without rerunning calibration.
+
+#ifndef TAO_SRC_CALIB_SERIALIZE_H_
+#define TAO_SRC_CALIB_SERIALIZE_H_
+
+#include <string>
+
+#include "src/calib/threshold.h"
+#include "src/graph/graph.h"
+
+namespace tao {
+
+// Line-oriented format:
+//   tao-thresholds v1
+//   alpha <a>
+//   grid <p0> <p1> ...
+//   node <id> abs <v...> rel <v...>
+std::string SerializeThresholds(const ThresholdSet& thresholds);
+
+// Parses the format above; aborts on malformed input.
+ThresholdSet DeserializeThresholds(const std::string& text);
+
+}  // namespace tao
+
+#endif  // TAO_SRC_CALIB_SERIALIZE_H_

@@ -1,0 +1,133 @@
+#include "src/calib/stability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+#include "src/util/stats.h"
+
+namespace tao {
+namespace {
+
+// Median of the sequence with element t removed.
+double MedianWithout(std::span<const double> sequence, size_t t) {
+  std::vector<double> rest;
+  rest.reserve(sequence.size() - 1);
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    if (i != t) {
+      rest.push_back(sequence[i]);
+    }
+  }
+  return Median(rest);
+}
+
+}  // namespace
+
+double SupNormDrift(std::span<const double> sequence, const StabilityOptions& options) {
+  const size_t n = sequence.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  const std::vector<double> running = RunningMedians(sequence);
+  const double final_value = running.back();
+  const size_t window = std::min(options.window, n - 1);
+  double sup = 0.0;
+  for (size_t k = n - window; k < n; ++k) {
+    // Compare theta~(n) against theta~(k) for k in the last W steps (Eq. 39).
+    sup = std::max(sup, SymmetricRelChange(final_value, running[k - 1], options.eps));
+  }
+  return sup;
+}
+
+double JackknifeInfluence(std::span<const double> sequence, const StabilityOptions& options) {
+  const size_t n = sequence.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  const double theta = Median(sequence);
+  double max_influence = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    const double loo = MedianWithout(sequence, t);
+    max_influence =
+        std::max(max_influence, std::abs(loo - theta) / (std::abs(theta) + options.eps));
+  }
+  return max_influence;
+}
+
+double TailAdjustment(std::span<const double> sequence, const StabilityOptions& options) {
+  const size_t n = sequence.size();
+  if (n < 2) {
+    return 0.0;
+  }
+  const std::vector<double> running = RunningMedians(sequence);
+  const double theta = running.back();
+  const size_t window = std::min(options.window, n - 1);
+  double max_step = 0.0;
+  for (size_t k = n - window; k < n; ++k) {
+    // |theta~(k+1) - theta~(k)| over the final W steps (Eq. 41); k is 1-based here.
+    max_step = std::max(max_step, std::abs(running[k] - running[k - 1]));
+  }
+  return max_step / (std::abs(theta) + options.eps);
+}
+
+double RollingSd(std::span<const double> sequence, const StabilityOptions& options) {
+  if (sequence.size() < options.window) {
+    return 0.0;
+  }
+  const std::vector<double> rolled = RollingMedians(sequence, options.window);
+  const double theta = Median(sequence);
+  return StdDev(rolled) / (std::abs(theta) + options.eps);
+}
+
+StabilitySummary SummarizeStability(const Calibration& calibration, size_t grid_index,
+                                    const StabilityOptions& options) {
+  TAO_CHECK_LT(grid_index, calibration.grid.size());
+  std::vector<double> supnorms;
+  std::vector<double> jackknives;
+  std::vector<double> tailadjs;
+  std::vector<double> rollsds;
+  for (const auto& [id, nc] : calibration.nodes) {
+    std::vector<double> sequence;
+    sequence.reserve(nc.abs_profiles.size());
+    for (const auto& profile : nc.abs_profiles) {
+      sequence.push_back(profile[grid_index]);
+    }
+    // Degenerate all-zero sequences (bitwise-reproducible operators) are perfectly
+    // stable; include them as exact zeros.
+    supnorms.push_back(SupNormDrift(sequence, options));
+    jackknives.push_back(JackknifeInfluence(sequence, options));
+    tailadjs.push_back(TailAdjustment(sequence, options));
+    rollsds.push_back(RollingSd(sequence, options));
+  }
+  StabilitySummary summary;
+  summary.supnorm_p50 = Percentile(supnorms, 50.0);
+  summary.supnorm_p90 = Percentile(supnorms, 90.0);
+  summary.jackknife_p50 = Percentile(jackknives, 50.0);
+  summary.jackknife_p90 = Percentile(jackknives, 90.0);
+  summary.tailadj_p50 = Percentile(tailadjs, 50.0);
+  summary.tailadj_p90 = Percentile(tailadjs, 90.0);
+  summary.rollsd_p50 = Percentile(rollsds, 50.0);
+  summary.rollsd_p90 = Percentile(rollsds, 90.0);
+  return summary;
+}
+
+std::vector<double> GlobalDriftPerOperator(const Calibration& calibration,
+                                           const StabilityOptions& options) {
+  std::vector<double> drifts;
+  drifts.reserve(calibration.nodes.size());
+  for (const auto& [id, nc] : calibration.nodes) {
+    double worst = 0.0;
+    for (size_t g = 0; g < calibration.grid.size(); ++g) {
+      std::vector<double> sequence;
+      sequence.reserve(nc.abs_profiles.size());
+      for (const auto& profile : nc.abs_profiles) {
+        sequence.push_back(profile[g]);
+      }
+      worst = std::max(worst, SupNormDrift(sequence, options));
+    }
+    drifts.push_back(worst);
+  }
+  return drifts;
+}
+
+}  // namespace tao

@@ -1,0 +1,51 @@
+// Stability diagnostics for empirical error percentile profiles (Appendix B).
+//
+// For each operator i and percentile p, the per-sample sequence {y_{i,p,t}}_{t=1..n}
+// yields four robustness diagnostics on its running-median curve:
+//   D1 SupNorm  — short-horizon relative drift over the last W steps (Eq. 39)
+//   D2 Jackknife — maximum leave-one-out influence (Eq. 40)
+//   D3 TailAdj  — largest tail adjustment of the running median (Eq. 41)
+//   D4 RollSD   — rolling-window median variability (Eq. 42)
+// All use the symmetric relative change / |theta|+eps normalizations of Eq. 38.
+
+#ifndef TAO_SRC_CALIB_STABILITY_H_
+#define TAO_SRC_CALIB_STABILITY_H_
+
+#include <span>
+#include <vector>
+
+#include "src/calib/calibrator.h"
+
+namespace tao {
+
+struct StabilityOptions {
+  size_t window = 10;   // W
+  double eps = 1e-12;
+};
+
+// Per-sequence diagnostics.
+double SupNormDrift(std::span<const double> sequence, const StabilityOptions& options = {});
+double JackknifeInfluence(std::span<const double> sequence, const StabilityOptions& options = {});
+double TailAdjustment(std::span<const double> sequence, const StabilityOptions& options = {});
+double RollingSd(std::span<const double> sequence, const StabilityOptions& options = {});
+
+// Cross-operator aggregation for one percentile grid index: the Table 1 rows.
+struct StabilitySummary {
+  double supnorm_p50 = 0.0, supnorm_p90 = 0.0;
+  double jackknife_p50 = 0.0, jackknife_p90 = 0.0;
+  double tailadj_p50 = 0.0, tailadj_p90 = 0.0;
+  double rollsd_p50 = 0.0, rollsd_p90 = 0.0;
+};
+
+// Computes diagnostics for every operator's abs-profile sequence at grid index
+// `grid_index` and summarizes medians / 90th percentiles across operators.
+StabilitySummary SummarizeStability(const Calibration& calibration, size_t grid_index,
+                                    const StabilityOptions& options = {});
+
+// Global cross-percentile drift per operator (Eq. 43), summarized across operators.
+std::vector<double> GlobalDriftPerOperator(const Calibration& calibration,
+                                           const StabilityOptions& options = {});
+
+}  // namespace tao
+
+#endif  // TAO_SRC_CALIB_STABILITY_H_

@@ -1,0 +1,82 @@
+// Empirical error percentile thresholds (Sec. 3.2).
+//
+// Calibration produces, per operator node i, percentile profiles P_abs^(i)(p) and
+// P_rel^(i)(p) over the grid P = {0,1,5,10,...,90,95,99,100}, max-enveloped across
+// device pairs and inputs (Eq. 5-6), then inflated by the safety factor alpha (Eq. 7).
+// A ThresholdSet carries those tau vectors, implements the Eq. 15 dispute-search check
+// (max over p of observed percentile / tau), the Eq. 8 cap curve C_i(r) used by the
+// attack projection, and a Merkle commitment r_e.
+
+#ifndef TAO_SRC_CALIB_THRESHOLD_H_
+#define TAO_SRC_CALIB_THRESHOLD_H_
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+#include "src/graph/graph.h"
+#include "src/tensor/tensor.h"
+
+namespace tao {
+
+// The paper's percentile grid P.
+const std::vector<double>& PercentileGrid();
+
+// Percentile-value vector of |errors| over the grid (Eq. 3-4).
+std::vector<double> ComputeProfile(std::span<const double> errors);
+
+struct OpThreshold {
+  std::vector<double> abs;  // tau_abs(p) per grid point
+  std::vector<double> rel;  // tau_rel(p) per grid point
+};
+
+class ThresholdSet {
+ public:
+  ThresholdSet() = default;
+  ThresholdSet(std::vector<double> grid, double alpha) : grid_(std::move(grid)), alpha_(alpha) {}
+
+  void SetNode(NodeId id, OpThreshold threshold);
+  bool HasNode(NodeId id) const { return ops_.count(id) > 0; }
+  const OpThreshold& node(NodeId id) const;
+  const std::vector<double>& grid() const { return grid_; }
+  double alpha() const { return alpha_; }
+  size_t size() const { return ops_.size(); }
+  // Node ids with thresholds, in ascending order (the Merkle leaf order).
+  std::vector<NodeId> NodeIds() const;
+
+  // Returns a copy with every tau multiplied by `factor` (the alpha-scaling knob of the
+  // Table 2 sensitivity study).
+  ThresholdSet Scaled(double factor) const;
+
+  // Eq. 15: p_max = max_p { P_abs(p)/tau_abs(p), P_rel(p)/tau_rel(p) } for the observed
+  // proposer-vs-reference discrepancy at node id. > 1 flags the node as offending.
+  // Zero taus (operators calibrated as bitwise-reproducible) admit only zero error.
+  double MaxRatio(NodeId id, const Tensor& proposed, const Tensor& reference,
+                  double eps = 1e-12) const;
+
+  bool Exceeds(NodeId id, const Tensor& proposed, const Tensor& reference) const {
+    return MaxRatio(id, proposed, reference) > 1.0;
+  }
+
+  // Eq. 8 cap curve: nondecreasing linear interpolation through (0,0),
+  // (p_k/100, tau_abs(p_k)), (1, tau_abs(100)); rank r in [0,1].
+  double AbsCap(NodeId id, double rank) const;
+
+  // Merkle commitment r_e over per-node canonical threshold encodings, leaf order =
+  // ascending node id.
+  Digest CommitRoot() const;
+
+  // Canonical string encoding of one node's thresholds (the Merkle leaf preimage).
+  std::string CanonicalNode(NodeId id) const;
+
+ private:
+  std::vector<double> grid_;
+  double alpha_ = 1.0;
+  std::map<NodeId, OpThreshold> ops_;
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_CALIB_THRESHOLD_H_

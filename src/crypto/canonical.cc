@@ -1,0 +1,56 @@
+#include "src/crypto/canonical.h"
+
+#include <cstring>
+
+namespace tao {
+
+void AppendU32(std::vector<uint8_t>& buffer, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    buffer.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void AppendU64(std::vector<uint8_t>& buffer, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    buffer.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void AppendF32(std::vector<uint8_t>& buffer, float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  AppendU32(buffer, bits);
+}
+
+std::vector<uint8_t> CanonicalBytes(const Tensor& tensor) {
+  std::vector<uint8_t> bytes;
+  bytes.reserve(16 + tensor.shape().dims().size() * 8 + static_cast<size_t>(tensor.numel()) * 4);
+  // dtype tag: 0 = f32.
+  AppendU32(bytes, 0);
+  AppendU32(bytes, static_cast<uint32_t>(tensor.shape().rank()));
+  for (const int64_t d : tensor.shape().dims()) {
+    AppendU64(bytes, static_cast<uint64_t>(d));
+  }
+  for (const float v : tensor.values()) {
+    AppendF32(bytes, v);
+  }
+  return bytes;
+}
+
+Digest HashTensor(const Tensor& tensor) {
+  const std::vector<uint8_t> bytes = CanonicalBytes(tensor);
+  return Sha256::Hash(std::span<const uint8_t>(bytes.data(), bytes.size()));
+}
+
+Digest HashTensorList(const std::vector<Tensor>& tensors) {
+  Sha256 ctx;
+  for (const Tensor& t : tensors) {
+    const Digest d = HashTensor(t);
+    ctx.Update(std::span<const uint8_t>(d.data(), d.size()));
+  }
+  return ctx.Finalize();
+}
+
+Digest HashSignature(const std::string& signature) { return Sha256::Hash(signature); }
+
+}  // namespace tao

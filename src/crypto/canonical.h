@@ -1,0 +1,37 @@
+// Canonical serialization ("canon(·)" in the paper) and hashing of tensors and
+// operator signatures. Canonical bytes encode dtype tag, rank, dims, and raw
+// little-endian element bytes so that two bitwise-identical tensors hash equal and any
+// value/shape/dtype change breaks the digest (Sec. 5.2).
+
+#ifndef TAO_SRC_CRYPTO_CANONICAL_H_
+#define TAO_SRC_CRYPTO_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+#include "src/tensor/tensor.h"
+
+namespace tao {
+
+// Canonical byte encoding of a tensor.
+std::vector<uint8_t> CanonicalBytes(const Tensor& tensor);
+
+Digest HashTensor(const Tensor& tensor);
+
+// Hash of an ordered list of tensors: H(H(t0) || H(t1) || ...). Used for the interface
+// commitments h_In / h_Out of a subgraph.
+Digest HashTensorList(const std::vector<Tensor>& tensors);
+
+// Hash a canonical operator signature string sigma(n).
+Digest HashSignature(const std::string& signature);
+
+// Appends primitive values to a byte buffer in little-endian order.
+void AppendU32(std::vector<uint8_t>& buffer, uint32_t value);
+void AppendU64(std::vector<uint8_t>& buffer, uint64_t value);
+void AppendF32(std::vector<uint8_t>& buffer, float value);
+
+}  // namespace tao
+
+#endif  // TAO_SRC_CRYPTO_CANONICAL_H_

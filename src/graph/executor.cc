@@ -1,0 +1,78 @@
+#include "src/graph/executor.h"
+
+#include "src/util/check.h"
+
+namespace tao {
+
+ExecutionTrace Executor::Run(const std::vector<Tensor>& inputs,
+                             const ExecutorOptions& options) const {
+  return RunPerturbed(inputs, {}, options);
+}
+
+Tensor Executor::RunOutput(const std::vector<Tensor>& inputs) const {
+  const ExecutionTrace trace = Run(inputs);
+  return trace.value(graph_.output());
+}
+
+ExecutionTrace Executor::RunPerturbed(const std::vector<Tensor>& inputs,
+                                      const std::vector<Perturbation>& perturbations,
+                                      const ExecutorOptions& options) const {
+  TAO_CHECK_EQ(inputs.size(), graph_.input_nodes().size());
+  ExecutionTrace trace;
+  trace.values.resize(static_cast<size_t>(graph_.num_nodes()));
+  if (options.with_bounds) {
+    trace.bounds.resize(static_cast<size_t>(graph_.num_nodes()));
+    trace.has_bounds = true;
+  }
+
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const NodeId id = graph_.input_nodes()[i];
+    TAO_CHECK(inputs[i].shape() == graph_.node(id).shape)
+        << "input " << i << " shape " << inputs[i].shape().ToString() << " != declared "
+        << graph_.node(id).shape.ToString();
+    trace.values[static_cast<size_t>(id)] = inputs[i];
+  }
+  for (const NodeId id : graph_.param_nodes()) {
+    trace.values[static_cast<size_t>(id)] = graph_.node(id).value;
+  }
+
+  for (const NodeId id : graph_.op_nodes()) {
+    const Node& node = graph_.node(id);
+    const OpKernel& kernel = OpRegistry::Instance().Get(node.op);
+    std::vector<Tensor> op_inputs;
+    op_inputs.reserve(node.inputs.size());
+    for (const NodeId in : node.inputs) {
+      op_inputs.push_back(trace.values[static_cast<size_t>(in)]);
+    }
+    const OpContext ctx{device_, op_inputs, node.attrs};
+    Tensor out = kernel.Forward(ctx);
+    TAO_CHECK(out.shape() == node.shape)
+        << node.label << ": forward produced " << out.shape().ToString() << ", expected "
+        << node.shape.ToString();
+
+    if (options.with_bounds) {
+      const BoundContext bctx{device_, op_inputs,     out,
+                              node.attrs, options.bound_mode, options.lambda};
+      trace.bounds[static_cast<size_t>(id)] = kernel.Bound(bctx);
+    }
+
+    // Adversarial injection happens after the operator completes, before the tensor is
+    // published to downstream consumers (Sec. 4.2: h_v <- h_v + Delta_v).
+    for (const Perturbation& p : perturbations) {
+      if (p.node == id) {
+        TAO_CHECK(p.delta.shape() == out.shape());
+        Tensor perturbed = out.Clone();
+        auto pv = perturbed.mutable_values();
+        const auto dv = p.delta.values();
+        for (size_t i = 0; i < pv.size(); ++i) {
+          pv[i] += dv[i];
+        }
+        out = perturbed;
+      }
+    }
+    trace.values[static_cast<size_t>(id)] = std::move(out);
+  }
+  return trace;
+}
+
+}  // namespace tao

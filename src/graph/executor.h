@@ -1,0 +1,66 @@
+// Graph execution with per-node traces and optional theoretical-bound co-execution
+// (the paper's "FX-based co-execution": one traced run yields both values and tau_theo
+// per operator). The device profile parameterizes every reduction/intrinsic, so running
+// the same graph under two profiles reproduces cross-device FP divergence.
+
+#ifndef TAO_SRC_GRAPH_EXECUTOR_H_
+#define TAO_SRC_GRAPH_EXECUTOR_H_
+
+#include <vector>
+
+#include "src/device/device.h"
+#include "src/graph/graph.h"
+#include "src/ops/fperror.h"
+
+namespace tao {
+
+// Per-node results of one traced run. `values[id]` is defined for every node (inputs
+// and params included); `bounds[id]` only when bounds were requested and the node is an
+// operator.
+struct ExecutionTrace {
+  std::vector<Tensor> values;
+  std::vector<DTensor> bounds;
+  bool has_bounds = false;
+
+  const Tensor& value(NodeId id) const { return values[static_cast<size_t>(id)]; }
+  const DTensor& bound(NodeId id) const { return bounds[static_cast<size_t>(id)]; }
+};
+
+struct ExecutorOptions {
+  bool with_bounds = false;
+  BoundMode bound_mode = BoundMode::kProbabilistic;
+  double lambda = kDefaultLambda;
+};
+
+class Executor {
+ public:
+  Executor(const Graph& graph, const DeviceProfile& device)
+      : graph_(graph), device_(device) {}
+
+  // Runs the whole graph on `inputs` (one tensor per graph input, in declaration
+  // order). Returns the full trace.
+  ExecutionTrace Run(const std::vector<Tensor>& inputs, const ExecutorOptions& options = {}) const;
+
+  // Convenience: runs and returns only the output tensor.
+  Tensor RunOutput(const std::vector<Tensor>& inputs) const;
+
+  // Overrides applied after each node executes: the malicious proposer of Sec. 4 adds
+  // a perturbation Delta_v to the output of node `id` before downstream consumers see
+  // it. The perturbed tensor is what lands in the trace (and what gets committed).
+  struct Perturbation {
+    NodeId node = -1;
+    Tensor delta;
+  };
+
+  ExecutionTrace RunPerturbed(const std::vector<Tensor>& inputs,
+                              const std::vector<Perturbation>& perturbations,
+                              const ExecutorOptions& options = {}) const;
+
+ private:
+  const Graph& graph_;
+  const DeviceProfile& device_;
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_GRAPH_EXECUTOR_H_

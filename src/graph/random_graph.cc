@@ -1,0 +1,141 @@
+#include "src/graph/random_graph.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace tao {
+
+Tensor RandomGraphResult::SampleInput(Rng& rng) const {
+  return Tensor::Randn(input_shape, rng);
+}
+
+RandomGraphResult BuildRandomGraph(const RandomGraphOptions& options) {
+  auto graph = std::make_shared<Graph>();
+  Rng rng(options.seed);
+  const int64_t width = options.width;
+  const int64_t rows = options.rows;
+  const Shape flow_shape{rows, width};
+
+  const NodeId input = graph->AddInput("x", flow_shape);
+  // Pool of nodes carrying [rows, width] tensors that later ops may consume.
+  std::vector<NodeId> pool = {input};
+  auto pick = [&]() -> NodeId { return pool[rng.NextBounded(pool.size())]; };
+
+  int64_t since_norm = 0;
+  for (int64_t i = 0; i < options.num_ops; ++i) {
+    const std::string label = "rand" + std::to_string(i);
+    NodeId produced = -1;
+    // Interleave a normalization every few ops to keep magnitudes tame.
+    const uint64_t kind = (since_norm >= 4) ? 9 : rng.NextBounded(12);
+    switch (kind) {
+      case 0: {  // binary arithmetic with a fresh parameter
+        const NodeId p = graph->AddParam(label + ".p", Tensor::Randn(Shape{width}, rng, 0.3f));
+        const char* ops[] = {"add", "sub", "mul"};
+        produced = graph->AddOp(ops[rng.NextBounded(3)], label, {pick(), p});
+        break;
+      }
+      case 1: {  // binary between two pool members
+        produced = graph->AddOp(rng.NextBounded(2) == 0 ? "add" : "mul", label,
+                                {pick(), pick()});
+        break;
+      }
+      case 2: {  // activation
+        const char* ops[] = {"relu", "gelu", "silu", "tanh"};
+        produced = graph->AddOp(ops[rng.NextBounded(4)], label, {pick()});
+        break;
+      }
+      case 3: {  // softmax over the feature axis
+        Attrs attrs;
+        attrs.Set("axis", static_cast<int64_t>(-1));
+        produced = graph->AddOp("softmax", label, {pick()}, attrs);
+        break;
+      }
+      case 4: {  // linear width -> width
+        const float scale = 1.0f / std::sqrt(static_cast<float>(width));
+        const NodeId w =
+            graph->AddParam(label + ".w", Tensor::Randn(Shape{width, width}, rng, scale));
+        const NodeId b = graph->AddParam(label + ".b", Tensor::Zeros(Shape{width}));
+        produced = graph->AddOp("linear", label, {pick(), w, b});
+        break;
+      }
+      case 5: {  // matmul with a parameter matrix
+        const float scale = 1.0f / std::sqrt(static_cast<float>(width));
+        const NodeId w =
+            graph->AddParam(label + ".w", Tensor::Randn(Shape{width, width}, rng, scale));
+        produced = graph->AddOp("matmul", label, {pick(), w});
+        break;
+      }
+      case 6: {  // transpose round-trip (keeps shape via double transpose)
+        Attrs perm;
+        perm.Set("perm", std::vector<int64_t>{1, 0});
+        const NodeId t = graph->AddOp("transpose", label + ".t", {pick()}, perm);
+        produced = graph->AddOp("transpose", label, {t}, perm);
+        break;
+      }
+      case 7: {  // reshape round-trip
+        Attrs flat;
+        flat.Set("shape", std::vector<int64_t>{rows * width});
+        const NodeId f = graph->AddOp("reshape", label + ".flat", {pick()}, flat);
+        Attrs back;
+        back.Set("shape", std::vector<int64_t>{rows, width});
+        produced = graph->AddOp("reshape", label, {f}, back);
+        break;
+      }
+      case 8: {  // slice-concat identity (exercises multi-input data movement)
+        Attrs left;
+        left.Set("axis", static_cast<int64_t>(1));
+        left.Set("start", static_cast<int64_t>(0));
+        left.Set("end", width / 2);
+        Attrs right;
+        right.Set("axis", static_cast<int64_t>(1));
+        right.Set("start", width / 2);
+        right.Set("end", width);
+        const NodeId src = pick();
+        const NodeId a = graph->AddOp("slice", label + ".l", {src}, left);
+        const NodeId b = graph->AddOp("slice", label + ".r", {src}, right);
+        Attrs cat;
+        cat.Set("axis", static_cast<int64_t>(1));
+        produced = graph->AddOp("concat", label, {a, b}, cat);
+        break;
+      }
+      case 9: {  // layer_norm (the magnitude stabilizer)
+        const NodeId w = graph->AddParam(label + ".w", Tensor::Full(Shape{width}, 1.0f));
+        const NodeId b = graph->AddParam(label + ".b", Tensor::Zeros(Shape{width}));
+        Attrs attrs;
+        attrs.Set("eps", 1e-5);
+        produced = graph->AddOp("layer_norm", label, {pick(), w, b}, attrs);
+        since_norm = -1;
+        break;
+      }
+      case 10: {  // rms_norm
+        const NodeId w = graph->AddParam(label + ".w", Tensor::Full(Shape{width}, 1.0f));
+        Attrs attrs;
+        attrs.Set("eps", 1e-6);
+        produced = graph->AddOp("rms_norm", label, {pick(), w}, attrs);
+        since_norm = -1;
+        break;
+      }
+      default: {  // residual add of two pool members through a tanh squash
+        const NodeId squashed = graph->AddOp("tanh", label + ".sq", {pick()});
+        produced = graph->AddOp("add", label, {squashed, pick()});
+        break;
+      }
+    }
+    ++since_norm;
+    pool.push_back(produced);
+  }
+  // Funnel everything into a single output: mean of the last value with a final norm.
+  const NodeId w = graph->AddParam("out.w", Tensor::Full(Shape{width}, 1.0f));
+  const NodeId b = graph->AddParam("out.b", Tensor::Zeros(Shape{width}));
+  Attrs ln;
+  ln.Set("eps", 1e-5);
+  graph->AddOp("layer_norm", "out", {pool.back(), w, b}, ln);
+
+  RandomGraphResult result;
+  result.graph = graph;
+  result.input_shape = flow_shape;
+  return result;
+}
+
+}  // namespace tao

@@ -1,0 +1,38 @@
+// Random graph generator for property-based testing: builds seeded, well-formed DAGs
+// mixing elementwise arithmetic, activations, reductions, normalizations, matmuls, and
+// data movement. Used by the fuzz suites to check executor/subgraph/bound/dispute
+// invariants on shapes no hand-written model exercises.
+
+#ifndef TAO_SRC_GRAPH_RANDOM_GRAPH_H_
+#define TAO_SRC_GRAPH_RANDOM_GRAPH_H_
+
+#include <memory>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace tao {
+
+struct RandomGraphOptions {
+  int64_t num_ops = 30;
+  int64_t width = 24;      // feature dimension of the flowing [rows, width] tensors
+  int64_t rows = 4;
+  uint64_t seed = 0xf022;  // graph structure + parameter seed
+};
+
+struct RandomGraphResult {
+  std::shared_ptr<Graph> graph;
+  // Generates a compatible input for the graph's single input node.
+  Tensor SampleInput(Rng& rng) const;
+  Shape input_shape;
+};
+
+// Builds a connected DAG of approximately `num_ops` operators over 2-D tensors.
+// Guarantees: single input, single output, every op reachable from the input, and all
+// intermediate values numerically tame (normalizations interleaved so activations
+// cannot blow up).
+RandomGraphResult BuildRandomGraph(const RandomGraphOptions& options = {});
+
+}  // namespace tao
+
+#endif  // TAO_SRC_GRAPH_RANDOM_GRAPH_H_

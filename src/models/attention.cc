@@ -1,0 +1,80 @@
+#include "src/models/attention.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace tao {
+
+NodeId AppendLinear(Graph& graph, Rng& rng, const std::string& name, NodeId x, int64_t in,
+                    int64_t out) {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(in));
+  const NodeId w = graph.AddParam(name + ".w", Tensor::Randn(Shape{out, in}, rng, scale));
+  const NodeId b = graph.AddParam(name + ".b", Tensor::Zeros(Shape{out}));
+  return graph.AddOp("linear", name, {x, w, b});
+}
+
+NodeId AppendSelfAttention(Graph& graph, Rng& rng, const std::string& prefix, NodeId x,
+                           const AttentionOptions& options) {
+  const int64_t seq = options.seq;
+  const int64_t dim = options.dim;
+  const int64_t heads = options.heads;
+  TAO_CHECK_EQ(dim % heads, 0);
+  const int64_t head_dim = dim / heads;
+
+  const NodeId q = AppendLinear(graph, rng, prefix + ".q_proj", x, dim, dim);
+  const NodeId k = AppendLinear(graph, rng, prefix + ".k_proj", x, dim, dim);
+  const NodeId v = AppendLinear(graph, rng, prefix + ".v_proj", x, dim, dim);
+
+  auto split_heads = [&](NodeId t, const std::string& name,
+                         std::vector<int64_t> perm) -> NodeId {
+    Attrs rs;
+    rs.Set("shape", std::vector<int64_t>{seq, heads, head_dim});
+    const NodeId reshaped = graph.AddOp("reshape", name + ".split", {t}, rs);
+    Attrs tp;
+    tp.Set("perm", std::move(perm));
+    return graph.AddOp("transpose", name + ".perm", {reshaped}, tp);
+  };
+
+  // q, v: [heads, seq, head_dim]; k: [heads, head_dim, seq] for the score bmm.
+  const NodeId qh = split_heads(q, prefix + ".q", {1, 0, 2});
+  const NodeId kh = split_heads(k, prefix + ".k", {1, 2, 0});
+  const NodeId vh = split_heads(v, prefix + ".v", {1, 0, 2});
+
+  NodeId scores = graph.AddOp("bmm", prefix + ".scores", {qh, kh});
+  const NodeId scale = graph.AddParam(
+      prefix + ".scale",
+      Tensor::Full(Shape{1}, 1.0f / std::sqrt(static_cast<float>(head_dim))));
+  scores = graph.AddOp("mul", prefix + ".scaled", {scores, scale});
+
+  if (options.causal) {
+    Tensor mask = Tensor::Zeros(Shape{heads, seq, seq});
+    auto mv = mask.mutable_values();
+    for (int64_t h = 0; h < heads; ++h) {
+      for (int64_t i = 0; i < seq; ++i) {
+        for (int64_t j = i + 1; j < seq; ++j) {
+          mv[static_cast<size_t>((h * seq + i) * seq + j)] = 1.0f;
+        }
+      }
+    }
+    const NodeId mask_node = graph.AddParam(prefix + ".causal_mask", mask);
+    Attrs mf;
+    mf.Set("value", -1e9);
+    scores = graph.AddOp("masked_fill", prefix + ".masked", {scores, mask_node}, mf);
+  }
+
+  Attrs sm;
+  sm.Set("axis", static_cast<int64_t>(-1));
+  const NodeId attn = graph.AddOp("softmax", prefix + ".softmax", {scores}, sm);
+  const NodeId context = graph.AddOp("bmm", prefix + ".context", {attn, vh});
+
+  Attrs unperm;
+  unperm.Set("perm", std::vector<int64_t>{1, 0, 2});
+  const NodeId merged = graph.AddOp("transpose", prefix + ".merge_perm", {context}, unperm);
+  Attrs rs;
+  rs.Set("shape", std::vector<int64_t>{seq, dim});
+  const NodeId flat = graph.AddOp("reshape", prefix + ".merge", {merged}, rs);
+  return AppendLinear(graph, rng, prefix + ".o_proj", flat, dim, dim);
+}
+
+}  // namespace tao

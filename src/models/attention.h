@@ -1,0 +1,34 @@
+// Shared multi-head self-attention builder used by the BERT-style encoder, the
+// Qwen-style decoder, and the diffusion UNet's mid-block attention.
+
+#ifndef TAO_SRC_MODELS_ATTENTION_H_
+#define TAO_SRC_MODELS_ATTENTION_H_
+
+#include <string>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace tao {
+
+struct AttentionOptions {
+  int64_t seq = 0;
+  int64_t dim = 0;
+  int64_t heads = 0;
+  bool causal = false;
+};
+
+// Appends softmax multi-head self-attention over `x` (shape [seq, dim]) to the graph:
+// per-head Q/K/V projections, scaled dot-product scores, optional causal masked_fill,
+// softmax, value aggregation, and output projection. Returns the [seq, dim] output.
+NodeId AppendSelfAttention(Graph& graph, Rng& rng, const std::string& prefix, NodeId x,
+                           const AttentionOptions& options);
+
+// Linear layer helper shared by the transformer builders: y = x Wᵀ + b with fan-in
+// scaled Gaussian weights.
+NodeId AppendLinear(Graph& graph, Rng& rng, const std::string& name, NodeId x, int64_t in,
+                    int64_t out);
+
+}  // namespace tao
+
+#endif  // TAO_SRC_MODELS_ATTENTION_H_

@@ -1,0 +1,94 @@
+// BERT-style post-LN transformer encoder (the BERT-large stand-in): token + position
+// embeddings, N layers of [self-attention -> residual add -> LayerNorm -> GELU FFN ->
+// residual add -> LayerNorm], CLS-token pooling, tanh pooler, and a classifier head
+// (the DBpedia topic-classification setup of Sec. 4.5).
+
+#include "src/models/attention.h"
+#include <cmath>
+
+#include "src/models/model_zoo.h"
+#include "src/util/check.h"
+
+namespace tao {
+
+Model BuildBertMini(const BertConfig& config) {
+  auto graph = std::make_shared<Graph>();
+  Rng rng(config.seed);
+  Graph& g = *graph;
+  const int64_t s = config.seq_len;
+  const int64_t d = config.dim;
+
+  const NodeId token_ids = g.AddInput("token_ids", Shape{s});
+  const NodeId token_table = g.AddParam(
+      "embeddings.token", Tensor::Randn(Shape{config.vocab, d}, rng, 0.5f));
+  const NodeId tok = g.AddOp("embedding", "embeddings.lookup", {token_table, token_ids});
+  const NodeId pos_table =
+      g.AddParam("embeddings.position", Tensor::Randn(Shape{s, d}, rng, 0.1f));
+  NodeId h = g.AddOp("add", "embeddings.sum", {tok, pos_table});
+  {
+    const NodeId w = g.AddParam("embeddings.ln.w", Tensor::Full(Shape{d}, 1.0f));
+    const NodeId b = g.AddParam("embeddings.ln.b", Tensor::Zeros(Shape{d}));
+    Attrs ln;
+    ln.Set("eps", 1e-5);
+    h = g.AddOp("layer_norm", "embeddings.ln", {h, w, b}, ln);
+  }
+
+  for (int64_t layer = 0; layer < config.layers; ++layer) {
+    const std::string p = "layer" + std::to_string(layer);
+    AttentionOptions attn_opts;
+    attn_opts.seq = s;
+    attn_opts.dim = d;
+    attn_opts.heads = config.heads;
+    attn_opts.causal = false;
+    const NodeId attn = AppendSelfAttention(g, rng, p + ".attn", h, attn_opts);
+    NodeId res = g.AddOp("add", p + ".attn.residual", {h, attn});
+    {
+      const NodeId w = g.AddParam(p + ".ln1.w", Tensor::Full(Shape{d}, 1.0f));
+      const NodeId b = g.AddParam(p + ".ln1.b", Tensor::Zeros(Shape{d}));
+      Attrs ln;
+      ln.Set("eps", 1e-5);
+      res = g.AddOp("layer_norm", p + ".ln1", {res, w, b}, ln);
+    }
+    NodeId ffn = AppendLinear(g, rng, p + ".ffn.fc1", res, d, config.ffn_dim);
+    ffn = g.AddOp("gelu", p + ".ffn.gelu", {ffn});
+    ffn = AppendLinear(g, rng, p + ".ffn.fc2", ffn, config.ffn_dim, d);
+    NodeId out = g.AddOp("add", p + ".ffn.residual", {res, ffn});
+    {
+      const NodeId w = g.AddParam(p + ".ln2.w", Tensor::Full(Shape{d}, 1.0f));
+      const NodeId b = g.AddParam(p + ".ln2.b", Tensor::Zeros(Shape{d}));
+      Attrs ln;
+      ln.Set("eps", 1e-5);
+      out = g.AddOp("layer_norm", p + ".ln2", {out, w, b}, ln);
+    }
+    h = out;
+  }
+
+  // CLS pooling: first token -> tanh pooler -> classifier.
+  Attrs cls;
+  cls.Set("axis", static_cast<int64_t>(0));
+  cls.Set("start", static_cast<int64_t>(0));
+  cls.Set("end", static_cast<int64_t>(1));
+  NodeId pooled = g.AddOp("slice", "pooler.cls", {h}, cls);
+  pooled = AppendLinear(g, rng, "pooler.dense", pooled, d, d);
+  pooled = g.AddOp("tanh", "pooler.tanh", {pooled});
+  AppendLinear(g, rng, "classifier", pooled, d, config.num_classes);
+
+  Model model;
+  model.name = "bert-mini";
+  model.paper_counterpart = "BERT-large";
+  model.graph = graph;
+  model.num_classes = config.num_classes;
+  const int64_t vocab = config.vocab;
+  const int64_t seq = s;
+  model.sample_input = [vocab, seq](Rng& r) {
+    Tensor ids = Tensor::Zeros(Shape{seq});
+    auto iv = ids.mutable_values();
+    for (int64_t i = 0; i < seq; ++i) {
+      iv[static_cast<size_t>(i)] = static_cast<float>(r.NextBounded(static_cast<uint64_t>(vocab)));
+    }
+    return std::vector<Tensor>{ids};
+  };
+  return model;
+}
+
+}  // namespace tao

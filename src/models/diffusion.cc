@@ -1,0 +1,139 @@
+// Diffusion UNet (the Stable Diffusion v1-5 stand-in): latent-space UNet with
+// GroupNorm/SiLU residual blocks, a strided-conv downsampling path, a mid block with
+// spatial self-attention, and a nearest-upsample + skip-concat decoding path emitting
+// a predicted-noise tensor of the input latent's shape.
+
+#include <cmath>
+
+#include "src/models/attention.h"
+#include "src/models/model_zoo.h"
+#include "src/util/check.h"
+
+namespace tao {
+namespace {
+
+struct UnetBuilder {
+  Graph& g;
+  Rng& rng;
+  int64_t groups;
+
+  NodeId Conv(const std::string& name, NodeId x, int64_t cin, int64_t cout, int64_t k,
+              int64_t stride, int64_t padding) {
+    const float scale = 1.0f / std::sqrt(static_cast<float>(cin * k * k));
+    const NodeId w = g.AddParam(name + ".w", Tensor::Randn(Shape{cout, cin, k, k}, rng, scale));
+    const NodeId b = g.AddParam(name + ".b", Tensor::Zeros(Shape{cout}));
+    Attrs attrs;
+    attrs.Set("stride", stride);
+    attrs.Set("padding", padding);
+    return g.AddOp("conv2d", name, {x, w, b}, attrs);
+  }
+
+  NodeId Gn(const std::string& name, NodeId x, int64_t channels) {
+    const NodeId w = g.AddParam(name + ".w", Tensor::Full(Shape{channels}, 1.0f));
+    const NodeId b = g.AddParam(name + ".b", Tensor::Zeros(Shape{channels}));
+    Attrs attrs;
+    attrs.Set("groups", std::min(groups, channels));
+    attrs.Set("eps", 1e-5);
+    return g.AddOp("group_norm", name, {x, w, b}, attrs);
+  }
+
+  NodeId ResBlock(const std::string& name, NodeId x, int64_t cin, int64_t cout) {
+    NodeId h = Gn(name + ".norm1", x, cin);
+    h = g.AddOp("silu", name + ".silu1", {h});
+    h = Conv(name + ".conv1", h, cin, cout, 3, 1, 1);
+    h = Gn(name + ".norm2", h, cout);
+    h = g.AddOp("silu", name + ".silu2", {h});
+    h = Conv(name + ".conv2", h, cout, cout, 3, 1, 1);
+    NodeId shortcut = x;
+    if (cin != cout) {
+      shortcut = Conv(name + ".skip", x, cin, cout, 1, 1, 0);
+    }
+    return g.AddOp("add", name + ".residual", {h, shortcut});
+  }
+
+  // Spatial self-attention: [1, C, H, W] -> tokens [H*W, C] -> MHA -> back, residual.
+  NodeId SpatialAttention(const std::string& name, NodeId x, int64_t channels, int64_t h,
+                          int64_t w) {
+    NodeId normed = Gn(name + ".norm", x, channels);
+    Attrs rs;
+    rs.Set("shape", std::vector<int64_t>{channels, h * w});
+    const NodeId flat = g.AddOp("reshape", name + ".flatten", {normed}, rs);
+    Attrs tp;
+    tp.Set("perm", std::vector<int64_t>{1, 0});
+    const NodeId tokens = g.AddOp("transpose", name + ".to_tokens", {flat}, tp);
+    AttentionOptions opts;
+    opts.seq = h * w;
+    opts.dim = channels;
+    opts.heads = 1;
+    opts.causal = false;
+    const NodeId attended = AppendSelfAttention(g, rng, name + ".attn", tokens, opts);
+    Attrs tp_back;
+    tp_back.Set("perm", std::vector<int64_t>{1, 0});
+    const NodeId back = g.AddOp("transpose", name + ".from_tokens", {attended}, tp_back);
+    Attrs rs_back;
+    rs_back.Set("shape", std::vector<int64_t>{1, channels, h, w});
+    const NodeId spatial = g.AddOp("reshape", name + ".unflatten", {back}, rs_back);
+    return g.AddOp("add", name + ".residual", {x, spatial});
+  }
+};
+
+}  // namespace
+
+Model BuildDiffusionMini(const DiffusionConfig& config) {
+  auto graph = std::make_shared<Graph>();
+  Rng rng(config.seed);
+  UnetBuilder b{*graph, rng, config.groups};
+  const int64_t size = config.latent_size;
+  const int64_t c = config.base_channels;
+
+  const NodeId latent =
+      graph->AddInput("latent", Shape{1, config.latent_channels, size, size});
+
+  // Encoder.
+  NodeId h = b.Conv("in_conv", latent, config.latent_channels, c, 3, 1, 1);
+  const NodeId skip_full = b.ResBlock("down0.res", h, c, c);
+  NodeId down = b.Conv("down0.downsample", skip_full, c, 2 * c, 3, 2, 1);  // size/2
+  const NodeId skip_half = b.ResBlock("down1.res", down, 2 * c, 2 * c);
+
+  // Mid block with attention at the coarsest resolution.
+  NodeId mid = b.ResBlock("mid.res1", skip_half, 2 * c, 2 * c);
+  mid = b.SpatialAttention("mid", mid, 2 * c, size / 2, size / 2);
+  mid = b.ResBlock("mid.res2", mid, 2 * c, 2 * c);
+
+  // Decoder: skip-concat at half resolution, upsample, skip-concat at full resolution.
+  Attrs cat;
+  cat.Set("axis", static_cast<int64_t>(1));
+  NodeId up = graph->AddOp("concat", "up1.skip_cat", {mid, skip_half}, cat);
+  up = b.ResBlock("up1.res", up, 4 * c, 2 * c);
+  Attrs interp;
+  interp.Set("scale", static_cast<int64_t>(2));
+  up = graph->AddOp("interpolate", "up1.upsample", {up}, interp);
+  up = graph->AddOp("concat", "up0.skip_cat", {up, skip_full}, cat);
+  up = b.ResBlock("up0.res", up, 3 * c, c);
+
+  // Output head: predicted noise with the latent's shape.
+  NodeId out = b.Gn("out.norm", up, c);
+  out = graph->AddOp("silu", "out.silu", {out});
+  b.Conv("out.conv", out, c, config.latent_channels, 3, 1, 1);
+
+  Model model;
+  model.name = "diffusion-mini";
+  model.paper_counterpart = "Stable Diffusion v1-5";
+  model.graph = graph;
+  model.num_classes = 0;
+  const int64_t latent_channels = config.latent_channels;
+  model.sample_input = [latent_channels, size](Rng& r) {
+    return std::vector<Tensor>{Tensor::Randn(Shape{1, latent_channels, size, size}, r)};
+  };
+  return model;
+}
+
+std::vector<Model> BuildAllModels() {
+  return {BuildResNetMini(), BuildBertMini(), BuildQwenMini(), BuildDiffusionMini()};
+}
+
+std::vector<Model> BuildAttackModels() {
+  return {BuildResNetMini(), BuildBertMini(), BuildQwenMini()};
+}
+
+}  // namespace tao

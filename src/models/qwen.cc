@@ -1,0 +1,85 @@
+// Qwen-style decoder-only LLM (the Qwen3-8B stand-in): token + learned position
+// embeddings, N pre-norm decoder layers of [RMSNorm -> causal self-attention ->
+// residual -> RMSNorm -> SwiGLU MLP (silu(gate) * up -> down) -> residual], a final
+// RMSNorm, and an LM head producing next-token logits for the last position (the C4
+// next-token-prediction setup of Sec. 4.5).
+
+#include "src/models/attention.h"
+#include <cmath>
+
+#include "src/models/model_zoo.h"
+#include "src/util/check.h"
+
+namespace tao {
+
+Model BuildQwenMini(const QwenConfig& config) {
+  auto graph = std::make_shared<Graph>();
+  Rng rng(config.seed);
+  Graph& g = *graph;
+  const int64_t s = config.seq_len;
+  const int64_t d = config.dim;
+
+  const NodeId token_ids = g.AddInput("token_ids", Shape{s});
+  const NodeId token_table =
+      g.AddParam("embed_tokens", Tensor::Randn(Shape{config.vocab, d}, rng, 0.5f));
+  const NodeId tok = g.AddOp("embedding", "embed.lookup", {token_table, token_ids});
+  const NodeId pos_table = g.AddParam("embed_positions", Tensor::Randn(Shape{s, d}, rng, 0.1f));
+  NodeId h = g.AddOp("add", "embed.sum", {tok, pos_table});
+
+  auto rms = [&](const std::string& name, NodeId x) -> NodeId {
+    const NodeId w = g.AddParam(name + ".w", Tensor::Full(Shape{d}, 1.0f));
+    Attrs attrs;
+    attrs.Set("eps", 1e-6);
+    return g.AddOp("rms_norm", name, {x, w}, attrs);
+  };
+
+  for (int64_t layer = 0; layer < config.layers; ++layer) {
+    const std::string p = "layer" + std::to_string(layer);
+    // Pre-norm attention block.
+    const NodeId normed = rms(p + ".input_norm", h);
+    AttentionOptions attn_opts;
+    attn_opts.seq = s;
+    attn_opts.dim = d;
+    attn_opts.heads = config.heads;
+    attn_opts.causal = true;
+    const NodeId attn = AppendSelfAttention(g, rng, p + ".attn", normed, attn_opts);
+    h = g.AddOp("add", p + ".attn.residual", {h, attn});
+
+    // Pre-norm SwiGLU MLP: down( silu(gate(x)) * up(x) ).
+    const NodeId normed2 = rms(p + ".post_attn_norm", h);
+    const NodeId gate = AppendLinear(g, rng, p + ".mlp.gate", normed2, d, config.ffn_dim);
+    const NodeId gate_act = g.AddOp("silu", p + ".mlp.silu", {gate});
+    const NodeId up = AppendLinear(g, rng, p + ".mlp.up", normed2, d, config.ffn_dim);
+    const NodeId gated = g.AddOp("mul", p + ".mlp.gated", {gate_act, up});
+    const NodeId down = AppendLinear(g, rng, p + ".mlp.down", gated, config.ffn_dim, d);
+    h = g.AddOp("add", p + ".mlp.residual", {h, down});
+  }
+
+  h = rms("final_norm", h);
+  // Next-token logits: last sequence position through the LM head.
+  Attrs last;
+  last.Set("axis", static_cast<int64_t>(0));
+  last.Set("start", s - 1);
+  last.Set("end", s);
+  const NodeId last_tok = g.AddOp("slice", "last_token", {h}, last);
+  AppendLinear(g, rng, "lm_head", last_tok, d, config.vocab);
+
+  Model model;
+  model.name = "qwen-mini";
+  model.paper_counterpart = "Qwen3-8B";
+  model.graph = graph;
+  model.num_classes = config.vocab;
+  const int64_t vocab = config.vocab;
+  const int64_t seq = s;
+  model.sample_input = [vocab, seq](Rng& r) {
+    Tensor ids = Tensor::Zeros(Shape{seq});
+    auto iv = ids.mutable_values();
+    for (int64_t i = 0; i < seq; ++i) {
+      iv[static_cast<size_t>(i)] = static_cast<float>(r.NextBounded(static_cast<uint64_t>(vocab)));
+    }
+    return std::vector<Tensor>{ids};
+  };
+  return model;
+}
+
+}  // namespace tao

@@ -1,0 +1,111 @@
+// ResNet-style bottleneck CNN (the ResNet-152 stand-in): conv stem, three stages of
+// pre-activation-free bottleneck blocks (conv1x1-bn-relu, conv3x3-bn-relu, conv1x1-bn,
+// residual add, relu) with strided downsampling and projection shortcuts, global
+// average pooling, and a linear classifier head.
+
+#include <cmath>
+
+#include "src/models/model_zoo.h"
+#include "src/util/check.h"
+
+namespace tao {
+namespace {
+
+struct ResNetBuilder {
+  Graph& g;
+  Rng& rng;
+  int block_counter = 0;
+
+  NodeId Conv(const std::string& name, NodeId x, int64_t cin, int64_t cout, int64_t k,
+              int64_t stride, int64_t padding) {
+    const float scale = 1.0f / std::sqrt(static_cast<float>(cin * k * k));
+    const NodeId w = g.AddParam(name + ".w", Tensor::Randn(Shape{cout, cin, k, k}, rng, scale));
+    const NodeId b = g.AddParam(name + ".b", Tensor::Zeros(Shape{cout}));
+    Attrs attrs;
+    attrs.Set("stride", stride);
+    attrs.Set("padding", padding);
+    return g.AddOp("conv2d", name, {x, w, b}, attrs);
+  }
+
+  NodeId Bn(const std::string& name, NodeId x, int64_t channels) {
+    const NodeId w = g.AddParam(name + ".w", Tensor::Full(Shape{channels}, 1.0f));
+    const NodeId b = g.AddParam(name + ".b", Tensor::Zeros(Shape{channels}));
+    const NodeId mean = g.AddParam(name + ".mean", Tensor::Randn(Shape{channels}, rng, 0.1f));
+    const NodeId var = g.AddParam(name + ".var", Tensor::Uniform(Shape{channels}, rng, 0.5f, 1.5f));
+    Attrs attrs;
+    attrs.Set("eps", 1e-5);
+    return g.AddOp("batch_norm", name, {x, w, b, mean, var}, attrs);
+  }
+
+  // Bottleneck: 1x1 reduce -> 3x3 -> 1x1 expand, residual add, relu.
+  NodeId Bottleneck(NodeId x, int64_t cin, int64_t cout, int64_t stride) {
+    const std::string p = "block" + std::to_string(block_counter++);
+    const int64_t mid = cout / 4;
+    NodeId h = Conv(p + ".conv1", x, cin, mid, 1, 1, 0);
+    h = Bn(p + ".bn1", h, mid);
+    h = g.AddOp("relu", p + ".relu1", {h});
+    h = Conv(p + ".conv2", h, mid, mid, 3, stride, 1);
+    h = Bn(p + ".bn2", h, mid);
+    h = g.AddOp("relu", p + ".relu2", {h});
+    h = Conv(p + ".conv3", h, mid, cout, 1, 1, 0);
+    h = Bn(p + ".bn3", h, cout);
+
+    NodeId shortcut = x;
+    if (cin != cout || stride != 1) {
+      shortcut = Conv(p + ".proj", x, cin, cout, 1, stride, 0);
+      shortcut = Bn(p + ".proj_bn", shortcut, cout);
+    }
+    const NodeId sum = g.AddOp("add", p + ".residual", {h, shortcut});
+    return g.AddOp("relu", p + ".relu3", {sum});
+  }
+};
+
+}  // namespace
+
+Model BuildResNetMini(const ResNetConfig& config) {
+  auto graph = std::make_shared<Graph>();
+  Rng rng(config.seed);
+  ResNetBuilder b{*graph, rng};
+
+  const NodeId image =
+      graph->AddInput("image", Shape{1, 3, config.image_size, config.image_size});
+  NodeId h = b.Conv("stem.conv", image, 3, config.stem_channels, 3, 1, 1);
+  h = b.Bn("stem.bn", h, config.stem_channels);
+  h = graph->AddOp("relu", "stem.relu", {h});
+
+  int64_t channels = config.stem_channels;
+  for (size_t stage = 0; stage < config.blocks_per_stage.size(); ++stage) {
+    const int64_t out_channels = config.stem_channels * (1 << (stage + 1));
+    for (int64_t block = 0; block < config.blocks_per_stage[stage]; ++block) {
+      const int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      h = b.Bottleneck(h, channels, out_channels, stride);
+      channels = out_channels;
+    }
+  }
+
+  Attrs gap;
+  gap.Set("out_h", static_cast<int64_t>(1));
+  gap.Set("out_w", static_cast<int64_t>(1));
+  h = graph->AddOp("adaptive_avg_pool2d", "gap", {h}, gap);
+  Attrs fl;
+  fl.Set("start_dim", static_cast<int64_t>(1));
+  h = graph->AddOp("flatten", "flatten", {h}, fl);
+  const float head_scale = 1.0f / std::sqrt(static_cast<float>(channels));
+  const NodeId head_w = graph->AddParam(
+      "head.w", Tensor::Randn(Shape{config.num_classes, channels}, rng, head_scale));
+  const NodeId head_b = graph->AddParam("head.b", Tensor::Zeros(Shape{config.num_classes}));
+  graph->AddOp("linear", "head", {h, head_w, head_b});
+
+  Model model;
+  model.name = "resnet-mini";
+  model.paper_counterpart = "ResNet-152";
+  model.graph = graph;
+  model.num_classes = config.num_classes;
+  const int64_t image_size = config.image_size;
+  model.sample_input = [image_size](Rng& r) {
+    return std::vector<Tensor>{Tensor::Randn(Shape{1, 3, image_size, image_size}, r)};
+  };
+  return model;
+}
+
+}  // namespace tao

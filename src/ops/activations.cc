@@ -1,0 +1,188 @@
+// Activation operators: ReLU (exact), GELU (erf form), SiLU (x·sigmoid(x)).
+//
+// GELU and SiLU bounds follow the Sec. 3.1 template style: lower the operator to its
+// primitive sub-steps, propagate the intra-operator error with first-order sensitivity
+// envelopes, and add fresh rounding/intrinsic-ULP terms per step.
+
+#include <cmath>
+
+#include "src/ops/op_kernel.h"
+#include "src/util/check.h"
+
+namespace tao {
+namespace {
+
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+constexpr double kTwoOverSqrtPi = 1.12837916709551257390;
+
+class ActivationKernel : public OpKernel {
+ public:
+  Shape InferShape(const std::vector<Shape>& input_shapes, const Attrs& attrs) const override {
+    TAO_CHECK_EQ(input_shapes.size(), 1u);
+    return input_shapes[0];
+  }
+
+  int64_t Flops(const std::vector<Shape>& input_shapes, const Shape& output_shape,
+                const Attrs& attrs) const override {
+    // Count a handful of primitive ops per element (activation-dependent constant).
+    return output_shape.numel() * PerElementFlops();
+  }
+
+ protected:
+  virtual int64_t PerElementFlops() const { return 1; }
+};
+
+class ReluKernel : public ActivationKernel {
+ public:
+  std::string name() const override { return "relu"; }
+
+  Tensor Forward(const OpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    Tensor out(x.shape());
+    const auto xv = x.values();
+    auto ov = out.mutable_values();
+    for (size_t i = 0; i < ov.size(); ++i) {
+      ov[i] = xv[i] > 0.0f ? xv[i] : 0.0f;
+    }
+    return out;
+  }
+
+  // max(x, 0) is exact: zero bound (base-class default).
+
+  std::vector<Tensor> Vjp(const VjpContext& ctx) const override {
+    const auto xv = ctx.inputs[0].values();
+    const auto gv = ctx.grad_output.values();
+    Tensor grad(ctx.inputs[0].shape());
+    auto out = grad.mutable_values();
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] = xv[i] > 0.0f ? gv[i] : 0.0f;
+    }
+    return {grad};
+  }
+};
+
+class GeluKernel : public ActivationKernel {
+ public:
+  std::string name() const override { return "gelu"; }
+
+  Tensor Forward(const OpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    Tensor out(x.shape());
+    const auto xv = x.values();
+    auto ov = out.mutable_values();
+    for (size_t i = 0; i < ov.size(); ++i) {
+      const float t = xv[i] * static_cast<float>(kInvSqrt2);
+      ov[i] = 0.5f * xv[i] * (1.0f + ctx.device.Erf(t));
+    }
+    return out;
+  }
+
+  DTensor Bound(const BoundContext& ctx) const override {
+    // Sub-steps: t = x/sqrt(2); e = erf(t); s = 1 + e; y = 0.5 * x * s.
+    // eps_t <= u|t|;  eps_e <= |erf'(t)|eps_t + ulp_err(e);  eps_s <= eps_e + u|s|;
+    // eps_y <= 0.5|x| eps_s + u|y|  (multiplication by 0.5 is exact).
+    const double u = kUnitRoundoff;
+    const double erf_ulp = ctx.device.ErfUlp();
+    DTensor bound(ctx.output.shape());
+    const auto xv = ctx.inputs[0].values();
+    const auto yv = ctx.output.values();
+    auto bv = bound.mutable_values();
+    for (size_t i = 0; i < bv.size(); ++i) {
+      const double x = xv[i];
+      const double t = x * kInvSqrt2;
+      const double e = std::erf(t);
+      const double s = 1.0 + e;
+      const double eps_t = u * std::abs(t);
+      const double erf_deriv = kTwoOverSqrtPi * std::exp(-t * t);
+      const double eps_e = erf_deriv * eps_t + UlpError(e, erf_ulp);
+      const double eps_s = eps_e + u * std::abs(s);
+      bv[i] = 0.5 * std::abs(x) * eps_s + u * std::abs(static_cast<double>(yv[i]));
+    }
+    return bound;
+  }
+
+  std::vector<Tensor> Vjp(const VjpContext& ctx) const override {
+    // d/dx gelu = Phi(x) + x * phi(x) with Phi the standard normal CDF, phi the PDF.
+    const auto xv = ctx.inputs[0].values();
+    const auto gv = ctx.grad_output.values();
+    Tensor grad(ctx.inputs[0].shape());
+    auto out = grad.mutable_values();
+    for (size_t i = 0; i < out.size(); ++i) {
+      const double x = xv[i];
+      const double cdf = 0.5 * (1.0 + std::erf(x * kInvSqrt2));
+      const double pdf = std::exp(-0.5 * x * x) / std::sqrt(2.0 * 3.14159265358979323846);
+      out[i] = gv[i] * static_cast<float>(cdf + x * pdf);
+    }
+    return {grad};
+  }
+
+ protected:
+  int64_t PerElementFlops() const override { return 5; }
+};
+
+class SiluKernel : public ActivationKernel {
+ public:
+  std::string name() const override { return "silu"; }
+
+  Tensor Forward(const OpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    Tensor out(x.shape());
+    const auto xv = x.values();
+    auto ov = out.mutable_values();
+    for (size_t i = 0; i < ov.size(); ++i) {
+      const float sigmoid = 1.0f / (1.0f + ctx.device.Exp(-xv[i]));
+      ov[i] = xv[i] * sigmoid;
+    }
+    return out;
+  }
+
+  DTensor Bound(const BoundContext& ctx) const override {
+    // Sub-steps: e = exp(-x); d = 1 + e; s = 1/d; y = x * s.
+    // eps_e <= ulp_err(e); eps_d <= eps_e + u|d|; eps_s <= eps_d/|d|^2 + u|s|;
+    // eps_y <= |x| eps_s + u|y|.
+    const double u = kUnitRoundoff;
+    const double exp_ulp = ctx.device.ExpUlp();
+    DTensor bound(ctx.output.shape());
+    const auto xv = ctx.inputs[0].values();
+    const auto yv = ctx.output.values();
+    auto bv = bound.mutable_values();
+    for (size_t i = 0; i < bv.size(); ++i) {
+      const double x = xv[i];
+      const double e = std::exp(-x);
+      const double d = 1.0 + e;
+      const double s = 1.0 / d;
+      const double eps_e = UlpError(e, exp_ulp);
+      const double eps_d = eps_e + u * d;
+      const double eps_s = eps_d / (d * d) + u * s;
+      bv[i] = std::abs(x) * eps_s + u * std::abs(static_cast<double>(yv[i]));
+    }
+    return bound;
+  }
+
+  std::vector<Tensor> Vjp(const VjpContext& ctx) const override {
+    // d/dx x*sigma(x) = sigma(x) + x*sigma(x)(1 - sigma(x)).
+    const auto xv = ctx.inputs[0].values();
+    const auto gv = ctx.grad_output.values();
+    Tensor grad(ctx.inputs[0].shape());
+    auto out = grad.mutable_values();
+    for (size_t i = 0; i < out.size(); ++i) {
+      const double x = xv[i];
+      const double sigmoid = 1.0 / (1.0 + std::exp(-x));
+      out[i] = gv[i] * static_cast<float>(sigmoid + x * sigmoid * (1.0 - sigmoid));
+    }
+    return {grad};
+  }
+
+ protected:
+  int64_t PerElementFlops() const override { return 4; }
+};
+
+}  // namespace
+
+void RegisterActivationOps(OpRegistry& registry) {
+  registry.Register(std::make_unique<ReluKernel>());
+  registry.Register(std::make_unique<GeluKernel>());
+  registry.Register(std::make_unique<SiluKernel>());
+}
+
+}  // namespace tao

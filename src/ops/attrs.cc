@@ -1,0 +1,102 @@
+#include "src/ops/attrs.h"
+
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace tao {
+
+Attrs& Attrs::Set(const std::string& key, int64_t value) {
+  values_[key] = value;
+  return *this;
+}
+
+Attrs& Attrs::Set(const std::string& key, double value) {
+  values_[key] = value;
+  return *this;
+}
+
+Attrs& Attrs::Set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+  return *this;
+}
+
+Attrs& Attrs::Set(const std::string& key, std::vector<int64_t> value) {
+  values_[key] = std::move(value);
+  return *this;
+}
+
+bool Attrs::Has(const std::string& key) const { return values_.count(key) > 0; }
+
+int64_t Attrs::GetInt(const std::string& key) const {
+  const auto it = values_.find(key);
+  TAO_CHECK(it != values_.end()) << "missing int attr " << key;
+  return std::get<int64_t>(it->second);
+}
+
+int64_t Attrs::GetInt(const std::string& key, int64_t fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::get<int64_t>(it->second);
+}
+
+double Attrs::GetDouble(const std::string& key) const {
+  const auto it = values_.find(key);
+  TAO_CHECK(it != values_.end()) << "missing double attr " << key;
+  return std::get<double>(it->second);
+}
+
+double Attrs::GetDouble(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::get<double>(it->second);
+}
+
+std::string Attrs::GetString(const std::string& key, const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::get<std::string>(it->second);
+}
+
+std::vector<int64_t> Attrs::GetInts(const std::string& key) const {
+  const auto it = values_.find(key);
+  TAO_CHECK(it != values_.end()) << "missing ints attr " << key;
+  return std::get<std::vector<int64_t>>(it->second);
+}
+
+std::vector<int64_t> Attrs::GetInts(const std::string& key,
+                                    std::vector<int64_t> fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::move(fallback) : std::get<std::vector<int64_t>>(it->second);
+}
+
+std::string Attrs::Canonical() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [key, value] : values_) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << key << "=";
+    if (std::holds_alternative<int64_t>(value)) {
+      out << std::get<int64_t>(value);
+    } else if (std::holds_alternative<double>(value)) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", std::get<double>(value));
+      out << buf;
+    } else if (std::holds_alternative<std::string>(value)) {
+      out << std::get<std::string>(value);
+    } else {
+      out << "[";
+      const auto& vec = std::get<std::vector<int64_t>>(value);
+      for (size_t i = 0; i < vec.size(); ++i) {
+        if (i > 0) {
+          out << " ";
+        }
+        out << vec[i];
+      }
+      out << "]";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace tao

@@ -1,0 +1,48 @@
+// Typed operator attributes (the kwargs of a graph node) with canonical serialization
+// for operator-signature hashing (sigma(n) in Sec. 5.2).
+
+#ifndef TAO_SRC_OPS_ATTRS_H_
+#define TAO_SRC_OPS_ATTRS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tao {
+
+class Attrs {
+ public:
+  using Value = std::variant<int64_t, double, std::string, std::vector<int64_t>>;
+
+  Attrs() = default;
+
+  Attrs& Set(const std::string& key, int64_t value);
+  Attrs& Set(const std::string& key, double value);
+  Attrs& Set(const std::string& key, const std::string& value);
+  Attrs& Set(const std::string& key, std::vector<int64_t> value);
+
+  bool Has(const std::string& key) const;
+
+  int64_t GetInt(const std::string& key) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  double GetDouble(const std::string& key) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  std::string GetString(const std::string& key, const std::string& fallback = "") const;
+  std::vector<int64_t> GetInts(const std::string& key) const;
+  std::vector<int64_t> GetInts(const std::string& key, std::vector<int64_t> fallback) const;
+
+  // Canonical "k=v,k=v" encoding with keys in sorted order; feeds signature hashing, so
+  // any attribute change breaks the graph commitment.
+  std::string Canonical() const;
+
+  bool operator==(const Attrs& other) const { return values_ == other.values_; }
+
+ private:
+  std::map<std::string, Value> values_;
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_OPS_ATTRS_H_

@@ -1,0 +1,66 @@
+#include "src/ops/broadcast.h"
+
+#include "src/util/check.h"
+
+namespace tao {
+
+Shape BroadcastShape(const Shape& a, const Shape& b) {
+  const int64_t rank = std::max(a.rank(), b.rank());
+  std::vector<int64_t> dims(static_cast<size_t>(rank), 1);
+  for (int64_t i = 0; i < rank; ++i) {
+    const int64_t da = (i < a.rank()) ? a.dim(a.rank() - 1 - i) : 1;
+    const int64_t db = (i < b.rank()) ? b.dim(b.rank() - 1 - i) : 1;
+    TAO_CHECK(da == db || da == 1 || db == 1)
+        << "cannot broadcast " << a.ToString() << " with " << b.ToString();
+    dims[static_cast<size_t>(rank - 1 - i)] = std::max(da, db);
+  }
+  return Shape(dims);
+}
+
+BroadcastIndexer::BroadcastIndexer(const Shape& output_shape, const Shape& input_shape) {
+  output_dims_ = output_shape.dims();
+  output_strides_ = output_shape.Strides();
+  const std::vector<int64_t> in_strides = input_shape.Strides();
+  const int64_t out_rank = output_shape.rank();
+  const int64_t in_rank = input_shape.rank();
+  input_strides_.assign(static_cast<size_t>(out_rank), 0);
+  for (int64_t axis = 0; axis < out_rank; ++axis) {
+    const int64_t in_axis = axis - (out_rank - in_rank);
+    if (in_axis < 0) {
+      continue;  // input has no such axis: broadcast
+    }
+    const int64_t in_dim = input_shape.dim(in_axis);
+    const int64_t out_dim = output_shape.dim(axis);
+    if (in_dim == out_dim) {
+      input_strides_[static_cast<size_t>(axis)] = in_strides[static_cast<size_t>(in_axis)];
+    } else {
+      TAO_CHECK_EQ(in_dim, 1) << "broadcast mismatch";
+    }
+  }
+}
+
+int64_t BroadcastIndexer::MapOffset(int64_t output_offset) const {
+  int64_t input_offset = 0;
+  for (size_t axis = 0; axis < output_dims_.size(); ++axis) {
+    const int64_t coord = output_offset / output_strides_[axis];
+    output_offset -= coord * output_strides_[axis];
+    input_offset += coord * input_strides_[axis];
+  }
+  return input_offset;
+}
+
+Tensor ReduceGradToShape(const Tensor& grad, const Shape& target) {
+  if (grad.shape() == target) {
+    return grad;
+  }
+  Tensor reduced = Tensor::Zeros(target);
+  const BroadcastIndexer indexer(grad.shape(), target);
+  const auto gv = grad.values();
+  auto rv = reduced.mutable_values();
+  for (int64_t i = 0; i < grad.numel(); ++i) {
+    rv[static_cast<size_t>(indexer.MapOffset(i))] += gv[static_cast<size_t>(i)];
+  }
+  return reduced;
+}
+
+}  // namespace tao

@@ -1,0 +1,37 @@
+// NumPy-style broadcasting utilities for binary elementwise operators and their VJPs.
+
+#ifndef TAO_SRC_OPS_BROADCAST_H_
+#define TAO_SRC_OPS_BROADCAST_H_
+
+#include <vector>
+
+#include "src/tensor/shape.h"
+#include "src/tensor/tensor.h"
+
+namespace tao {
+
+// The broadcast result shape of two operand shapes; aborts on incompatibility.
+Shape BroadcastShape(const Shape& a, const Shape& b);
+
+// Maps linear offsets in a broadcast output back to linear offsets in one operand.
+// Precomputes effective strides (0 along broadcast axes) for O(rank) lookup.
+class BroadcastIndexer {
+ public:
+  BroadcastIndexer(const Shape& output_shape, const Shape& input_shape);
+
+  int64_t MapOffset(int64_t output_offset) const;
+
+ private:
+  std::vector<int64_t> output_dims_;
+  std::vector<int64_t> output_strides_;
+  // Stride of the input along each output axis; 0 where the input is broadcast.
+  std::vector<int64_t> input_strides_;
+};
+
+// Sums `grad` (shaped like the broadcast output) down to `target` shape — the adjoint
+// of broadcasting, needed by binary-op VJPs.
+Tensor ReduceGradToShape(const Tensor& grad, const Shape& target);
+
+}  // namespace tao
+
+#endif  // TAO_SRC_OPS_BROADCAST_H_

@@ -1,0 +1,41 @@
+#include "src/ops/fperror.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace tao {
+
+double Gamma(int64_t k) {
+  if (k <= 0) {
+    return 0.0;
+  }
+  const double ku = static_cast<double>(k) * kUnitRoundoff;
+  TAO_CHECK_LT(ku, 1.0) << "gamma_k undefined for k*u >= 1";
+  return ku / (1.0 - ku);
+}
+
+double GammaTilde(int64_t k, double lambda) {
+  if (k <= 0) {
+    return 0.0;
+  }
+  const double u = kUnitRoundoff;
+  const double exponent =
+      lambda * std::sqrt(static_cast<double>(k)) * u + static_cast<double>(k) * u * u / (1.0 - u);
+  return std::exp(exponent) - 1.0;
+}
+
+double AccumulationGamma(int64_t k, BoundMode mode, double lambda) {
+  return mode == BoundMode::kDeterministic ? Gamma(k) : GammaTilde(k, lambda);
+}
+
+double GammaTildeConfidence(double lambda) {
+  const double u = kUnitRoundoff;
+  return 1.0 - 2.0 * std::exp(-lambda * lambda * (1.0 - u) * (1.0 - u) / 2.0);
+}
+
+double UlpError(double value, double n_ulp) {
+  return n_ulp * 2.0 * kUnitRoundoff * std::abs(value);
+}
+
+}  // namespace tao

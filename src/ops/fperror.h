@@ -1,0 +1,49 @@
+// IEEE-754 rounding-error model helpers (paper Sec. 3.1 and Appendix A).
+//
+// All bound arithmetic is FP64. The standard model is fl(x∘y) = (x∘y)(1+δ), |δ| ≤ u
+// with u = 2^-24 for FP32 round-to-nearest-even. For length-k accumulations we provide
+// the deterministic worst case γ_k = ku/(1-ku) (Higham 2002) and the probabilistic
+// bound γ̃_k(λ) = exp(λ√k·u + ku²/(1-u)) - 1 (Higham & Mary 2019), which holds with
+// probability ≥ 1 - 2exp(-λ²(1-u)²/2); at the paper's λ=4 that is ≥ 99.93% and
+// γ̃_k(4) ≈ 4u√k.
+
+#ifndef TAO_SRC_OPS_FPERROR_H_
+#define TAO_SRC_OPS_FPERROR_H_
+
+#include <cstdint>
+
+namespace tao {
+
+// FP32 unit roundoff (machine epsilon / 2).
+inline constexpr double kUnitRoundoff = 0x1.0p-24;
+
+// The paper's probabilistic-confidence parameter.
+inline constexpr double kDefaultLambda = 4.0;
+
+// Which accumulation-error model a bound computation uses.
+enum class BoundMode {
+  kDeterministic,  // gamma_k: sound worst case over every association order
+  kProbabilistic,  // gamma_tilde_k(lambda): high-probability bound, markedly tighter
+};
+
+// Deterministic gamma_k = k*u / (1 - k*u); requires k*u < 1 (always true for the tensor
+// sizes in this repo: k < 2^24). Returns 0 for k <= 0.
+double Gamma(int64_t k);
+
+// Probabilistic gamma_tilde_k(lambda) = exp(lambda*sqrt(k)*u + k*u^2/(1-u)) - 1.
+// Returns 0 for k <= 0.
+double GammaTilde(int64_t k, double lambda = kDefaultLambda);
+
+// Dispatches on the mode.
+double AccumulationGamma(int64_t k, BoundMode mode, double lambda = kDefaultLambda);
+
+// Probability that the probabilistic bound holds: 1 - 2*exp(-lambda^2 (1-u)^2 / 2).
+double GammaTildeConfidence(double lambda = kDefaultLambda);
+
+// Upper bound on n_ulp units-in-the-last-place of |value| expressed as an absolute
+// error: ulp(x) <= 2u|x| for normalized x, so the bound is n_ulp * 2u * |value|.
+double UlpError(double value, double n_ulp);
+
+}  // namespace tao
+
+#endif  // TAO_SRC_OPS_FPERROR_H_

@@ -1,0 +1,625 @@
+// Normalization operators: layer_norm, rms_norm, batch_norm (inference), group_norm.
+//
+// Inputs follow PyTorch conventions:
+//   layer_norm(x, weight, bias)                — normalizes the last axis, attr "eps"
+//   rms_norm(x, weight)                        — RMS over the last axis, attr "eps"
+//   batch_norm(x, weight, bias, mean, var)     — per-channel (axis 1) affine, attr "eps"
+//   group_norm(x, weight, bias)                — attrs "groups", "eps"; x is [N,C,*]
+//
+// Bound templates decompose each operator into primitive steps (reduction for the
+// statistics, rsqrt, scale/shift) and combine propagated first-order sensitivities
+// with fresh rounding per Sec. 3.1. Reduction steps use gamma_k / gamma~_k(lambda)
+// according to BoundContext::mode.
+
+#include <cmath>
+
+#include "src/ops/op_kernel.h"
+#include "src/util/check.h"
+
+namespace tao {
+namespace {
+
+// Shared per-group normalization bound: given the group's raw values, returns the
+// element-wise error of t_i = (x_i - mu) * rsqrt(var + eps) (before affine), along with
+// propagated stats. n is the group size.
+struct NormGroupBound {
+  double eps_mu = 0.0;
+  double eps_r = 0.0;   // error of the rsqrt factor
+  double r = 0.0;       // the rsqrt factor itself
+  double mu = 0.0;
+};
+
+NormGroupBound ComputeGroupStatsBound(std::span<const float> xs, std::span<const size_t> idx,
+                                      double eps_attr, double gamma, const DeviceProfile& device) {
+  const int64_t n = static_cast<int64_t>(idx.size());
+  const double u = kUnitRoundoff;
+  double sum = 0.0;
+  double abs_sum = 0.0;
+  for (const size_t k : idx) {
+    sum += xs[k];
+    abs_sum += std::abs(static_cast<double>(xs[k]));
+  }
+  const double mu = sum / static_cast<double>(n);
+  // mean: reduction error then one division rounding.
+  const double eps_mu = gamma * abs_sum / static_cast<double>(n) + u * std::abs(mu);
+
+  double var = 0.0;
+  double sum_sq = 0.0;
+  double sum_eps_sq = 0.0;
+  for (const size_t k : idx) {
+    const double d = static_cast<double>(xs[k]) - mu;
+    const double eps_d = eps_mu + u * std::abs(d);
+    const double sq = d * d;
+    const double eps_sq = 2.0 * std::abs(d) * eps_d + u * sq;
+    var += sq;
+    sum_sq += sq;
+    sum_eps_sq += eps_sq;
+  }
+  var /= static_cast<double>(n);
+  const double eps_var =
+      (gamma * sum_sq + (gamma + 1.0) * sum_eps_sq) / static_cast<double>(n) + u * var;
+  const double a = var + eps_attr;
+  const double eps_a = eps_var + u * a;
+  const double r = 1.0 / std::sqrt(a);
+  const double eps_r = 0.5 * std::pow(a, -1.5) * eps_a + UlpError(r, device.RsqrtUlp());
+
+  NormGroupBound out;
+  out.eps_mu = eps_mu;
+  out.eps_r = eps_r;
+  out.r = r;
+  out.mu = mu;
+  return out;
+}
+
+// ----------------------------------- layer_norm -----------------------------------
+
+class LayerNormKernel : public OpKernel {
+ public:
+  std::string name() const override { return "layer_norm"; }
+
+  Shape InferShape(const std::vector<Shape>& input_shapes, const Attrs& attrs) const override {
+    TAO_CHECK_EQ(input_shapes.size(), 3u);
+    const int64_t d = input_shapes[0].dim(-1);
+    TAO_CHECK_EQ(input_shapes[1].numel(), d);
+    TAO_CHECK_EQ(input_shapes[2].numel(), d);
+    return input_shapes[0];
+  }
+
+  Tensor Forward(const OpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const Tensor& weight = ctx.inputs[1];
+    const Tensor& bias = ctx.inputs[2];
+    const double eps = ctx.attrs.GetDouble("eps", 1e-5);
+    const int64_t d = x.shape().dim(-1);
+    const int64_t rows = x.numel() / d;
+    Tensor out(x.shape());
+    const auto xv = x.values();
+    const auto wv = weight.values();
+    const auto bv = bias.values();
+    auto ov = out.mutable_values();
+    std::vector<float> row(static_cast<size_t>(d));
+    std::vector<float> sq(static_cast<size_t>(d));
+    for (int64_t r = 0; r < rows; ++r) {
+      const size_t base = static_cast<size_t>(r * d);
+      for (int64_t i = 0; i < d; ++i) {
+        row[static_cast<size_t>(i)] = xv[base + static_cast<size_t>(i)];
+      }
+      const float mean = ctx.device.Accumulate(row) / static_cast<float>(d);
+      for (int64_t i = 0; i < d; ++i) {
+        const float centered = row[static_cast<size_t>(i)] - mean;
+        sq[static_cast<size_t>(i)] = centered * centered;
+      }
+      const float var = ctx.device.Accumulate(sq) / static_cast<float>(d);
+      const float inv = ctx.device.Rsqrt(var + static_cast<float>(eps));
+      for (int64_t i = 0; i < d; ++i) {
+        const size_t k = base + static_cast<size_t>(i);
+        ov[k] = (xv[k] - mean) * inv * wv[static_cast<size_t>(i)] + bv[static_cast<size_t>(i)];
+      }
+    }
+    return out;
+  }
+
+  DTensor Bound(const BoundContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const Tensor& weight = ctx.inputs[1];
+    const double eps = ctx.attrs.GetDouble("eps", 1e-5);
+    const int64_t d = x.shape().dim(-1);
+    const int64_t rows = x.numel() / d;
+    const double u = kUnitRoundoff;
+    const double gamma = AccumulationGamma(d - 1, ctx.mode, ctx.lambda);
+    DTensor bound(ctx.output.shape());
+    const auto xv = x.values();
+    const auto wv = weight.values();
+    const auto yv = ctx.output.values();
+    auto bnd = bound.mutable_values();
+    std::vector<size_t> idx(static_cast<size_t>(d));
+    for (int64_t r = 0; r < rows; ++r) {
+      const size_t base = static_cast<size_t>(r * d);
+      for (int64_t i = 0; i < d; ++i) {
+        idx[static_cast<size_t>(i)] = base + static_cast<size_t>(i);
+      }
+      const NormGroupBound g = ComputeGroupStatsBound(xv, idx, eps, gamma, ctx.device);
+      for (int64_t i = 0; i < d; ++i) {
+        const size_t k = base + static_cast<size_t>(i);
+        const double di = static_cast<double>(xv[k]) - g.mu;
+        const double eps_d = g.eps_mu + u * std::abs(di);
+        const double t = di * g.r;
+        const double eps_t = std::abs(di) * g.eps_r + g.r * eps_d + u * std::abs(t);
+        const double w = std::abs(static_cast<double>(wv[static_cast<size_t>(i)]));
+        // y = t*w + b: propagate through the scale, round the product, round the add.
+        bnd[k] = w * eps_t + u * std::abs(t) * w + u * std::abs(static_cast<double>(yv[k]));
+      }
+    }
+    return bound;
+  }
+
+  std::vector<Tensor> Vjp(const VjpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const Tensor& weight = ctx.inputs[1];
+    const double eps = ctx.attrs.GetDouble("eps", 1e-5);
+    const int64_t d = x.shape().dim(-1);
+    const int64_t rows = x.numel() / d;
+    Tensor gx(x.shape());
+    Tensor gw(weight.shape());
+    Tensor gb(ctx.inputs[2].shape());
+    const auto xv = x.values();
+    const auto wv = weight.values();
+    const auto gv = ctx.grad_output.values();
+    auto gxv = gx.mutable_values();
+    auto gwv = gw.mutable_values();
+    auto gbv = gb.mutable_values();
+    for (int64_t r = 0; r < rows; ++r) {
+      const size_t base = static_cast<size_t>(r * d);
+      double mean = 0.0;
+      for (int64_t i = 0; i < d; ++i) {
+        mean += xv[base + static_cast<size_t>(i)];
+      }
+      mean /= static_cast<double>(d);
+      double var = 0.0;
+      for (int64_t i = 0; i < d; ++i) {
+        const double c = xv[base + static_cast<size_t>(i)] - mean;
+        var += c * c;
+      }
+      var /= static_cast<double>(d);
+      const double inv = 1.0 / std::sqrt(var + eps);
+      // h = w*g; grad_x = inv*(h - mean(h) - xhat*mean(h*xhat)).
+      double mean_h = 0.0;
+      double mean_hx = 0.0;
+      for (int64_t i = 0; i < d; ++i) {
+        const size_t k = base + static_cast<size_t>(i);
+        const double xhat = (xv[k] - mean) * inv;
+        const double h = static_cast<double>(wv[static_cast<size_t>(i)]) * gv[k];
+        mean_h += h;
+        mean_hx += h * xhat;
+      }
+      mean_h /= static_cast<double>(d);
+      mean_hx /= static_cast<double>(d);
+      for (int64_t i = 0; i < d; ++i) {
+        const size_t k = base + static_cast<size_t>(i);
+        const double xhat = (xv[k] - mean) * inv;
+        const double h = static_cast<double>(wv[static_cast<size_t>(i)]) * gv[k];
+        gxv[k] = static_cast<float>(inv * (h - mean_h - xhat * mean_hx));
+        gwv[static_cast<size_t>(i)] += static_cast<float>(gv[k] * xhat);
+        gbv[static_cast<size_t>(i)] += gv[k];
+      }
+    }
+    return {gx, gw, gb};
+  }
+
+  int64_t Flops(const std::vector<Shape>& input_shapes, const Shape& output_shape,
+                const Attrs& attrs) const override {
+    return output_shape.numel() * 8;
+  }
+};
+
+// ------------------------------------ rms_norm -------------------------------------
+
+class RmsNormKernel : public OpKernel {
+ public:
+  std::string name() const override { return "rms_norm"; }
+
+  Shape InferShape(const std::vector<Shape>& input_shapes, const Attrs& attrs) const override {
+    TAO_CHECK_EQ(input_shapes.size(), 2u);
+    TAO_CHECK_EQ(input_shapes[1].numel(), input_shapes[0].dim(-1));
+    return input_shapes[0];
+  }
+
+  Tensor Forward(const OpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const Tensor& weight = ctx.inputs[1];
+    const double eps = ctx.attrs.GetDouble("eps", 1e-6);
+    const int64_t d = x.shape().dim(-1);
+    const int64_t rows = x.numel() / d;
+    Tensor out(x.shape());
+    const auto xv = x.values();
+    const auto wv = weight.values();
+    auto ov = out.mutable_values();
+    std::vector<float> sq(static_cast<size_t>(d));
+    for (int64_t r = 0; r < rows; ++r) {
+      const size_t base = static_cast<size_t>(r * d);
+      for (int64_t i = 0; i < d; ++i) {
+        const float v = xv[base + static_cast<size_t>(i)];
+        sq[static_cast<size_t>(i)] = v * v;
+      }
+      const float ms = ctx.device.Accumulate(sq) / static_cast<float>(d);
+      const float inv = ctx.device.Rsqrt(ms + static_cast<float>(eps));
+      for (int64_t i = 0; i < d; ++i) {
+        const size_t k = base + static_cast<size_t>(i);
+        ov[k] = xv[k] * inv * wv[static_cast<size_t>(i)];
+      }
+    }
+    return out;
+  }
+
+  DTensor Bound(const BoundContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const Tensor& weight = ctx.inputs[1];
+    const double eps = ctx.attrs.GetDouble("eps", 1e-6);
+    const int64_t d = x.shape().dim(-1);
+    const int64_t rows = x.numel() / d;
+    const double u = kUnitRoundoff;
+    const double gamma = AccumulationGamma(d - 1, ctx.mode, ctx.lambda);
+    DTensor bound(ctx.output.shape());
+    const auto xv = x.values();
+    const auto wv = weight.values();
+    const auto yv = ctx.output.values();
+    auto bnd = bound.mutable_values();
+    for (int64_t r = 0; r < rows; ++r) {
+      const size_t base = static_cast<size_t>(r * d);
+      double sum_sq = 0.0;
+      double sum_eps_sq = 0.0;
+      for (int64_t i = 0; i < d; ++i) {
+        const double v = xv[base + static_cast<size_t>(i)];
+        const double sq = v * v;
+        sum_sq += sq;
+        sum_eps_sq += u * sq;  // one rounding per square
+      }
+      const double ms = sum_sq / static_cast<double>(d);
+      const double eps_ms =
+          (gamma * sum_sq + (gamma + 1.0) * sum_eps_sq) / static_cast<double>(d) + u * ms;
+      const double a = ms + eps;
+      const double eps_a = eps_ms + u * a;
+      const double inv = 1.0 / std::sqrt(a);
+      const double eps_inv = 0.5 * std::pow(a, -1.5) * eps_a + UlpError(inv, ctx.device.RsqrtUlp());
+      for (int64_t i = 0; i < d; ++i) {
+        const size_t k = base + static_cast<size_t>(i);
+        const double xi = std::abs(static_cast<double>(xv[k]));
+        const double t = xi * inv;
+        const double eps_t = xi * eps_inv + u * t;
+        const double w = std::abs(static_cast<double>(wv[static_cast<size_t>(i)]));
+        bnd[k] = w * eps_t + u * std::abs(static_cast<double>(yv[k]));
+      }
+    }
+    return bound;
+  }
+
+  std::vector<Tensor> Vjp(const VjpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const Tensor& weight = ctx.inputs[1];
+    const double eps = ctx.attrs.GetDouble("eps", 1e-6);
+    const int64_t d = x.shape().dim(-1);
+    const int64_t rows = x.numel() / d;
+    Tensor gx(x.shape());
+    Tensor gw(weight.shape());
+    const auto xv = x.values();
+    const auto wv = weight.values();
+    const auto gv = ctx.grad_output.values();
+    auto gxv = gx.mutable_values();
+    auto gwv = gw.mutable_values();
+    for (int64_t r = 0; r < rows; ++r) {
+      const size_t base = static_cast<size_t>(r * d);
+      double sum_sq = 0.0;
+      for (int64_t i = 0; i < d; ++i) {
+        const double v = xv[base + static_cast<size_t>(i)];
+        sum_sq += v * v;
+      }
+      const double ms = sum_sq / static_cast<double>(d);
+      const double inv = 1.0 / std::sqrt(ms + eps);
+      double dot = 0.0;  // sum_i g_i w_i x_i
+      for (int64_t i = 0; i < d; ++i) {
+        const size_t k = base + static_cast<size_t>(i);
+        dot += static_cast<double>(gv[k]) * wv[static_cast<size_t>(i)] * xv[k];
+      }
+      const double scale = inv * inv * inv / static_cast<double>(d);
+      for (int64_t i = 0; i < d; ++i) {
+        const size_t k = base + static_cast<size_t>(i);
+        gxv[k] = static_cast<float>(inv * gv[k] * wv[static_cast<size_t>(i)] -
+                                    scale * dot * xv[k]);
+        gwv[static_cast<size_t>(i)] += static_cast<float>(gv[k] * xv[k] * inv);
+      }
+    }
+    return {gx, gw};
+  }
+
+  int64_t Flops(const std::vector<Shape>& input_shapes, const Shape& output_shape,
+                const Attrs& attrs) const override {
+    return output_shape.numel() * 5;
+  }
+};
+
+// ----------------------------------- batch_norm ------------------------------------
+
+class BatchNormKernel : public OpKernel {
+ public:
+  std::string name() const override { return "batch_norm"; }
+
+  Shape InferShape(const std::vector<Shape>& input_shapes, const Attrs& attrs) const override {
+    TAO_CHECK_EQ(input_shapes.size(), 5u);
+    const int64_t c = input_shapes[0].dim(1);
+    for (size_t i = 1; i < 5; ++i) {
+      TAO_CHECK_EQ(input_shapes[i].numel(), c);
+    }
+    return input_shapes[0];
+  }
+
+  Tensor Forward(const OpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const auto wv = ctx.inputs[1].values();
+    const auto bv = ctx.inputs[2].values();
+    const auto mv = ctx.inputs[3].values();
+    const auto vv = ctx.inputs[4].values();
+    const double eps = ctx.attrs.GetDouble("eps", 1e-5);
+    const int64_t c = x.shape().dim(1);
+    const int64_t spatial = x.numel() / (x.shape().dim(0) * c);
+    Tensor out(x.shape());
+    const auto xv = x.values();
+    auto ov = out.mutable_values();
+    for (int64_t n = 0; n < x.shape().dim(0); ++n) {
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const size_t ci = static_cast<size_t>(ch);
+        const float inv = ctx.device.Rsqrt(vv[ci] + static_cast<float>(eps));
+        const float scale = wv[ci] * inv;
+        const size_t base = static_cast<size_t>((n * c + ch) * spatial);
+        for (int64_t s = 0; s < spatial; ++s) {
+          ov[base + static_cast<size_t>(s)] =
+              (xv[base + static_cast<size_t>(s)] - mv[ci]) * scale + bv[ci];
+        }
+      }
+    }
+    return out;
+  }
+
+  DTensor Bound(const BoundContext& ctx) const override {
+    // Per-channel constants (mean/var/weight) are committed inputs; the per-element
+    // chain is d = x - m (1 rounding), t = d*scale where scale = w*rsqrt(v+eps)
+    // (rsqrt ULP + 2 roundings), y = t + b (1 rounding).
+    const Tensor& x = ctx.inputs[0];
+    const auto wv = ctx.inputs[1].values();
+    const auto vv = ctx.inputs[4].values();
+    const auto mv = ctx.inputs[3].values();
+    const double eps = ctx.attrs.GetDouble("eps", 1e-5);
+    const double u = kUnitRoundoff;
+    const int64_t c = x.shape().dim(1);
+    const int64_t spatial = x.numel() / (x.shape().dim(0) * c);
+    DTensor bound(ctx.output.shape());
+    const auto xv = x.values();
+    const auto yv = ctx.output.values();
+    auto bnd = bound.mutable_values();
+    for (int64_t n = 0; n < x.shape().dim(0); ++n) {
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const size_t ci = static_cast<size_t>(ch);
+        const double a = static_cast<double>(vv[ci]) + eps;
+        const double inv = 1.0 / std::sqrt(a);
+        const double eps_inv = u * a * 0.5 * std::pow(a, -1.5) +
+                               UlpError(inv, ctx.device.RsqrtUlp());
+        const double w = std::abs(static_cast<double>(wv[ci]));
+        const double scale = w * inv;
+        const double eps_scale = w * eps_inv + u * scale;
+        const size_t base = static_cast<size_t>((n * c + ch) * spatial);
+        for (int64_t s = 0; s < spatial; ++s) {
+          const size_t k = base + static_cast<size_t>(s);
+          const double d = std::abs(static_cast<double>(xv[k]) - static_cast<double>(mv[ci]));
+          const double eps_d = u * d;
+          const double t = d * scale;
+          const double eps_t = d * eps_scale + scale * eps_d + u * t;
+          bnd[k] = eps_t + u * std::abs(static_cast<double>(yv[k]));
+        }
+      }
+    }
+    return bound;
+  }
+
+  std::vector<Tensor> Vjp(const VjpContext& ctx) const override {
+    // Inference-mode batch norm is an affine map per channel: grad_x = g * w * inv.
+    const Tensor& x = ctx.inputs[0];
+    const auto wv = ctx.inputs[1].values();
+    const auto vv = ctx.inputs[4].values();
+    const double eps = ctx.attrs.GetDouble("eps", 1e-5);
+    const int64_t c = x.shape().dim(1);
+    const int64_t spatial = x.numel() / (x.shape().dim(0) * c);
+    Tensor gx(x.shape());
+    Tensor gw(ctx.inputs[1].shape());
+    Tensor gb(ctx.inputs[2].shape());
+    Tensor gm(ctx.inputs[3].shape());
+    Tensor gv_rm(ctx.inputs[4].shape());
+    const auto gv = ctx.grad_output.values();
+    auto gxv = gx.mutable_values();
+    for (int64_t n = 0; n < x.shape().dim(0); ++n) {
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const size_t ci = static_cast<size_t>(ch);
+        const float inv = 1.0f / std::sqrt(vv[ci] + static_cast<float>(eps));
+        const float scale = wv[ci] * inv;
+        const size_t base = static_cast<size_t>((n * c + ch) * spatial);
+        for (int64_t s = 0; s < spatial; ++s) {
+          gxv[base + static_cast<size_t>(s)] = gv[base + static_cast<size_t>(s)] * scale;
+        }
+      }
+    }
+    return {gx, gw, gb, gm, gv_rm};
+  }
+
+  int64_t Flops(const std::vector<Shape>& input_shapes, const Shape& output_shape,
+                const Attrs& attrs) const override {
+    return output_shape.numel() * 4;
+  }
+};
+
+// ----------------------------------- group_norm ------------------------------------
+
+class GroupNormKernel : public OpKernel {
+ public:
+  std::string name() const override { return "group_norm"; }
+
+  Shape InferShape(const std::vector<Shape>& input_shapes, const Attrs& attrs) const override {
+    TAO_CHECK_EQ(input_shapes.size(), 3u);
+    const int64_t c = input_shapes[0].dim(1);
+    TAO_CHECK_EQ(input_shapes[1].numel(), c);
+    TAO_CHECK_EQ(input_shapes[2].numel(), c);
+    TAO_CHECK_EQ(c % attrs.GetInt("groups"), 0);
+    return input_shapes[0];
+  }
+
+  Tensor Forward(const OpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const auto wv = ctx.inputs[1].values();
+    const auto bv = ctx.inputs[2].values();
+    const int64_t groups = ctx.attrs.GetInt("groups");
+    const double eps = ctx.attrs.GetDouble("eps", 1e-5);
+    const int64_t batch = x.shape().dim(0);
+    const int64_t c = x.shape().dim(1);
+    const int64_t spatial = x.numel() / (batch * c);
+    const int64_t per_group = c / groups;
+    const int64_t group_elems = per_group * spatial;
+    Tensor out(x.shape());
+    const auto xv = x.values();
+    auto ov = out.mutable_values();
+    std::vector<float> buf(static_cast<size_t>(group_elems));
+    std::vector<float> sq(static_cast<size_t>(group_elems));
+    for (int64_t n = 0; n < batch; ++n) {
+      for (int64_t g = 0; g < groups; ++g) {
+        const size_t base = static_cast<size_t>(((n * groups + g) * per_group) * spatial);
+        for (int64_t i = 0; i < group_elems; ++i) {
+          buf[static_cast<size_t>(i)] = xv[base + static_cast<size_t>(i)];
+        }
+        const float mean = ctx.device.Accumulate(buf) / static_cast<float>(group_elems);
+        for (int64_t i = 0; i < group_elems; ++i) {
+          const float centered = buf[static_cast<size_t>(i)] - mean;
+          sq[static_cast<size_t>(i)] = centered * centered;
+        }
+        const float var = ctx.device.Accumulate(sq) / static_cast<float>(group_elems);
+        const float inv = ctx.device.Rsqrt(var + static_cast<float>(eps));
+        for (int64_t i = 0; i < group_elems; ++i) {
+          const int64_t ch = g * per_group + i / spatial;
+          const size_t k = base + static_cast<size_t>(i);
+          ov[k] = (xv[k] - mean) * inv * wv[static_cast<size_t>(ch)] +
+                  bv[static_cast<size_t>(ch)];
+        }
+      }
+    }
+    return out;
+  }
+
+  DTensor Bound(const BoundContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const auto wv = ctx.inputs[1].values();
+    const int64_t groups = ctx.attrs.GetInt("groups");
+    const double eps = ctx.attrs.GetDouble("eps", 1e-5);
+    const int64_t batch = x.shape().dim(0);
+    const int64_t c = x.shape().dim(1);
+    const int64_t spatial = x.numel() / (batch * c);
+    const int64_t per_group = c / groups;
+    const int64_t group_elems = per_group * spatial;
+    const double u = kUnitRoundoff;
+    const double gamma = AccumulationGamma(group_elems - 1, ctx.mode, ctx.lambda);
+    DTensor bound(ctx.output.shape());
+    const auto xv = x.values();
+    const auto yv = ctx.output.values();
+    auto bnd = bound.mutable_values();
+    std::vector<size_t> idx(static_cast<size_t>(group_elems));
+    for (int64_t n = 0; n < batch; ++n) {
+      for (int64_t g = 0; g < groups; ++g) {
+        const size_t base = static_cast<size_t>(((n * groups + g) * per_group) * spatial);
+        for (int64_t i = 0; i < group_elems; ++i) {
+          idx[static_cast<size_t>(i)] = base + static_cast<size_t>(i);
+        }
+        const NormGroupBound st = ComputeGroupStatsBound(xv, idx, eps, gamma, ctx.device);
+        for (int64_t i = 0; i < group_elems; ++i) {
+          const int64_t ch = g * per_group + i / spatial;
+          const size_t k = base + static_cast<size_t>(i);
+          const double di = static_cast<double>(xv[k]) - st.mu;
+          const double eps_d = st.eps_mu + u * std::abs(di);
+          const double t = di * st.r;
+          const double eps_t = std::abs(di) * st.eps_r + st.r * eps_d + u * std::abs(t);
+          const double w = std::abs(static_cast<double>(wv[static_cast<size_t>(ch)]));
+          bnd[k] = w * eps_t + u * std::abs(t) * w + u * std::abs(static_cast<double>(yv[k]));
+        }
+      }
+    }
+    return bound;
+  }
+
+  std::vector<Tensor> Vjp(const VjpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const auto wv = ctx.inputs[1].values();
+    const int64_t groups = ctx.attrs.GetInt("groups");
+    const double eps = ctx.attrs.GetDouble("eps", 1e-5);
+    const int64_t batch = x.shape().dim(0);
+    const int64_t c = x.shape().dim(1);
+    const int64_t spatial = x.numel() / (batch * c);
+    const int64_t per_group = c / groups;
+    const int64_t group_elems = per_group * spatial;
+    Tensor gx(x.shape());
+    Tensor gw(ctx.inputs[1].shape());
+    Tensor gb(ctx.inputs[2].shape());
+    const auto xv = x.values();
+    const auto gv = ctx.grad_output.values();
+    auto gxv = gx.mutable_values();
+    auto gwv = gw.mutable_values();
+    auto gbv = gb.mutable_values();
+    for (int64_t n = 0; n < batch; ++n) {
+      for (int64_t g = 0; g < groups; ++g) {
+        const size_t base = static_cast<size_t>(((n * groups + g) * per_group) * spatial);
+        double mean = 0.0;
+        for (int64_t i = 0; i < group_elems; ++i) {
+          mean += xv[base + static_cast<size_t>(i)];
+        }
+        mean /= static_cast<double>(group_elems);
+        double var = 0.0;
+        for (int64_t i = 0; i < group_elems; ++i) {
+          const double d = xv[base + static_cast<size_t>(i)] - mean;
+          var += d * d;
+        }
+        var /= static_cast<double>(group_elems);
+        const double inv = 1.0 / std::sqrt(var + eps);
+        double mean_h = 0.0;
+        double mean_hx = 0.0;
+        for (int64_t i = 0; i < group_elems; ++i) {
+          const int64_t ch = g * per_group + i / spatial;
+          const size_t k = base + static_cast<size_t>(i);
+          const double xhat = (xv[k] - mean) * inv;
+          const double h = static_cast<double>(wv[static_cast<size_t>(ch)]) * gv[k];
+          mean_h += h;
+          mean_hx += h * xhat;
+        }
+        mean_h /= static_cast<double>(group_elems);
+        mean_hx /= static_cast<double>(group_elems);
+        for (int64_t i = 0; i < group_elems; ++i) {
+          const int64_t ch = g * per_group + i / spatial;
+          const size_t k = base + static_cast<size_t>(i);
+          const double xhat = (xv[k] - mean) * inv;
+          const double h = static_cast<double>(wv[static_cast<size_t>(ch)]) * gv[k];
+          gxv[k] = static_cast<float>(inv * (h - mean_h - xhat * mean_hx));
+          gwv[static_cast<size_t>(ch)] += static_cast<float>(gv[k] * xhat);
+          gbv[static_cast<size_t>(ch)] += gv[k];
+        }
+      }
+    }
+    return {gx, gw, gb};
+  }
+
+  int64_t Flops(const std::vector<Shape>& input_shapes, const Shape& output_shape,
+                const Attrs& attrs) const override {
+    return output_shape.numel() * 8;
+  }
+};
+
+}  // namespace
+
+void RegisterNormalizationOps(OpRegistry& registry) {
+  registry.Register(std::make_unique<LayerNormKernel>());
+  registry.Register(std::make_unique<RmsNormKernel>());
+  registry.Register(std::make_unique<BatchNormKernel>());
+  registry.Register(std::make_unique<GroupNormKernel>());
+}
+
+}  // namespace tao

@@ -1,0 +1,68 @@
+#include "src/ops/op_kernel.h"
+
+#include <mutex>
+
+#include "src/util/check.h"
+
+namespace tao {
+
+DTensor OpKernel::Bound(const BoundContext& ctx) const {
+  // Pure data movement contributes no floating-point error.
+  return DTensor::Zeros(ctx.output.shape());
+}
+
+std::vector<Tensor> OpKernel::Vjp(const VjpContext& ctx) const {
+  TAO_CHECK(false) << "operator '" << name() << "' does not implement Vjp";
+  return {};
+}
+
+int64_t OpKernel::Flops(const std::vector<Shape>& input_shapes, const Shape& output_shape,
+                        const Attrs& attrs) const {
+  return 0;
+}
+
+OpRegistry& OpRegistry::Instance() {
+  static OpRegistry* registry = new OpRegistry();
+  return *registry;
+}
+
+void OpRegistry::Register(std::unique_ptr<OpKernel> kernel) {
+  const std::string name = kernel->name();
+  TAO_CHECK(kernels_.find(name) == kernels_.end()) << "duplicate kernel " << name;
+  kernels_[name] = std::move(kernel);
+}
+
+const OpKernel& OpRegistry::Get(const std::string& name) const {
+  const auto it = kernels_.find(name);
+  TAO_CHECK(it != kernels_.end()) << "unknown operator '" << name << "'";
+  return *it->second;
+}
+
+bool OpRegistry::Contains(const std::string& name) const { return kernels_.count(name) > 0; }
+
+std::vector<std::string> OpRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(kernels_.size());
+  for (const auto& [name, kernel] : kernels_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void RegisterAllOps() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    OpRegistry& registry = OpRegistry::Instance();
+    RegisterElementwiseOps(registry);
+    RegisterActivationOps(registry);
+    RegisterSoftmaxOps(registry);
+    RegisterNormalizationOps(registry);
+    RegisterMatmulOps(registry);
+    RegisterConvOps(registry);
+    RegisterPoolingOps(registry);
+    RegisterReductionOps(registry);
+    RegisterStructuralOps(registry);
+  });
+}
+
+}  // namespace tao

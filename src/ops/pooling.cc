@@ -1,0 +1,418 @@
+// Spatial pooling and resampling over NCHW tensors: max_pool2d, avg_pool2d,
+// adaptive_avg_pool2d, interpolate (nearest-neighbour upsampling).
+//
+// Max pooling and nearest interpolation are exact selections/copies (zero bound);
+// average pools are reductions bounded with gamma_k over each window plus the final
+// division rounding.
+
+#include <cmath>
+#include <limits>
+
+#include "src/ops/op_kernel.h"
+#include "src/util/check.h"
+
+namespace tao {
+namespace {
+
+struct PoolDims {
+  int64_t batch, c, h, w;
+  int64_t kernel, stride;
+  int64_t oh, ow;
+
+  static PoolDims Make(const Shape& x, const Attrs& attrs) {
+    PoolDims d;
+    TAO_CHECK_EQ(x.rank(), 4);
+    d.batch = x.dim(0);
+    d.c = x.dim(1);
+    d.h = x.dim(2);
+    d.w = x.dim(3);
+    d.kernel = attrs.GetInt("kernel");
+    d.stride = attrs.GetInt("stride", d.kernel);
+    d.oh = (d.h - d.kernel) / d.stride + 1;
+    d.ow = (d.w - d.kernel) / d.stride + 1;
+    return d;
+  }
+};
+
+class MaxPool2dKernel : public OpKernel {
+ public:
+  std::string name() const override { return "max_pool2d"; }
+
+  Shape InferShape(const std::vector<Shape>& input_shapes, const Attrs& attrs) const override {
+    TAO_CHECK_EQ(input_shapes.size(), 1u);
+    const PoolDims d = PoolDims::Make(input_shapes[0], attrs);
+    return Shape{d.batch, d.c, d.oh, d.ow};
+  }
+
+  Tensor Forward(const OpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const PoolDims d = PoolDims::Make(x.shape(), ctx.attrs);
+    Tensor out(Shape{d.batch, d.c, d.oh, d.ow});
+    const auto xv = x.values();
+    auto ov = out.mutable_values();
+    for (int64_t n = 0; n < d.batch; ++n) {
+      for (int64_t c = 0; c < d.c; ++c) {
+        const int64_t plane = (n * d.c + c) * d.h * d.w;
+        for (int64_t oy = 0; oy < d.oh; ++oy) {
+          for (int64_t ox = 0; ox < d.ow; ++ox) {
+            float best = -std::numeric_limits<float>::infinity();
+            for (int64_t ky = 0; ky < d.kernel; ++ky) {
+              for (int64_t kx = 0; kx < d.kernel; ++kx) {
+                const int64_t iy = oy * d.stride + ky;
+                const int64_t ix = ox * d.stride + kx;
+                best = std::max(best, xv[static_cast<size_t>(plane + iy * d.w + ix)]);
+              }
+            }
+            ov[static_cast<size_t>(((n * d.c + c) * d.oh + oy) * d.ow + ox)] = best;
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  // Selection is exact: zero bound (default).
+
+  std::vector<Tensor> Vjp(const VjpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const PoolDims d = PoolDims::Make(x.shape(), ctx.attrs);
+    Tensor gx(x.shape());
+    const auto xv = x.values();
+    const auto gv = ctx.grad_output.values();
+    auto gxv = gx.mutable_values();
+    for (int64_t n = 0; n < d.batch; ++n) {
+      for (int64_t c = 0; c < d.c; ++c) {
+        const int64_t plane = (n * d.c + c) * d.h * d.w;
+        for (int64_t oy = 0; oy < d.oh; ++oy) {
+          for (int64_t ox = 0; ox < d.ow; ++ox) {
+            float best = -std::numeric_limits<float>::infinity();
+            int64_t best_idx = -1;
+            for (int64_t ky = 0; ky < d.kernel; ++ky) {
+              for (int64_t kx = 0; kx < d.kernel; ++kx) {
+                const int64_t iy = oy * d.stride + ky;
+                const int64_t ix = ox * d.stride + kx;
+                const int64_t idx = plane + iy * d.w + ix;
+                if (xv[static_cast<size_t>(idx)] > best) {
+                  best = xv[static_cast<size_t>(idx)];
+                  best_idx = idx;
+                }
+              }
+            }
+            gxv[static_cast<size_t>(best_idx)] +=
+                gv[static_cast<size_t>(((n * d.c + c) * d.oh + oy) * d.ow + ox)];
+          }
+        }
+      }
+    }
+    return {gx};
+  }
+};
+
+class AvgPool2dKernel : public OpKernel {
+ public:
+  std::string name() const override { return "avg_pool2d"; }
+
+  Shape InferShape(const std::vector<Shape>& input_shapes, const Attrs& attrs) const override {
+    TAO_CHECK_EQ(input_shapes.size(), 1u);
+    const PoolDims d = PoolDims::Make(input_shapes[0], attrs);
+    return Shape{d.batch, d.c, d.oh, d.ow};
+  }
+
+  Tensor Forward(const OpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const PoolDims d = PoolDims::Make(x.shape(), ctx.attrs);
+    const float count = static_cast<float>(d.kernel * d.kernel);
+    Tensor out(Shape{d.batch, d.c, d.oh, d.ow});
+    const auto xv = x.values();
+    auto ov = out.mutable_values();
+    std::vector<float> window(static_cast<size_t>(d.kernel * d.kernel));
+    for (int64_t n = 0; n < d.batch; ++n) {
+      for (int64_t c = 0; c < d.c; ++c) {
+        const int64_t plane = (n * d.c + c) * d.h * d.w;
+        for (int64_t oy = 0; oy < d.oh; ++oy) {
+          for (int64_t ox = 0; ox < d.ow; ++ox) {
+            size_t p = 0;
+            for (int64_t ky = 0; ky < d.kernel; ++ky) {
+              for (int64_t kx = 0; kx < d.kernel; ++kx) {
+                const int64_t iy = oy * d.stride + ky;
+                const int64_t ix = ox * d.stride + kx;
+                window[p++] = xv[static_cast<size_t>(plane + iy * d.w + ix)];
+              }
+            }
+            ov[static_cast<size_t>(((n * d.c + c) * d.oh + oy) * d.ow + ox)] =
+                ctx.device.Accumulate(window) / count;
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  DTensor Bound(const BoundContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const PoolDims d = PoolDims::Make(x.shape(), ctx.attrs);
+    const int64_t k = d.kernel * d.kernel;
+    const double gamma = AccumulationGamma(k - 1, ctx.mode, ctx.lambda);
+    DTensor bound(ctx.output.shape());
+    const auto xv = x.values();
+    const auto yv = ctx.output.values();
+    auto bnd = bound.mutable_values();
+    for (int64_t n = 0; n < d.batch; ++n) {
+      for (int64_t c = 0; c < d.c; ++c) {
+        const int64_t plane = (n * d.c + c) * d.h * d.w;
+        for (int64_t oy = 0; oy < d.oh; ++oy) {
+          for (int64_t ox = 0; ox < d.ow; ++ox) {
+            double abs_sum = 0.0;
+            for (int64_t ky = 0; ky < d.kernel; ++ky) {
+              for (int64_t kx = 0; kx < d.kernel; ++kx) {
+                const int64_t iy = oy * d.stride + ky;
+                const int64_t ix = ox * d.stride + kx;
+                abs_sum += std::abs(static_cast<double>(xv[static_cast<size_t>(
+                    plane + iy * d.w + ix)]));
+              }
+            }
+            const size_t o = static_cast<size_t>(((n * d.c + c) * d.oh + oy) * d.ow + ox);
+            bnd[o] = gamma * abs_sum / static_cast<double>(k) +
+                     kUnitRoundoff * std::abs(static_cast<double>(yv[o]));
+          }
+        }
+      }
+    }
+    return bound;
+  }
+
+  std::vector<Tensor> Vjp(const VjpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const PoolDims d = PoolDims::Make(x.shape(), ctx.attrs);
+    const float inv_count = 1.0f / static_cast<float>(d.kernel * d.kernel);
+    Tensor gx(x.shape());
+    const auto gv = ctx.grad_output.values();
+    auto gxv = gx.mutable_values();
+    for (int64_t n = 0; n < d.batch; ++n) {
+      for (int64_t c = 0; c < d.c; ++c) {
+        const int64_t plane = (n * d.c + c) * d.h * d.w;
+        for (int64_t oy = 0; oy < d.oh; ++oy) {
+          for (int64_t ox = 0; ox < d.ow; ++ox) {
+            const float g =
+                gv[static_cast<size_t>(((n * d.c + c) * d.oh + oy) * d.ow + ox)] * inv_count;
+            for (int64_t ky = 0; ky < d.kernel; ++ky) {
+              for (int64_t kx = 0; kx < d.kernel; ++kx) {
+                const int64_t iy = oy * d.stride + ky;
+                const int64_t ix = ox * d.stride + kx;
+                gxv[static_cast<size_t>(plane + iy * d.w + ix)] += g;
+              }
+            }
+          }
+        }
+      }
+    }
+    return {gx};
+  }
+
+  int64_t Flops(const std::vector<Shape>& input_shapes, const Shape& output_shape,
+                const Attrs& attrs) const override {
+    const int64_t k = attrs.GetInt("kernel");
+    return output_shape.numel() * k * k;
+  }
+};
+
+// PyTorch-style adaptive average pooling: window i spans [floor(i·H/oh), ceil((i+1)·H/oh)).
+class AdaptiveAvgPool2dKernel : public OpKernel {
+ public:
+  std::string name() const override { return "adaptive_avg_pool2d"; }
+
+  Shape InferShape(const std::vector<Shape>& input_shapes, const Attrs& attrs) const override {
+    TAO_CHECK_EQ(input_shapes.size(), 1u);
+    const Shape& x = input_shapes[0];
+    TAO_CHECK_EQ(x.rank(), 4);
+    return Shape{x.dim(0), x.dim(1), attrs.GetInt("out_h"), attrs.GetInt("out_w")};
+  }
+
+  Tensor Forward(const OpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const int64_t batch = x.shape().dim(0);
+    const int64_t c = x.shape().dim(1);
+    const int64_t h = x.shape().dim(2);
+    const int64_t w = x.shape().dim(3);
+    const int64_t oh = ctx.attrs.GetInt("out_h");
+    const int64_t ow = ctx.attrs.GetInt("out_w");
+    Tensor out(Shape{batch, c, oh, ow});
+    const auto xv = x.values();
+    auto ov = out.mutable_values();
+    std::vector<float> window;
+    for (int64_t n = 0; n < batch; ++n) {
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const int64_t plane = (n * c + ch) * h * w;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t y0 = oy * h / oh;
+          const int64_t y1 = ((oy + 1) * h + oh - 1) / oh;
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t x0 = ox * w / ow;
+            const int64_t x1 = ((ox + 1) * w + ow - 1) / ow;
+            window.clear();
+            for (int64_t iy = y0; iy < y1; ++iy) {
+              for (int64_t ix = x0; ix < x1; ++ix) {
+                window.push_back(xv[static_cast<size_t>(plane + iy * w + ix)]);
+              }
+            }
+            ov[static_cast<size_t>(((n * c + ch) * oh + oy) * ow + ox)] =
+                ctx.device.Accumulate(window) / static_cast<float>(window.size());
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  DTensor Bound(const BoundContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const int64_t batch = x.shape().dim(0);
+    const int64_t c = x.shape().dim(1);
+    const int64_t h = x.shape().dim(2);
+    const int64_t w = x.shape().dim(3);
+    const int64_t oh = ctx.attrs.GetInt("out_h");
+    const int64_t ow = ctx.attrs.GetInt("out_w");
+    DTensor bound(ctx.output.shape());
+    const auto xv = x.values();
+    const auto yv = ctx.output.values();
+    auto bnd = bound.mutable_values();
+    for (int64_t n = 0; n < batch; ++n) {
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const int64_t plane = (n * c + ch) * h * w;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t y0 = oy * h / oh;
+          const int64_t y1 = ((oy + 1) * h + oh - 1) / oh;
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t x0 = ox * w / ow;
+            const int64_t x1 = ((ox + 1) * w + ow - 1) / ow;
+            double abs_sum = 0.0;
+            int64_t count = 0;
+            for (int64_t iy = y0; iy < y1; ++iy) {
+              for (int64_t ix = x0; ix < x1; ++ix) {
+                abs_sum += std::abs(static_cast<double>(xv[static_cast<size_t>(
+                    plane + iy * w + ix)]));
+                ++count;
+              }
+            }
+            const double gamma = AccumulationGamma(count - 1, ctx.mode, ctx.lambda);
+            const size_t o = static_cast<size_t>(((n * c + ch) * oh + oy) * ow + ox);
+            bnd[o] = gamma * abs_sum / static_cast<double>(count) +
+                     kUnitRoundoff * std::abs(static_cast<double>(yv[o]));
+          }
+        }
+      }
+    }
+    return bound;
+  }
+
+  std::vector<Tensor> Vjp(const VjpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const int64_t batch = x.shape().dim(0);
+    const int64_t c = x.shape().dim(1);
+    const int64_t h = x.shape().dim(2);
+    const int64_t w = x.shape().dim(3);
+    const int64_t oh = ctx.attrs.GetInt("out_h");
+    const int64_t ow = ctx.attrs.GetInt("out_w");
+    Tensor gx(x.shape());
+    const auto gv = ctx.grad_output.values();
+    auto gxv = gx.mutable_values();
+    for (int64_t n = 0; n < batch; ++n) {
+      for (int64_t ch = 0; ch < c; ++ch) {
+        const int64_t plane = (n * c + ch) * h * w;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t y0 = oy * h / oh;
+          const int64_t y1 = ((oy + 1) * h + oh - 1) / oh;
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t x0 = ox * w / ow;
+            const int64_t x1 = ((ox + 1) * w + ow - 1) / ow;
+            const int64_t count = (y1 - y0) * (x1 - x0);
+            const float g = gv[static_cast<size_t>(((n * c + ch) * oh + oy) * ow + ox)] /
+                            static_cast<float>(count);
+            for (int64_t iy = y0; iy < y1; ++iy) {
+              for (int64_t ix = x0; ix < x1; ++ix) {
+                gxv[static_cast<size_t>(plane + iy * w + ix)] += g;
+              }
+            }
+          }
+        }
+      }
+    }
+    return {gx};
+  }
+
+  int64_t Flops(const std::vector<Shape>& input_shapes, const Shape& output_shape,
+                const Attrs& attrs) const override {
+    return input_shapes[0].numel();
+  }
+};
+
+// Nearest-neighbour upsampling by an integer "scale" attr — a pure copy (zero bound).
+class InterpolateKernel : public OpKernel {
+ public:
+  std::string name() const override { return "interpolate"; }
+
+  Shape InferShape(const std::vector<Shape>& input_shapes, const Attrs& attrs) const override {
+    TAO_CHECK_EQ(input_shapes.size(), 1u);
+    const Shape& x = input_shapes[0];
+    TAO_CHECK_EQ(x.rank(), 4);
+    const int64_t scale = attrs.GetInt("scale");
+    return Shape{x.dim(0), x.dim(1), x.dim(2) * scale, x.dim(3) * scale};
+  }
+
+  Tensor Forward(const OpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const int64_t scale = ctx.attrs.GetInt("scale");
+    const int64_t batch = x.shape().dim(0);
+    const int64_t c = x.shape().dim(1);
+    const int64_t h = x.shape().dim(2);
+    const int64_t w = x.shape().dim(3);
+    Tensor out(Shape{batch, c, h * scale, w * scale});
+    const auto xv = x.values();
+    auto ov = out.mutable_values();
+    for (int64_t n = 0; n < batch; ++n) {
+      for (int64_t ch = 0; ch < c; ++ch) {
+        for (int64_t oy = 0; oy < h * scale; ++oy) {
+          for (int64_t ox = 0; ox < w * scale; ++ox) {
+            ov[static_cast<size_t>(((n * c + ch) * h * scale + oy) * w * scale + ox)] =
+                xv[static_cast<size_t>(((n * c + ch) * h + oy / scale) * w + ox / scale)];
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  std::vector<Tensor> Vjp(const VjpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const int64_t scale = ctx.attrs.GetInt("scale");
+    const int64_t batch = x.shape().dim(0);
+    const int64_t c = x.shape().dim(1);
+    const int64_t h = x.shape().dim(2);
+    const int64_t w = x.shape().dim(3);
+    Tensor gx(x.shape());
+    const auto gv = ctx.grad_output.values();
+    auto gxv = gx.mutable_values();
+    for (int64_t n = 0; n < batch; ++n) {
+      for (int64_t ch = 0; ch < c; ++ch) {
+        for (int64_t oy = 0; oy < h * scale; ++oy) {
+          for (int64_t ox = 0; ox < w * scale; ++ox) {
+            gxv[static_cast<size_t>(((n * c + ch) * h + oy / scale) * w + ox / scale)] +=
+                gv[static_cast<size_t>(((n * c + ch) * h * scale + oy) * w * scale + ox)];
+          }
+        }
+      }
+    }
+    return {gx};
+  }
+};
+
+}  // namespace
+
+void RegisterPoolingOps(OpRegistry& registry) {
+  registry.Register(std::make_unique<MaxPool2dKernel>());
+  registry.Register(std::make_unique<AvgPool2dKernel>());
+  registry.Register(std::make_unique<AdaptiveAvgPool2dKernel>());
+  registry.Register(std::make_unique<InterpolateKernel>());
+}
+
+}  // namespace tao

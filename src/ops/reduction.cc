@@ -1,0 +1,243 @@
+// Axis reductions: sum, mean (gamma-bounded), reduce_max / reduce_min (exact
+// selections). Attr "axis" selects the reduced axis; "keepdim" (0/1) keeps it as 1.
+
+#include <cmath>
+#include <limits>
+
+#include "src/ops/op_kernel.h"
+#include "src/util/check.h"
+
+namespace tao {
+namespace {
+
+struct ReduceView {
+  int64_t outer = 1;
+  int64_t n = 1;
+  int64_t inner = 1;
+  Shape out_shape;
+
+  static ReduceView Make(const Shape& shape, const Attrs& attrs) {
+    ReduceView view;
+    const int64_t axis = shape.NormalizeAxis(attrs.GetInt("axis", -1));
+    view.n = shape.dim(axis);
+    for (int64_t i = 0; i < axis; ++i) {
+      view.outer *= shape.dim(i);
+    }
+    for (int64_t i = axis + 1; i < shape.rank(); ++i) {
+      view.inner *= shape.dim(i);
+    }
+    std::vector<int64_t> dims;
+    for (int64_t i = 0; i < shape.rank(); ++i) {
+      if (i == axis) {
+        if (attrs.GetInt("keepdim", 0) != 0) {
+          dims.push_back(1);
+        }
+      } else {
+        dims.push_back(shape.dim(i));
+      }
+    }
+    view.out_shape = Shape(dims);
+    return view;
+  }
+
+  int64_t InOffset(int64_t o, int64_t i, int64_t in) const { return (o * n + i) * inner + in; }
+  int64_t OutOffset(int64_t o, int64_t in) const { return o * inner + in; }
+};
+
+class ReduceKernelBase : public OpKernel {
+ public:
+  Shape InferShape(const std::vector<Shape>& input_shapes, const Attrs& attrs) const override {
+    TAO_CHECK_EQ(input_shapes.size(), 1u);
+    return ReduceView::Make(input_shapes[0], attrs).out_shape;
+  }
+
+  int64_t Flops(const std::vector<Shape>& input_shapes, const Shape& output_shape,
+                const Attrs& attrs) const override {
+    return input_shapes[0].numel();
+  }
+};
+
+class SumKernel : public ReduceKernelBase {
+ public:
+  std::string name() const override { return "sum"; }
+
+  Tensor Forward(const OpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const ReduceView view = ReduceView::Make(x.shape(), ctx.attrs);
+    Tensor out(view.out_shape);
+    const auto xv = x.values();
+    auto ov = out.mutable_values();
+    std::vector<float> buf(static_cast<size_t>(view.n));
+    for (int64_t o = 0; o < view.outer; ++o) {
+      for (int64_t in = 0; in < view.inner; ++in) {
+        for (int64_t i = 0; i < view.n; ++i) {
+          buf[static_cast<size_t>(i)] = xv[static_cast<size_t>(view.InOffset(o, i, in))];
+        }
+        ov[static_cast<size_t>(view.OutOffset(o, in))] = ctx.device.Accumulate(buf);
+      }
+    }
+    return out;
+  }
+
+  DTensor Bound(const BoundContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const ReduceView view = ReduceView::Make(x.shape(), ctx.attrs);
+    const double gamma = AccumulationGamma(view.n - 1, ctx.mode, ctx.lambda);
+    DTensor bound(ctx.output.shape());
+    const auto xv = x.values();
+    auto bv = bound.mutable_values();
+    for (int64_t o = 0; o < view.outer; ++o) {
+      for (int64_t in = 0; in < view.inner; ++in) {
+        double abs_sum = 0.0;
+        for (int64_t i = 0; i < view.n; ++i) {
+          abs_sum += std::abs(static_cast<double>(xv[static_cast<size_t>(
+              view.InOffset(o, i, in))]));
+        }
+        bv[static_cast<size_t>(view.OutOffset(o, in))] = gamma * abs_sum;
+      }
+    }
+    return bound;
+  }
+
+  std::vector<Tensor> Vjp(const VjpContext& ctx) const override {
+    const ReduceView view = ReduceView::Make(ctx.inputs[0].shape(), ctx.attrs);
+    Tensor gx(ctx.inputs[0].shape());
+    const auto gv = ctx.grad_output.values();
+    auto gxv = gx.mutable_values();
+    for (int64_t o = 0; o < view.outer; ++o) {
+      for (int64_t in = 0; in < view.inner; ++in) {
+        const float g = gv[static_cast<size_t>(view.OutOffset(o, in))];
+        for (int64_t i = 0; i < view.n; ++i) {
+          gxv[static_cast<size_t>(view.InOffset(o, i, in))] = g;
+        }
+      }
+    }
+    return {gx};
+  }
+};
+
+class MeanKernel : public ReduceKernelBase {
+ public:
+  std::string name() const override { return "mean"; }
+
+  Tensor Forward(const OpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const ReduceView view = ReduceView::Make(x.shape(), ctx.attrs);
+    Tensor out(view.out_shape);
+    const auto xv = x.values();
+    auto ov = out.mutable_values();
+    std::vector<float> buf(static_cast<size_t>(view.n));
+    for (int64_t o = 0; o < view.outer; ++o) {
+      for (int64_t in = 0; in < view.inner; ++in) {
+        for (int64_t i = 0; i < view.n; ++i) {
+          buf[static_cast<size_t>(i)] = xv[static_cast<size_t>(view.InOffset(o, i, in))];
+        }
+        ov[static_cast<size_t>(view.OutOffset(o, in))] =
+            ctx.device.Accumulate(buf) / static_cast<float>(view.n);
+      }
+    }
+    return out;
+  }
+
+  DTensor Bound(const BoundContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const ReduceView view = ReduceView::Make(x.shape(), ctx.attrs);
+    const double gamma = AccumulationGamma(view.n - 1, ctx.mode, ctx.lambda);
+    DTensor bound(ctx.output.shape());
+    const auto xv = x.values();
+    const auto yv = ctx.output.values();
+    auto bv = bound.mutable_values();
+    for (int64_t o = 0; o < view.outer; ++o) {
+      for (int64_t in = 0; in < view.inner; ++in) {
+        double abs_sum = 0.0;
+        for (int64_t i = 0; i < view.n; ++i) {
+          abs_sum += std::abs(static_cast<double>(xv[static_cast<size_t>(
+              view.InOffset(o, i, in))]));
+        }
+        const size_t k = static_cast<size_t>(view.OutOffset(o, in));
+        bv[k] = gamma * abs_sum / static_cast<double>(view.n) +
+                kUnitRoundoff * std::abs(static_cast<double>(yv[k]));
+      }
+    }
+    return bound;
+  }
+
+  std::vector<Tensor> Vjp(const VjpContext& ctx) const override {
+    const ReduceView view = ReduceView::Make(ctx.inputs[0].shape(), ctx.attrs);
+    Tensor gx(ctx.inputs[0].shape());
+    const auto gv = ctx.grad_output.values();
+    auto gxv = gx.mutable_values();
+    const float inv_n = 1.0f / static_cast<float>(view.n);
+    for (int64_t o = 0; o < view.outer; ++o) {
+      for (int64_t in = 0; in < view.inner; ++in) {
+        const float g = gv[static_cast<size_t>(view.OutOffset(o, in))] * inv_n;
+        for (int64_t i = 0; i < view.n; ++i) {
+          gxv[static_cast<size_t>(view.InOffset(o, i, in))] = g;
+        }
+      }
+    }
+    return {gx};
+  }
+};
+
+template <bool kIsMax>
+class ExtremumKernel : public ReduceKernelBase {
+ public:
+  std::string name() const override { return kIsMax ? "reduce_max" : "reduce_min"; }
+
+  Tensor Forward(const OpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const ReduceView view = ReduceView::Make(x.shape(), ctx.attrs);
+    Tensor out(view.out_shape);
+    const auto xv = x.values();
+    auto ov = out.mutable_values();
+    for (int64_t o = 0; o < view.outer; ++o) {
+      for (int64_t in = 0; in < view.inner; ++in) {
+        float best = kIsMax ? -std::numeric_limits<float>::infinity()
+                            : std::numeric_limits<float>::infinity();
+        for (int64_t i = 0; i < view.n; ++i) {
+          const float v = xv[static_cast<size_t>(view.InOffset(o, i, in))];
+          best = kIsMax ? std::max(best, v) : std::min(best, v);
+        }
+        ov[static_cast<size_t>(view.OutOffset(o, in))] = best;
+      }
+    }
+    return out;
+  }
+
+  // Selections are exact: zero bound (default).
+
+  std::vector<Tensor> Vjp(const VjpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const ReduceView view = ReduceView::Make(x.shape(), ctx.attrs);
+    Tensor gx(x.shape());
+    const auto xv = x.values();
+    const auto ov = ctx.output.values();
+    const auto gv = ctx.grad_output.values();
+    auto gxv = gx.mutable_values();
+    for (int64_t o = 0; o < view.outer; ++o) {
+      for (int64_t in = 0; in < view.inner; ++in) {
+        const float target = ov[static_cast<size_t>(view.OutOffset(o, in))];
+        for (int64_t i = 0; i < view.n; ++i) {
+          const size_t k = static_cast<size_t>(view.InOffset(o, i, in));
+          if (xv[k] == target) {
+            gxv[k] = gv[static_cast<size_t>(view.OutOffset(o, in))];
+            break;  // route the gradient to the first extremum, PyTorch-style
+          }
+        }
+      }
+    }
+    return {gx};
+  }
+};
+
+}  // namespace
+
+void RegisterReductionOps(OpRegistry& registry) {
+  registry.Register(std::make_unique<SumKernel>());
+  registry.Register(std::make_unique<MeanKernel>());
+  registry.Register(std::make_unique<ExtremumKernel<true>>());
+  registry.Register(std::make_unique<ExtremumKernel<false>>());
+}
+
+}  // namespace tao

@@ -1,0 +1,156 @@
+// Softmax along a configurable axis, including the paper's worked bound template
+// (Sec. 3.1 "Minimal example: softmax"):
+//   m = max(x), z = x - m, e = exp(z), S = sum_j e_j, y_i = e_i / S
+//   eps_z  <= u(|x| + |m|)
+//   eps_e  <= |e| eps_z + 2u|e|
+//   eps_S  <= gamma~_{n-1} * sum|e_j| + (gamma~_{n-1} + 1) * sum eps_{e_j}
+//   eps_y  <= eps_e/|S| + |e| eps_S / S^2 + u|y|
+
+#include <cmath>
+
+#include "src/ops/op_kernel.h"
+#include "src/util/check.h"
+
+namespace tao {
+namespace {
+
+// Iterates rows of the softmax axis. The axis is moved logically: we iterate outer ×
+// inner with stride access, supporting any axis without materializing a transpose.
+struct AxisView {
+  int64_t outer = 1;
+  int64_t n = 1;      // extent of the softmax axis
+  int64_t inner = 1;  // stride between consecutive elements along the axis
+
+  static AxisView Make(const Shape& shape, int64_t axis) {
+    AxisView view;
+    const int64_t a = shape.NormalizeAxis(axis);
+    view.n = shape.dim(a);
+    for (int64_t i = 0; i < a; ++i) {
+      view.outer *= shape.dim(i);
+    }
+    for (int64_t i = a + 1; i < shape.rank(); ++i) {
+      view.inner *= shape.dim(i);
+    }
+    return view;
+  }
+
+  int64_t Offset(int64_t outer_idx, int64_t axis_idx, int64_t inner_idx) const {
+    return (outer_idx * n + axis_idx) * inner + inner_idx;
+  }
+};
+
+class SoftmaxKernel : public OpKernel {
+ public:
+  std::string name() const override { return "softmax"; }
+
+  Shape InferShape(const std::vector<Shape>& input_shapes, const Attrs& attrs) const override {
+    TAO_CHECK_EQ(input_shapes.size(), 1u);
+    return input_shapes[0];
+  }
+
+  Tensor Forward(const OpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const AxisView view = AxisView::Make(x.shape(), ctx.attrs.GetInt("axis", -1));
+    Tensor out(x.shape());
+    const auto xv = x.values();
+    auto ov = out.mutable_values();
+    std::vector<float> exps(static_cast<size_t>(view.n));
+    for (int64_t o = 0; o < view.outer; ++o) {
+      for (int64_t in = 0; in < view.inner; ++in) {
+        float max_val = -std::numeric_limits<float>::infinity();
+        for (int64_t i = 0; i < view.n; ++i) {
+          max_val = std::max(max_val, xv[static_cast<size_t>(view.Offset(o, i, in))]);
+        }
+        for (int64_t i = 0; i < view.n; ++i) {
+          exps[static_cast<size_t>(i)] =
+              ctx.device.Exp(xv[static_cast<size_t>(view.Offset(o, i, in))] - max_val);
+        }
+        const float denom = ctx.device.Accumulate(exps);
+        for (int64_t i = 0; i < view.n; ++i) {
+          ov[static_cast<size_t>(view.Offset(o, i, in))] = exps[static_cast<size_t>(i)] / denom;
+        }
+      }
+    }
+    return out;
+  }
+
+  DTensor Bound(const BoundContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    const AxisView view = AxisView::Make(x.shape(), ctx.attrs.GetInt("axis", -1));
+    const double u = kUnitRoundoff;
+    const double exp_ulp = ctx.device.ExpUlp();
+    const double gamma = AccumulationGamma(view.n - 1, ctx.mode, ctx.lambda);
+    DTensor bound(ctx.output.shape());
+    const auto xv = x.values();
+    const auto yv = ctx.output.values();
+    auto bv = bound.mutable_values();
+    std::vector<double> e(static_cast<size_t>(view.n));
+    std::vector<double> eps_e(static_cast<size_t>(view.n));
+    for (int64_t o = 0; o < view.outer; ++o) {
+      for (int64_t in = 0; in < view.inner; ++in) {
+        double m = -std::numeric_limits<double>::infinity();
+        for (int64_t i = 0; i < view.n; ++i) {
+          m = std::max(m, static_cast<double>(xv[static_cast<size_t>(view.Offset(o, i, in))]));
+        }
+        double sum_e = 0.0;
+        double sum_eps_e = 0.0;
+        for (int64_t i = 0; i < view.n; ++i) {
+          const double xi = xv[static_cast<size_t>(view.Offset(o, i, in))];
+          const double z = xi - m;
+          const double ei = std::exp(z);
+          const double eps_z = u * (std::abs(xi) + std::abs(m));
+          // |e| eps_z propagated + intrinsic ULP error (the paper's 2u|e| with 2-ulp exp).
+          const double eps = ei * eps_z + UlpError(ei, exp_ulp);
+          e[static_cast<size_t>(i)] = ei;
+          eps_e[static_cast<size_t>(i)] = eps;
+          sum_e += ei;
+          sum_eps_e += eps;
+        }
+        const double eps_s = gamma * sum_e + (gamma + 1.0) * sum_eps_e;
+        for (int64_t i = 0; i < view.n; ++i) {
+          const size_t k = static_cast<size_t>(view.Offset(o, i, in));
+          const double yi = yv[k];
+          bv[k] = eps_e[static_cast<size_t>(i)] / sum_e +
+                  e[static_cast<size_t>(i)] * eps_s / (sum_e * sum_e) + u * std::abs(yi);
+        }
+      }
+    }
+    return bound;
+  }
+
+  std::vector<Tensor> Vjp(const VjpContext& ctx) const override {
+    // g_x = y ⊙ (g - <g, y>) per row.
+    const AxisView view = AxisView::Make(ctx.inputs[0].shape(), ctx.attrs.GetInt("axis", -1));
+    Tensor grad(ctx.inputs[0].shape());
+    const auto yv = ctx.output.values();
+    const auto gv = ctx.grad_output.values();
+    auto out = grad.mutable_values();
+    for (int64_t o = 0; o < view.outer; ++o) {
+      for (int64_t in = 0; in < view.inner; ++in) {
+        double dot = 0.0;
+        for (int64_t i = 0; i < view.n; ++i) {
+          const size_t k = static_cast<size_t>(view.Offset(o, i, in));
+          dot += static_cast<double>(gv[k]) * static_cast<double>(yv[k]);
+        }
+        for (int64_t i = 0; i < view.n; ++i) {
+          const size_t k = static_cast<size_t>(view.Offset(o, i, in));
+          out[k] = yv[k] * (gv[k] - static_cast<float>(dot));
+        }
+      }
+    }
+    return {grad};
+  }
+
+  int64_t Flops(const std::vector<Shape>& input_shapes, const Shape& output_shape,
+                const Attrs& attrs) const override {
+    return output_shape.numel() * 4;
+  }
+};
+
+}  // namespace
+
+void RegisterSoftmaxOps(OpRegistry& registry) {
+  registry.Register(std::make_unique<SoftmaxKernel>());
+}
+
+}  // namespace tao

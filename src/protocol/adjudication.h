@@ -1,0 +1,53 @@
+// Phase 3: single-operator adjudication (Sec. 5.4).
+//
+// At the leaf both parties agree on the operator v* and its inputs a. The routing
+// policy compares the proposer's claimed output against a canonical reference
+// re-execution: if any element exceeds the theoretical cap tau_theo the cheap, sound
+// theoretical-bound path decides (path i); otherwise a small committee re-executes the
+// operator on independently sampled devices and votes against the calibrated empirical
+// thresholds (path ii), which is costlier but far tighter.
+
+#ifndef TAO_SRC_PROTOCOL_ADJUDICATION_H_
+#define TAO_SRC_PROTOCOL_ADJUDICATION_H_
+
+#include <vector>
+
+#include "src/calib/threshold.h"
+#include "src/device/device.h"
+#include "src/graph/graph.h"
+#include "src/ops/fperror.h"
+
+namespace tao {
+
+enum class LeafPath {
+  kTheoreticalBound,
+  kCommitteeVote,
+};
+
+struct LeafVerdict {
+  bool proposer_guilty = false;
+  LeafPath path = LeafPath::kTheoreticalBound;
+  // Element-wise max of |y_P - y_ref| / tau_theo observed by the routing check.
+  double max_theo_ratio = 0.0;
+  // Committee tally (guilty votes / total) when path ii ran.
+  int guilty_votes = 0;
+  int committee_size = 0;
+};
+
+struct AdjudicationOptions {
+  BoundMode bound_mode = BoundMode::kProbabilistic;
+  double lambda = kDefaultLambda;
+  int committee_size = 5;
+  uint64_t committee_seed = 0xc0117ee;
+};
+
+// Adjudicates operator `op_node` of `graph` given the agreed inputs and the proposer's
+// claimed output.
+LeafVerdict AdjudicateLeaf(const Graph& graph, NodeId op_node,
+                           const std::vector<Tensor>& agreed_inputs,
+                           const Tensor& proposer_output, const ThresholdSet& thresholds,
+                           const AdjudicationOptions& options = {});
+
+}  // namespace tao
+
+#endif  // TAO_SRC_PROTOCOL_ADJUDICATION_H_

@@ -1,0 +1,104 @@
+#include "src/protocol/commitment.h"
+
+#include <algorithm>
+
+#include "src/crypto/canonical.h"
+#include "src/util/check.h"
+
+namespace tao {
+namespace {
+
+// Weight leaves are ordered by lexicographically sorted parameter label (the paper
+// sorts state_dict keys); graph leaves by node id (canonical topological order).
+std::vector<std::pair<std::string, NodeId>> SortedParams(const Graph& graph) {
+  std::vector<std::pair<std::string, NodeId>> params;
+  for (const NodeId id : graph.param_nodes()) {
+    params.emplace_back(graph.node(id).label, id);
+  }
+  std::sort(params.begin(), params.end());
+  return params;
+}
+
+MerkleTree BuildWeightTree(const Graph& graph, std::map<NodeId, size_t>& index) {
+  std::vector<Digest> leaves;
+  for (const auto& [label, id] : SortedParams(graph)) {
+    index[id] = leaves.size();
+    leaves.push_back(HashTensor(graph.node(id).value));
+  }
+  return MerkleTree(std::move(leaves));
+}
+
+MerkleTree BuildGraphTree(const Graph& graph, std::map<NodeId, size_t>& index) {
+  std::vector<Digest> leaves;
+  for (const Node& node : graph.nodes()) {
+    index[node.id] = leaves.size();
+    leaves.push_back(HashSignature(graph.NodeSignature(node.id)));
+  }
+  return MerkleTree(std::move(leaves));
+}
+
+}  // namespace
+
+ModelCommitment::ModelCommitment(const Graph& graph, const ThresholdSet& thresholds)
+    : weight_tree_(BuildWeightTree(graph, weight_leaf_index_)),
+      graph_tree_(BuildGraphTree(graph, graph_leaf_index_)),
+      threshold_root_(thresholds.CommitRoot()) {}
+
+size_t ModelCommitment::WeightLeafIndex(NodeId id) const {
+  const auto it = weight_leaf_index_.find(id);
+  TAO_CHECK(it != weight_leaf_index_.end()) << "node " << id << " is not a parameter";
+  return it->second;
+}
+
+size_t ModelCommitment::GraphLeafIndex(NodeId id) const {
+  const auto it = graph_leaf_index_.find(id);
+  TAO_CHECK(it != graph_leaf_index_.end()) << "unknown node " << id;
+  return it->second;
+}
+
+MerkleProof ModelCommitment::ProveWeight(NodeId id) const {
+  return weight_tree_.ProveInclusion(WeightLeafIndex(id));
+}
+
+MerkleProof ModelCommitment::ProveSignature(NodeId id) const {
+  return graph_tree_.ProveInclusion(GraphLeafIndex(id));
+}
+
+bool ModelCommitment::VerifyWeight(const Graph& graph, NodeId id,
+                                   const MerkleProof& proof) const {
+  return MerkleTree::VerifyInclusion(weight_tree_.root(), HashTensor(graph.node(id).value),
+                                     proof);
+}
+
+bool ModelCommitment::VerifySignature(const Graph& graph, NodeId id,
+                                      const MerkleProof& proof) const {
+  return MerkleTree::VerifyInclusion(graph_tree_.root(),
+                                     HashSignature(graph.NodeSignature(id)), proof);
+}
+
+std::string ResultMeta::Canonical() const {
+  return "device=" + device + ";kernel=" + kernel_version + ";dtype=" + dtype +
+         ";window=" + std::to_string(challenge_window);
+}
+
+Digest ComputeResultCommitment(const ModelCommitment& commitment,
+                               const std::vector<Tensor>& inputs, const Tensor& output,
+                               const ResultMeta& meta) {
+  Sha256 ctx;
+  const Digest rw = commitment.weight_root();
+  const Digest rg = commitment.graph_root();
+  ctx.Update(std::span<const uint8_t>(rw.data(), rw.size()));
+  ctx.Update(std::span<const uint8_t>(rg.data(), rg.size()));
+  const Digest hx = HashTensorList(inputs);
+  ctx.Update(std::span<const uint8_t>(hx.data(), hx.size()));
+  const Digest hy = HashTensor(output);
+  ctx.Update(std::span<const uint8_t>(hy.data(), hy.size()));
+  ctx.Update(meta.Canonical());
+  return ctx.Finalize();
+}
+
+Digest ComputeInterfaceHash(const std::vector<Tensor>& tensors) {
+  return HashTensorList(tensors);
+}
+
+}  // namespace tao

@@ -1,0 +1,70 @@
+// Model and result commitments (Sec. 2.2 Phase 0-1, Sec. 5.2).
+//
+// Phase 0: the model owner merkleizes weight tensors (root r_w, leaves sorted by
+// parameter name), operator signatures (root r_g), and calibrated thresholds (root
+// r_e). Phase 1: for each request the proposer posts
+//   C0 = H(r_w || r_g || H(x) || H(y) || meta)
+// where meta encodes device type, kernel versions, dtypes, and the challenge window.
+
+#ifndef TAO_SRC_PROTOCOL_COMMITMENT_H_
+#define TAO_SRC_PROTOCOL_COMMITMENT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/calib/threshold.h"
+#include "src/crypto/merkle.h"
+#include "src/graph/graph.h"
+
+namespace tao {
+
+class ModelCommitment {
+ public:
+  // Builds the weight and graph Merkle trees; thresholds provide r_e.
+  ModelCommitment(const Graph& graph, const ThresholdSet& thresholds);
+
+  const Digest& weight_root() const { return weight_tree_.root(); }     // r_w
+  const Digest& graph_root() const { return graph_tree_.root(); }       // r_g
+  const Digest& threshold_root() const { return threshold_root_; }      // r_e
+
+  // Leaf index of a parameter node in the weight tree / of any node in the graph tree.
+  size_t WeightLeafIndex(NodeId id) const;
+  size_t GraphLeafIndex(NodeId id) const;
+
+  MerkleProof ProveWeight(NodeId id) const;
+  MerkleProof ProveSignature(NodeId id) const;
+
+  bool VerifyWeight(const Graph& graph, NodeId id, const MerkleProof& proof) const;
+  bool VerifySignature(const Graph& graph, NodeId id, const MerkleProof& proof) const;
+
+ private:
+  // Note: the index maps are populated by the tree builders during member
+  // initialization, so they must be declared (and thus constructed) first.
+  std::map<NodeId, size_t> weight_leaf_index_;
+  std::map<NodeId, size_t> graph_leaf_index_;
+  MerkleTree weight_tree_;
+  MerkleTree graph_tree_;
+  Digest threshold_root_;
+};
+
+struct ResultMeta {
+  std::string device;
+  std::string kernel_version = "tao-0.1";
+  std::string dtype = "fp32";
+  uint64_t challenge_window = 100;  // logical ticks
+
+  std::string Canonical() const;
+};
+
+// C0 = H(r_w || r_g || H(x) || H(y) || meta).
+Digest ComputeResultCommitment(const ModelCommitment& commitment,
+                               const std::vector<Tensor>& inputs, const Tensor& output,
+                               const ResultMeta& meta);
+
+// Interface commitment h_D for a list of boundary tensors (Sec. 5.2).
+Digest ComputeInterfaceHash(const std::vector<Tensor>& tensors);
+
+}  // namespace tao
+
+#endif  // TAO_SRC_PROTOCOL_COMMITMENT_H_

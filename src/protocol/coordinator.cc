@@ -1,0 +1,124 @@
+#include "src/protocol/coordinator.h"
+
+namespace tao {
+
+const char* ClaimStateName(ClaimState state) {
+  switch (state) {
+    case ClaimState::kCommitted:
+      return "committed";
+    case ClaimState::kFinalized:
+      return "finalized";
+    case ClaimState::kDisputed:
+      return "disputed";
+    case ClaimState::kProposerSlashed:
+      return "proposer_slashed";
+    case ClaimState::kChallengerSlashed:
+      return "challenger_slashed";
+  }
+  return "unknown";
+}
+
+ClaimId Coordinator::SubmitCommitment(const Digest& c0, uint64_t challenge_window,
+                                      double proposer_bond) {
+  TAO_CHECK_GT(proposer_bond, 0.0);
+  ClaimRecord record;
+  record.id = next_id_++;
+  record.c0 = c0;
+  record.committed_at = now_;
+  record.challenge_window = challenge_window;
+  record.proposer_bond = proposer_bond;
+  balances_.proposer -= proposer_bond;  // escrowed
+  claims_[record.id] = record;
+  gas_.Charge(schedule_.commit);
+  return record.id;
+}
+
+ClaimState Coordinator::TryFinalize(ClaimId id) {
+  ClaimRecord& claim = MutableClaim(id);
+  if (claim.state == ClaimState::kCommitted &&
+      now_ >= claim.committed_at + claim.challenge_window) {
+    claim.state = ClaimState::kFinalized;
+    balances_.proposer += claim.proposer_bond;  // bond released with payment
+  }
+  return claim.state;
+}
+
+void Coordinator::OpenChallenge(ClaimId id, double challenger_bond) {
+  ClaimRecord& claim = MutableClaim(id);
+  TAO_CHECK(claim.state == ClaimState::kCommitted)
+      << "cannot challenge claim in state " << ClaimStateName(claim.state);
+  TAO_CHECK(now_ < claim.committed_at + claim.challenge_window) << "challenge window closed";
+  TAO_CHECK_GT(challenger_bond, 0.0);
+  claim.state = ClaimState::kDisputed;
+  claim.challenger_bond = challenger_bond;
+  claim.dispute_round = 0;
+  claim.round_deadline = now_ + round_timeout_;
+  balances_.challenger -= challenger_bond;  // escrowed
+  gas_.Charge(schedule_.open_challenge);
+}
+
+void Coordinator::RecordPartition(ClaimId id, int64_t children,
+                                  const std::vector<Digest>& child_hashes) {
+  ClaimRecord& claim = MutableClaim(id);
+  TAO_CHECK(claim.state == ClaimState::kDisputed);
+  TAO_CHECK(now_ <= claim.round_deadline) << "proposer partition past deadline";
+  TAO_CHECK_EQ(static_cast<int64_t>(child_hashes.size()), children);
+  claim.round_deadline = now_ + round_timeout_;
+  gas_.Charge(schedule_.PartitionCost(children));
+}
+
+void Coordinator::RecordSelection(ClaimId id, int64_t selected_child) {
+  ClaimRecord& claim = MutableClaim(id);
+  TAO_CHECK(claim.state == ClaimState::kDisputed);
+  TAO_CHECK(now_ <= claim.round_deadline) << "challenger selection past deadline";
+  TAO_CHECK_GE(selected_child, 0);
+  claim.dispute_round += 1;
+  claim.round_deadline = now_ + round_timeout_;
+  gas_.Charge(schedule_.selection);
+}
+
+void Coordinator::RecordMerkleCheck(ClaimId id, int64_t proofs) {
+  ClaimRecord& claim = MutableClaim(id);
+  claim.merkle_checks += proofs;
+  gas_.Charge(schedule_.merkle_check * proofs);
+}
+
+void Coordinator::RecordTimeout(ClaimId id, bool proposer_timed_out) {
+  ClaimRecord& claim = MutableClaim(id);
+  TAO_CHECK(claim.state == ClaimState::kDisputed);
+  TAO_CHECK(now_ > claim.round_deadline) << "no deadline has passed";
+  RecordLeafAdjudication(id, proposer_timed_out, 0.5);
+}
+
+void Coordinator::RecordLeafAdjudication(ClaimId id, bool proposer_guilty,
+                                         double challenger_share) {
+  ClaimRecord& claim = MutableClaim(id);
+  TAO_CHECK(claim.state == ClaimState::kDisputed);
+  gas_.Charge(schedule_.leaf_adjudication);
+  if (proposer_guilty) {
+    claim.state = ClaimState::kProposerSlashed;
+    // Proposer bond slashed: a share to the challenger, remainder burned; challenger
+    // bond returned.
+    const double reward = challenger_share * claim.proposer_bond;
+    balances_.challenger += claim.challenger_bond + reward;
+    balances_.treasury += claim.proposer_bond - reward;
+  } else {
+    claim.state = ClaimState::kChallengerSlashed;
+    balances_.proposer += claim.proposer_bond + claim.challenger_bond;
+  }
+  gas_.Charge(schedule_.settlement);
+}
+
+const ClaimRecord& Coordinator::claim(ClaimId id) const {
+  const auto it = claims_.find(id);
+  TAO_CHECK(it != claims_.end()) << "unknown claim " << id;
+  return it->second;
+}
+
+ClaimRecord& Coordinator::MutableClaim(ClaimId id) {
+  const auto it = claims_.find(id);
+  TAO_CHECK(it != claims_.end()) << "unknown claim " << id;
+  return it->second;
+}
+
+}  // namespace tao

@@ -1,0 +1,102 @@
+// Coordinator: the authenticated coordination service of Sec. 2.1 — records
+// commitments, enforces challenge windows and per-round timeouts over a logical clock,
+// escrows bonds, meters gas per action, and executes slashing/rewards on adjudication.
+// The paper's prototype deploys this as Ethereum contracts; the in-process state
+// machine implements the same transitions and cost accounting (see gas.h).
+
+#ifndef TAO_SRC_PROTOCOL_COORDINATOR_H_
+#define TAO_SRC_PROTOCOL_COORDINATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+#include "src/protocol/gas.h"
+#include "src/util/check.h"
+
+namespace tao {
+
+using ClaimId = uint64_t;
+
+enum class ClaimState {
+  kCommitted,          // C0 posted; challenge window open
+  kFinalized,          // window elapsed unchallenged; payment released
+  kDisputed,           // interactive localization in progress
+  kProposerSlashed,    // fraud proven; proposer bond slashed, challenger rewarded
+  kChallengerSlashed,  // dispute failed; challenger bond slashed
+};
+
+const char* ClaimStateName(ClaimState state);
+
+struct ClaimRecord {
+  ClaimId id = 0;
+  Digest c0{};
+  uint64_t committed_at = 0;
+  uint64_t challenge_window = 0;
+  ClaimState state = ClaimState::kCommitted;
+  double proposer_bond = 0.0;
+  double challenger_bond = 0.0;
+  // Dispute bookkeeping.
+  int64_t dispute_round = 0;
+  uint64_t round_deadline = 0;
+  int64_t merkle_checks = 0;
+};
+
+// Per-party balance ledger (bond escrow, rewards, slashes).
+struct Balances {
+  double proposer = 0.0;
+  double challenger = 0.0;
+  double treasury = 0.0;  // burned remainder of slashes
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(GasSchedule schedule = {}, uint64_t round_timeout = 10)
+      : schedule_(schedule), round_timeout_(round_timeout) {}
+
+  // --- logical clock ----------------------------------------------------------------
+  uint64_t now() const { return now_; }
+  void AdvanceTime(uint64_t ticks) { now_ += ticks; }
+
+  // --- phase 1: optimistic execution --------------------------------------------------
+  ClaimId SubmitCommitment(const Digest& c0, uint64_t challenge_window, double proposer_bond);
+  // Finalizes iff the window elapsed with no challenge. Returns the new state.
+  ClaimState TryFinalize(ClaimId id);
+
+  // --- phase 2: dispute ----------------------------------------------------------------
+  void OpenChallenge(ClaimId id, double challenger_bond);
+  // Proposer posts one round's partition (children interface commitments); challenger
+  // then posts the selected offending child. Both refresh the round deadline.
+  void RecordPartition(ClaimId id, int64_t children, const std::vector<Digest>& child_hashes);
+  void RecordSelection(ClaimId id, int64_t selected_child);
+  // Meters an off-chain-verified Merkle inclusion proof batch.
+  void RecordMerkleCheck(ClaimId id, int64_t proofs);
+  // A party missed its deadline and forfeits (true = proposer timed out).
+  void RecordTimeout(ClaimId id, bool proposer_timed_out);
+
+  // --- phase 3: adjudication ------------------------------------------------------------
+  void RecordLeafAdjudication(ClaimId id, bool proposer_guilty, double challenger_share);
+
+  const ClaimRecord& claim(ClaimId id) const;
+  const Balances& balances() const { return balances_; }
+  const GasMeter& gas() const { return gas_; }
+  GasMeter& mutable_gas() { return gas_; }
+  const GasSchedule& schedule() const { return schedule_; }
+
+ private:
+  ClaimRecord& MutableClaim(ClaimId id);
+
+  GasSchedule schedule_;
+  uint64_t round_timeout_;
+  uint64_t now_ = 0;
+  ClaimId next_id_ = 1;
+  std::map<ClaimId, ClaimRecord> claims_;
+  Balances balances_;
+  GasMeter gas_;
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_PROTOCOL_COORDINATOR_H_

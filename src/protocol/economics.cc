@@ -1,0 +1,88 @@
+#include "src/protocol/economics.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tao {
+
+double DetectionProbability(const EconomicParams& p) {
+  return (p.audit_prob + p.challenge_prob) * (1.0 - p.false_negative);
+}
+
+double ProposerUtilityHonest(const EconomicParams& p) {
+  return p.task_reward - p.cost_honest - p.false_positive * p.slash;
+}
+
+double ProposerUtilityCheapCheat(const EconomicParams& p) {
+  return p.task_reward - p.cost_cheap_cheat - DetectionProbability(p) * p.slash;
+}
+
+double ProposerUtilityTargetedCheat(const EconomicParams& p) {
+  return p.task_reward - p.cost_targeted;
+}
+
+double ChallengerUtilityVsGuilty(const EconomicParams& p) {
+  return (1.0 - p.false_negative) * p.challenger_share * p.slash - p.challenger_cost;
+}
+
+double ChallengerUtilityVsClean(const EconomicParams& p) {
+  return -p.challenger_cost - (1.0 - p.false_positive) * p.challenger_deposit;
+}
+
+double CommitteeUtilityRuledGuilty(const EconomicParams& p) {
+  return p.committee_share * p.slash / static_cast<double>(p.committee_size) -
+         p.committee_cost;
+}
+
+double CommitteeUtilityRuledClean(const EconomicParams& p) {
+  return p.committee_fee - p.committee_cost;
+}
+
+FeasibleRegion ComputeFeasibleRegion(const EconomicParams& p) {
+  FeasibleRegion region;
+  const double d = DetectionProbability(p);
+  region.detection_exceeds_fp = d > p.false_positive;
+  if (region.detection_exceeds_fp) {
+    region.l1 = (p.cost_honest - p.cost_cheap_cheat) / (d - p.false_positive);
+  } else {
+    region.l1 = std::numeric_limits<double>::infinity();
+  }
+  region.l2 = p.challenger_cost / (p.challenger_share * (1.0 - p.false_negative));
+  region.l3 = static_cast<double>(p.committee_size) * p.committee_cost / p.committee_share;
+  region.lower = std::max({region.l1, region.l2, region.l3});
+  region.upper = p.proposer_deposit;
+  region.non_empty = region.lower < region.upper;
+  return region;
+}
+
+bool IncentiveCompatible(const EconomicParams& p) {
+  const FeasibleRegion region = ComputeFeasibleRegion(p);
+  if (!region.non_empty) {
+    return false;
+  }
+  if (p.slash <= region.lower || p.slash > region.upper) {
+    return false;
+  }
+  // Individual rationality for the honest proposer.
+  if (ProposerUtilityHonest(p) < 0.0) {
+    return false;
+  }
+  // Honesty dominates cheap cheating; targeted cheating unprofitable.
+  if (ProposerUtilityHonest(p) <= ProposerUtilityCheapCheat(p)) {
+    return false;
+  }
+  if (ProposerUtilityTargetedCheat(p) > 0.0) {
+    return false;
+  }
+  // Challenge economics: profitable versus fraud, unprofitable spam.
+  if (ChallengerUtilityVsGuilty(p) <= 0.0 || ChallengerUtilityVsClean(p) > 0.0) {
+    return false;
+  }
+  // Committee sustainability under both rulings.
+  if (CommitteeUtilityRuledGuilty(p) <= 0.0 || CommitteeUtilityRuledClean(p) <= 0.0) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tao

@@ -1,0 +1,82 @@
+// Economic soundness and incentives (Sec. 5.5).
+//
+// Models the fee-and-deposit mechanism: proposers and challengers stake deposits D_p,
+// D_ch; the losing side of a dispute is slashed S_slash; committee members are paid per
+// audit. Two mutually exclusive detection channels supervise each claim — voluntary
+// challenges (probability phi_ch) and randomized audits (probability phi) — giving
+// detection probability d = (phi + phi_ch)(1 - eps1) (Eq. 16). The feasibility bounds
+// L1/L2/L3 (Eq. 20, 23, and the committee-sustainability bound) define the non-empty
+// S_slash region (L, D_p].
+
+#ifndef TAO_SRC_PROTOCOL_ECONOMICS_H_
+#define TAO_SRC_PROTOCOL_ECONOMICS_H_
+
+namespace tao {
+
+struct EconomicParams {
+  // Proposer costs: honest execution, cheap cheating (e.g. smaller model), targeted
+  // cheating (adversarial perturbation search).
+  double cost_honest = 1.0;        // C_p
+  double cost_cheap_cheat = 0.2;   // C'_p
+  double cost_targeted = 50.0;     // C''_p (empirically >> R_p, Sec. 4)
+  double task_reward = 1.5;        // R_p
+
+  // Detection channels and error rates.
+  double audit_prob = 0.05;        // phi
+  double challenge_prob = 0.10;    // phi_ch
+  double false_negative = 0.01;    // eps1 (fraud missed within tolerance)
+  double false_positive = 0.0;     // eps2 (honest run wrongly slashed; 0 per Table 2)
+
+  // Challenger economics.
+  double challenger_cost = 1.2;    // C_ch (re-execution + leaf verification)
+  double challenger_share = 0.5;   // alpha_ch of S_slash
+  double challenger_deposit = 2.0; // D_ch
+
+  // Committee economics.
+  double committee_cost = 0.05;    // C_a per member
+  int committee_size = 5;          // n
+  double committee_share = 0.3;    // alpha_cm of S_slash (alpha_cm + alpha_ch <= 1)
+  double committee_fee = 0.10;     // F_i paid when the claim is ruled clean
+
+  // Stakes.
+  double proposer_deposit = 10.0;  // D_p
+  double slash = 6.0;              // S_slash (must lie in (L, D_p])
+};
+
+// Eq. 16: d(phi, phi_ch, eps1) = (phi + phi_ch)(1 - eps1).
+double DetectionProbability(const EconomicParams& params);
+
+// Proposer expected payoffs (Eq. 17-19).
+double ProposerUtilityHonest(const EconomicParams& params);
+double ProposerUtilityCheapCheat(const EconomicParams& params);
+double ProposerUtilityTargetedCheat(const EconomicParams& params);
+
+// Challenger expected payoffs (Eq. 21-22).
+double ChallengerUtilityVsGuilty(const EconomicParams& params);
+double ChallengerUtilityVsClean(const EconomicParams& params);
+
+// Committee member ex-post payoffs (Eq. 24-25).
+double CommitteeUtilityRuledGuilty(const EconomicParams& params);
+double CommitteeUtilityRuledClean(const EconomicParams& params);
+
+// The feasible S_slash region (Sec. 5.5 "Nonempty feasible region").
+struct FeasibleRegion {
+  double l1 = 0.0;     // deter cheap cheating (Eq. 20)
+  double l2 = 0.0;     // honest challenges profitable (Eq. 23)
+  double l3 = 0.0;     // committee sustainability (n*C_a / alpha_cm)
+  double lower = 0.0;  // L = max(L1, L2, L3)
+  double upper = 0.0;  // D_p
+  bool non_empty = false;
+  bool detection_exceeds_fp = false;  // d > eps2 precondition
+};
+
+FeasibleRegion ComputeFeasibleRegion(const EconomicParams& params);
+
+// True when the configured S_slash satisfies every incentive constraint: honesty
+// dominates cheap cheating, spam challenges are unprofitable, honest challenges and
+// committee participation are profitable, and S_slash is within (L, D_p].
+bool IncentiveCompatible(const EconomicParams& params);
+
+}  // namespace tao
+
+#endif  // TAO_SRC_PROTOCOL_ECONOMICS_H_

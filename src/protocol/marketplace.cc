@@ -1,0 +1,105 @@
+#include "src/protocol/marketplace.h"
+
+#include "src/util/check.h"
+
+namespace tao {
+
+Marketplace::Marketplace(const Model& model, const ModelCommitment& commitment,
+                         const ThresholdSet& thresholds, MarketplaceConfig config)
+    : model_(model),
+      commitment_(commitment),
+      thresholds_(thresholds),
+      config_(std::move(config)) {}
+
+MarketplaceStats Marketplace::Run() {
+  MarketplaceStats stats;
+  Rng rng(config_.seed);
+  const Graph& graph = *model_.graph;
+  const auto& fleet = DeviceRegistry::Fleet();
+
+  for (int64_t task = 0; task < config_.num_tasks; ++task) {
+    ++stats.tasks;
+    const std::vector<Tensor> input = model_.sample_input(rng);
+    const DeviceProfile& proposer_device = fleet[rng.NextBounded(fleet.size())];
+
+    // Proposer strategy draw.
+    const bool cheats = rng.NextDouble() < config_.cheat_rate;
+    std::vector<Executor::Perturbation> perturbations;
+    if (cheats) {
+      ++stats.cheats_attempted;
+      const NodeId site =
+          graph.op_nodes()[rng.NextBounded(static_cast<uint64_t>(graph.num_ops() - 1))];
+      Rng delta_rng(rng.NextU64());
+      perturbations.push_back(
+          {site, Tensor::Randn(graph.node(site).shape, delta_rng, config_.cheat_magnitude)});
+    }
+
+    // Supervision draw: voluntary challenge XOR randomized audit XOR none.
+    const double draw = rng.NextDouble();
+    const bool challenged = draw < config_.economics.challenge_prob;
+    const bool audited =
+        !challenged &&
+        draw < config_.economics.challenge_prob + config_.economics.audit_prob;
+
+    if (!challenged && !audited) {
+      // Nobody watches this claim: it finalizes either way.
+      DisputeGame game(model_, commitment_, thresholds_, coordinator_, config_.dispute);
+      // No challenger verification: emulate by running the happy path directly —
+      // proposer commits and the window elapses.
+      const Executor proposer_exec(graph, proposer_device);
+      const ExecutionTrace trace = proposer_exec.RunPerturbed(input, perturbations);
+      ResultMeta meta;
+      meta.device = proposer_device.name;
+      meta.challenge_window = config_.dispute.challenge_window;
+      const Digest c0 = ComputeResultCommitment(commitment_, input,
+                                                trace.value(graph.output()), meta);
+      const ClaimId claim = coordinator_.SubmitCommitment(c0, meta.challenge_window,
+                                                          config_.dispute.proposer_bond);
+      coordinator_.AdvanceTime(meta.challenge_window);
+      TAO_CHECK(coordinator_.TryFinalize(claim) == ClaimState::kFinalized);
+      if (cheats) {
+        ++stats.cheats_escaped;
+      } else {
+        ++stats.finalized_clean;
+      }
+      continue;
+    }
+
+    // Supervised claim: a verifier (voluntary challenger or sampled auditor)
+    // re-executes on its own hardware and runs the dispute pipeline when flagged.
+    if (challenged) {
+      ++stats.voluntary_challenges;
+    } else {
+      ++stats.audits;
+    }
+    const DeviceProfile& verifier_device = fleet[rng.NextBounded(fleet.size())];
+    DisputeGame game(model_, commitment_, thresholds_, coordinator_, config_.dispute);
+    const DisputeResult result =
+        game.Run(input, proposer_device, verifier_device, perturbations);
+    stats.total_gas += result.gas_used;
+
+    if (!result.challenge_raised) {
+      if (cheats) {
+        ++stats.cheats_escaped;  // deviation hid inside the tolerance (the eps1 case)
+      } else {
+        ++stats.finalized_clean;
+      }
+      continue;
+    }
+    if (!cheats) {
+      ++stats.spurious_disputes;
+      if (result.final_state == ClaimState::kProposerSlashed) {
+        ++stats.honest_slashes;
+      }
+      continue;
+    }
+    if (result.proposer_guilty) {
+      ++stats.cheats_caught;
+    } else {
+      ++stats.cheats_escaped;
+    }
+  }
+  return stats;
+}
+
+}  // namespace tao

@@ -1,0 +1,143 @@
+#include "src/protocol/multistep.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/crypto/canonical.h"
+#include "src/util/check.h"
+
+namespace tao {
+namespace {
+
+Digest HashStep(const Tensor& logits, int64_t token) {
+  Sha256 ctx;
+  const Digest logits_hash = HashTensor(logits);
+  ctx.Update(std::span<const uint8_t>(logits_hash.data(), logits_hash.size()));
+  std::vector<uint8_t> token_bytes;
+  AppendU64(token_bytes, static_cast<uint64_t>(token));
+  ctx.Update(std::span<const uint8_t>(token_bytes.data(), token_bytes.size()));
+  return ctx.Finalize();
+}
+
+}  // namespace
+
+int64_t SelectToken(const Tensor& logits, const TieBreakConfig& config) {
+  const int64_t n = logits.numel();
+  TAO_CHECK_GT(n, 0);
+  double max_logit = logits[0];
+  int64_t argmax = 0;
+  for (int64_t i = 1; i < n; ++i) {
+    if (logits[i] > max_logit) {
+      max_logit = logits[i];
+      argmax = i;
+    }
+  }
+  if (config.rule == TieBreakRule::kArgmax) {
+    return argmax;
+  }
+  // Candidates within the committed margin of the maximum. Honest cross-device logits
+  // differ by far less than `margin`, so every honest device derives the same
+  // candidate set and thus the same deterministic winner.
+  std::vector<int64_t> candidates;
+  for (int64_t i = 0; i < n; ++i) {
+    if (static_cast<double>(logits[i]) >= max_logit - config.margin) {
+      candidates.push_back(i);
+    }
+  }
+  if (config.rule == TieBreakRule::kLexicographic) {
+    return *std::min_element(candidates.begin(), candidates.end());
+  }
+  // kHashSeeded: a verifiable pseudo-random pick derived from committed public data
+  // (the seed) and the candidate set itself — not from floating-point values.
+  Sha256 ctx;
+  std::vector<uint8_t> bytes;
+  AppendU64(bytes, config.seed);
+  AppendU64(bytes, static_cast<uint64_t>(candidates.size()));
+  for (const int64_t c : candidates) {
+    AppendU64(bytes, static_cast<uint64_t>(c));
+  }
+  ctx.Update(std::span<const uint8_t>(bytes.data(), bytes.size()));
+  const Digest digest = ctx.Finalize();
+  uint64_t pick = 0;
+  for (int i = 0; i < 8; ++i) {
+    pick = (pick << 8) | digest[static_cast<size_t>(i)];
+  }
+  return candidates[pick % candidates.size()];
+}
+
+DecodeResult Decode(const Model& model, const std::vector<float>& prompt, int64_t num_steps,
+                    const DeviceProfile& device, const TieBreakConfig& tie_break,
+                    const std::vector<StepPerturbation>& perturbations) {
+  const Graph& graph = *model.graph;
+  TAO_CHECK_EQ(graph.input_nodes().size(), 1u);
+  const int64_t window = graph.node(graph.input_nodes()[0]).shape.numel();
+  TAO_CHECK_GE(static_cast<int64_t>(prompt.size()), window)
+      << "prompt must fill the model's context window";
+
+  std::vector<float> context(prompt.end() - window, prompt.end());
+  const Executor exec(graph, device);
+  DecodeResult result;
+  std::vector<Digest> leaves;
+  for (int64_t step = 0; step < num_steps; ++step) {
+    Tensor ids(Shape{window}, std::vector<float>(context.begin(), context.end()));
+    std::vector<Executor::Perturbation> step_perturbations;
+    for (const StepPerturbation& p : perturbations) {
+      if (p.step == step) {
+        step_perturbations.push_back(p.perturbation);
+      }
+    }
+    const ExecutionTrace trace = exec.RunPerturbed({ids}, step_perturbations);
+    DecodeStep decoded;
+    decoded.logits = trace.value(graph.output());
+    decoded.token = SelectToken(decoded.logits, tie_break);
+    decoded.state_hash = HashStep(decoded.logits, decoded.token);
+    leaves.push_back(decoded.state_hash);
+    // Slide the window: drop the oldest token, append the new one.
+    context.erase(context.begin());
+    context.push_back(static_cast<float>(decoded.token));
+    result.steps.push_back(std::move(decoded));
+  }
+  result.temporal_root = MerkleTree(std::move(leaves)).root();
+  return result;
+}
+
+TemporalDisputeResult LocalizeTemporalDivergence(const DecodeResult& proposer,
+                                                 const DecodeResult& challenger) {
+  TAO_CHECK_EQ(proposer.steps.size(), challenger.steps.size());
+  TemporalDisputeResult result;
+  const int64_t n = static_cast<int64_t>(proposer.steps.size());
+  if (proposer.temporal_root == challenger.temporal_root) {
+    result.finalized_prefix = n;
+    return result;
+  }
+  // Binary search for the earliest diverging step: the prefix property (each step's
+  // state depends only on prior tokens) makes "first index where state hashes differ"
+  // well-defined and monotone.
+  auto differs_at_or_before = [&](int64_t step) {
+    for (int64_t s = 0; s <= step; ++s) {
+      if (proposer.steps[static_cast<size_t>(s)].state_hash !=
+          challenger.steps[static_cast<size_t>(s)].state_hash) {
+        return true;
+      }
+    }
+    return false;
+  };
+  int64_t lo = 0;
+  int64_t hi = n - 1;
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    ++result.comparisons;
+    if (differs_at_or_before(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  result.divergence_found = true;
+  result.first_offending_step = lo;
+  // Prefix finality: everything strictly before the first offending step is final.
+  result.finalized_prefix = lo;
+  return result;
+}
+
+}  // namespace tao

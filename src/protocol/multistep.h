@@ -1,0 +1,82 @@
+// Multi-step workloads and discrete decisions (the Sec. 7 extension).
+//
+// TAO layers time over the dispute game for autoregressive decoding: the proposer
+// commits a temporal Merkle tree over per-step states (logits + sampled token); a
+// dispute first bisects ACROSS TIME to the earliest offending step — giving *prefix
+// finality*: earlier steps finalize even while later ones remain contested — and then
+// runs the operator-level game WITHIN that step.
+//
+// Because small logit deviations can flip an argmax, converting numerical drift into
+// discrete divergence, decoding uses a deterministic pre-committed TIE-BREAK rule:
+// among candidates whose logits are within a committed margin of the maximum, pick
+// either the lexicographically smallest token id or a verifiable hash-seeded choice —
+// so honest executions on different hardware converge to the same token sequence.
+
+#ifndef TAO_SRC_PROTOCOL_MULTISTEP_H_
+#define TAO_SRC_PROTOCOL_MULTISTEP_H_
+
+#include <vector>
+
+#include "src/calib/threshold.h"
+#include "src/crypto/merkle.h"
+#include "src/graph/executor.h"
+#include "src/models/model_zoo.h"
+
+namespace tao {
+
+enum class TieBreakRule {
+  kArgmax,         // plain argmax — NOT robust across hardware near ties
+  kLexicographic,  // smallest token id within the committed margin of the max
+  kHashSeeded,     // verifiable choice seeded from committed public data
+};
+
+struct TieBreakConfig {
+  TieBreakRule rule = TieBreakRule::kLexicographic;
+  // Committed margin: candidates with logit >= max - margin are near-ties.
+  double margin = 1e-4;
+  uint64_t seed = 0x7e1e;  // for kHashSeeded: derived from committed data
+};
+
+// Deterministic token selection under the tie-break rule.
+int64_t SelectToken(const Tensor& logits, const TieBreakConfig& config);
+
+struct DecodeStep {
+  Tensor logits;
+  int64_t token = 0;
+  Digest state_hash{};  // H(canon(logits) || token): the temporal Merkle leaf
+};
+
+struct DecodeResult {
+  std::vector<DecodeStep> steps;
+  Digest temporal_root{};  // root of the per-step state tree
+};
+
+// Greedy sliding-window decoding of `num_steps` tokens with the Qwen-style LLM (the
+// model input is a fixed-length token window; each step appends the selected token and
+// drops the oldest). Perturbations (step index, node, delta) model a proposer that
+// cheats at specific steps.
+struct StepPerturbation {
+  int64_t step = -1;
+  Executor::Perturbation perturbation;
+};
+
+DecodeResult Decode(const Model& model, const std::vector<float>& prompt, int64_t num_steps,
+                    const DeviceProfile& device, const TieBreakConfig& tie_break,
+                    const std::vector<StepPerturbation>& perturbations = {});
+
+// Temporal dispute: bisects over steps to the earliest one whose committed state
+// diverges from the challenger's re-derivation, with prefix finality.
+struct TemporalDisputeResult {
+  bool divergence_found = false;
+  int64_t first_offending_step = -1;
+  // Steps strictly before this index are final regardless of the dispute outcome.
+  int64_t finalized_prefix = 0;
+  int64_t comparisons = 0;  // temporal-bisection state comparisons
+};
+
+TemporalDisputeResult LocalizeTemporalDivergence(const DecodeResult& proposer,
+                                                 const DecodeResult& challenger);
+
+}  // namespace tao
+
+#endif  // TAO_SRC_PROTOCOL_MULTISTEP_H_

@@ -1,0 +1,91 @@
+#include "src/tensor/shape.h"
+
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace tao {
+
+Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims) {
+  for (const int64_t d : dims_) {
+    TAO_CHECK_GE(d, 0) << "negative dimension in shape " << ToString();
+  }
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+  for (const int64_t d : dims_) {
+    TAO_CHECK_GE(d, 0) << "negative dimension in shape " << ToString();
+  }
+}
+
+int64_t Shape::dim(int64_t axis) const {
+  const int64_t a = NormalizeAxis(axis);
+  return dims_[static_cast<size_t>(a)];
+}
+
+int64_t Shape::numel() const {
+  int64_t n = 1;
+  for (const int64_t d : dims_) {
+    n *= d;
+  }
+  return n;
+}
+
+std::vector<int64_t> Shape::Strides() const {
+  std::vector<int64_t> strides(dims_.size(), 1);
+  for (int64_t i = rank() - 2; i >= 0; --i) {
+    strides[static_cast<size_t>(i)] =
+        strides[static_cast<size_t>(i + 1)] * dims_[static_cast<size_t>(i + 1)];
+  }
+  return strides;
+}
+
+int64_t Shape::Linearize(const std::vector<int64_t>& index) const {
+  TAO_CHECK_EQ(static_cast<int64_t>(index.size()), rank());
+  const std::vector<int64_t> strides = Strides();
+  int64_t offset = 0;
+  for (size_t i = 0; i < index.size(); ++i) {
+    TAO_CHECK_GE(index[i], 0);
+    TAO_CHECK_LT(index[i], dims_[i]);
+    offset += index[i] * strides[i];
+  }
+  return offset;
+}
+
+std::vector<int64_t> Shape::Delinearize(int64_t offset) const {
+  TAO_CHECK_GE(offset, 0);
+  TAO_CHECK_LT(offset, numel());
+  std::vector<int64_t> index(dims_.size(), 0);
+  const std::vector<int64_t> strides = Strides();
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i] > 0) {
+      index[i] = offset / strides[i];
+      offset -= index[i] * strides[i];
+    }
+  }
+  return index;
+}
+
+int64_t Shape::NormalizeAxis(int64_t axis) const {
+  const int64_t r = rank();
+  if (axis < 0) {
+    axis += r;
+  }
+  TAO_CHECK(axis >= 0 && axis < r) << "axis " << axis << " out of range for " << ToString();
+  return axis;
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) {
+      out << ", ";
+    }
+    out << dims_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace tao

@@ -1,0 +1,49 @@
+// Tensor shape: dimension list plus helpers for element counts, row-major strides,
+// index linearization, and shape algebra used by the operator library.
+
+#ifndef TAO_SRC_TENSOR_SHAPE_H_
+#define TAO_SRC_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace tao {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims);
+  explicit Shape(std::vector<int64_t> dims);
+
+  int64_t rank() const { return static_cast<int64_t>(dims_.size()); }
+  int64_t dim(int64_t axis) const;
+  const std::vector<int64_t>& dims() const { return dims_; }
+  // Total element count (1 for rank-0 scalars).
+  int64_t numel() const;
+  bool empty() const { return numel() == 0; }
+
+  // Row-major (C-contiguous) strides in elements.
+  std::vector<int64_t> Strides() const;
+
+  // Linear offset of a multi-dimensional index.
+  int64_t Linearize(const std::vector<int64_t>& index) const;
+  // Inverse of Linearize.
+  std::vector<int64_t> Delinearize(int64_t offset) const;
+
+  // Normalizes a possibly-negative axis (-1 = last) and bounds-checks it.
+  int64_t NormalizeAxis(int64_t axis) const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return dims_ != other.dims_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_TENSOR_SHAPE_H_

@@ -1,0 +1,71 @@
+// Lightweight runtime-check macros used across the TAO library.
+//
+// TAO_CHECK(cond) aborts with a diagnostic when `cond` is false; it is active in all
+// build types because the library's invariants (shape agreement, protocol state
+// transitions, Merkle proof integrity) are cheap to test relative to tensor math and
+// violations indicate logic errors, not recoverable conditions.
+
+#ifndef TAO_SRC_UTIL_CHECK_H_
+#define TAO_SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace tao {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "TAO_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+namespace internal {
+
+// Stream-capture helper so call sites can write TAO_CHECK(x) << "context " << v;
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+// Consumes the builder in the passing case so the streaming operators are never evaluated.
+// Two overloads: the bare macro expansion produces a prvalue builder, while streamed
+// expressions (TAO_CHECK(x) << "msg") produce an lvalue reference from operator<<.
+struct CheckVoidify {
+  void operator&(CheckMessageBuilder&) const {}
+  void operator&(CheckMessageBuilder&&) const {}
+};
+
+}  // namespace internal
+}  // namespace tao
+
+#define TAO_CHECK(cond)                     \
+  (cond) ? (void)0                          \
+         : ::tao::internal::CheckVoidify{} & \
+               ::tao::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define TAO_CHECK_EQ(a, b) TAO_CHECK((a) == (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define TAO_CHECK_NE(a, b) TAO_CHECK((a) != (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define TAO_CHECK_LT(a, b) TAO_CHECK((a) < (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define TAO_CHECK_LE(a, b) TAO_CHECK((a) <= (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define TAO_CHECK_GT(a, b) TAO_CHECK((a) > (b)) << "lhs=" << (a) << " rhs=" << (b)
+#define TAO_CHECK_GE(a, b) TAO_CHECK((a) >= (b)) << "lhs=" << (a) << " rhs=" << (b)
+
+#endif  // TAO_SRC_UTIL_CHECK_H_

@@ -1,0 +1,134 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace tao {
+namespace {
+
+double PercentileOfSorted(std::span<const double> sorted, double p) {
+  TAO_CHECK(!sorted.empty());
+  TAO_CHECK(p >= 0.0 && p <= 100.0) << "p=" << p;
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double Percentile(std::span<const double> values, double p) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return PercentileOfSorted(sorted, p);
+}
+
+std::vector<double> Percentiles(std::span<const double> values, std::span<const double> ps) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (const double p : ps) {
+    out.push_back(PercentileOfSorted(sorted, p));
+  }
+  return out;
+}
+
+double Mean(std::span<const double> values) {
+  TAO_CHECK(!values.empty());
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double Median(std::span<const double> values) { return Percentile(values, 50.0); }
+
+double StdDev(std::span<const double> values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  const double mu = Mean(values);
+  double acc = 0.0;
+  for (const double v : values) {
+    acc += (v - mu) * (v - mu);
+  }
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double MinValue(std::span<const double> values) {
+  TAO_CHECK(!values.empty());
+  return *std::min_element(values.begin(), values.end());
+}
+
+double MaxValue(std::span<const double> values) {
+  TAO_CHECK(!values.empty());
+  return *std::max_element(values.begin(), values.end());
+}
+
+BoxStats ComputeBoxStats(std::span<const double> values) {
+  BoxStats stats;
+  if (values.empty()) {
+    return stats;
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  stats.min = sorted.front();
+  stats.max = sorted.back();
+  stats.q1 = PercentileOfSorted(sorted, 25.0);
+  stats.median = PercentileOfSorted(sorted, 50.0);
+  stats.q3 = PercentileOfSorted(sorted, 75.0);
+  stats.mean = Mean(values);
+  stats.n = values.size();
+  return stats;
+}
+
+std::vector<double> RunningMedians(std::span<const double> values) {
+  std::vector<double> medians;
+  medians.reserve(values.size());
+  std::vector<double> sorted;
+  sorted.reserve(values.size());
+  for (const double v : values) {
+    sorted.insert(std::upper_bound(sorted.begin(), sorted.end(), v), v);
+    const size_t n = sorted.size();
+    if (n % 2 == 1) {
+      medians.push_back(sorted[n / 2]);
+    } else {
+      medians.push_back(0.5 * (sorted[n / 2 - 1] + sorted[n / 2]));
+    }
+  }
+  return medians;
+}
+
+std::vector<double> RollingMedians(std::span<const double> values, size_t window) {
+  TAO_CHECK_GT(window, 0u);
+  std::vector<double> out;
+  if (values.size() < window) {
+    return out;
+  }
+  out.reserve(values.size() - window + 1);
+  std::vector<double> buf(window);
+  for (size_t end = window; end <= values.size(); ++end) {
+    std::copy(values.begin() + (end - window), values.begin() + end, buf.begin());
+    std::sort(buf.begin(), buf.end());
+    if (window % 2 == 1) {
+      out.push_back(buf[window / 2]);
+    } else {
+      out.push_back(0.5 * (buf[window / 2 - 1] + buf[window / 2]));
+    }
+  }
+  return out;
+}
+
+double SymmetricRelChange(double a, double b, double eps) {
+  return 2.0 * std::abs(a - b) / (std::abs(a) + std::abs(b) + eps);
+}
+
+}  // namespace tao

@@ -1,0 +1,52 @@
+// Descriptive statistics used by calibration, the stability diagnostics of Appendix B,
+// and the bench harnesses (percentiles, boxplot five-number summaries, running medians).
+
+#ifndef TAO_SRC_UTIL_STATS_H_
+#define TAO_SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tao {
+
+// Linear-interpolated percentile of `values` at p in [0, 100], matching numpy's default
+// ("linear") method, which is what the paper's calibration pipeline uses. `values` need
+// not be sorted; an internal copy is sorted. Empty input is a programming error.
+double Percentile(std::span<const double> values, double p);
+
+// Percentiles at many probes with a single sort.
+std::vector<double> Percentiles(std::span<const double> values, std::span<const double> ps);
+
+double Mean(std::span<const double> values);
+double Median(std::span<const double> values);
+// Sample standard deviation (n-1 denominator); returns 0 for n < 2.
+double StdDev(std::span<const double> values);
+double MinValue(std::span<const double> values);
+double MaxValue(std::span<const double> values);
+
+// Five-number summary for boxplots (Fig. 5): min, q1, median, q3, max plus mean.
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  size_t n = 0;
+};
+
+BoxStats ComputeBoxStats(std::span<const double> values);
+
+// Running median sequence: element k is median of values[0..k] (Appendix B, Eq. 37).
+std::vector<double> RunningMedians(std::span<const double> values);
+
+// Median of each length-`window` sliding window ending at k = window-1 .. n-1 (Eq. 42).
+std::vector<double> RollingMedians(std::span<const double> values, size_t window);
+
+// Symmetric relative change delta(a, b) = 2|a-b| / (|a|+|b|+eps)  (Appendix B, Eq. 38).
+double SymmetricRelChange(double a, double b, double eps = 1e-12);
+
+}  // namespace tao
+
+#endif  // TAO_SRC_UTIL_STATS_H_

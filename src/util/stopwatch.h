@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for dispute-game substep timing (Fig. 8) and overhead benches.
+
+#ifndef TAO_SRC_UTIL_STOPWATCH_H_
+#define TAO_SRC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tao {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_UTIL_STOPWATCH_H_

@@ -1,0 +1,69 @@
+#include "src/util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace tao {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  TAO_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  TAO_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << " " << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  emit_row(headers_);
+  out << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+void TablePrinter::Print() const { std::fputs(Render().c_str(), stdout); }
+
+std::string TablePrinter::Fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Scientific(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+  return buf;
+}
+
+}  // namespace tao

@@ -1,0 +1,33 @@
+// Fixed-width ASCII table printer used by the bench harnesses to emit paper-style
+// tables (Table 1-3) and figure series (Fig. 3-8) to stdout.
+
+#ifndef TAO_SRC_UTIL_TABLE_H_
+#define TAO_SRC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace tao {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders with column widths fitted to content, pipe separators, and a header rule.
+  std::string Render() const;
+  void Print() const;
+
+  // Formatting helpers for numeric cells.
+  static std::string Fixed(double v, int precision);
+  static std::string Scientific(double v, int precision);
+  static std::string Pct(double v, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_UTIL_TABLE_H_

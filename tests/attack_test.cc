@@ -1,0 +1,204 @@
+// Attack-pipeline tests: Adam behaviour, projection correctness (both feasible sets),
+// bucket sampling, and end-to-end PGD runs — perturbations always stay admissible, and
+// under empirical thresholds the attack makes near-zero progress (the Table 2 result).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/attack/adam.h"
+#include "src/attack/pgd.h"
+#include "src/attack/projection.h"
+#include "src/calib/calibrator.h"
+#include "src/graph/executor.h"
+
+namespace tao {
+namespace {
+
+TEST(AdamTest, AscendsSimpleQuadratic) {
+  // Maximize -x^2 from x = 3: gradient is -2x; Adam should walk toward 0.
+  Tensor x = Tensor::Full(Shape{1}, 3.0f);
+  AdamState adam(Shape{1}, 0.1);
+  for (int i = 0; i < 200; ++i) {
+    Tensor grad = Tensor::Full(Shape{1}, -2.0f * x[0]);
+    adam.Step(x, grad);
+  }
+  EXPECT_NEAR(x[0], 0.0f, 0.1f);
+}
+
+TEST(AdamTest, StepSizeBoundsFirstUpdate) {
+  Tensor x = Tensor::Zeros(Shape{4});
+  AdamState adam(Shape{4}, 0.01);
+  Tensor grad = Tensor::Full(Shape{4}, 123.0f);
+  adam.Step(x, grad);
+  // Bias-corrected Adam first step is ~step_size regardless of gradient scale.
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(x[i], 0.01f, 1e-3f);
+  }
+}
+
+TEST(ProjectionTest, TheoreticalClipsElementwise) {
+  Tensor delta = Tensor::Zeros(Shape{4});
+  delta.mutable_values()[0] = 5.0f;
+  delta.mutable_values()[1] = -5.0f;
+  delta.mutable_values()[2] = 0.5f;
+  delta.mutable_values()[3] = -0.1f;
+  DTensor tau(Shape{4});
+  tau.mutable_values()[0] = 1.0;
+  tau.mutable_values()[1] = 2.0;
+  tau.mutable_values()[2] = 1.0;
+  tau.mutable_values()[3] = 0.05;
+  ProjectTheoretical(delta, tau);
+  EXPECT_FLOAT_EQ(delta[0], 1.0f);
+  EXPECT_FLOAT_EQ(delta[1], -2.0f);
+  EXPECT_FLOAT_EQ(delta[2], 0.5f);
+  EXPECT_FLOAT_EQ(delta[3], -0.05f);
+  EXPECT_TRUE(SatisfiesTheoretical(delta, tau));
+}
+
+class AttackFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_ = new Model(BuildBertMini());
+    CalibrateOptions options;
+    options.num_samples = 6;
+    const Calibration calibration = Calibrate(*model_, DeviceRegistry::Fleet(), options);
+    thresholds_ = new ThresholdSet(calibration.MakeThresholds(3.0));
+  }
+
+  static void TearDownTestSuite() {
+    delete thresholds_;
+    delete model_;
+    thresholds_ = nullptr;
+    model_ = nullptr;
+  }
+
+  static Model* model_;
+  static ThresholdSet* thresholds_;
+};
+
+Model* AttackFixture::model_ = nullptr;
+ThresholdSet* AttackFixture::thresholds_ = nullptr;
+
+TEST_F(AttackFixture, EmpiricalProjectionEnforcesCapCurve) {
+  Rng rng(1);
+  // Pick an op with nonzero thresholds.
+  NodeId id = -1;
+  for (const NodeId candidate : model_->graph->op_nodes()) {
+    if (thresholds_->AbsCap(candidate, 0.99) > 0.0) {
+      id = candidate;
+      break;
+    }
+  }
+  ASSERT_GE(id, 0);
+  Tensor delta = Tensor::Randn(model_->graph->node(id).shape, rng, 1.0f);
+  EXPECT_FALSE(SatisfiesEmpirical(delta, *thresholds_, id));
+  ProjectEmpirical(delta, *thresholds_, id);
+  EXPECT_TRUE(SatisfiesEmpirical(delta, *thresholds_, id));
+}
+
+TEST_F(AttackFixture, EmpiricalProjectionIdempotent) {
+  Rng rng(2);
+  const NodeId id = model_->graph->op_nodes()[10];
+  Tensor delta = Tensor::Randn(model_->graph->node(id).shape, rng, 1e-2f);
+  ProjectEmpirical(delta, *thresholds_, id);
+  Tensor again = delta.Clone();
+  ProjectEmpirical(again, *thresholds_, id);
+  EXPECT_EQ(MaxAbsDiff(delta, again), 0.0);
+}
+
+TEST_F(AttackFixture, EmpiricalProjectionPreservesSignsAndOrdering) {
+  Rng rng(3);
+  const NodeId id = model_->graph->op_nodes()[10];
+  Tensor delta = Tensor::Randn(model_->graph->node(id).shape, rng, 1.0f);
+  const Tensor original = delta.Clone();
+  ProjectEmpirical(delta, *thresholds_, id);
+  for (int64_t i = 0; i < delta.numel(); ++i) {
+    if (delta[i] != 0.0f) {
+      EXPECT_EQ(std::signbit(delta[i]), std::signbit(original[i]));
+    }
+    EXPECT_LE(std::abs(delta[i]), std::abs(original[i]) + 1e-12f);
+  }
+}
+
+TEST_F(AttackFixture, BucketTargetsAreDistinctFromPrediction) {
+  Rng rng(4);
+  const std::vector<Tensor> input = model_->sample_input(rng);
+  const Executor exec(*model_->graph, DeviceRegistry::Reference());
+  const Tensor logits = exec.RunOutput(input);
+  Rng bucket_rng(5);
+  const auto targets = PgdAttack::SampleBucketTargets(logits, bucket_rng);
+  EXPECT_EQ(targets.size(), 5u);
+  int64_t c1 = 0;
+  for (int64_t c = 1; c < logits.numel(); ++c) {
+    if (logits[c] > logits[c1]) {
+      c1 = c;
+    }
+  }
+  for (const int64_t t : targets) {
+    EXPECT_NE(t, c1);
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, logits.numel());
+  }
+}
+
+TEST_F(AttackFixture, EmpiricalAttackFailsWithNearZeroProgress) {
+  // The core Table 2 claim: under empirical thresholds the PGD attack cannot flip the
+  // prediction and barely moves the margin.
+  AttackConfig config;
+  config.feasible = FeasibleSetKind::kEmpirical;
+  config.max_iters = 25;
+  const PgdAttack attack(*model_, *thresholds_, config);
+  Rng rng(6);
+  const std::vector<Tensor> input = model_->sample_input(rng);
+  const Executor exec(*model_->graph, DeviceRegistry::Reference());
+  const Tensor logits = exec.RunOutput(input);
+  Rng bucket_rng(7);
+  const auto targets = PgdAttack::SampleBucketTargets(logits, bucket_rng);
+  const AttackOutcome outcome = attack.Attack(input, targets[0]);
+  EXPECT_FALSE(outcome.success);
+  EXPECT_GT(outcome.m0, 0.0);
+  EXPECT_LT(std::abs(outcome.delta_rel), 0.5);
+}
+
+TEST_F(AttackFixture, TheoreticalDeterministicLoosensVsProbabilistic) {
+  // The deterministic-gamma feasible set strictly contains the probabilistic one, so
+  // attack progress must be at least as large (Fig. 3 / Table 2 rationale).
+  Rng rng(8);
+  const std::vector<Tensor> input = model_->sample_input(rng);
+  const Executor exec(*model_->graph, DeviceRegistry::Reference());
+  const Tensor logits = exec.RunOutput(input);
+  Rng bucket_rng(9);
+  const auto targets = PgdAttack::SampleBucketTargets(logits, bucket_rng);
+
+  AttackConfig prob;
+  prob.feasible = FeasibleSetKind::kTheoretical;
+  prob.theo_mode = BoundMode::kProbabilistic;
+  prob.max_iters = 10;
+  AttackConfig det = prob;
+  det.theo_mode = BoundMode::kDeterministic;
+  const AttackOutcome prob_outcome = PgdAttack(*model_, *thresholds_, prob).Attack(input, targets[0]);
+  const AttackOutcome det_outcome = PgdAttack(*model_, *thresholds_, det).Attack(input, targets[0]);
+  EXPECT_GE(det_outcome.delta_m, prob_outcome.delta_m - 1e-3);
+}
+
+TEST_F(AttackFixture, AttackOutcomeBookkeepingConsistent) {
+  AttackConfig config;
+  config.feasible = FeasibleSetKind::kEmpirical;
+  config.max_iters = 5;
+  const PgdAttack attack(*model_, *thresholds_, config);
+  Rng rng(10);
+  const std::vector<Tensor> input = model_->sample_input(rng);
+  const Executor exec(*model_->graph, DeviceRegistry::Reference());
+  const Tensor logits = exec.RunOutput(input);
+  Rng bucket_rng(11);
+  const auto targets = PgdAttack::SampleBucketTargets(logits, bucket_rng);
+  const AttackOutcome outcome = attack.Attack(input, targets[2]);
+  EXPECT_NEAR(outcome.delta_m, outcome.m0 - outcome.m_final, 1e-9);
+  EXPECT_GT(outcome.iters, 0);
+  EXPECT_LE(outcome.iters, config.max_iters);
+  EXPECT_EQ(outcome.target_class, targets[2]);
+}
+
+}  // namespace
+}  // namespace tao

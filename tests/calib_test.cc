@@ -1,0 +1,206 @@
+// Calibration pipeline tests: grid/profile correctness, envelope dominance, threshold
+// scaling, Eq. 15 checks (honest runs pass, perturbed runs flag), cap-curve
+// properties, threshold commitments, and Appendix-B stability diagnostics.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/calib/calibrator.h"
+#include "src/calib/stability.h"
+#include "src/graph/executor.h"
+#include "src/models/model_zoo.h"
+
+namespace tao {
+namespace {
+
+// Small shared calibration fixture over the BERT mini (cached across tests: the
+// calibration itself is the expensive step).
+class CalibFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_ = new Model(BuildBertMini());
+    CalibrateOptions options;
+    options.num_samples = 6;
+    calibration_ = new Calibration(Calibrate(*model_, DeviceRegistry::Fleet(), options));
+    thresholds_ = new ThresholdSet(calibration_->MakeThresholds(3.0));
+  }
+
+  static void TearDownTestSuite() {
+    delete thresholds_;
+    delete calibration_;
+    delete model_;
+    thresholds_ = nullptr;
+    calibration_ = nullptr;
+    model_ = nullptr;
+  }
+
+  static Model* model_;
+  static Calibration* calibration_;
+  static ThresholdSet* thresholds_;
+};
+
+Model* CalibFixture::model_ = nullptr;
+Calibration* CalibFixture::calibration_ = nullptr;
+ThresholdSet* CalibFixture::thresholds_ = nullptr;
+
+TEST(PercentileGridTest, MatchesPaperGrid) {
+  const auto& grid = PercentileGrid();
+  EXPECT_EQ(grid.front(), 0.0);
+  EXPECT_EQ(grid.back(), 100.0);
+  EXPECT_NE(std::find(grid.begin(), grid.end(), 1.0), grid.end());
+  EXPECT_NE(std::find(grid.begin(), grid.end(), 99.0), grid.end());
+  for (double p = 5.0; p <= 95.0; p += 5.0) {
+    EXPECT_NE(std::find(grid.begin(), grid.end(), p), grid.end()) << p;
+  }
+  for (size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_LT(grid[i - 1], grid[i]);
+  }
+}
+
+TEST(ProfileTest, MonotoneNondecreasing) {
+  Rng rng(1);
+  std::vector<double> errors;
+  for (int i = 0; i < 1000; ++i) {
+    errors.push_back(std::abs(rng.NextGaussian()));
+  }
+  const auto profile = ComputeProfile(errors);
+  for (size_t i = 1; i < profile.size(); ++i) {
+    EXPECT_GE(profile[i], profile[i - 1]);
+  }
+}
+
+TEST_F(CalibFixture, EveryOperatorCalibrated) {
+  EXPECT_EQ(calibration_->nodes.size(), static_cast<size_t>(model_->graph->num_ops()));
+  EXPECT_EQ(thresholds_->size(), static_cast<size_t>(model_->graph->num_ops()));
+}
+
+TEST_F(CalibFixture, EnvelopeDominatesEverySampleProfile) {
+  for (const auto& [id, nc] : calibration_->nodes) {
+    for (const auto& profile : nc.abs_profiles) {
+      for (size_t g = 0; g < profile.size(); ++g) {
+        EXPECT_LE(profile[g], nc.abs_envelope[g]) << "node " << id;
+      }
+    }
+  }
+}
+
+TEST_F(CalibFixture, ThresholdsAreAlphaTimesEnvelope) {
+  for (const auto& [id, nc] : calibration_->nodes) {
+    const OpThreshold& tau = thresholds_->node(id);
+    for (size_t g = 0; g < nc.abs_envelope.size(); ++g) {
+      EXPECT_DOUBLE_EQ(tau.abs[g], 3.0 * nc.abs_envelope[g]);
+      EXPECT_DOUBLE_EQ(tau.rel[g], 3.0 * nc.rel_envelope[g]);
+    }
+  }
+}
+
+TEST_F(CalibFixture, MostOperatorsSeeNonzeroCrossDeviceError) {
+  int nonzero = 0;
+  for (const auto& [id, nc] : calibration_->nodes) {
+    if (nc.abs_envelope.back() > 0.0) {
+      ++nonzero;
+    }
+  }
+  EXPECT_GT(nonzero, model_->graph->num_ops() / 2);
+}
+
+TEST_F(CalibFixture, HonestCrossDeviceRunPassesThresholds) {
+  // A fresh input (not in the calibration set) on two fleet devices must pass Eq. 15
+  // at every operator: this is the paper's zero-false-positive property.
+  Rng rng(0x5eed);
+  const std::vector<Tensor> input = model_->sample_input(rng);
+  const Executor a(*model_->graph, DeviceRegistry::ByName("H100"));
+  const Executor b(*model_->graph, DeviceRegistry::ByName("RTX4090"));
+  const ExecutionTrace ta = a.Run(input);
+  const ExecutionTrace tb = b.Run(input);
+  for (const NodeId id : model_->graph->op_nodes()) {
+    EXPECT_FALSE(thresholds_->Exceeds(id, ta.value(id), tb.value(id)))
+        << model_->graph->node(id).label
+        << " ratio=" << thresholds_->MaxRatio(id, ta.value(id), tb.value(id));
+  }
+}
+
+TEST_F(CalibFixture, InjectedPerturbationExceedsThresholds) {
+  Rng rng(0xfeed);
+  const std::vector<Tensor> input = model_->sample_input(rng);
+  const NodeId target = model_->graph->op_nodes()[model_->graph->num_ops() / 2];
+  const Executor exec(*model_->graph, DeviceRegistry::ByName("H100"));
+  const ExecutionTrace honest = exec.Run(input);
+  Tensor delta = Tensor::Full(model_->graph->node(target).shape, 1e-2f);
+  const ExecutionTrace bad = exec.RunPerturbed(input, {{target, delta}});
+  const Executor ref(*model_->graph, DeviceRegistry::Reference());
+  const ExecutionTrace reference = ref.Run(input);
+  EXPECT_TRUE(thresholds_->Exceeds(target, bad.value(target), reference.value(target)));
+  EXPECT_FALSE(thresholds_->Exceeds(target, honest.value(target), reference.value(target)));
+}
+
+TEST_F(CalibFixture, ScaledThresholdsLoosenChecks) {
+  const ThresholdSet loose = thresholds_->Scaled(2.0);
+  for (const auto id : model_->graph->op_nodes()) {
+    const OpThreshold& base = thresholds_->node(id);
+    const OpThreshold& scaled = loose.node(id);
+    for (size_t g = 0; g < base.abs.size(); ++g) {
+      EXPECT_DOUBLE_EQ(scaled.abs[g], 2.0 * base.abs[g]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(loose.alpha(), 6.0);
+}
+
+TEST_F(CalibFixture, CapCurveIsMonotoneAndAnchoredAtZero) {
+  const NodeId id = model_->graph->op_nodes()[3];
+  EXPECT_DOUBLE_EQ(thresholds_->AbsCap(id, 0.0), 0.0);
+  double prev = 0.0;
+  for (double r = 0.0; r <= 1.0; r += 0.01) {
+    const double cap = thresholds_->AbsCap(id, r);
+    EXPECT_GE(cap, prev - 1e-18);
+    prev = cap;
+  }
+  EXPECT_GE(thresholds_->AbsCap(id, 1.0), thresholds_->node(id).abs.back() - 1e-18);
+}
+
+TEST_F(CalibFixture, CommitRootIsStableAndTamperEvident) {
+  const Digest root1 = thresholds_->CommitRoot();
+  const Digest root2 = thresholds_->CommitRoot();
+  EXPECT_EQ(DigestToHex(root1), DigestToHex(root2));
+  const ThresholdSet scaled = thresholds_->Scaled(1.0000001);
+  EXPECT_NE(DigestToHex(scaled.CommitRoot()), DigestToHex(root1));
+}
+
+TEST_F(CalibFixture, StabilityDiagnosticsSmallForHonestCalibration)
+{
+  // Appendix-B expectation: central tendencies ~0 and small upper deciles.
+  for (const size_t grid_index : {6u, 10u, 14u}) {  // ~p30, p50, p70 on the grid
+    const StabilitySummary s = SummarizeStability(*calibration_, grid_index);
+    EXPECT_LE(s.supnorm_p50, 0.5);
+    EXPECT_LE(s.jackknife_p50, 0.5);
+    EXPECT_LE(s.tailadj_p50, 0.5);
+    EXPECT_GE(s.supnorm_p90, s.supnorm_p50);
+  }
+}
+
+TEST(StabilityUnitTest, ConstantSequenceIsPerfectlyStable) {
+  const std::vector<double> sequence(20, 3.5);
+  EXPECT_DOUBLE_EQ(SupNormDrift(sequence), 0.0);
+  EXPECT_DOUBLE_EQ(JackknifeInfluence(sequence), 0.0);
+  EXPECT_DOUBLE_EQ(TailAdjustment(sequence), 0.0);
+  EXPECT_DOUBLE_EQ(RollingSd(sequence), 0.0);
+}
+
+TEST(StabilityUnitTest, OutlierRaisesJackknife) {
+  // Short sequence where removing the outlier shifts the median: {1,2,3,4,100}.
+  const std::vector<double> sequence = {1.0, 2.0, 3.0, 4.0, 100.0};
+  EXPECT_GT(JackknifeInfluence(sequence), 0.0);
+}
+
+TEST(StabilityUnitTest, DriftingSequenceHasPositiveSupNorm) {
+  std::vector<double> sequence;
+  for (int t = 0; t < 30; ++t) {
+    sequence.push_back(1.0 + 0.1 * t);
+  }
+  EXPECT_GT(SupNormDrift(sequence), 0.01);
+  EXPECT_GT(RollingSd(sequence), 0.0);
+}
+
+}  // namespace
+}  // namespace tao

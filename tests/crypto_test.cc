@@ -1,0 +1,143 @@
+// Tests for SHA-256 (against FIPS 180-4 known-answer vectors), canonical hashing, and
+// Merkle trees with inclusion proofs.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/canonical.h"
+#include "src/crypto/merkle.h"
+#include "src/crypto/sha256.h"
+#include "src/util/rng.h"
+
+namespace tao {
+namespace {
+
+TEST(Sha256Test, KnownAnswerEmpty) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string())),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, KnownAnswerAbc) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, KnownAnswerTwoBlockMessage) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(
+                std::string("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, KnownAnswerMillionA) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    ctx.Update(chunk);
+  }
+  EXPECT_EQ(DigestToHex(ctx.Finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, StreamingMatchesOneShot) {
+  const std::string msg = "tolerance-aware optimistic verification";
+  Sha256 ctx;
+  ctx.Update(msg.substr(0, 10));
+  ctx.Update(msg.substr(10));
+  EXPECT_EQ(DigestToHex(ctx.Finalize()), DigestToHex(Sha256::Hash(msg)));
+}
+
+TEST(CanonicalTest, HashSensitiveToValues) {
+  Tensor a = Tensor::Full(Shape{4}, 1.0f);
+  Tensor b = a.Clone();
+  EXPECT_EQ(DigestToHex(HashTensor(a)), DigestToHex(HashTensor(b)));
+  b.mutable_values()[3] = std::nextafterf(1.0f, 2.0f);
+  EXPECT_NE(DigestToHex(HashTensor(a)), DigestToHex(HashTensor(b)));
+}
+
+TEST(CanonicalTest, HashSensitiveToShape) {
+  const Tensor a = Tensor::Arange(6).WithShape(Shape{2, 3});
+  const Tensor b = Tensor::Arange(6).WithShape(Shape{3, 2});
+  EXPECT_NE(DigestToHex(HashTensor(a)), DigestToHex(HashTensor(b)));
+}
+
+TEST(CanonicalTest, TensorListOrderMatters) {
+  const Tensor a = Tensor::Full(Shape{2}, 1.0f);
+  const Tensor b = Tensor::Full(Shape{2}, 2.0f);
+  EXPECT_NE(DigestToHex(HashTensorList({a, b})), DigestToHex(HashTensorList({b, a})));
+}
+
+std::vector<Digest> MakeLeaves(size_t n, uint64_t seed = 99) {
+  Rng rng(seed);
+  std::vector<Digest> leaves;
+  leaves.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string s = "leaf-" + std::to_string(rng.NextU64());
+    leaves.push_back(Sha256::Hash(s));
+  }
+  return leaves;
+}
+
+TEST(MerkleTest, SingleLeafRootIsLeaf) {
+  const auto leaves = MakeLeaves(1);
+  const MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), leaves[0]);
+}
+
+TEST(MerkleTest, InclusionProofsVerifyForAllLeaves) {
+  for (const size_t n : {1u, 2u, 3u, 4u, 7u, 8u, 33u, 100u}) {
+    const auto leaves = MakeLeaves(n, n);
+    const MerkleTree tree(leaves);
+    for (size_t i = 0; i < n; ++i) {
+      const MerkleProof proof = tree.ProveInclusion(i);
+      EXPECT_TRUE(MerkleTree::VerifyInclusion(tree.root(), leaves[i], proof))
+          << "n=" << n << " leaf=" << i;
+    }
+  }
+}
+
+TEST(MerkleTest, WrongLeafFailsVerification) {
+  const auto leaves = MakeLeaves(8);
+  const MerkleTree tree(leaves);
+  const MerkleProof proof = tree.ProveInclusion(3);
+  EXPECT_FALSE(MerkleTree::VerifyInclusion(tree.root(), leaves[4], proof));
+}
+
+TEST(MerkleTest, TamperedProofFailsVerification) {
+  const auto leaves = MakeLeaves(16);
+  const MerkleTree tree(leaves);
+  MerkleProof proof = tree.ProveInclusion(5);
+  proof.path[1].sibling[0] ^= 0x01;
+  EXPECT_FALSE(MerkleTree::VerifyInclusion(tree.root(), leaves[5], proof));
+}
+
+TEST(MerkleTest, RootChangesWhenAnyLeafChanges) {
+  auto leaves = MakeLeaves(10);
+  const MerkleTree before(leaves);
+  leaves[7][0] ^= 0xff;
+  const MerkleTree after(leaves);
+  EXPECT_NE(DigestToHex(before.root()), DigestToHex(after.root()));
+}
+
+TEST(MerkleTest, ProofDepthIsLogarithmic) {
+  const auto leaves = MakeLeaves(64);
+  const MerkleTree tree(leaves);
+  EXPECT_EQ(tree.ProveInclusion(0).path.size(), 6u);
+}
+
+class MerkleParamTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MerkleParamTest, AllProofsRoundTrip) {
+  const size_t n = GetParam();
+  const auto leaves = MakeLeaves(n, 1000 + n);
+  const MerkleTree tree(leaves);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(MerkleTree::VerifyInclusion(tree.root(), leaves[i], tree.ProveInclusion(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleParamTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace tao

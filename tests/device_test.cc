@@ -1,0 +1,181 @@
+// Tests for the simulated accelerator fleet: reduction orderings must agree to within
+// IEEE-754 reassociation error, genuinely differ bitwise on hard inputs, and be
+// deterministic per profile.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/device/device.h"
+#include "src/util/rng.h"
+
+namespace tao {
+namespace {
+
+constexpr double kUnitRoundoff = 0x1.0p-24;
+
+std::vector<float> RandomVector(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) {
+    x = static_cast<float>(rng.NextGaussian());
+  }
+  return v;
+}
+
+TEST(DeviceTest, FleetHasFourDistinctDevices) {
+  const auto& fleet = DeviceRegistry::Fleet();
+  ASSERT_EQ(fleet.size(), 4u);
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    for (size_t j = i + 1; j < fleet.size(); ++j) {
+      EXPECT_NE(fleet[i].name, fleet[j].name);
+    }
+  }
+}
+
+TEST(DeviceTest, ByNameFindsAllDevices) {
+  EXPECT_EQ(DeviceRegistry::ByName("reference").name, "reference");
+  for (const auto& d : DeviceRegistry::Fleet()) {
+    EXPECT_EQ(DeviceRegistry::ByName(d.name).name, d.name);
+  }
+}
+
+TEST(DeviceTest, AccumulateExactForSmallIntegers) {
+  // Integer-valued sums below 2^24 are exact in FP32 regardless of order.
+  const std::vector<float> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  for (const auto& d : DeviceRegistry::Fleet()) {
+    EXPECT_EQ(d.Accumulate(xs), 55.0f) << d.name;
+  }
+  EXPECT_EQ(DeviceRegistry::Reference().Accumulate(xs), 55.0f);
+}
+
+TEST(DeviceTest, OrderingsProduceDifferentRoundings) {
+  // With 64k random normals, distinct association orders round differently with
+  // overwhelming probability.
+  const auto xs = RandomVector(1 << 16, 42);
+  const float ref = DeviceRegistry::Reference().Accumulate(xs);
+  int differing = 0;
+  for (const auto& d : DeviceRegistry::Fleet()) {
+    if (d.Accumulate(xs) != ref) {
+      ++differing;
+    }
+  }
+  EXPECT_GE(differing, 3) << "fleet should be numerically heterogeneous";
+}
+
+TEST(DeviceTest, AccumulateDeterministicPerProfile) {
+  const auto xs = RandomVector(4097, 7);
+  for (const auto& d : DeviceRegistry::Fleet()) {
+    EXPECT_EQ(d.Accumulate(xs), d.Accumulate(xs)) << d.name;
+  }
+}
+
+TEST(DeviceTest, CrossDeviceDeviationWithinTheoreticalEnvelope) {
+  // |sum_d - sum_exact| <= gamma_{n-1} * sum |x_i| for every association order
+  // (Higham 2002, Sec. 4.2 — reassociation only changes which gamma applies, and
+  // gamma_{n-1} covers every order).
+  const size_t n = 2048;
+  const auto xs = RandomVector(n, 1234);
+  double exact = 0.0;
+  double abs_sum = 0.0;
+  for (const float x : xs) {
+    exact += static_cast<double>(x);
+    abs_sum += std::abs(static_cast<double>(x));
+  }
+  const double gamma = (static_cast<double>(n - 1) * kUnitRoundoff) /
+                       (1.0 - static_cast<double>(n - 1) * kUnitRoundoff);
+  const double envelope = gamma * abs_sum;
+  for (const auto& d : DeviceRegistry::Fleet()) {
+    const double err = std::abs(static_cast<double>(d.Accumulate(xs)) - exact);
+    EXPECT_LE(err, envelope) << d.name;
+  }
+}
+
+TEST(DeviceTest, DotMatchesAccumulateOfProducts) {
+  // For a profile without FMA, Dot must equal Accumulate over rounded products.
+  const auto a = RandomVector(1000, 1);
+  const auto b = RandomVector(1000, 2);
+  const DeviceProfile& rtx4090 = DeviceRegistry::ByName("RTX4090");
+  ASSERT_FALSE(rtx4090.fma);
+  std::vector<float> prods(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    prods[i] = a[i] * b[i];
+  }
+  EXPECT_EQ(rtx4090.Dot(a, b), rtx4090.Accumulate(prods));
+}
+
+TEST(DeviceTest, DotStridedMatchesContiguous) {
+  const auto a = RandomVector(256, 5);
+  const auto b = RandomVector(256, 6);
+  for (const auto& d : DeviceRegistry::Fleet()) {
+    EXPECT_EQ(d.Dot(a, b), d.DotStrided(a.data(), 1, b.data(), 1, 256)) << d.name;
+  }
+}
+
+TEST(DeviceTest, FmaChangesRounding) {
+  DeviceProfile with_fma = DeviceRegistry::Reference();
+  with_fma.fma = true;
+  const DeviceProfile& without = DeviceRegistry::Reference();
+  const auto a = RandomVector(1 << 14, 21);
+  const auto b = RandomVector(1 << 14, 22);
+  EXPECT_NE(with_fma.Dot(a, b), without.Dot(a, b));
+}
+
+TEST(DeviceTest, IntrinsicFlavorsAgreeToOneUlp) {
+  DeviceProfile native = DeviceRegistry::Reference();
+  native.intrinsics = IntrinsicFlavor::kFloatNative;
+  DeviceProfile rounded = DeviceRegistry::Reference();
+  rounded.intrinsics = IntrinsicFlavor::kDoubleRounded;
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = static_cast<float>(rng.NextUniform(-10.0, 10.0));
+    const float e1 = native.Exp(x);
+    const float e2 = rounded.Exp(x);
+    // At most a few ulps apart.
+    const float ulp = std::abs(std::nextafterf(e2, INFINITY) - e2);
+    EXPECT_LE(std::abs(e1 - e2), 4.0f * ulp) << "x=" << x;
+  }
+}
+
+TEST(DeviceTest, SqrtCorrectlyRoundedOnBothFlavors) {
+  Rng rng(33);
+  for (const auto& d : DeviceRegistry::Fleet()) {
+    for (int i = 0; i < 1000; ++i) {
+      const float x = static_cast<float>(rng.NextUniform(0.0, 100.0));
+      EXPECT_EQ(d.Sqrt(x), std::sqrt(x));
+    }
+  }
+}
+
+TEST(DeviceTest, EmptyAccumulateIsZero) {
+  const std::vector<float> empty;
+  for (const auto& d : DeviceRegistry::Fleet()) {
+    EXPECT_EQ(d.Accumulate(empty), 0.0f);
+  }
+}
+
+class AccumOrderTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AccumOrderTest, AllOrdersWithinEnvelopeAcrossSizes) {
+  const size_t n = GetParam();
+  const auto xs = RandomVector(n, 9000 + n);
+  double exact = 0.0;
+  double abs_sum = 0.0;
+  for (const float x : xs) {
+    exact += static_cast<double>(x);
+    abs_sum += std::abs(static_cast<double>(x));
+  }
+  const double gamma = (static_cast<double>(n) * kUnitRoundoff) /
+                       (1.0 - static_cast<double>(n) * kUnitRoundoff);
+  for (const auto& d : DeviceRegistry::Fleet()) {
+    EXPECT_LE(std::abs(static_cast<double>(d.Accumulate(xs)) - exact), gamma * abs_sum)
+        << d.name << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AccumOrderTest,
+                         ::testing::Values(1, 2, 3, 7, 8, 9, 63, 64, 65, 127, 1000, 4096));
+
+}  // namespace
+}  // namespace tao

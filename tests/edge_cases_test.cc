@@ -1,0 +1,290 @@
+// Edge-case and robustness tests across modules: numerically extreme operator inputs,
+// broadcasting corners, gamma-function domain behaviour, attrs canonicalization,
+// subgraph frontiers on branching graphs, gas-schedule arithmetic, and adjudication
+// corner cases.
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/executor.h"
+#include "src/graph/subgraph.h"
+#include "src/ops/attrs.h"
+#include "src/ops/broadcast.h"
+#include "src/ops/op_kernel.h"
+#include "src/protocol/gas.h"
+#include "src/util/rng.h"
+
+namespace tao {
+namespace {
+
+class EdgeCaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override { RegisterAllOps(); }
+  const DeviceProfile& ref_ = DeviceRegistry::Reference();
+};
+
+// ------------------------------ numeric extremes -----------------------------------
+
+TEST_F(EdgeCaseTest, SoftmaxWithLargeLogitsIsStable) {
+  // The max-subtraction in the softmax template must prevent overflow.
+  Tensor x = Tensor::Zeros(Shape{1, 8});
+  x.mutable_values()[0] = 80.0f;
+  x.mutable_values()[1] = -80.0f;
+  x.mutable_values()[2] = 79.5f;
+  Attrs attrs;
+  attrs.Set("axis", static_cast<int64_t>(-1));
+  const std::vector<Tensor> inputs = {x};
+  const Tensor y = OpRegistry::Instance().Get("softmax").Forward({ref_, inputs, attrs});
+  double sum = 0.0;
+  for (const float v : y.values()) {
+    ASSERT_TRUE(std::isfinite(v));
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST_F(EdgeCaseTest, SoftmaxBoundFiniteForLargeLogits) {
+  Tensor x = Tensor::Zeros(Shape{1, 8});
+  x.mutable_values()[0] = 60.0f;
+  Attrs attrs;
+  attrs.Set("axis", static_cast<int64_t>(-1));
+  const std::vector<Tensor> inputs = {x};
+  const OpKernel& softmax = OpRegistry::Instance().Get("softmax");
+  const Tensor y = softmax.Forward({ref_, inputs, attrs});
+  const DTensor tau =
+      softmax.Bound({ref_, inputs, y, attrs, BoundMode::kProbabilistic, kDefaultLambda});
+  for (const double t : tau.values()) {
+    EXPECT_TRUE(std::isfinite(t));
+    EXPECT_GE(t, 0.0);
+  }
+}
+
+TEST_F(EdgeCaseTest, LayerNormOnConstantRowUsesEps) {
+  // Zero-variance input: eps keeps rsqrt finite; output is all-bias.
+  const Tensor x = Tensor::Full(Shape{1, 16}, 2.5f);
+  const Tensor w = Tensor::Full(Shape{16}, 1.0f);
+  const Tensor b = Tensor::Full(Shape{16}, 0.75f);
+  Attrs attrs;
+  attrs.Set("eps", 1e-5);
+  const std::vector<Tensor> inputs = {x, w, b};
+  const Tensor y = OpRegistry::Instance().Get("layer_norm").Forward({ref_, inputs, attrs});
+  for (const float v : y.values()) {
+    EXPECT_NEAR(v, 0.75f, 1e-4f);
+  }
+}
+
+TEST_F(EdgeCaseTest, ReluBoundaryAtExactZero) {
+  Tensor x = Tensor::Zeros(Shape{3});
+  x.mutable_values()[0] = -0.0f;
+  x.mutable_values()[1] = 0.0f;
+  x.mutable_values()[2] = std::numeric_limits<float>::denorm_min();
+  const std::vector<Tensor> inputs = {x};
+  const Tensor y = OpRegistry::Instance().Get("relu").Forward({ref_, inputs, {}});
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 0.0f);
+  EXPECT_GT(y[2], 0.0f);
+}
+
+TEST_F(EdgeCaseTest, MatmulWithZeroDimension) {
+  const Tensor a = Tensor::Zeros(Shape{3, 4});
+  const Tensor b = Tensor::Zeros(Shape{4, 2});
+  const std::vector<Tensor> inputs = {a, b};
+  const Tensor y = OpRegistry::Instance().Get("matmul").Forward({ref_, inputs, {}});
+  for (const float v : y.values()) {
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
+// ------------------------------ broadcasting corners -------------------------------
+
+TEST(BroadcastTest, ScalarBroadcastsToAnything) {
+  EXPECT_EQ(BroadcastShape(Shape{1}, Shape{3, 4, 5}), Shape({3, 4, 5}));
+  EXPECT_EQ(BroadcastShape(Shape{3, 4, 5}, Shape{1}), Shape({3, 4, 5}));
+}
+
+TEST(BroadcastTest, MixedOnesExpandBothWays) {
+  EXPECT_EQ(BroadcastShape(Shape{3, 1, 5}, Shape{1, 4, 1}), Shape({3, 4, 5}));
+}
+
+TEST(BroadcastTest, RankExtensionOnLeft) {
+  EXPECT_EQ(BroadcastShape(Shape{5}, Shape{2, 3, 5}), Shape({2, 3, 5}));
+}
+
+TEST(BroadcastTest, IndexerMapsBroadcastAxesToZeroStride) {
+  const Shape out{2, 3};
+  const Shape in{3};
+  const BroadcastIndexer indexer(out, in);
+  EXPECT_EQ(indexer.MapOffset(0), 0);
+  EXPECT_EQ(indexer.MapOffset(3), 0);  // second row maps back to the same vector
+  EXPECT_EQ(indexer.MapOffset(5), 2);
+}
+
+TEST(BroadcastTest, ReduceGradSumsOverBroadcastAxes) {
+  Tensor grad = Tensor::Full(Shape{4, 3}, 1.0f);
+  const Tensor reduced = ReduceGradToShape(grad, Shape{3});
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(reduced[i], 4.0f);
+  }
+}
+
+TEST(BroadcastTest, IncompatibleShapesAbort) {
+  EXPECT_DEATH(BroadcastShape(Shape{3}, Shape{4}), "cannot broadcast");
+}
+
+// ------------------------------ gamma-function domain -------------------------------
+
+TEST(GammaTest, ZeroAndNegativeKGiveZero) {
+  EXPECT_EQ(Gamma(0), 0.0);
+  EXPECT_EQ(Gamma(-5), 0.0);
+  EXPECT_EQ(GammaTilde(0), 0.0);
+}
+
+TEST(GammaTest, MonotoneInK) {
+  double prev = 0.0;
+  for (int64_t k = 1; k < 100000; k *= 3) {
+    const double g = Gamma(k);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(GammaTest, FirstOrderMatchesKuForSmallK) {
+  EXPECT_NEAR(Gamma(10), 10 * kUnitRoundoff, 1e-12);
+  EXPECT_NEAR(GammaTilde(1, 4.0), 4.0 * kUnitRoundoff, 1e-10);
+}
+
+TEST(GammaTest, ConfidenceIncreasesWithLambda) {
+  double prev = -1.0;
+  for (double lambda = 1.0; lambda <= 6.0; lambda += 1.0) {
+    const double c = GammaTildeConfidence(lambda);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+  EXPECT_GT(GammaTildeConfidence(4.0), 0.999);
+}
+
+// --------------------------------- attrs ------------------------------------------
+
+TEST(AttrsTest, CanonicalIsSortedAndTypeTagged) {
+  Attrs a;
+  a.Set("zeta", static_cast<int64_t>(1));
+  a.Set("alpha", 2.5);
+  a.Set("mid", std::vector<int64_t>{3, 4});
+  const std::string canon = a.Canonical();
+  EXPECT_LT(canon.find("alpha"), canon.find("mid"));
+  EXPECT_LT(canon.find("mid"), canon.find("zeta"));
+  EXPECT_NE(canon.find("[3 4]"), std::string::npos);
+}
+
+TEST(AttrsTest, CanonicalDiffersOnValueChange) {
+  Attrs a;
+  a.Set("eps", 1e-5);
+  Attrs b;
+  b.Set("eps", 1e-6);
+  EXPECT_NE(a.Canonical(), b.Canonical());
+}
+
+TEST(AttrsTest, FallbacksAndEquality) {
+  Attrs a;
+  EXPECT_EQ(a.GetInt("missing", 7), 7);
+  EXPECT_EQ(a.GetDouble("missing", 1.5), 1.5);
+  EXPECT_EQ(a.GetString("missing", "x"), "x");
+  Attrs b;
+  EXPECT_TRUE(a == b);
+  b.Set("k", static_cast<int64_t>(1));
+  EXPECT_FALSE(a == b);
+}
+
+// ------------------------------ branching subgraphs --------------------------------
+
+TEST_F(EdgeCaseTest, FrontierOfBranchingGraph) {
+  // x -> a -> b ; a -> c ; (b, c) -> d. Slice {b} has live_in {a}, live_out {b}.
+  Graph g;
+  const NodeId x = g.AddInput("x", Shape{4});
+  const NodeId a = g.AddOp("tanh", "a", {x});
+  const NodeId b = g.AddOp("exp", "b", {a});
+  const NodeId c = g.AddOp("neg", "c", {a});
+  g.AddOp("add", "d", {b, c});
+
+  const Frontier fb = ComputeFrontier(g, Slice{1, 2});  // just "b"
+  ASSERT_EQ(fb.live_in.size(), 1u);
+  EXPECT_EQ(fb.live_in[0], a);
+  ASSERT_EQ(fb.live_out.size(), 1u);
+  EXPECT_EQ(fb.live_out[0], b);
+
+  // Slice {a} is consumed by two later ops but appears once in live_out.
+  const Frontier fa = ComputeFrontier(g, Slice{0, 1});
+  ASSERT_EQ(fa.live_out.size(), 1u);
+  EXPECT_EQ(fa.live_out[0], a);
+
+  // Slice {b, c} has a single (deduplicated) live_in.
+  const Frontier fbc = ComputeFrontier(g, Slice{1, 3});
+  ASSERT_EQ(fbc.live_in.size(), 1u);
+  EXPECT_EQ(fbc.live_in[0], a);
+  EXPECT_EQ(fbc.live_out.size(), 2u);
+}
+
+TEST_F(EdgeCaseTest, ExecuteSliceAbortsOnMissingBoundary) {
+  Graph g;
+  const NodeId x = g.AddInput("x", Shape{4});
+  g.AddOp("tanh", "a", {x});
+  g.AddOp("exp", "b", {g.op_nodes()[0]});
+  const std::map<NodeId, Tensor> empty;
+  EXPECT_DEATH(ExecuteSlice(g, DeviceRegistry::Reference(), Slice{0, 2}, empty),
+               "missing live-in");
+}
+
+// ---------------------------------- gas schedule -----------------------------------
+
+TEST(GasScheduleTest, RoundCostScalesLinearlyInChildren) {
+  const GasSchedule s;
+  EXPECT_EQ(s.RoundCost(2), s.partition_base + 2 * s.per_child + s.selection);
+  EXPECT_EQ(s.RoundCost(16) - s.RoundCost(2), 14 * s.per_child);
+}
+
+TEST(GasScheduleTest, PaperCalibration) {
+  // The Table 3 decomposition: ~88.7 kgas per 2-way round and ~1.0086 Mgas fixed.
+  const GasSchedule s;
+  EXPECT_EQ(s.RoundCost(2), 88700);
+  EXPECT_EQ(s.commit + s.open_challenge + s.leaf_adjudication + s.settlement, 1008700);
+  // 11 rounds at N=2 -> the paper's 1984.4 kgas BERT dispute.
+  EXPECT_EQ(s.commit + s.open_challenge + 11 * s.RoundCost(2) + s.leaf_adjudication +
+                s.settlement,
+            1984400);
+}
+
+TEST(GasMeterTest, AccumulatesAndResets) {
+  GasMeter meter;
+  meter.Charge(1500);
+  meter.Charge(500);
+  EXPECT_EQ(meter.total(), 2000);
+  EXPECT_DOUBLE_EQ(meter.total_kgas(), 2.0);
+  meter.Reset();
+  EXPECT_EQ(meter.total(), 0);
+}
+
+// ------------------------------ device profile corners ------------------------------
+
+TEST(DeviceEdgeTest, SingleElementReductionExact) {
+  const std::vector<float> one = {3.14f};
+  for (const DeviceProfile& d : DeviceRegistry::Fleet()) {
+    EXPECT_EQ(d.Accumulate(one), 3.14f) << d.name;
+  }
+}
+
+TEST(DeviceEdgeTest, StridedWithFewerElementsThanLanes) {
+  DeviceProfile d = DeviceRegistry::ByName("RTX6000");  // 8 lanes
+  const std::vector<float> xs = {1.0f, 2.0f, 3.0f};
+  EXPECT_EQ(d.Accumulate(xs), 6.0f);
+}
+
+TEST(DeviceEdgeTest, BlockedWithBlockLargerThanInput) {
+  DeviceProfile d = DeviceRegistry::ByName("A100");  // block 128
+  std::vector<float> xs(10, 1.0f);
+  EXPECT_EQ(d.Accumulate(xs), 10.0f);
+}
+
+}  // namespace
+}  // namespace tao

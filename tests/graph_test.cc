@@ -1,0 +1,251 @@
+// Graph IR, executor, and subgraph tests: shape inference through graphs, trace
+// completeness, perturbation injection, frontier computation, canonical partitioning,
+// and the key compositionality property — executing a graph slice-by-slice from
+// committed boundaries reproduces the monolithic execution bit-for-bit on the same
+// device.
+
+#include <gtest/gtest.h>
+
+#include "src/graph/executor.h"
+#include "src/graph/graph.h"
+#include "src/graph/subgraph.h"
+#include "src/util/rng.h"
+
+namespace tao {
+namespace {
+
+// A small MLP graph: x -> linear -> relu -> linear -> softmax.
+Graph BuildMlp(Rng& rng, int64_t in = 8, int64_t hidden = 16, int64_t out = 4) {
+  Graph g;
+  const NodeId x = g.AddInput("x", Shape{2, in});
+  const NodeId w1 = g.AddParam("w1", Tensor::Randn(Shape{hidden, in}, rng, 0.3f));
+  const NodeId b1 = g.AddParam("b1", Tensor::Randn(Shape{hidden}, rng, 0.1f));
+  const NodeId w2 = g.AddParam("w2", Tensor::Randn(Shape{out, hidden}, rng, 0.3f));
+  const NodeId b2 = g.AddParam("b2", Tensor::Randn(Shape{out}, rng, 0.1f));
+  const NodeId h1 = g.AddOp("linear", "fc1", {x, w1, b1});
+  const NodeId a1 = g.AddOp("relu", "relu1", {h1});
+  const NodeId h2 = g.AddOp("linear", "fc2", {a1, w2, b2});
+  Attrs sm;
+  sm.Set("axis", static_cast<int64_t>(-1));
+  g.AddOp("softmax", "probs", {h2}, sm);
+  return g;
+}
+
+TEST(GraphTest, TopologicalOrderIsInsertionOrder) {
+  Rng rng(1);
+  const Graph g = BuildMlp(rng);
+  EXPECT_EQ(g.num_ops(), 4);
+  for (size_t i = 1; i < g.op_nodes().size(); ++i) {
+    EXPECT_LT(g.op_nodes()[i - 1], g.op_nodes()[i]);
+  }
+}
+
+TEST(GraphTest, ShapeInferenceThroughGraph) {
+  Rng rng(2);
+  const Graph g = BuildMlp(rng);
+  EXPECT_EQ(g.node(g.output()).shape, Shape({2, 4}));
+}
+
+TEST(GraphTest, SignaturesAreUniqueAndAttrSensitive) {
+  Rng rng(3);
+  const Graph g = BuildMlp(rng);
+  std::set<std::string> signatures;
+  for (const Node& n : g.nodes()) {
+    signatures.insert(g.NodeSignature(n.id));
+  }
+  EXPECT_EQ(signatures.size(), static_cast<size_t>(g.num_nodes()));
+}
+
+TEST(GraphTest, TotalFlopsPositiveAndAdditive) {
+  Rng rng(4);
+  const Graph g = BuildMlp(rng);
+  int64_t sum = 0;
+  for (const NodeId id : g.op_nodes()) {
+    sum += g.NodeFlops(id);
+  }
+  EXPECT_EQ(g.TotalFlops(), sum);
+  EXPECT_GT(g.TotalFlops(), 0);
+}
+
+TEST(ExecutorTest, DeterministicPerDevice) {
+  Rng rng(5);
+  const Graph g = BuildMlp(rng);
+  Rng in_rng(6);
+  const Tensor x = Tensor::Randn(Shape{2, 8}, in_rng);
+  for (const DeviceProfile& d : DeviceRegistry::Fleet()) {
+    const Executor exec(g, d);
+    const Tensor y1 = exec.RunOutput({x});
+    const Tensor y2 = exec.RunOutput({x});
+    EXPECT_EQ(MaxAbsDiff(y1, y2), 0.0) << d.name;
+  }
+}
+
+TEST(ExecutorTest, CrossDeviceOutputsDifferSlightly) {
+  Rng rng(7);
+  Graph g = BuildMlp(rng, 64, 256, 32);
+  Rng in_rng(8);
+  const Tensor x = Tensor::Randn(Shape{2, 64}, in_rng);
+  const Executor ref(g, DeviceRegistry::Reference());
+  const Tensor y_ref = ref.RunOutput({x});
+  int differing = 0;
+  for (const DeviceProfile& d : DeviceRegistry::Fleet()) {
+    const Executor exec(g, d);
+    const Tensor y = exec.RunOutput({x});
+    const double diff = MaxAbsDiff(y, y_ref);
+    EXPECT_LT(diff, 1e-3) << d.name << " deviation too large for honest execution";
+    if (diff > 0.0) {
+      ++differing;
+    }
+  }
+  EXPECT_GE(differing, 2) << "heterogeneous fleet should disagree in low-order bits";
+}
+
+TEST(ExecutorTest, TraceContainsEveryNode) {
+  Rng rng(9);
+  const Graph g = BuildMlp(rng);
+  Rng in_rng(10);
+  const Tensor x = Tensor::Randn(Shape{2, 8}, in_rng);
+  const Executor exec(g, DeviceRegistry::Reference());
+  const ExecutionTrace trace = exec.Run({x});
+  EXPECT_EQ(static_cast<int64_t>(trace.values.size()), g.num_nodes());
+  for (const Node& n : g.nodes()) {
+    EXPECT_EQ(trace.value(n.id).shape(), n.shape) << n.label;
+  }
+}
+
+TEST(ExecutorTest, BoundsCoExecutionProducesPositiveBounds) {
+  Rng rng(11);
+  const Graph g = BuildMlp(rng);
+  Rng in_rng(12);
+  const Tensor x = Tensor::Randn(Shape{2, 8}, in_rng);
+  const Executor exec(g, DeviceRegistry::Reference());
+  ExecutorOptions opts;
+  opts.with_bounds = true;
+  const ExecutionTrace trace = exec.Run({x}, opts);
+  ASSERT_TRUE(trace.has_bounds);
+  // Linear layers must carry strictly positive bounds; relu is exact (zero).
+  const NodeId fc1 = g.op_nodes()[0];
+  const NodeId relu = g.op_nodes()[1];
+  double fc1_max = 0.0;
+  for (const double b : trace.bound(fc1).values()) {
+    fc1_max = std::max(fc1_max, b);
+  }
+  EXPECT_GT(fc1_max, 0.0);
+  for (const double b : trace.bound(relu).values()) {
+    EXPECT_EQ(b, 0.0);
+  }
+}
+
+TEST(ExecutorTest, PerturbationChangesTraceAtAndAfterNode) {
+  Rng rng(13);
+  const Graph g = BuildMlp(rng);
+  Rng in_rng(14);
+  const Tensor x = Tensor::Randn(Shape{2, 8}, in_rng);
+  const Executor exec(g, DeviceRegistry::Reference());
+  const ExecutionTrace honest = exec.Run({x});
+
+  const NodeId target = g.op_nodes()[1];  // relu output
+  Tensor delta = Tensor::Zeros(g.node(target).shape);
+  delta.mutable_values()[0] = 0.5f;
+  const ExecutionTrace bad = exec.RunPerturbed({x}, {{target, delta}});
+
+  EXPECT_EQ(MaxAbsDiff(honest.value(g.op_nodes()[0]), bad.value(g.op_nodes()[0])), 0.0);
+  EXPECT_GT(MaxAbsDiff(honest.value(target), bad.value(target)), 0.0);
+  EXPECT_GT(MaxAbsDiff(honest.value(g.output()), bad.value(g.output())), 0.0);
+}
+
+// ------------------------------- subgraph machinery --------------------------------
+
+TEST(SubgraphTest, FrontierOfFullGraph) {
+  Rng rng(15);
+  const Graph g = BuildMlp(rng);
+  const Frontier f = ComputeFrontier(g, Slice{0, g.num_ops()});
+  ASSERT_EQ(f.live_in.size(), 1u);
+  EXPECT_EQ(g.node(f.live_in[0]).kind, NodeKind::kInput);
+  EXPECT_EQ(f.params.size(), 4u);
+  ASSERT_EQ(f.live_out.size(), 1u);
+  EXPECT_EQ(f.live_out[0], g.output());
+}
+
+TEST(SubgraphTest, FrontierOfInteriorSlice) {
+  Rng rng(16);
+  const Graph g = BuildMlp(rng);
+  // Slice covering only relu (op index 1).
+  const Frontier f = ComputeFrontier(g, Slice{1, 2});
+  ASSERT_EQ(f.live_in.size(), 1u);
+  EXPECT_EQ(f.live_in[0], g.op_nodes()[0]);
+  EXPECT_TRUE(f.params.empty());
+  ASSERT_EQ(f.live_out.size(), 1u);
+  EXPECT_EQ(f.live_out[0], g.op_nodes()[1]);
+}
+
+TEST(SubgraphTest, PartitionCoversWithoutOverlap) {
+  for (const int64_t total : {5, 8, 12, 100}) {
+    for (const int64_t n : {2, 3, 4, 7, 16}) {
+      const auto parts = PartitionSlice(Slice{0, total}, n);
+      EXPECT_EQ(static_cast<int64_t>(parts.size()), std::min(n, total));
+      int64_t cursor = 0;
+      for (const Slice& s : parts) {
+        EXPECT_EQ(s.begin, cursor);
+        EXPECT_GT(s.size(), 0);
+        cursor = s.end;
+      }
+      EXPECT_EQ(cursor, total);
+      // Near-equal sizes: max-min <= 1.
+      int64_t min_size = total;
+      int64_t max_size = 0;
+      for (const Slice& s : parts) {
+        min_size = std::min(min_size, s.size());
+        max_size = std::max(max_size, s.size());
+      }
+      EXPECT_LE(max_size - min_size, 1);
+    }
+  }
+}
+
+TEST(SubgraphTest, PartitionIsDeterministic) {
+  const auto a = PartitionSlice(Slice{10, 55}, 4);
+  const auto b = PartitionSlice(Slice{10, 55}, 4);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(SubgraphTest, SliceExecutionMatchesMonolithicRun) {
+  Rng rng(17);
+  const Graph g = BuildMlp(rng, 16, 32, 8);
+  Rng in_rng(18);
+  const Tensor x = Tensor::Randn(Shape{2, 16}, in_rng);
+  const DeviceProfile& device = DeviceRegistry::ByName("A100");
+  const Executor exec(g, device);
+  const ExecutionTrace full = exec.Run({x});
+
+  // Execute each of 2 partitions from boundaries taken out of the full trace; results
+  // must agree exactly (same device, same order).
+  for (const Slice& s : PartitionSlice(Slice{0, g.num_ops()}, 2)) {
+    const Frontier f = ComputeFrontier(g, s);
+    std::map<NodeId, Tensor> boundary;
+    for (const NodeId in : f.live_in) {
+      boundary.emplace(in, full.value(in));
+    }
+    const auto values = ExecuteSlice(g, device, s, boundary);
+    for (const auto& [id, value] : values) {
+      EXPECT_EQ(MaxAbsDiff(value, full.value(id)), 0.0) << "node " << id;
+    }
+  }
+}
+
+TEST(SubgraphTest, SliceFlopsSumToTotal) {
+  Rng rng(19);
+  const Graph g = BuildMlp(rng);
+  const auto parts = PartitionSlice(Slice{0, g.num_ops()}, 3);
+  int64_t sum = 0;
+  for (const Slice& s : parts) {
+    sum += SliceFlops(g, s);
+  }
+  EXPECT_EQ(sum, g.TotalFlops());
+}
+
+}  // namespace
+}  // namespace tao

@@ -1,0 +1,202 @@
+// End-to-end integration and property tests across the whole model zoo: the paper's
+// motivating service downgrades (model swap, undeclared quantization), dispute
+// localization properties under parameterized injection sites, threshold
+// serialization round-trips, and DCR accounting invariants.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/calib/calibrator.h"
+#include "src/calib/serialize.h"
+#include "src/protocol/dispute.h"
+
+namespace tao {
+namespace {
+
+// Calibration + commitment bundle per model, built once per suite run.
+struct Bundle {
+  Model model;
+  ThresholdSet thresholds;
+  ModelCommitment commitment;
+
+  explicit Bundle(Model m)
+      : model(std::move(m)),
+        thresholds(MakeThresholds(model)),
+        commitment(*model.graph, thresholds) {}
+
+  static ThresholdSet MakeThresholds(const Model& model) {
+    CalibrateOptions options;
+    options.num_samples = 5;
+    return Calibrate(model, DeviceRegistry::Fleet(), options).MakeThresholds(3.0);
+  }
+};
+
+Bundle& BertBundle() {
+  static Bundle* bundle = new Bundle(BuildBertMini());
+  return *bundle;
+}
+
+Bundle& ResNetBundle() {
+  static Bundle* bundle = new Bundle(BuildResNetMini());
+  return *bundle;
+}
+
+Bundle& QwenBundle() {
+  static Bundle* bundle = new Bundle(BuildQwenMini());
+  return *bundle;
+}
+
+// --------------------------- service-downgrade scenarios ---------------------------
+
+TEST(ServiceDowngradeTest, ModelSwapIsDetectedAndSlashed) {
+  // The proposer silently serves a different (cheaper) model: emulated by committing
+  // the honest graph but shipping outputs from differently-seeded weights. The output
+  // discrepancy equals the swap-induced deviation, injected at the output node.
+  Bundle& bundle = BertBundle();
+  BertConfig other_config;
+  other_config.seed = 0xdeadbeef;  // different weights = the "smaller/other model"
+  const Model other = BuildBertMini(other_config);
+
+  Rng rng(21);
+  const std::vector<Tensor> input = bundle.model.sample_input(rng);
+  const Executor honest(*bundle.model.graph, DeviceRegistry::ByName("H100"));
+  const Executor swapped(*other.graph, DeviceRegistry::ByName("H100"));
+  const Tensor y_honest = honest.RunOutput(input);
+  const Tensor y_swapped = swapped.RunOutput(input);
+
+  Tensor delta = y_swapped.Clone();
+  auto dv = delta.mutable_values();
+  const auto hv = y_honest.values();
+  for (size_t i = 0; i < dv.size(); ++i) {
+    dv[i] -= hv[i];
+  }
+
+  Coordinator coordinator;
+  DisputeGame game(bundle.model, bundle.commitment, bundle.thresholds, coordinator);
+  const DisputeResult result =
+      game.Run(input, DeviceRegistry::ByName("H100"), DeviceRegistry::ByName("RTX4090"),
+               {{bundle.model.graph->output(), delta}});
+  EXPECT_TRUE(result.challenge_raised);
+  EXPECT_TRUE(result.proposer_guilty);
+  EXPECT_EQ(result.final_state, ClaimState::kProposerSlashed);
+}
+
+TEST(ServiceDowngradeTest, UndeclaredQuantizationIsDetected) {
+  // The proposer quantizes the committed FP32 output to ~bf16 precision (8 mantissa
+  // bits) — a silent cost-saving downgrade. The rounding deviation vastly exceeds the
+  // calibrated FP32 cross-device envelope.
+  Bundle& bundle = ResNetBundle();
+  Rng rng(22);
+  const std::vector<Tensor> input = bundle.model.sample_input(rng);
+  const Executor exec(*bundle.model.graph, DeviceRegistry::ByName("A100"));
+  const Tensor y = exec.RunOutput(input);
+  Tensor delta = Tensor::Zeros(y.shape());
+  auto dv = delta.mutable_values();
+  const auto yv = y.values();
+  for (size_t i = 0; i < dv.size(); ++i) {
+    // Round to 8 mantissa bits (bf16-style).
+    float quantized = yv[i];
+    int exponent = 0;
+    const float mantissa = std::frexp(quantized, &exponent);
+    quantized = std::ldexp(std::round(mantissa * 256.0f) / 256.0f, exponent);
+    dv[i] = quantized - yv[i];
+  }
+
+  Coordinator coordinator;
+  DisputeGame game(bundle.model, bundle.commitment, bundle.thresholds, coordinator);
+  const DisputeResult result =
+      game.Run(input, DeviceRegistry::ByName("A100"), DeviceRegistry::ByName("RTX6000"),
+               {{bundle.model.graph->output(), delta}});
+  EXPECT_TRUE(result.challenge_raised);
+  EXPECT_TRUE(result.proposer_guilty);
+}
+
+// ----------------------- parameterized localization properties ----------------------
+
+struct LocalizationCase {
+  int model_index;  // 0 = bert, 1 = resnet, 2 = qwen
+  int site_fraction_num;
+  int site_fraction_den;
+};
+
+class LocalizationTest : public ::testing::TestWithParam<LocalizationCase> {};
+
+TEST_P(LocalizationTest, InjectionLocalizedToExactOperatorOrAdmissible) {
+  const LocalizationCase param = GetParam();
+  Bundle& bundle = param.model_index == 0   ? BertBundle()
+                   : param.model_index == 1 ? ResNetBundle()
+                                            : QwenBundle();
+  const Graph& graph = *bundle.model.graph;
+  const NodeId target = graph.op_nodes()[static_cast<size_t>(
+      graph.num_ops() * param.site_fraction_num / param.site_fraction_den)];
+  Rng delta_rng(0x10c + static_cast<uint64_t>(target));
+  const Tensor delta = Tensor::Randn(graph.node(target).shape, delta_rng, 5e-2f);
+
+  Coordinator coordinator;
+  DisputeOptions options;
+  options.partition_n = 4;
+  DisputeGame game(bundle.model, bundle.commitment, bundle.thresholds, coordinator,
+                   options);
+  Rng rng(0x5eed + static_cast<uint64_t>(param.model_index));
+  const std::vector<Tensor> input = bundle.model.sample_input(rng);
+  const DisputeResult result =
+      game.Run(input, DeviceRegistry::ByName("H100"), DeviceRegistry::ByName("RTX4090"),
+               {{target, delta}});
+  ASSERT_TRUE(result.challenge_raised);
+  ASSERT_TRUE(result.proposer_guilty);
+  EXPECT_EQ(result.leaf_op, target)
+      << "localized to " << graph.node(result.leaf_op).label << " instead of "
+      << graph.node(target).label;
+  // Rounds bounded by ceil(log4 |V|) + 1.
+  const double bound = std::ceil(std::log(static_cast<double>(graph.num_ops())) /
+                                 std::log(4.0));
+  EXPECT_LE(result.rounds, static_cast<int64_t>(bound) + 1);
+  // Cost-ratio accounting sane.
+  EXPECT_GT(result.cost_ratio, 0.0);
+  EXPECT_LT(result.cost_ratio, 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sites, LocalizationTest,
+                         ::testing::Values(LocalizationCase{0, 1, 4}, LocalizationCase{0, 3, 4},
+                                           LocalizationCase{1, 1, 4}, LocalizationCase{1, 2, 3},
+                                           LocalizationCase{2, 1, 5}, LocalizationCase{2, 4, 5}));
+
+TEST(HonestFleetTest, NoModelEverSlashedAcrossDevicePairs) {
+  for (Bundle* bundle : {&BertBundle(), &ResNetBundle(), &QwenBundle()}) {
+    Rng rng(0xfa1);
+    const std::vector<Tensor> input = bundle->model.sample_input(rng);
+    const auto& fleet = DeviceRegistry::Fleet();
+    for (size_t p = 0; p < fleet.size(); ++p) {
+      for (size_t c = 0; c < fleet.size(); ++c) {
+        if (p == c) {
+          continue;
+        }
+        Coordinator coordinator;
+        DisputeGame game(bundle->model, bundle->commitment, bundle->thresholds, coordinator);
+        const DisputeResult result = game.Run(input, fleet[p], fleet[c]);
+        EXPECT_NE(result.final_state, ClaimState::kProposerSlashed)
+            << bundle->model.name << " " << fleet[p].name << " vs " << fleet[c].name;
+      }
+    }
+  }
+}
+
+// ------------------------------- serialization -------------------------------------
+
+TEST(SerializeTest, ThresholdsRoundTripExactly) {
+  Bundle& bundle = BertBundle();
+  const std::string text = SerializeThresholds(bundle.thresholds);
+  const ThresholdSet loaded = DeserializeThresholds(text);
+  EXPECT_EQ(loaded.size(), bundle.thresholds.size());
+  EXPECT_EQ(loaded.alpha(), bundle.thresholds.alpha());
+  // Commit roots must agree bit-for-bit — a third party can post-verify r_e.
+  EXPECT_EQ(DigestToHex(loaded.CommitRoot()), DigestToHex(bundle.thresholds.CommitRoot()));
+}
+
+TEST(SerializeTest, RejectsWrongHeader) {
+  EXPECT_DEATH(DeserializeThresholds("bogus v9\n"), "tao-thresholds");
+}
+
+}  // namespace
+}  // namespace tao

@@ -1,0 +1,172 @@
+// Tests for the Sec. 7 multi-step extension: deterministic tie-break rules make
+// honest cross-device decoding converge token-for-token despite FP drift; temporal
+// bisection finds the earliest cheated step with prefix finality.
+
+#include <gtest/gtest.h>
+
+#include "src/graph/executor.h"
+#include "src/models/model_zoo.h"
+#include "src/protocol/multistep.h"
+
+namespace tao {
+namespace {
+
+TEST(TieBreakTest, ArgmaxWhenNoTies) {
+  Tensor logits = Tensor::Zeros(Shape{5});
+  logits.mutable_values()[3] = 2.0f;
+  TieBreakConfig config;
+  config.rule = TieBreakRule::kLexicographic;
+  EXPECT_EQ(SelectToken(logits, config), 3);
+}
+
+TEST(TieBreakTest, LexicographicPicksSmallestNearTie) {
+  Tensor logits = Tensor::Zeros(Shape{5});
+  logits.mutable_values()[1] = 1.00000f;
+  logits.mutable_values()[4] = 1.00001f;  // within margin of each other
+  TieBreakConfig config;
+  config.rule = TieBreakRule::kLexicographic;
+  config.margin = 1e-3;
+  EXPECT_EQ(SelectToken(logits, config), 1);
+  // Plain argmax flips depending on which device rounded last — the failure mode the
+  // rule removes.
+  config.rule = TieBreakRule::kArgmax;
+  EXPECT_EQ(SelectToken(logits, config), 4);
+}
+
+TEST(TieBreakTest, NearTieResolvedIdenticallyUnderLogitNoise) {
+  // Two "devices" produce logits differing by ~1e-6 around a near-tie; lexicographic
+  // selection agrees, argmax does not.
+  Tensor a = Tensor::Zeros(Shape{8});
+  a.mutable_values()[2] = 0.5000000f;
+  a.mutable_values()[6] = 0.5000004f;
+  Tensor b = a.Clone();
+  b.mutable_values()[2] = 0.5000005f;
+  b.mutable_values()[6] = 0.5000001f;
+  TieBreakConfig lex;
+  lex.rule = TieBreakRule::kLexicographic;
+  lex.margin = 1e-4;
+  EXPECT_EQ(SelectToken(a, lex), SelectToken(b, lex));
+  TieBreakConfig argmax;
+  argmax.rule = TieBreakRule::kArgmax;
+  EXPECT_NE(SelectToken(a, argmax), SelectToken(b, argmax));
+}
+
+TEST(TieBreakTest, HashSeededDeterministicAndSeedSensitive) {
+  Tensor logits = Tensor::Zeros(Shape{10});
+  logits.mutable_values()[2] = 1.0f;
+  logits.mutable_values()[5] = 1.0f;
+  logits.mutable_values()[7] = 1.0f;
+  TieBreakConfig config;
+  config.rule = TieBreakRule::kHashSeeded;
+  config.margin = 1e-6;
+  const int64_t first = SelectToken(logits, config);
+  EXPECT_EQ(first, SelectToken(logits, config));
+  EXPECT_TRUE(first == 2 || first == 5 || first == 7);
+}
+
+class MultiStepFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_ = new Model(BuildQwenMini());
+    Rng rng(0xdec0de);
+    prompt_ = new std::vector<float>();
+    const int64_t window = model_->graph->node(model_->graph->input_nodes()[0]).shape.numel();
+    for (int64_t i = 0; i < window; ++i) {
+      prompt_->push_back(static_cast<float>(
+          rng.NextBounded(static_cast<uint64_t>(model_->num_classes))));
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete prompt_;
+    delete model_;
+    prompt_ = nullptr;
+    model_ = nullptr;
+  }
+
+  static Model* model_;
+  static std::vector<float>* prompt_;
+};
+
+Model* MultiStepFixture::model_ = nullptr;
+std::vector<float>* MultiStepFixture::prompt_ = nullptr;
+
+TEST_F(MultiStepFixture, HonestCrossDeviceDecodingConverges) {
+  const TieBreakConfig tie_break;  // lexicographic
+  const DecodeResult a = Decode(*model_, *prompt_, 6, DeviceRegistry::ByName("H100"),
+                                tie_break);
+  const DecodeResult b = Decode(*model_, *prompt_, 6, DeviceRegistry::ByName("RTX4090"),
+                                tie_break);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (size_t s = 0; s < a.steps.size(); ++s) {
+    EXPECT_EQ(a.steps[s].token, b.steps[s].token) << "step " << s;
+  }
+}
+
+TEST_F(MultiStepFixture, TemporalRootsAgreeOnIdenticalDevice) {
+  const TieBreakConfig tie_break;
+  const DecodeResult a = Decode(*model_, *prompt_, 5, DeviceRegistry::ByName("A100"),
+                                tie_break);
+  const DecodeResult b = Decode(*model_, *prompt_, 5, DeviceRegistry::ByName("A100"),
+                                tie_break);
+  EXPECT_EQ(DigestToHex(a.temporal_root), DigestToHex(b.temporal_root));
+  const TemporalDisputeResult dispute = LocalizeTemporalDivergence(a, b);
+  EXPECT_FALSE(dispute.divergence_found);
+  EXPECT_EQ(dispute.finalized_prefix, 5);
+}
+
+TEST_F(MultiStepFixture, TemporalBisectionFindsCheatedStep) {
+  const TieBreakConfig tie_break;
+  const Graph& graph = *model_->graph;
+  const NodeId target = graph.op_nodes()[graph.num_ops() / 2];
+  Rng delta_rng(5);
+  StepPerturbation cheat;
+  cheat.step = 3;
+  cheat.perturbation.node = target;
+  cheat.perturbation.delta = Tensor::Randn(graph.node(target).shape, delta_rng, 0.5f);
+
+  const DecodeResult honest = Decode(*model_, *prompt_, 6, DeviceRegistry::ByName("A100"),
+                                     tie_break);
+  const DecodeResult cheated = Decode(*model_, *prompt_, 6, DeviceRegistry::ByName("A100"),
+                                      tie_break, {cheat});
+  const TemporalDisputeResult dispute = LocalizeTemporalDivergence(cheated, honest);
+  ASSERT_TRUE(dispute.divergence_found);
+  EXPECT_EQ(dispute.first_offending_step, 3);
+  // Prefix finality: steps 0-2 are final even while step 3 is contested.
+  EXPECT_EQ(dispute.finalized_prefix, 3);
+  for (int64_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(honest.steps[static_cast<size_t>(s)].token,
+              cheated.steps[static_cast<size_t>(s)].token);
+  }
+}
+
+TEST_F(MultiStepFixture, PerturbationAtStepZeroLeavesNoFinalPrefix) {
+  const TieBreakConfig tie_break;
+  const Graph& graph = *model_->graph;
+  const NodeId target = graph.op_nodes()[graph.num_ops() / 3];
+  Rng delta_rng(6);
+  StepPerturbation cheat;
+  cheat.step = 0;
+  cheat.perturbation.node = target;
+  cheat.perturbation.delta = Tensor::Randn(graph.node(target).shape, delta_rng, 0.5f);
+  const DecodeResult honest = Decode(*model_, *prompt_, 4, DeviceRegistry::ByName("A100"),
+                                     tie_break);
+  const DecodeResult cheated = Decode(*model_, *prompt_, 4, DeviceRegistry::ByName("A100"),
+                                      tie_break, {cheat});
+  const TemporalDisputeResult dispute = LocalizeTemporalDivergence(cheated, honest);
+  ASSERT_TRUE(dispute.divergence_found);
+  EXPECT_EQ(dispute.first_offending_step, 0);
+  EXPECT_EQ(dispute.finalized_prefix, 0);
+}
+
+TEST(WideMlpTest, BuildsAndClassifies) {
+  const Model model = BuildWideMlp();
+  Rng rng(1);
+  const std::vector<Tensor> input = model.sample_input(rng);
+  const Executor exec(*model.graph, DeviceRegistry::Reference());
+  const Tensor logits = exec.RunOutput(input);
+  EXPECT_EQ(logits.numel(), model.num_classes);
+}
+
+}  // namespace
+}  // namespace tao

@@ -1,0 +1,203 @@
+// Unit tests for src/util: RNG determinism and distributions, statistics, tables.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace tao {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedWithinBound) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(11);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, PermutationIsValid) {
+  Rng rng(5);
+  const auto perm = rng.Permutation(100);
+  std::vector<bool> seen(100, false);
+  for (const size_t p : perm) {
+    ASSERT_LT(p, 100u);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(9);
+  Rng child = parent.Fork();
+  // Child stream should not equal a fresh parent-seeded stream element-for-element.
+  Rng parent_again(9);
+  (void)parent_again.NextU64();  // consume the value that seeded the fork
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.NextU64() == parent_again.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(StatsTest, PercentileMatchesLinearInterpolation) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 1.75);
+}
+
+TEST(StatsTest, PercentileSingleElement) {
+  const std::vector<double> v = {3.5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 3.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 57.0), 3.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 3.5);
+}
+
+TEST(StatsTest, PercentilesBatchedMatchesSingle) {
+  std::vector<double> v;
+  Rng rng(13);
+  for (int i = 0; i < 257; ++i) {
+    v.push_back(rng.NextGaussian());
+  }
+  const std::vector<double> ps = {0, 1, 5, 25, 50, 75, 95, 99, 100};
+  const auto batched = Percentiles(v, ps);
+  for (size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batched[i], Percentile(v, ps[i]));
+  }
+}
+
+TEST(StatsTest, PercentileIsMonotoneInP) {
+  std::vector<double> v;
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    v.push_back(rng.NextDouble());
+  }
+  double prev = Percentile(v, 0.0);
+  for (double p = 1.0; p <= 100.0; p += 1.0) {
+    const double cur = Percentile(v, p);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(StatsTest, MeanMedianStdDev) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(Median(v), 4.5);
+  EXPECT_NEAR(StdDev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, BoxStatsFiveNumberSummary) {
+  const std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const BoxStats box = ComputeBoxStats(v);
+  EXPECT_DOUBLE_EQ(box.min, 1.0);
+  EXPECT_DOUBLE_EQ(box.median, 5.0);
+  EXPECT_DOUBLE_EQ(box.max, 9.0);
+  EXPECT_DOUBLE_EQ(box.q1, 3.0);
+  EXPECT_DOUBLE_EQ(box.q3, 7.0);
+  EXPECT_EQ(box.n, 9u);
+}
+
+TEST(StatsTest, RunningMediansIncremental) {
+  const std::vector<double> v = {5.0, 1.0, 3.0, 2.0};
+  const auto medians = RunningMedians(v);
+  ASSERT_EQ(medians.size(), 4u);
+  EXPECT_DOUBLE_EQ(medians[0], 5.0);
+  EXPECT_DOUBLE_EQ(medians[1], 3.0);
+  EXPECT_DOUBLE_EQ(medians[2], 3.0);
+  EXPECT_DOUBLE_EQ(medians[3], 2.5);
+}
+
+TEST(StatsTest, RollingMediansWindow) {
+  const std::vector<double> v = {1, 9, 2, 8, 3};
+  const auto rolled = RollingMedians(v, 3);
+  ASSERT_EQ(rolled.size(), 3u);
+  EXPECT_DOUBLE_EQ(rolled[0], 2.0);  // {1,9,2}
+  EXPECT_DOUBLE_EQ(rolled[1], 8.0);  // {9,2,8}
+  EXPECT_DOUBLE_EQ(rolled[2], 3.0);  // {2,8,3}
+}
+
+TEST(StatsTest, RollingMediansTooShortReturnsEmpty) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_TRUE(RollingMedians(v, 3).empty());
+}
+
+TEST(StatsTest, SymmetricRelChangeProperties) {
+  EXPECT_DOUBLE_EQ(SymmetricRelChange(1.0, 1.0), 0.0);
+  EXPECT_NEAR(SymmetricRelChange(1.0, 3.0), 2.0 * 2.0 / 4.0, 1e-9);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(SymmetricRelChange(2.0, 5.0), SymmetricRelChange(5.0, 2.0));
+}
+
+TEST(TableTest, RendersHeaderAndRows) {
+  TablePrinter table({"model", "ASR"});
+  table.AddRow({"BERT", "0.0%"});
+  table.AddRow({"Qwen-mini", "2.4%"});
+  const std::string rendered = table.Render();
+  EXPECT_NE(rendered.find("model"), std::string::npos);
+  EXPECT_NE(rendered.find("Qwen-mini"), std::string::npos);
+  EXPECT_NE(rendered.find("2.4%"), std::string::npos);
+  // Header + rule + 2 rows = 4 lines.
+  EXPECT_EQ(std::count(rendered.begin(), rendered.end(), '\n'), 4);
+}
+
+TEST(TableTest, NumericFormatters) {
+  EXPECT_EQ(TablePrinter::Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Scientific(0.000123, 2), "1.23e-04");
+  EXPECT_EQ(TablePrinter::Pct(0.024, 1), "2.4%");
+}
+
+}  // namespace
+}  // namespace tao
