@@ -1,0 +1,91 @@
+// Executor scaling bench: wall-clock speedup of the parallel runtime vs. thread
+// count on the wide-MLP and ResNet zoo graphs, plus the allocation traffic the
+// TensorArena removes on the output-only path. Every configuration's output is
+// checked bitwise against the sequential baseline — the protocol's determinism
+// contract — before its timing is reported.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/graph/executor.h"
+#include "src/models/model_zoo.h"
+#include "src/util/rng.h"
+#include "src/util/stopwatch.h"
+#include "src/util/table.h"
+
+namespace tao {
+namespace {
+
+constexpr int kRepeats = 3;
+
+double MedianSeconds(const Executor& exec, const std::vector<Tensor>& input,
+                     const ExecutorOptions& options) {
+  std::vector<double> times;
+  for (int i = 0; i < kRepeats; ++i) {
+    Stopwatch watch;
+    (void)exec.RunOutput(input, options);
+    times.push_back(watch.ElapsedSeconds());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+bool SameBits(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.values().data(), b.values().data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+void BenchModel(const Model& model) {
+  Rng rng(0xbe7c);
+  const std::vector<Tensor> input = model.sample_input(rng);
+  const Executor exec(*model.graph, DeviceRegistry::ByName("H100"));
+
+  std::printf("== %s (stand-in for %s), %lld ops, %.1f MFLOP/forward ==\n",
+              model.name.c_str(), model.paper_counterpart.c_str(),
+              static_cast<long long>(model.graph->num_ops()),
+              static_cast<double>(model.graph->TotalFlops()) / 1e6);
+
+  const Tensor reference = exec.RunOutput(input);
+  ExecutorOptions sequential;
+  const double base = MedianSeconds(exec, input, sequential);
+
+  TablePrinter table({"threads", "reuse_buffers", "median_s", "speedup", "alloc_requests",
+                      "pool_hits", "fresh_allocs"});
+  for (const int threads : {1, 2, 4, 8}) {
+    for (const bool reuse : {false, true}) {
+      ExecutorOptions options;
+      options.num_threads = threads;
+      options.reuse_buffers = reuse;
+      TensorArena::Stats stats;
+      const Tensor out = exec.RunOutput(input, options, &stats);
+      if (!SameBits(out, reference)) {
+        std::printf("DETERMINISM VIOLATION at threads=%d reuse=%d\n", threads,
+                    static_cast<int>(reuse));
+        std::abort();
+      }
+      const double t = MedianSeconds(exec, input, options);
+      table.AddRow({std::to_string(threads), reuse ? "yes" : "no",
+                    TablePrinter::Fixed(t, 4), TablePrinter::Fixed(base / t, 2),
+                    std::to_string(stats.requests), std::to_string(stats.pool_hits),
+                    std::to_string(stats.fresh_allocations)});
+    }
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace tao
+
+int main() {
+  std::printf("Executor scaling: parallel runtime (scheduler + ParallelFor + arena)\n");
+  std::printf("Speedup is relative to the sequential (num_threads=1, no-arena) median;\n");
+  std::printf("allocation columns cover one output-only run (requests = kernel outputs).\n\n");
+  tao::BenchModel(tao::BuildWideMlp());
+  tao::BenchModel(tao::BuildResNetMini());
+  return 0;
+}

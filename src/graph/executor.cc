@@ -1,22 +1,40 @@
 #include "src/graph/executor.h"
 
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "src/runtime/parallel_for.h"
+#include "src/runtime/scheduler.h"
+#include "src/runtime/thread_pool.h"
 #include "src/util/check.h"
 
 namespace tao {
 
 ExecutionTrace Executor::Run(const std::vector<Tensor>& inputs,
                              const ExecutorOptions& options) const {
-  return RunPerturbed(inputs, {}, options);
+  return RunInternal(inputs, {}, options, /*keep_values=*/true, nullptr);
 }
 
-Tensor Executor::RunOutput(const std::vector<Tensor>& inputs) const {
-  const ExecutionTrace trace = Run(inputs);
+Tensor Executor::RunOutput(const std::vector<Tensor>& inputs, const ExecutorOptions& options,
+                           TensorArena::Stats* arena_stats) const {
+  ExecutorOptions output_only = options;
+  output_only.with_bounds = false;  // bounds require the full trace
+  const ExecutionTrace trace =
+      RunInternal(inputs, {}, output_only, /*keep_values=*/false, arena_stats);
   return trace.value(graph_.output());
 }
 
 ExecutionTrace Executor::RunPerturbed(const std::vector<Tensor>& inputs,
                                       const std::vector<Perturbation>& perturbations,
                                       const ExecutorOptions& options) const {
+  return RunInternal(inputs, perturbations, options, /*keep_values=*/true, nullptr);
+}
+
+ExecutionTrace Executor::RunInternal(const std::vector<Tensor>& inputs,
+                                     const std::vector<Perturbation>& perturbations,
+                                     const ExecutorOptions& options, bool keep_values,
+                                     TensorArena::Stats* arena_stats) const {
   TAO_CHECK_EQ(inputs.size(), graph_.input_nodes().size());
   ExecutionTrace trace;
   trace.values.resize(static_cast<size_t>(graph_.num_nodes()));
@@ -36,41 +54,124 @@ ExecutionTrace Executor::RunPerturbed(const std::vector<Tensor>& inputs,
     trace.values[static_cast<size_t>(id)] = graph_.node(id).value;
   }
 
-  for (const NodeId id : graph_.op_nodes()) {
-    const Node& node = graph_.node(id);
-    const OpKernel& kernel = OpRegistry::Instance().Get(node.op);
-    std::vector<Tensor> op_inputs;
-    op_inputs.reserve(node.inputs.size());
-    for (const NodeId in : node.inputs) {
-      op_inputs.push_back(trace.values[static_cast<size_t>(in)]);
-    }
-    const OpContext ctx{device_, op_inputs, node.attrs};
-    Tensor out = kernel.Forward(ctx);
-    TAO_CHECK(out.shape() == node.shape)
-        << node.label << ": forward produced " << out.shape().ToString() << ", expected "
-        << node.shape.ToString();
+  const std::vector<NodeId>& ops = graph_.op_nodes();
+  const int64_t num_ops = static_cast<int64_t>(ops.size());
 
-    if (options.with_bounds) {
-      const BoundContext bctx{device_, op_inputs,     out,
-                              node.attrs, options.bound_mode, options.lambda};
-      trace.bounds[static_cast<size_t>(id)] = kernel.Bound(bctx);
-    }
+  // Runtime handles. num_threads == 1 leaves both null: the scheduler degenerates to
+  // the seed's sequential loop and kernels run their loops inline.
+  ThreadPool* pool = options.num_threads > 1 ? &ThreadPool::Shared() : nullptr;
+  const ParallelFor parallel(pool, options.num_threads);
+  const ParallelFor* parallel_handle = pool != nullptr ? &parallel : nullptr;
 
-    // Adversarial injection happens after the operator completes, before the tensor is
-    // published to downstream consumers (Sec. 4.2: h_v <- h_v + Delta_v).
-    for (const Perturbation& p : perturbations) {
-      if (p.node == id) {
-        TAO_CHECK(p.delta.shape() == out.shape());
-        Tensor perturbed = out.Clone();
-        auto pv = perturbed.mutable_values();
-        const auto dv = p.delta.values();
-        for (size_t i = 0; i < pv.size(); ++i) {
-          pv[i] += dv[i];
-        }
-        out = perturbed;
+  // Arena reuse is only sound when dead intermediates really die: a full trace
+  // retains every value, so the arena is wired up on the output-only path alone.
+  const bool release_dead = !keep_values && options.reuse_buffers;
+  std::unique_ptr<TensorArena> arena;
+  if (release_dead) {
+    arena = std::make_unique<TensorArena>();
+  }
+
+  // Liveness ref-counts for the arena's release of dead intermediates: consumer
+  // edges per node id. Built only when buffers can actually be recycled.
+  std::vector<std::atomic<int32_t>> remaining_uses;
+  if (release_dead) {
+    remaining_uses = std::vector<std::atomic<int32_t>>(static_cast<size_t>(graph_.num_nodes()));
+    for (int64_t k = 0; k < num_ops; ++k) {
+      for (const NodeId in : graph_.node(ops[static_cast<size_t>(k)]).inputs) {
+        remaining_uses[static_cast<size_t>(in)].fetch_add(1, std::memory_order_relaxed);
       }
     }
-    trace.values[static_cast<size_t>(id)] = std::move(out);
+  }
+
+  const NodeId output = graph_.output();
+  const auto execute_node = [&](int32_t k) {
+    const NodeId id = ops[static_cast<size_t>(k)];
+    const Node& node = graph_.node(id);
+    const OpKernel& kernel = OpRegistry::Instance().Get(node.op);
+    {
+      std::vector<Tensor> op_inputs;
+      op_inputs.reserve(node.inputs.size());
+      for (const NodeId in : node.inputs) {
+        op_inputs.push_back(trace.values[static_cast<size_t>(in)]);
+      }
+      const OpContext ctx{device_, op_inputs, node.attrs, parallel_handle, arena.get()};
+      Tensor out = kernel.Forward(ctx);
+      TAO_CHECK(out.shape() == node.shape)
+          << node.label << ": forward produced " << out.shape().ToString() << ", expected "
+          << node.shape.ToString();
+
+      if (options.with_bounds) {
+        const BoundContext bctx{device_,    op_inputs,          out,
+                                node.attrs, options.bound_mode, options.lambda,
+                                parallel_handle};
+        trace.bounds[static_cast<size_t>(id)] = kernel.Bound(bctx);
+      }
+
+      // Adversarial injection happens after the operator completes, before the tensor
+      // is published to downstream consumers (Sec. 4.2: h_v <- h_v + Delta_v).
+      for (const Perturbation& p : perturbations) {
+        if (p.node == id) {
+          TAO_CHECK(p.delta.shape() == out.shape());
+          Tensor perturbed = out.Clone();
+          auto pv = perturbed.mutable_values();
+          const auto dv = p.delta.values();
+          for (size_t i = 0; i < pv.size(); ++i) {
+            pv[i] += dv[i];
+          }
+          out = perturbed;
+        }
+      }
+      trace.values[static_cast<size_t>(id)] = std::move(out);
+      // op_inputs goes out of scope here: its aliases must die before the release
+      // step below, or a dead input would look live and escape recycling.
+    }
+    if (release_dead) {
+      for (const NodeId in : node.inputs) {
+        if (remaining_uses[static_cast<size_t>(in)].fetch_sub(
+                1, std::memory_order_acq_rel) != 1) {
+          continue;
+        }
+        if (graph_.node(in).kind != NodeKind::kOp || in == output) {
+          continue;  // caller/graph-owned storage, or the value we must return
+        }
+        arena->Recycle(std::move(trace.values[static_cast<size_t>(in)]));
+        trace.values[static_cast<size_t>(in)] = Tensor();
+      }
+    }
+  };
+
+  if (pool == nullptr) {
+    // Sequential path: the canonical topological order needs no dependency
+    // bookkeeping — this is the seed interpreter, byte for byte.
+    for (int64_t k = 0; k < num_ops; ++k) {
+      execute_node(static_cast<int32_t>(k));
+    }
+  } else {
+    // Dependency structure over op-node indices (positions in the canonical
+    // topological order). pending[k] counts producer edges from other op nodes;
+    // inputs/params are materialized above and never pend.
+    std::vector<int32_t> op_index(static_cast<size_t>(graph_.num_nodes()), -1);
+    for (int64_t k = 0; k < num_ops; ++k) {
+      op_index[static_cast<size_t>(ops[static_cast<size_t>(k)])] = static_cast<int32_t>(k);
+    }
+    std::vector<std::vector<int32_t>> consumers(static_cast<size_t>(num_ops));
+    std::vector<int32_t> pending(static_cast<size_t>(num_ops), 0);
+    for (int64_t k = 0; k < num_ops; ++k) {
+      const Node& node = graph_.node(ops[static_cast<size_t>(k)]);
+      for (const NodeId in : node.inputs) {
+        const int32_t producer = op_index[static_cast<size_t>(in)];
+        if (producer >= 0) {
+          consumers[static_cast<size_t>(producer)].push_back(static_cast<int32_t>(k));
+          ++pending[static_cast<size_t>(k)];
+        }
+      }
+    }
+    const Scheduler scheduler(pool, options.num_threads);
+    scheduler.Run(std::move(consumers), std::move(pending), execute_node);
+  }
+
+  if (arena_stats != nullptr && arena != nullptr) {
+    *arena_stats = arena->stats();
   }
   return trace;
 }

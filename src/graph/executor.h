@@ -2,6 +2,16 @@
 // (the paper's "FX-based co-execution": one traced run yields both values and tau_theo
 // per operator). The device profile parameterizes every reduction/intrinsic, so running
 // the same graph under two profiles reproduces cross-device FP divergence.
+//
+// Execution is a thin facade over the parallel runtime layer (src/runtime/): a
+// dependency-counting Scheduler drains operator nodes across the shared ThreadPool
+// (inter-op), a ParallelFor handle threaded through OpContext splits hot kernels'
+// outer loops (intra-op), and a TensorArena recycles dead intermediates in
+// output-only runs. The protocol invariant is bitwise determinism: traces are
+// identical for every num_threads and arena setting, because thread count only
+// repartitions loop iterations whose outputs are disjoint — commitments and bound
+// checks hash exact values, so this is load-bearing, not cosmetic (see
+// docs/runtime.md).
 
 #ifndef TAO_SRC_GRAPH_EXECUTOR_H_
 #define TAO_SRC_GRAPH_EXECUTOR_H_
@@ -11,6 +21,7 @@
 #include "src/device/device.h"
 #include "src/graph/graph.h"
 #include "src/ops/fperror.h"
+#include "src/runtime/arena.h"
 
 namespace tao {
 
@@ -30,6 +41,16 @@ struct ExecutorOptions {
   bool with_bounds = false;
   BoundMode bound_mode = BoundMode::kProbabilistic;
   double lambda = kDefaultLambda;
+
+  // --- runtime policy ---------------------------------------------------------------
+  // Worker count including the calling thread. 1 = the seed's sequential interpreter
+  // (exact baseline); >1 enables inter-op scheduling and intra-op loop splitting on
+  // the shared pool. Values and bounds are bitwise identical either way.
+  int num_threads = 1;
+  // Recycle intermediates whose last consumer has executed through a TensorArena.
+  // Only effective on the output-only path (RunOutput): full traces retain every
+  // value, so nothing is ever dead there.
+  bool reuse_buffers = false;
 };
 
 class Executor {
@@ -41,8 +62,12 @@ class Executor {
   // order). Returns the full trace.
   ExecutionTrace Run(const std::vector<Tensor>& inputs, const ExecutorOptions& options = {}) const;
 
-  // Convenience: runs and returns only the output tensor.
-  Tensor RunOutput(const std::vector<Tensor>& inputs) const;
+  // Convenience: runs and returns only the output tensor. This path honors
+  // `options.reuse_buffers` (dead intermediates are released to the arena as the
+  // schedule advances); `arena_stats`, when non-null, receives the arena's
+  // allocation/recycle counters for the run.
+  Tensor RunOutput(const std::vector<Tensor>& inputs, const ExecutorOptions& options = {},
+                   TensorArena::Stats* arena_stats = nullptr) const;
 
   // Overrides applied after each node executes: the malicious proposer of Sec. 4 adds
   // a perturbation Delta_v to the output of node `id` before downstream consumers see
@@ -57,6 +82,11 @@ class Executor {
                               const ExecutorOptions& options = {}) const;
 
  private:
+  ExecutionTrace RunInternal(const std::vector<Tensor>& inputs,
+                             const std::vector<Perturbation>& perturbations,
+                             const ExecutorOptions& options, bool keep_values,
+                             TensorArena::Stats* arena_stats) const;
+
   const Graph& graph_;
   const DeviceProfile& device_;
 };

@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "src/runtime/parallel_for.h"
+#include "src/runtime/thread_pool.h"
 #include "src/util/check.h"
 
 namespace tao {
@@ -76,8 +78,12 @@ std::vector<Slice> PartitionSlice(const Slice& slice, int64_t n) {
 
 std::map<NodeId, Tensor> ExecuteSlice(const Graph& graph, const DeviceProfile& device,
                                       const Slice& slice,
-                                      const std::map<NodeId, Tensor>& boundary) {
+                                      const std::map<NodeId, Tensor>& boundary,
+                                      int num_threads) {
   const std::vector<NodeId>& ops = graph.op_nodes();
+  ThreadPool* pool = num_threads > 1 ? &ThreadPool::Shared() : nullptr;
+  const ParallelFor parallel(pool, num_threads);
+  const ParallelFor* parallel_handle = pool != nullptr ? &parallel : nullptr;
   std::map<NodeId, Tensor> values;
   for (int64_t i = slice.begin; i < slice.end; ++i) {
     const Node& node = graph.node(ops[static_cast<size_t>(i)]);
@@ -100,7 +106,7 @@ std::map<NodeId, Tensor> ExecuteSlice(const Graph& graph, const DeviceProfile& d
           << "missing live-in tensor for node " << in << " (" << producer.label << ")";
       op_inputs.push_back(external->second);
     }
-    const OpContext ctx{device, op_inputs, node.attrs};
+    const OpContext ctx{device, op_inputs, node.attrs, parallel_handle};
     values[node.id] = kernel.Forward(ctx);
   }
   return values;

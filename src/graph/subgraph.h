@@ -46,9 +46,13 @@ std::vector<Slice> PartitionSlice(const Slice& slice, int64_t n);
 
 // Re-executes the operators of `slice` on `device`, reading live-in values from
 // `boundary` (params come from the graph). Returns values for every op in the slice.
+// `num_threads > 1` splits kernel outer loops across the shared runtime pool
+// (intra-op); the slice's operators still run in canonical order, and values are
+// bitwise identical for any thread count.
 std::map<NodeId, Tensor> ExecuteSlice(const Graph& graph, const DeviceProfile& device,
                                       const Slice& slice,
-                                      const std::map<NodeId, Tensor>& boundary);
+                                      const std::map<NodeId, Tensor>& boundary,
+                                      int num_threads = 1);
 
 // Total forward FLOPs of the slice's operators.
 int64_t SliceFlops(const Graph& graph, const Slice& slice);

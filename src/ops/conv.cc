@@ -55,14 +55,18 @@ class Conv2dKernel : public OpKernel {
     const Tensor& weight = ctx.inputs[1];
     const Tensor& bias = ctx.inputs[2];
     const ConvDims d = ConvDims::Make(x.shape(), weight.shape(), ctx.attrs);
-    Tensor out(Shape{d.batch, d.cout, d.oh, d.ow});
+    Tensor out = ctx.AllocateOutput(Shape{d.batch, d.cout, d.oh, d.ow});
     const float* xv = x.values().data();
     const float* wv = weight.values().data();
     const auto bv = bias.values();
     auto ov = out.mutable_values();
-    std::vector<float> patch(static_cast<size_t>(d.patch));
-    for (int64_t n = 0; n < d.batch; ++n) {
-      for (int64_t oy = 0; oy < d.oh; ++oy) {
+    // Split over flattened (image, output row) pairs; each chunk gathers receptive
+    // fields into its own scratch buffer.
+    ctx.For(d.batch * d.oh, [&](int64_t begin, int64_t end) {
+      std::vector<float> patch(static_cast<size_t>(d.patch));
+      for (int64_t r = begin; r < end; ++r) {
+        const int64_t n = r / d.oh;
+        const int64_t oy = r % d.oh;
         for (int64_t ox = 0; ox < d.ow; ++ox) {
           // Gather the receptive field (zero padding) once per spatial position.
           size_t p = 0;
@@ -85,7 +89,7 @@ class Conv2dKernel : public OpKernel {
           }
         }
       }
-    }
+    });
     return out;
   }
 
@@ -99,9 +103,11 @@ class Conv2dKernel : public OpKernel {
     const float* wv = weight.values().data();
     const auto yv = ctx.output.values();
     auto bnd = bound.mutable_values();
-    std::vector<double> patch(static_cast<size_t>(d.patch));
-    for (int64_t n = 0; n < d.batch; ++n) {
-      for (int64_t oy = 0; oy < d.oh; ++oy) {
+    ctx.For(d.batch * d.oh, [&](int64_t begin, int64_t end) {
+      std::vector<double> patch(static_cast<size_t>(d.patch));
+      for (int64_t r = begin; r < end; ++r) {
+        const int64_t n = r / d.oh;
+        const int64_t oy = r % d.oh;
         for (int64_t ox = 0; ox < d.ow; ++ox) {
           size_t p = 0;
           for (int64_t c = 0; c < d.cin; ++c) {
@@ -128,7 +134,7 @@ class Conv2dKernel : public OpKernel {
           }
         }
       }
-    }
+    });
     return bound;
   }
 

@@ -34,16 +34,19 @@ class MatmulKernel : public OpKernel {
     const int64_t m = a.shape().dim(0);
     const int64_t k = a.shape().dim(1);
     const int64_t n = b.shape().dim(1);
-    Tensor out(Shape{m, n});
+    Tensor out = ctx.AllocateOutput(Shape{m, n});
     const float* av = a.values().data();
     const float* bv = b.values().data();
     auto ov = out.mutable_values();
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t j = 0; j < n; ++j) {
-        ov[static_cast<size_t>(i * n + j)] =
-            ctx.device.DotStrided(av + i * k, 1, bv + j, n, k);
+    // Rows write disjoint output ranges, so splitting the outer loop is bitwise safe.
+    ctx.For(m, [&](int64_t row_begin, int64_t row_end) {
+      for (int64_t i = row_begin; i < row_end; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          ov[static_cast<size_t>(i * n + j)] =
+              ctx.device.DotStrided(av + i * k, 1, bv + j, n, k);
+        }
       }
-    }
+    });
     return out;
   }
 
@@ -58,16 +61,18 @@ class MatmulKernel : public OpKernel {
     const float* av = a.values().data();
     const float* bv = b.values().data();
     auto out = bound.mutable_values();
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t j = 0; j < n; ++j) {
-        double abs_dot = 0.0;
-        for (int64_t p = 0; p < k; ++p) {
-          abs_dot += std::abs(static_cast<double>(av[i * k + p])) *
-                     std::abs(static_cast<double>(bv[p * n + j]));
+    ctx.For(m, [&](int64_t row_begin, int64_t row_end) {
+      for (int64_t i = row_begin; i < row_end; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          double abs_dot = 0.0;
+          for (int64_t p = 0; p < k; ++p) {
+            abs_dot += std::abs(static_cast<double>(av[i * k + p])) *
+                       std::abs(static_cast<double>(bv[p * n + j]));
+          }
+          out[static_cast<size_t>(i * n + j)] = gamma * abs_dot;
         }
-        out[static_cast<size_t>(i * n + j)] = gamma * abs_dot;
       }
-    }
+    });
     return bound;
   }
 
@@ -137,20 +142,23 @@ class BmmKernel : public OpKernel {
     const int64_t m = a.shape().dim(1);
     const int64_t k = a.shape().dim(2);
     const int64_t n = b.shape().dim(2);
-    Tensor out(Shape{batch, m, n});
+    Tensor out = ctx.AllocateOutput(Shape{batch, m, n});
     const float* av = a.values().data();
     const float* bv = b.values().data();
     auto ov = out.mutable_values();
-    for (int64_t t = 0; t < batch; ++t) {
-      const float* at = av + t * m * k;
-      const float* bt = bv + t * k * n;
-      for (int64_t i = 0; i < m; ++i) {
+    // Split over flattened (batch, row) pairs so small-batch bmm still parallelizes.
+    ctx.For(batch * m, [&](int64_t begin, int64_t end) {
+      for (int64_t r = begin; r < end; ++r) {
+        const int64_t t = r / m;
+        const int64_t i = r % m;
+        const float* at = av + t * m * k;
+        const float* bt = bv + t * k * n;
         for (int64_t j = 0; j < n; ++j) {
           ov[static_cast<size_t>((t * m + i) * n + j)] =
               ctx.device.DotStrided(at + i * k, 1, bt + j, n, k);
         }
       }
-    }
+    });
     return out;
   }
 
@@ -166,10 +174,12 @@ class BmmKernel : public OpKernel {
     const float* av = a.values().data();
     const float* bv = b.values().data();
     auto out = bound.mutable_values();
-    for (int64_t t = 0; t < batch; ++t) {
-      const float* at = av + t * m * k;
-      const float* bt = bv + t * k * n;
-      for (int64_t i = 0; i < m; ++i) {
+    ctx.For(batch * m, [&](int64_t begin, int64_t end) {
+      for (int64_t r = begin; r < end; ++r) {
+        const int64_t t = r / m;
+        const int64_t i = r % m;
+        const float* at = av + t * m * k;
+        const float* bt = bv + t * k * n;
         for (int64_t j = 0; j < n; ++j) {
           double abs_dot = 0.0;
           for (int64_t p = 0; p < k; ++p) {
@@ -179,7 +189,7 @@ class BmmKernel : public OpKernel {
           out[static_cast<size_t>((t * m + i) * n + j)] = gamma * abs_dot;
         }
       }
-    }
+    });
     return bound;
   }
 
@@ -256,17 +266,19 @@ class LinearKernel : public OpKernel {
     const int64_t out_features = w.shape().dim(0);
     const int64_t rows = x.numel() / in;
     Shape out_shape = InferShape({x.shape(), w.shape(), b.shape()}, ctx.attrs);
-    Tensor out(out_shape);
+    Tensor out = ctx.AllocateOutput(std::move(out_shape));
     const float* xv = x.values().data();
     const float* wv = w.values().data();
     const auto bv = b.values();
     auto ov = out.mutable_values();
-    for (int64_t r = 0; r < rows; ++r) {
-      for (int64_t o = 0; o < out_features; ++o) {
-        const float dot = ctx.device.DotStrided(xv + r * in, 1, wv + o * in, 1, in);
-        ov[static_cast<size_t>(r * out_features + o)] = dot + bv[static_cast<size_t>(o)];
+    ctx.For(rows, [&](int64_t row_begin, int64_t row_end) {
+      for (int64_t r = row_begin; r < row_end; ++r) {
+        for (int64_t o = 0; o < out_features; ++o) {
+          const float dot = ctx.device.DotStrided(xv + r * in, 1, wv + o * in, 1, in);
+          ov[static_cast<size_t>(r * out_features + o)] = dot + bv[static_cast<size_t>(o)];
+        }
       }
-    }
+    });
     return out;
   }
 
@@ -282,18 +294,20 @@ class LinearKernel : public OpKernel {
     const float* wv = w.values().data();
     const auto yv = ctx.output.values();
     auto out = bound.mutable_values();
-    for (int64_t r = 0; r < rows; ++r) {
-      for (int64_t o = 0; o < out_features; ++o) {
-        double abs_dot = 0.0;
-        for (int64_t p = 0; p < in; ++p) {
-          abs_dot += std::abs(static_cast<double>(xv[r * in + p])) *
-                     std::abs(static_cast<double>(wv[o * in + p]));
+    ctx.For(rows, [&](int64_t row_begin, int64_t row_end) {
+      for (int64_t r = row_begin; r < row_end; ++r) {
+        for (int64_t o = 0; o < out_features; ++o) {
+          double abs_dot = 0.0;
+          for (int64_t p = 0; p < in; ++p) {
+            abs_dot += std::abs(static_cast<double>(xv[r * in + p])) *
+                       std::abs(static_cast<double>(wv[o * in + p]));
+          }
+          const size_t k = static_cast<size_t>(r * out_features + o);
+          // Dot-product error plus one rounding of the bias add.
+          out[k] = gamma * abs_dot + kUnitRoundoff * std::abs(static_cast<double>(yv[k]));
         }
-        const size_t k = static_cast<size_t>(r * out_features + o);
-        // Dot-product error plus one rounding of the bias add.
-        out[k] = gamma * abs_dot + kUnitRoundoff * std::abs(static_cast<double>(yv[k]));
       }
-    }
+    });
     return bound;
   }
 

@@ -92,30 +92,33 @@ class LayerNormKernel : public OpKernel {
     const double eps = ctx.attrs.GetDouble("eps", 1e-5);
     const int64_t d = x.shape().dim(-1);
     const int64_t rows = x.numel() / d;
-    Tensor out(x.shape());
+    Tensor out = ctx.AllocateOutput(x.shape());
     const auto xv = x.values();
     const auto wv = weight.values();
     const auto bv = bias.values();
     auto ov = out.mutable_values();
-    std::vector<float> row(static_cast<size_t>(d));
-    std::vector<float> sq(static_cast<size_t>(d));
-    for (int64_t r = 0; r < rows; ++r) {
-      const size_t base = static_cast<size_t>(r * d);
-      for (int64_t i = 0; i < d; ++i) {
-        row[static_cast<size_t>(i)] = xv[base + static_cast<size_t>(i)];
+    // Rows are independent; each chunk carries its own gather/square scratch.
+    ctx.For(rows, [&](int64_t row_begin, int64_t row_end) {
+      std::vector<float> row(static_cast<size_t>(d));
+      std::vector<float> sq(static_cast<size_t>(d));
+      for (int64_t r = row_begin; r < row_end; ++r) {
+        const size_t base = static_cast<size_t>(r * d);
+        for (int64_t i = 0; i < d; ++i) {
+          row[static_cast<size_t>(i)] = xv[base + static_cast<size_t>(i)];
+        }
+        const float mean = ctx.device.Accumulate(row) / static_cast<float>(d);
+        for (int64_t i = 0; i < d; ++i) {
+          const float centered = row[static_cast<size_t>(i)] - mean;
+          sq[static_cast<size_t>(i)] = centered * centered;
+        }
+        const float var = ctx.device.Accumulate(sq) / static_cast<float>(d);
+        const float inv = ctx.device.Rsqrt(var + static_cast<float>(eps));
+        for (int64_t i = 0; i < d; ++i) {
+          const size_t k = base + static_cast<size_t>(i);
+          ov[k] = (xv[k] - mean) * inv * wv[static_cast<size_t>(i)] + bv[static_cast<size_t>(i)];
+        }
       }
-      const float mean = ctx.device.Accumulate(row) / static_cast<float>(d);
-      for (int64_t i = 0; i < d; ++i) {
-        const float centered = row[static_cast<size_t>(i)] - mean;
-        sq[static_cast<size_t>(i)] = centered * centered;
-      }
-      const float var = ctx.device.Accumulate(sq) / static_cast<float>(d);
-      const float inv = ctx.device.Rsqrt(var + static_cast<float>(eps));
-      for (int64_t i = 0; i < d; ++i) {
-        const size_t k = base + static_cast<size_t>(i);
-        ov[k] = (xv[k] - mean) * inv * wv[static_cast<size_t>(i)] + bv[static_cast<size_t>(i)];
-      }
-    }
+    });
     return out;
   }
 
@@ -132,24 +135,26 @@ class LayerNormKernel : public OpKernel {
     const auto wv = weight.values();
     const auto yv = ctx.output.values();
     auto bnd = bound.mutable_values();
-    std::vector<size_t> idx(static_cast<size_t>(d));
-    for (int64_t r = 0; r < rows; ++r) {
-      const size_t base = static_cast<size_t>(r * d);
-      for (int64_t i = 0; i < d; ++i) {
-        idx[static_cast<size_t>(i)] = base + static_cast<size_t>(i);
+    ctx.For(rows, [&](int64_t row_begin, int64_t row_end) {
+      std::vector<size_t> idx(static_cast<size_t>(d));
+      for (int64_t r = row_begin; r < row_end; ++r) {
+        const size_t base = static_cast<size_t>(r * d);
+        for (int64_t i = 0; i < d; ++i) {
+          idx[static_cast<size_t>(i)] = base + static_cast<size_t>(i);
+        }
+        const NormGroupBound g = ComputeGroupStatsBound(xv, idx, eps, gamma, ctx.device);
+        for (int64_t i = 0; i < d; ++i) {
+          const size_t k = base + static_cast<size_t>(i);
+          const double di = static_cast<double>(xv[k]) - g.mu;
+          const double eps_d = g.eps_mu + u * std::abs(di);
+          const double t = di * g.r;
+          const double eps_t = std::abs(di) * g.eps_r + g.r * eps_d + u * std::abs(t);
+          const double w = std::abs(static_cast<double>(wv[static_cast<size_t>(i)]));
+          // y = t*w + b: propagate through the scale, round the product, round the add.
+          bnd[k] = w * eps_t + u * std::abs(t) * w + u * std::abs(static_cast<double>(yv[k]));
+        }
       }
-      const NormGroupBound g = ComputeGroupStatsBound(xv, idx, eps, gamma, ctx.device);
-      for (int64_t i = 0; i < d; ++i) {
-        const size_t k = base + static_cast<size_t>(i);
-        const double di = static_cast<double>(xv[k]) - g.mu;
-        const double eps_d = g.eps_mu + u * std::abs(di);
-        const double t = di * g.r;
-        const double eps_t = std::abs(di) * g.eps_r + g.r * eps_d + u * std::abs(t);
-        const double w = std::abs(static_cast<double>(wv[static_cast<size_t>(i)]));
-        // y = t*w + b: propagate through the scale, round the product, round the add.
-        bnd[k] = w * eps_t + u * std::abs(t) * w + u * std::abs(static_cast<double>(yv[k]));
-      }
-    }
+    });
     return bound;
   }
 
@@ -230,24 +235,26 @@ class RmsNormKernel : public OpKernel {
     const double eps = ctx.attrs.GetDouble("eps", 1e-6);
     const int64_t d = x.shape().dim(-1);
     const int64_t rows = x.numel() / d;
-    Tensor out(x.shape());
+    Tensor out = ctx.AllocateOutput(x.shape());
     const auto xv = x.values();
     const auto wv = weight.values();
     auto ov = out.mutable_values();
-    std::vector<float> sq(static_cast<size_t>(d));
-    for (int64_t r = 0; r < rows; ++r) {
-      const size_t base = static_cast<size_t>(r * d);
-      for (int64_t i = 0; i < d; ++i) {
-        const float v = xv[base + static_cast<size_t>(i)];
-        sq[static_cast<size_t>(i)] = v * v;
+    ctx.For(rows, [&](int64_t row_begin, int64_t row_end) {
+      std::vector<float> sq(static_cast<size_t>(d));
+      for (int64_t r = row_begin; r < row_end; ++r) {
+        const size_t base = static_cast<size_t>(r * d);
+        for (int64_t i = 0; i < d; ++i) {
+          const float v = xv[base + static_cast<size_t>(i)];
+          sq[static_cast<size_t>(i)] = v * v;
+        }
+        const float ms = ctx.device.Accumulate(sq) / static_cast<float>(d);
+        const float inv = ctx.device.Rsqrt(ms + static_cast<float>(eps));
+        for (int64_t i = 0; i < d; ++i) {
+          const size_t k = base + static_cast<size_t>(i);
+          ov[k] = xv[k] * inv * wv[static_cast<size_t>(i)];
+        }
       }
-      const float ms = ctx.device.Accumulate(sq) / static_cast<float>(d);
-      const float inv = ctx.device.Rsqrt(ms + static_cast<float>(eps));
-      for (int64_t i = 0; i < d; ++i) {
-        const size_t k = base + static_cast<size_t>(i);
-        ov[k] = xv[k] * inv * wv[static_cast<size_t>(i)];
-      }
-    }
+    });
     return out;
   }
 
@@ -264,32 +271,35 @@ class RmsNormKernel : public OpKernel {
     const auto wv = weight.values();
     const auto yv = ctx.output.values();
     auto bnd = bound.mutable_values();
-    for (int64_t r = 0; r < rows; ++r) {
-      const size_t base = static_cast<size_t>(r * d);
-      double sum_sq = 0.0;
-      double sum_eps_sq = 0.0;
-      for (int64_t i = 0; i < d; ++i) {
-        const double v = xv[base + static_cast<size_t>(i)];
-        const double sq = v * v;
-        sum_sq += sq;
-        sum_eps_sq += u * sq;  // one rounding per square
+    ctx.For(rows, [&](int64_t row_begin, int64_t row_end) {
+      for (int64_t r = row_begin; r < row_end; ++r) {
+        const size_t base = static_cast<size_t>(r * d);
+        double sum_sq = 0.0;
+        double sum_eps_sq = 0.0;
+        for (int64_t i = 0; i < d; ++i) {
+          const double v = xv[base + static_cast<size_t>(i)];
+          const double sq = v * v;
+          sum_sq += sq;
+          sum_eps_sq += u * sq;  // one rounding per square
+        }
+        const double ms = sum_sq / static_cast<double>(d);
+        const double eps_ms =
+            (gamma * sum_sq + (gamma + 1.0) * sum_eps_sq) / static_cast<double>(d) + u * ms;
+        const double a = ms + eps;
+        const double eps_a = eps_ms + u * a;
+        const double inv = 1.0 / std::sqrt(a);
+        const double eps_inv =
+            0.5 * std::pow(a, -1.5) * eps_a + UlpError(inv, ctx.device.RsqrtUlp());
+        for (int64_t i = 0; i < d; ++i) {
+          const size_t k = base + static_cast<size_t>(i);
+          const double xi = std::abs(static_cast<double>(xv[k]));
+          const double t = xi * inv;
+          const double eps_t = xi * eps_inv + u * t;
+          const double w = std::abs(static_cast<double>(wv[static_cast<size_t>(i)]));
+          bnd[k] = w * eps_t + u * std::abs(static_cast<double>(yv[k]));
+        }
       }
-      const double ms = sum_sq / static_cast<double>(d);
-      const double eps_ms =
-          (gamma * sum_sq + (gamma + 1.0) * sum_eps_sq) / static_cast<double>(d) + u * ms;
-      const double a = ms + eps;
-      const double eps_a = eps_ms + u * a;
-      const double inv = 1.0 / std::sqrt(a);
-      const double eps_inv = 0.5 * std::pow(a, -1.5) * eps_a + UlpError(inv, ctx.device.RsqrtUlp());
-      for (int64_t i = 0; i < d; ++i) {
-        const size_t k = base + static_cast<size_t>(i);
-        const double xi = std::abs(static_cast<double>(xv[k]));
-        const double t = xi * inv;
-        const double eps_t = xi * eps_inv + u * t;
-        const double w = std::abs(static_cast<double>(wv[static_cast<size_t>(i)]));
-        bnd[k] = w * eps_t + u * std::abs(static_cast<double>(yv[k]));
-      }
-    }
+    });
     return bound;
   }
 
@@ -361,21 +371,23 @@ class BatchNormKernel : public OpKernel {
     const double eps = ctx.attrs.GetDouble("eps", 1e-5);
     const int64_t c = x.shape().dim(1);
     const int64_t spatial = x.numel() / (x.shape().dim(0) * c);
-    Tensor out(x.shape());
+    Tensor out = ctx.AllocateOutput(x.shape());
     const auto xv = x.values();
     auto ov = out.mutable_values();
-    for (int64_t n = 0; n < x.shape().dim(0); ++n) {
-      for (int64_t ch = 0; ch < c; ++ch) {
+    const int64_t batch = x.shape().dim(0);
+    ctx.For(batch * c, [&](int64_t begin, int64_t end) {
+      for (int64_t r = begin; r < end; ++r) {
+        const int64_t ch = r % c;
         const size_t ci = static_cast<size_t>(ch);
         const float inv = ctx.device.Rsqrt(vv[ci] + static_cast<float>(eps));
         const float scale = wv[ci] * inv;
-        const size_t base = static_cast<size_t>((n * c + ch) * spatial);
+        const size_t base = static_cast<size_t>(r * spatial);
         for (int64_t s = 0; s < spatial; ++s) {
           ov[base + static_cast<size_t>(s)] =
               (xv[base + static_cast<size_t>(s)] - mv[ci]) * scale + bv[ci];
         }
       }
-    }
+    });
     return out;
   }
 
@@ -395,8 +407,10 @@ class BatchNormKernel : public OpKernel {
     const auto xv = x.values();
     const auto yv = ctx.output.values();
     auto bnd = bound.mutable_values();
-    for (int64_t n = 0; n < x.shape().dim(0); ++n) {
-      for (int64_t ch = 0; ch < c; ++ch) {
+    const int64_t batch = x.shape().dim(0);
+    ctx.For(batch * c, [&](int64_t begin, int64_t end) {
+      for (int64_t r = begin; r < end; ++r) {
+        const int64_t ch = r % c;
         const size_t ci = static_cast<size_t>(ch);
         const double a = static_cast<double>(vv[ci]) + eps;
         const double inv = 1.0 / std::sqrt(a);
@@ -405,7 +419,7 @@ class BatchNormKernel : public OpKernel {
         const double w = std::abs(static_cast<double>(wv[ci]));
         const double scale = w * inv;
         const double eps_scale = w * eps_inv + u * scale;
-        const size_t base = static_cast<size_t>((n * c + ch) * spatial);
+        const size_t base = static_cast<size_t>(r * spatial);
         for (int64_t s = 0; s < spatial; ++s) {
           const size_t k = base + static_cast<size_t>(s);
           const double d = std::abs(static_cast<double>(xv[k]) - static_cast<double>(mv[ci]));
@@ -415,7 +429,7 @@ class BatchNormKernel : public OpKernel {
           bnd[k] = eps_t + u * std::abs(static_cast<double>(yv[k]));
         }
       }
-    }
+    });
     return bound;
   }
 
@@ -480,14 +494,16 @@ class GroupNormKernel : public OpKernel {
     const int64_t spatial = x.numel() / (batch * c);
     const int64_t per_group = c / groups;
     const int64_t group_elems = per_group * spatial;
-    Tensor out(x.shape());
+    Tensor out = ctx.AllocateOutput(x.shape());
     const auto xv = x.values();
     auto ov = out.mutable_values();
-    std::vector<float> buf(static_cast<size_t>(group_elems));
-    std::vector<float> sq(static_cast<size_t>(group_elems));
-    for (int64_t n = 0; n < batch; ++n) {
-      for (int64_t g = 0; g < groups; ++g) {
-        const size_t base = static_cast<size_t>(((n * groups + g) * per_group) * spatial);
+    // Split over flattened (image, group) pairs; chunks keep private scratch.
+    ctx.For(batch * groups, [&](int64_t begin, int64_t end) {
+      std::vector<float> buf(static_cast<size_t>(group_elems));
+      std::vector<float> sq(static_cast<size_t>(group_elems));
+      for (int64_t r = begin; r < end; ++r) {
+        const int64_t g = r % groups;
+        const size_t base = static_cast<size_t>(r * per_group * spatial);
         for (int64_t i = 0; i < group_elems; ++i) {
           buf[static_cast<size_t>(i)] = xv[base + static_cast<size_t>(i)];
         }
@@ -505,7 +521,7 @@ class GroupNormKernel : public OpKernel {
                   bv[static_cast<size_t>(ch)];
         }
       }
-    }
+    });
     return out;
   }
 
@@ -525,10 +541,11 @@ class GroupNormKernel : public OpKernel {
     const auto xv = x.values();
     const auto yv = ctx.output.values();
     auto bnd = bound.mutable_values();
-    std::vector<size_t> idx(static_cast<size_t>(group_elems));
-    for (int64_t n = 0; n < batch; ++n) {
-      for (int64_t g = 0; g < groups; ++g) {
-        const size_t base = static_cast<size_t>(((n * groups + g) * per_group) * spatial);
+    ctx.For(batch * groups, [&](int64_t begin, int64_t end) {
+      std::vector<size_t> idx(static_cast<size_t>(group_elems));
+      for (int64_t r = begin; r < end; ++r) {
+        const int64_t g = r % groups;
+        const size_t base = static_cast<size_t>(r * per_group * spatial);
         for (int64_t i = 0; i < group_elems; ++i) {
           idx[static_cast<size_t>(i)] = base + static_cast<size_t>(i);
         }
@@ -544,7 +561,7 @@ class GroupNormKernel : public OpKernel {
           bnd[k] = w * eps_t + u * std::abs(t) * w + u * std::abs(static_cast<double>(yv[k]));
         }
       }
-    }
+    });
     return bound;
   }
 

@@ -2,9 +2,39 @@
 
 #include <mutex>
 
+#include "src/runtime/arena.h"
+#include "src/runtime/parallel_for.h"
 #include "src/util/check.h"
 
 namespace tao {
+namespace {
+
+// Shared dispatch for OpContext::For / BoundContext::For so the inline-fallback
+// semantics cannot diverge between Forward and Bound.
+void RunChunked(const ParallelFor* parallel, int64_t n,
+                const std::function<void(int64_t, int64_t)>& fn, int64_t grain) {
+  if (parallel != nullptr) {
+    (*parallel)(n, fn, grain);
+  } else {
+    fn(0, n);
+  }
+}
+
+}  // namespace
+
+void OpContext::For(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                    int64_t grain) const {
+  RunChunked(parallel, n, fn, grain);
+}
+
+Tensor OpContext::AllocateOutput(Shape shape) const {
+  return arena != nullptr ? arena->Allocate(shape) : Tensor(std::move(shape));
+}
+
+void BoundContext::For(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                       int64_t grain) const {
+  RunChunked(parallel, n, fn, grain);
+}
 
 DTensor OpKernel::Bound(const BoundContext& ctx) const {
   // Pure data movement contributes no floating-point error.

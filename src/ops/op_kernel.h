@@ -14,6 +14,8 @@
 #ifndef TAO_SRC_OPS_OP_KERNEL_H_
 #define TAO_SRC_OPS_OP_KERNEL_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -26,10 +28,28 @@
 
 namespace tao {
 
+class ParallelFor;   // src/runtime/parallel_for.h
+class TensorArena;   // src/runtime/arena.h
+
 struct OpContext {
   const DeviceProfile& device;
   const std::vector<Tensor>& inputs;
   const Attrs& attrs;
+  // Intra-op parallelism handle threaded through by the runtime executor; null means
+  // run sequentially. Kernels may only split loops whose iterations write disjoint
+  // output ranges, so results stay bitwise identical for any thread count.
+  const ParallelFor* parallel = nullptr;
+  // Output allocator; null means fresh heap allocation. Arena-served buffers are not
+  // zeroed: a kernel using AllocateOutput must write every output element.
+  TensorArena* arena = nullptr;
+
+  // Runs fn(begin, end) over disjoint chunks of [0, n) — on the runtime pool when a
+  // handle is present, inline otherwise.
+  void For(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+           int64_t grain = 1) const;
+
+  // Allocates the kernel's output tensor, recycling a dead intermediate if possible.
+  Tensor AllocateOutput(Shape shape) const;
 };
 
 struct BoundContext {
@@ -39,6 +59,12 @@ struct BoundContext {
   const Attrs& attrs;
   BoundMode mode = BoundMode::kProbabilistic;
   double lambda = kDefaultLambda;
+  // Same contract as OpContext::parallel (bounds are per-element FP64 arithmetic, so
+  // outer-loop splitting is always bitwise safe).
+  const ParallelFor* parallel = nullptr;
+
+  void For(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+           int64_t grain = 1) const;
 };
 
 struct VjpContext {

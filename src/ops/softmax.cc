@@ -51,12 +51,15 @@ class SoftmaxKernel : public OpKernel {
   Tensor Forward(const OpContext& ctx) const override {
     const Tensor& x = ctx.inputs[0];
     const AxisView view = AxisView::Make(x.shape(), ctx.attrs.GetInt("axis", -1));
-    Tensor out(x.shape());
+    Tensor out = ctx.AllocateOutput(x.shape());
     const auto xv = x.values();
     auto ov = out.mutable_values();
-    std::vector<float> exps(static_cast<size_t>(view.n));
-    for (int64_t o = 0; o < view.outer; ++o) {
-      for (int64_t in = 0; in < view.inner; ++in) {
+    // Split over flattened (outer, inner) rows; each chunk keeps its own exp scratch.
+    ctx.For(view.outer * view.inner, [&](int64_t begin, int64_t end) {
+      std::vector<float> exps(static_cast<size_t>(view.n));
+      for (int64_t r = begin; r < end; ++r) {
+        const int64_t o = r / view.inner;
+        const int64_t in = r % view.inner;
         float max_val = -std::numeric_limits<float>::infinity();
         for (int64_t i = 0; i < view.n; ++i) {
           max_val = std::max(max_val, xv[static_cast<size_t>(view.Offset(o, i, in))]);
@@ -70,7 +73,7 @@ class SoftmaxKernel : public OpKernel {
           ov[static_cast<size_t>(view.Offset(o, i, in))] = exps[static_cast<size_t>(i)] / denom;
         }
       }
-    }
+    });
     return out;
   }
 
@@ -84,10 +87,12 @@ class SoftmaxKernel : public OpKernel {
     const auto xv = x.values();
     const auto yv = ctx.output.values();
     auto bv = bound.mutable_values();
-    std::vector<double> e(static_cast<size_t>(view.n));
-    std::vector<double> eps_e(static_cast<size_t>(view.n));
-    for (int64_t o = 0; o < view.outer; ++o) {
-      for (int64_t in = 0; in < view.inner; ++in) {
+    ctx.For(view.outer * view.inner, [&](int64_t begin, int64_t end) {
+      std::vector<double> e(static_cast<size_t>(view.n));
+      std::vector<double> eps_e(static_cast<size_t>(view.n));
+      for (int64_t r = begin; r < end; ++r) {
+        const int64_t o = r / view.inner;
+        const int64_t in = r % view.inner;
         double m = -std::numeric_limits<double>::infinity();
         for (int64_t i = 0; i < view.n; ++i) {
           m = std::max(m, static_cast<double>(xv[static_cast<size_t>(view.Offset(o, i, in))]));
@@ -114,7 +119,7 @@ class SoftmaxKernel : public OpKernel {
                   e[static_cast<size_t>(i)] * eps_s / (sum_e * sum_e) + u * std::abs(yi);
         }
       }
-    }
+    });
     return bound;
   }
 

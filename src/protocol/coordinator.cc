@@ -20,6 +20,7 @@ const char* ClaimStateName(ClaimState state) {
 
 ClaimId Coordinator::SubmitCommitment(const Digest& c0, uint64_t challenge_window,
                                       double proposer_bond) {
+  std::lock_guard<std::mutex> lock(mu_);
   TAO_CHECK_GT(proposer_bond, 0.0);
   ClaimRecord record;
   record.id = next_id_++;
@@ -34,6 +35,7 @@ ClaimId Coordinator::SubmitCommitment(const Digest& c0, uint64_t challenge_windo
 }
 
 ClaimState Coordinator::TryFinalize(ClaimId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   ClaimRecord& claim = MutableClaim(id);
   if (claim.state == ClaimState::kCommitted &&
       now_ >= claim.committed_at + claim.challenge_window) {
@@ -44,6 +46,7 @@ ClaimState Coordinator::TryFinalize(ClaimId id) {
 }
 
 void Coordinator::OpenChallenge(ClaimId id, double challenger_bond) {
+  std::lock_guard<std::mutex> lock(mu_);
   ClaimRecord& claim = MutableClaim(id);
   TAO_CHECK(claim.state == ClaimState::kCommitted)
       << "cannot challenge claim in state " << ClaimStateName(claim.state);
@@ -59,6 +62,7 @@ void Coordinator::OpenChallenge(ClaimId id, double challenger_bond) {
 
 void Coordinator::RecordPartition(ClaimId id, int64_t children,
                                   const std::vector<Digest>& child_hashes) {
+  std::lock_guard<std::mutex> lock(mu_);
   ClaimRecord& claim = MutableClaim(id);
   TAO_CHECK(claim.state == ClaimState::kDisputed);
   TAO_CHECK(now_ <= claim.round_deadline) << "proposer partition past deadline";
@@ -68,6 +72,7 @@ void Coordinator::RecordPartition(ClaimId id, int64_t children,
 }
 
 void Coordinator::RecordSelection(ClaimId id, int64_t selected_child) {
+  std::lock_guard<std::mutex> lock(mu_);
   ClaimRecord& claim = MutableClaim(id);
   TAO_CHECK(claim.state == ClaimState::kDisputed);
   TAO_CHECK(now_ <= claim.round_deadline) << "challenger selection past deadline";
@@ -78,20 +83,28 @@ void Coordinator::RecordSelection(ClaimId id, int64_t selected_child) {
 }
 
 void Coordinator::RecordMerkleCheck(ClaimId id, int64_t proofs) {
+  std::lock_guard<std::mutex> lock(mu_);
   ClaimRecord& claim = MutableClaim(id);
   claim.merkle_checks += proofs;
   gas_.Charge(schedule_.merkle_check * proofs);
 }
 
 void Coordinator::RecordTimeout(ClaimId id, bool proposer_timed_out) {
+  std::lock_guard<std::mutex> lock(mu_);
   ClaimRecord& claim = MutableClaim(id);
   TAO_CHECK(claim.state == ClaimState::kDisputed);
   TAO_CHECK(now_ > claim.round_deadline) << "no deadline has passed";
-  RecordLeafAdjudication(id, proposer_timed_out, 0.5);
+  RecordLeafAdjudicationLocked(id, proposer_timed_out, 0.5);
 }
 
 void Coordinator::RecordLeafAdjudication(ClaimId id, bool proposer_guilty,
                                          double challenger_share) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordLeafAdjudicationLocked(id, proposer_guilty, challenger_share);
+}
+
+void Coordinator::RecordLeafAdjudicationLocked(ClaimId id, bool proposer_guilty,
+                                               double challenger_share) {
   ClaimRecord& claim = MutableClaim(id);
   TAO_CHECK(claim.state == ClaimState::kDisputed);
   gas_.Charge(schedule_.leaf_adjudication);
@@ -110,6 +123,7 @@ void Coordinator::RecordLeafAdjudication(ClaimId id, bool proposer_guilty,
 }
 
 const ClaimRecord& Coordinator::claim(ClaimId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = claims_.find(id);
   TAO_CHECK(it != claims_.end()) << "unknown claim " << id;
   return it->second;

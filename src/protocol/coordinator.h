@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,14 +52,27 @@ struct Balances {
   double treasury = 0.0;  // burned remainder of slashes
 };
 
+// The Coordinator is safe to share across concurrently-running protocol flows (the
+// runtime layer executes independent claims in parallel): every state transition
+// locks an internal mutex, the gas meter is atomic, and claim() references stay
+// valid because std::map nodes are stable under insertion. Concurrent flows must
+// still operate on DISTINCT claims — two parties racing transitions on one claim is
+// a protocol violation, not a data race the lock should hide.
+
 class Coordinator {
  public:
   explicit Coordinator(GasSchedule schedule = {}, uint64_t round_timeout = 10)
       : schedule_(schedule), round_timeout_(round_timeout) {}
 
   // --- logical clock ----------------------------------------------------------------
-  uint64_t now() const { return now_; }
-  void AdvanceTime(uint64_t ticks) { now_ += ticks; }
+  uint64_t now() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_;
+  }
+  void AdvanceTime(uint64_t ticks) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ += ticks;
+  }
 
   // --- phase 1: optimistic execution --------------------------------------------------
   ClaimId SubmitCommitment(const Digest& c0, uint64_t challenge_window, double proposer_bond);
@@ -79,17 +93,29 @@ class Coordinator {
   // --- phase 3: adjudication ------------------------------------------------------------
   void RecordLeafAdjudication(ClaimId id, bool proposer_guilty, double challenger_share);
 
+ private:
+  // Adjudication body; callers must hold mu_.
+  void RecordLeafAdjudicationLocked(ClaimId id, bool proposer_guilty, double challenger_share);
+
+ public:
+
   const ClaimRecord& claim(ClaimId id) const;
-  const Balances& balances() const { return balances_; }
+  // Snapshot of the ledger (copied under the lock).
+  Balances balances() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return balances_;
+  }
   const GasMeter& gas() const { return gas_; }
   GasMeter& mutable_gas() { return gas_; }
   const GasSchedule& schedule() const { return schedule_; }
 
  private:
+  // Callers must hold mu_.
   ClaimRecord& MutableClaim(ClaimId id);
 
   GasSchedule schedule_;
   uint64_t round_timeout_;
+  mutable std::mutex mu_;
   uint64_t now_ = 0;
   ClaimId next_id_ = 1;
   std::map<ClaimId, ClaimRecord> claims_;

@@ -1,5 +1,9 @@
 #include "src/protocol/dispute.h"
 
+#include <utility>
+
+#include "src/runtime/parallel_for.h"
+#include "src/runtime/thread_pool.h"
 #include "src/util/check.h"
 #include "src/util/stopwatch.h"
 
@@ -41,10 +45,22 @@ DisputeResult DisputeGame::Run(const std::vector<Tensor>& inputs,
   DisputeResult result;
   const int64_t gas_before = coordinator_.gas().total();
 
-  // ---- Phase 1: proposer executes and commits ---------------------------------------
+  ExecutorOptions exec_options;
+  exec_options.num_threads = options_.num_threads;
+  ThreadPool* pool = options_.num_threads > 1 ? &ThreadPool::Shared() : nullptr;
+
+  // ---- Phase 1: proposer executes and commits; challenger re-executes ---------------
+  // The two executions are independent (different devices, same inputs), so with a
+  // parallel runtime they run concurrently; traces are bitwise identical to the
+  // sequential schedule, so the commitment and every downstream verdict are unchanged.
   const Executor proposer_exec(graph, proposer_device);
-  const ExecutionTrace proposer_trace =
-      proposer_exec.RunPerturbed(inputs, perturbations);
+  const Executor challenger_exec(graph, challenger_device);
+  ExecutionTrace proposer_trace;
+  ExecutionTrace challenger_trace;
+  ParallelInvoke(
+      pool,
+      [&] { proposer_trace = proposer_exec.RunPerturbed(inputs, perturbations, exec_options); },
+      [&] { challenger_trace = challenger_exec.Run(inputs, exec_options); });
   ResultMeta meta;
   meta.device = proposer_device.name;
   meta.challenge_window = options_.challenge_window;
@@ -53,9 +69,6 @@ DisputeResult DisputeGame::Run(const std::vector<Tensor>& inputs,
   const ClaimId claim =
       coordinator_.SubmitCommitment(c0, options_.challenge_window, options_.proposer_bond);
 
-  // ---- Challenger verification (off-protocol re-execution) --------------------------
-  const Executor challenger_exec(graph, challenger_device);
-  const ExecutionTrace challenger_trace = challenger_exec.Run(inputs);
   const NodeId output = graph.output();
   if (!thresholds_.Exceeds(output, proposer_trace.value(output),
                            challenger_trace.value(output))) {
@@ -130,25 +143,97 @@ DisputeResult DisputeGame::Run(const std::vector<Tensor>& inputs,
     coordinator_.RecordPartition(claim, round.children, child_hashes);
 
     // -- Challenger: verify proofs, re-execute children in order, select offender ----
+    // Merkle inclusion checks are independent read-only hash verifications: fan them
+    // out per child. The metered count is the (deterministic) proof total.
     Stopwatch selection_watch;
+    const ParallelFor verify_parallel(pool, options_.num_threads);
+    verify_parallel(static_cast<int64_t>(records.size()), [&](int64_t begin, int64_t end) {
+      for (int64_t j = begin; j < end; ++j) {
+        const ChildRecord& record = records[static_cast<size_t>(j)];
+        for (size_t i = 0; i < record.weight_proofs.size(); ++i) {
+          TAO_CHECK(commitment_.VerifyWeight(graph, record.weight_proof_nodes[i],
+                                             record.weight_proofs[i]))
+              << "weight proof failed";
+        }
+        for (size_t i = 0; i < record.signature_proofs.size(); ++i) {
+          TAO_CHECK(commitment_.VerifySignature(graph, record.signature_proof_nodes[i],
+                                                record.signature_proofs[i]))
+              << "signature proof failed";
+        }
+      }
+    });
     int64_t proofs_checked = 0;
     for (const ChildRecord& record : records) {
-      for (size_t i = 0; i < record.weight_proofs.size(); ++i) {
-        TAO_CHECK(commitment_.VerifyWeight(graph, record.weight_proof_nodes[i],
-                                           record.weight_proofs[i]))
-            << "weight proof failed";
-        ++proofs_checked;
-      }
-      for (size_t i = 0; i < record.signature_proofs.size(); ++i) {
-        TAO_CHECK(commitment_.VerifySignature(graph, record.signature_proof_nodes[i],
-                                              record.signature_proofs[i]))
-            << "signature proof failed";
-        ++proofs_checked;
-      }
+      proofs_checked += static_cast<int64_t>(record.weight_proofs.size()) +
+                        static_cast<int64_t>(record.signature_proofs.size());
     }
     round.merkle_proofs = proofs_checked;
     result.total_merkle_checks += proofs_checked;
     coordinator_.RecordMerkleCheck(claim, proofs_checked);
+
+    // Boundary for a child: agreed values extended by earlier children's accepted
+    // live-outs. Every extension is a proposer-posted value, so the boundary is
+    // derivable before any child re-executes — which is what lets the speculative
+    // mode fan all fresh children out at once with unchanged verdicts.
+    const auto child_boundary = [&](const ChildRecord& record) {
+      std::map<NodeId, Tensor> boundary;
+      for (size_t i = 0; i < record.frontier.live_in.size(); ++i) {
+        const NodeId in = record.frontier.live_in[i];
+        const auto it = agreed.find(in);
+        if (it != agreed.end()) {
+          boundary.emplace(in, it->second);
+        } else {
+          // Live-in produced inside this dispute's already-accepted region but not
+          // yet copied into `agreed`: take the proposer's posted value (implicit
+          // agreement, Sec. 2.2).
+          boundary.emplace(in, record.live_in_values[i]);
+        }
+      }
+      return boundary;
+    };
+    const auto cache_covers = [&](const Slice& s) {
+      const std::vector<NodeId>& ops = graph.op_nodes();
+      for (int64_t i = s.begin; i < s.end; ++i) {
+        if (challenger_cache.count(ops[static_cast<size_t>(i)]) == 0) {
+          return false;
+        }
+      }
+      return true;
+    };
+
+    // -- Speculative mode: re-execute every fresh child of the round concurrently ----
+    std::vector<std::map<NodeId, Tensor>> prefetched(records.size());
+    std::vector<char> has_prefetch(records.size(), 0);
+    if (options_.speculative_reexecution && pool != nullptr && records.size() > 1) {
+      std::vector<std::map<NodeId, Tensor>> boundaries(records.size());
+      for (size_t j = 0; j < records.size(); ++j) {
+        if (j == 0 && first_child_cached && cache_covers(records[0].slice)) {
+          continue;  // served from the challenger's cache below
+        }
+        has_prefetch[j] = 1;
+        boundaries[j] = child_boundary(records[j]);
+      }
+      const ParallelFor children_parallel(pool, options_.num_threads);
+      children_parallel(static_cast<int64_t>(records.size()),
+                        [&](int64_t begin, int64_t end) {
+                          for (int64_t j = begin; j < end; ++j) {
+                            if (has_prefetch[static_cast<size_t>(j)]) {
+                              prefetched[static_cast<size_t>(j)] = ExecuteSlice(
+                                  graph, challenger_device,
+                                  records[static_cast<size_t>(j)].slice,
+                                  boundaries[static_cast<size_t>(j)],
+                                  options_.num_threads);
+                            }
+                          }
+                        });
+      for (size_t j = 0; j < records.size(); ++j) {
+        if (has_prefetch[j]) {
+          // Honest DCR accounting: speculative work past the offender still counts.
+          round.children_reexecuted += 1;
+          round.reexec_flops += SliceFlops(graph, records[j].slice);
+        }
+      }
+    }
 
     int64_t selected = -1;
     bool selected_child_cached = false;
@@ -159,35 +244,18 @@ DisputeResult DisputeGame::Run(const std::vector<Tensor>& inputs,
       // proposer's (freshly agreed) boundary values.
       const bool reuse = (j == 0) && first_child_cached;
       std::map<NodeId, Tensor> reexec;
-      if (reuse) {
+      if (reuse && cache_covers(record.slice)) {
         const std::vector<NodeId>& ops = graph.op_nodes();
-        bool complete = true;
-        for (int64_t i = record.slice.begin; i < record.slice.end && complete; ++i) {
-          complete = challenger_cache.count(ops[static_cast<size_t>(i)]) > 0;
+        for (int64_t i = record.slice.begin; i < record.slice.end; ++i) {
+          const NodeId id = ops[static_cast<size_t>(i)];
+          reexec.emplace(id, challenger_cache.at(id));
         }
-        if (complete) {
-          for (int64_t i = record.slice.begin; i < record.slice.end; ++i) {
-            const NodeId id = ops[static_cast<size_t>(i)];
-            reexec.emplace(id, challenger_cache.at(id));
-          }
-        }
+      } else if (has_prefetch[j]) {
+        reexec = std::move(prefetched[j]);
       }
       if (reexec.empty()) {
-        // Boundary: agreed values extended by earlier children's accepted live-outs.
-        std::map<NodeId, Tensor> boundary;
-        for (size_t i = 0; i < record.frontier.live_in.size(); ++i) {
-          const NodeId in = record.frontier.live_in[i];
-          const auto it = agreed.find(in);
-          if (it != agreed.end()) {
-            boundary.emplace(in, it->second);
-          } else {
-            // Live-in produced inside this dispute's already-accepted region but not
-            // yet copied into `agreed`: take the proposer's posted value (implicit
-            // agreement, Sec. 2.2).
-            boundary.emplace(in, record.live_in_values[i]);
-          }
-        }
-        reexec = ExecuteSlice(graph, challenger_device, record.slice, boundary);
+        reexec = ExecuteSlice(graph, challenger_device, record.slice,
+                              child_boundary(record), options_.num_threads);
         round.children_reexecuted += 1;
         round.reexec_flops += SliceFlops(graph, record.slice);
       }

@@ -35,6 +35,17 @@ struct DisputeOptions {
   double challenger_bond = 2.0;
   double challenger_share = 0.5;
   AdjudicationOptions adjudication;
+  // Runtime policy (src/runtime/): with num_threads > 1 the phase-1 proposer and
+  // challenger executions run concurrently on the shared pool, per-round Merkle proof
+  // verification fans out, and every (re-)execution splits its kernels' outer loops.
+  // Traces, verdicts, rounds, flops, and gas are identical for any value — the
+  // protocol compares exact values and the runtime is bitwise deterministic.
+  int num_threads = 1;
+  // Re-execute all of a round's children concurrently instead of lazily stopping at
+  // the first offender. Boundaries are proposer-posted values, so they are known
+  // up-front and verdicts are unchanged; the DCR accounting then honestly includes
+  // the speculative work past the offender (cost_ratio can rise; wall-clock drops).
+  bool speculative_reexecution = false;
 };
 
 struct RoundStats {

@@ -11,6 +11,7 @@
 #ifndef TAO_SRC_PROTOCOL_GAS_H_
 #define TAO_SRC_PROTOCOL_GAS_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace tao {
@@ -41,16 +42,18 @@ struct GasSchedule {
   int64_t RoundCost(int64_t children) const { return PartitionCost(children) + selection; }
 };
 
-// A simple gas meter the coordinator charges actions against.
+// A simple gas meter the coordinator charges actions against. The counter is atomic
+// so concurrent protocol flows (parallel dispute games sharing one coordinator) meter
+// correctly without external locking.
 class GasMeter {
  public:
-  void Charge(int64_t gas) { total_ += gas; }
-  int64_t total() const { return total_; }
-  double total_kgas() const { return static_cast<double>(total_) / 1000.0; }
-  void Reset() { total_ = 0; }
+  void Charge(int64_t gas) { total_.fetch_add(gas, std::memory_order_relaxed); }
+  int64_t total() const { return total_.load(std::memory_order_relaxed); }
+  double total_kgas() const { return static_cast<double>(total()) / 1000.0; }
+  void Reset() { total_.store(0, std::memory_order_relaxed); }
 
  private:
-  int64_t total_ = 0;
+  std::atomic<int64_t> total_{0};
 };
 
 }  // namespace tao

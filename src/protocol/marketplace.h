@@ -58,7 +58,8 @@ class Marketplace {
   MarketplaceStats Run();
 
   // Balances after Run(), from the coordinator ledger.
-  const Balances& balances() const { return coordinator_.balances(); }
+  // Ledger snapshot (Coordinator::balances copies under its lock).
+  Balances balances() const { return coordinator_.balances(); }
 
  private:
   const Model& model_;

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "src/crypto/canonical.h"
+#include "src/runtime/parallel_for.h"
+#include "src/runtime/thread_pool.h"
 #include "src/util/check.h"
 
 namespace tao {
@@ -67,7 +69,8 @@ int64_t SelectToken(const Tensor& logits, const TieBreakConfig& config) {
 
 DecodeResult Decode(const Model& model, const std::vector<float>& prompt, int64_t num_steps,
                     const DeviceProfile& device, const TieBreakConfig& tie_break,
-                    const std::vector<StepPerturbation>& perturbations) {
+                    const std::vector<StepPerturbation>& perturbations,
+                    const ExecutorOptions& exec_options) {
   const Graph& graph = *model.graph;
   TAO_CHECK_EQ(graph.input_nodes().size(), 1u);
   const int64_t window = graph.node(graph.input_nodes()[0]).shape.numel();
@@ -86,7 +89,7 @@ DecodeResult Decode(const Model& model, const std::vector<float>& prompt, int64_
         step_perturbations.push_back(p.perturbation);
       }
     }
-    const ExecutionTrace trace = exec.RunPerturbed({ids}, step_perturbations);
+    const ExecutionTrace trace = exec.RunPerturbed({ids}, step_perturbations, exec_options);
     DecodeStep decoded;
     decoded.logits = trace.value(graph.output());
     decoded.token = SelectToken(decoded.logits, tie_break);
@@ -99,6 +102,29 @@ DecodeResult Decode(const Model& model, const std::vector<float>& prompt, int64_
   }
   result.temporal_root = MerkleTree(std::move(leaves)).root();
   return result;
+}
+
+DecodePair DecodeBothParties(const Model& model, const std::vector<float>& prompt,
+                             int64_t num_steps, const DeviceProfile& proposer_device,
+                             const DeviceProfile& challenger_device,
+                             const TieBreakConfig& tie_break,
+                             const std::vector<StepPerturbation>& perturbations,
+                             const ExecutorOptions& exec_options) {
+  DecodePair pair;
+  // One party per lane; each lane's per-step executions may additionally split
+  // kernels across the same pool (the ParallelFor help-loop makes nesting safe).
+  ThreadPool* pool = exec_options.num_threads > 1 ? &ThreadPool::Shared() : nullptr;
+  ParallelInvoke(
+      pool,
+      [&] {
+        pair.proposer = Decode(model, prompt, num_steps, proposer_device, tie_break,
+                               perturbations, exec_options);
+      },
+      [&] {
+        pair.challenger = Decode(model, prompt, num_steps, challenger_device, tie_break,
+                                 {}, exec_options);
+      });
+  return pair;
 }
 
 TemporalDisputeResult LocalizeTemporalDivergence(const DecodeResult& proposer,

@@ -62,7 +62,25 @@ struct StepPerturbation {
 
 DecodeResult Decode(const Model& model, const std::vector<float>& prompt, int64_t num_steps,
                     const DeviceProfile& device, const TieBreakConfig& tie_break,
-                    const std::vector<StepPerturbation>& perturbations = {});
+                    const std::vector<StepPerturbation>& perturbations = {},
+                    const ExecutorOptions& exec_options = {});
+
+// Proposer and challenger decodes are independent streams (each is sequential in
+// time, but the two parties never exchange state until the temporal dispute), so the
+// runtime layer runs them concurrently on the shared pool when
+// exec_options.num_threads > 1. Results are bitwise identical to two sequential
+// Decode calls. `perturbations` apply to the proposer only (the cheating party).
+struct DecodePair {
+  DecodeResult proposer;
+  DecodeResult challenger;
+};
+
+DecodePair DecodeBothParties(const Model& model, const std::vector<float>& prompt,
+                             int64_t num_steps, const DeviceProfile& proposer_device,
+                             const DeviceProfile& challenger_device,
+                             const TieBreakConfig& tie_break,
+                             const std::vector<StepPerturbation>& perturbations = {},
+                             const ExecutorOptions& exec_options = {});
 
 // Temporal dispute: bisects over steps to the earliest one whose committed state
 // diverges from the challenger's re-derivation, with prefix finality.

@@ -1,0 +1,44 @@
+#include "src/runtime/arena.h"
+
+#include <utility>
+
+namespace tao {
+
+Tensor TensorArena::Allocate(const Shape& shape) {
+  const int64_t numel = shape.numel();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+    const auto it = pool_.find(numel);
+    if (it != pool_.end()) {
+      ++stats_.pool_hits;
+      std::shared_ptr<std::vector<float>> storage = std::move(it->second);
+      pool_.erase(it);
+      return Tensor::AdoptStorage(shape, std::move(storage));
+    }
+    ++stats_.fresh_allocations;
+  }
+  return Tensor(shape);
+}
+
+void TensorArena::Recycle(Tensor&& dead) {
+  std::shared_ptr<std::vector<float>> storage = std::move(dead).ReleaseStorage();
+  if (storage == nullptr || storage.use_count() != 1 || storage->empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.recycled;
+  pool_.emplace(static_cast<int64_t>(storage->size()), std::move(storage));
+}
+
+TensorArena::Stats TensorArena::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void TensorArena::Trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  pool_.clear();
+}
+
+}  // namespace tao

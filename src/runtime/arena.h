@@ -1,0 +1,60 @@
+// TensorArena: a recycling allocator for intermediate tensors.
+//
+// The executor's liveness pass (dependency ref-counts over the canonical topological
+// order) hands a node's output buffer back to the arena once its last consumer has
+// executed and the value is not retained by the caller; the next allocation of equal
+// element count adopts that buffer instead of touching the system allocator. Buffers
+// are recycled only when uniquely owned, so any tensor still aliased by a trace, a
+// cache, or a commitment keeps its storage untouched.
+//
+// Bitwise determinism: the arena changes *where* a value lives, never the value —
+// kernels fully overwrite the adopted buffer before it is published.
+//
+// Thread safety: all methods are safe to call concurrently from scheduler workers.
+
+#ifndef TAO_SRC_RUNTIME_ARENA_H_
+#define TAO_SRC_RUNTIME_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace tao {
+
+class TensorArena {
+ public:
+  struct Stats {
+    int64_t requests = 0;           // Allocate() calls
+    int64_t pool_hits = 0;          // served by recycling a dead intermediate
+    int64_t fresh_allocations = 0;  // served by the system allocator
+    int64_t recycled = 0;           // buffers returned to the pool
+  };
+
+  // Returns a tensor of `shape`, reusing a pooled buffer of equal element count when
+  // one exists. Reused buffers are NOT zeroed: callers (op kernels) must fully
+  // overwrite every element before publishing, which all src/ops kernels do.
+  Tensor Allocate(const Shape& shape);
+
+  // Offers a dead intermediate back to the pool. The storage is kept only when the
+  // tensor was its sole owner; otherwise this is a no-op (someone still reads it).
+  void Recycle(Tensor&& dead);
+
+  Stats stats() const;
+
+  // Drops every pooled buffer (stats are preserved).
+  void Trim();
+
+ private:
+  mutable std::mutex mu_;
+  // numel -> free storage blocks of exactly that many elements.
+  std::unordered_multimap<int64_t, std::shared_ptr<std::vector<float>>> pool_;
+  Stats stats_;
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_RUNTIME_ARENA_H_

@@ -1,0 +1,94 @@
+#include "src/runtime/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "src/runtime/thread_pool.h"
+
+namespace tao {
+namespace {
+
+// State shared between the caller and the pool helpers for one loop. Helpers may
+// outlive the caller's interest (they run after completion and find no chunk), so the
+// state is shared_ptr-owned by every participant.
+struct LoopState {
+  int64_t n = 0;
+  int64_t chunk = 1;
+  int64_t num_chunks = 0;
+  std::function<void(int64_t, int64_t)> fn;
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  // Claims and runs chunks until the cursor is exhausted.
+  void Drain() {
+    for (;;) {
+      const int64_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) {
+        return;
+      }
+      const int64_t begin = c * chunk;
+      const int64_t end = std::min(n, begin + chunk);
+      fn(begin, end);
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ParallelFor::operator()(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                             int64_t grain) const {
+  if (n <= 0) {
+    return;
+  }
+  grain = std::max<int64_t>(grain, 1);
+  const int64_t max_useful = (n + grain - 1) / grain;
+  const int64_t width = std::min<int64_t>(max_parallelism_, max_useful);
+  if (pool_ == nullptr || width <= 1) {
+    fn(0, n);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->n = n;
+  // Over-decompose a little (4 chunks per thread) so a slow chunk doesn't serialize
+  // the tail, but never below the grain.
+  state->num_chunks = std::min<int64_t>(max_useful, width * 4);
+  state->chunk = (n + state->num_chunks - 1) / state->num_chunks;
+  state->num_chunks = (n + state->chunk - 1) / state->chunk;
+  state->fn = fn;
+
+  for (int64_t i = 0; i < width - 1; ++i) {
+    pool_->Submit([state] { state->Drain(); });
+  }
+  state->Drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->num_chunks;
+  });
+}
+
+void ParallelInvoke(ThreadPool* pool, const std::function<void()>& a,
+                    const std::function<void()>& b) {
+  if (pool == nullptr) {
+    a();
+    b();
+    return;
+  }
+  const ParallelFor both(pool, 2);
+  both(2, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      (i == 0 ? a : b)();
+    }
+  });
+}
+
+}  // namespace tao

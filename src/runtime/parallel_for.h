@@ -1,0 +1,52 @@
+// Intra-op data parallelism: splits [0, n) into contiguous chunks executed across the
+// shared pool. The calling thread participates: it claims chunks from a shared atomic
+// cursor exactly like the pool helpers do, so the loop completes even if every pool
+// thread is busy — which is what makes nesting a ParallelFor inside a Scheduler node
+// task (both on the same pool) deadlock-free.
+//
+// Bitwise determinism: chunk boundaries only partition loop indices across threads;
+// each index writes its own disjoint output range, so results are identical for any
+// thread count (the paper's trace-commitment invariant relies on this).
+
+#ifndef TAO_SRC_RUNTIME_PARALLEL_FOR_H_
+#define TAO_SRC_RUNTIME_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace tao {
+
+class ThreadPool;
+
+class ParallelFor {
+ public:
+  // `pool` may be null (everything runs inline on the caller). `max_parallelism` caps
+  // how many threads (caller included) work on one loop; <= 1 means sequential.
+  ParallelFor(ThreadPool* pool, int max_parallelism)
+      : pool_(pool), max_parallelism_(max_parallelism) {}
+
+  // Sequential fallback handle.
+  ParallelFor() : ParallelFor(nullptr, 1) {}
+
+  // Invokes fn(begin, end) over disjoint ranges covering [0, n). Blocks until every
+  // range completed. `grain` is the minimum chunk width worth shipping to a thread.
+  void operator()(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
+                  int64_t grain = 1) const;
+
+  int max_parallelism() const { return max_parallelism_; }
+
+ private:
+  ThreadPool* pool_;
+  int max_parallelism_;
+};
+
+// Fork-join over exactly two independent closures: runs `a` and `b` concurrently on
+// the pool (caller executes one lane itself) and returns when both finished. With a
+// null pool, runs them sequentially. The protocol layer uses this for proposer-vs-
+// challenger lanes (dispute phase 1, decode pairs).
+void ParallelInvoke(ThreadPool* pool, const std::function<void()>& a,
+                    const std::function<void()>& b);
+
+}  // namespace tao
+
+#endif  // TAO_SRC_RUNTIME_PARALLEL_FOR_H_

@@ -1,0 +1,161 @@
+#include "src/runtime/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "src/runtime/thread_pool.h"
+#include "src/util/check.h"
+
+namespace tao {
+namespace {
+
+struct DagState {
+  std::vector<std::vector<int32_t>> consumers;
+  std::vector<std::atomic<int32_t>> pending;
+  std::function<void(int32_t)> fn;
+  ThreadPool* pool = nullptr;
+  int max_helpers = 0;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<int32_t> ready;
+  int live_helpers = 0;  // guarded by mu
+  std::atomic<int64_t> remaining{0};
+
+  // Executes one node and publishes its completion: consumers whose last
+  // prerequisite this was become ready, and helpers are spawned for them.
+  void Execute(const std::shared_ptr<DagState>& self, int32_t node) {
+    fn(node);
+    std::vector<int32_t> unblocked;
+    for (const int32_t consumer : consumers[static_cast<size_t>(node)]) {
+      if (pending[static_cast<size_t>(consumer)].fetch_sub(1, std::memory_order_acq_rel) ==
+          1) {
+        unblocked.push_back(consumer);
+      }
+    }
+    int spawn = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      for (const int32_t consumer : unblocked) {
+        ready.push_back(consumer);
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        cv.notify_all();  // wake the caller's final wait
+      } else if (!unblocked.empty()) {
+        cv.notify_all();  // wake the caller if it is idle-waiting for ready work
+        spawn = SpawnBudgetLocked();
+      }
+    }
+    SubmitHelpers(self, spawn);
+  }
+
+  // How many helpers to add for the current ready backlog; callers must hold mu.
+  // The current thread keeps draining, so it covers one ready node itself.
+  int SpawnBudgetLocked() {
+    const int backlog = static_cast<int>(ready.size()) - 1;
+    const int budget =
+        std::min(backlog, max_helpers - live_helpers);
+    if (budget > 0) {
+      live_helpers += budget;
+    }
+    return std::max(budget, 0);
+  }
+
+  void SubmitHelpers(const std::shared_ptr<DagState>& self, int count) {
+    for (int i = 0; i < count; ++i) {
+      pool->Submit([self] { self->HelperLoop(self); });
+    }
+  }
+
+  // Pool-side worker: drains ready nodes and EXITS when none are queued (the exit
+  // decision shares the lock with the queue, so ready work is never orphaned — any
+  // push either finds a live helper that will see it or spawns a fresh one). This
+  // keeps idle scheduler runs from parking pool threads.
+  void HelperLoop(const std::shared_ptr<DagState>& self) {
+    for (;;) {
+      int32_t node = -1;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (ready.empty()) {
+          --live_helpers;
+          return;
+        }
+        node = ready.front();
+        ready.pop_front();
+      }
+      Execute(self, node);
+    }
+  }
+
+  // Caller-side worker: may block (it is not a pool thread) until either new work
+  // shows up or the DAG completes.
+  void CallerLoop(const std::shared_ptr<DagState>& self) {
+    for (;;) {
+      int32_t node = -1;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] {
+          return remaining.load(std::memory_order_acquire) == 0 || !ready.empty();
+        });
+        if (ready.empty()) {
+          return;  // remaining == 0: DAG fully executed
+        }
+        node = ready.front();
+        ready.pop_front();
+      }
+      Execute(self, node);
+    }
+  }
+};
+
+}  // namespace
+
+void Scheduler::Run(std::vector<std::vector<int32_t>> consumers,
+                    std::vector<int32_t> pending,
+                    const std::function<void(int32_t)>& fn) const {
+  const int64_t n = static_cast<int64_t>(consumers.size());
+  TAO_CHECK_EQ(pending.size(), consumers.size());
+  if (n == 0) {
+    return;
+  }
+  const int width = static_cast<int>(std::min<int64_t>(std::max(num_threads_, 1), n));
+  if (pool_ == nullptr || width <= 1) {
+    // Sequential baseline: node indices are topologically ordered by contract.
+    for (int32_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  auto state = std::make_shared<DagState>();
+  state->consumers = std::move(consumers);
+  state->pending = std::vector<std::atomic<int32_t>>(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    state->pending[static_cast<size_t>(i)].store(pending[static_cast<size_t>(i)],
+                                                 std::memory_order_relaxed);
+    if (pending[static_cast<size_t>(i)] == 0) {
+      state->ready.push_back(static_cast<int32_t>(i));
+    }
+  }
+  TAO_CHECK(!state->ready.empty()) << "DAG has no ready node (cycle or bad counts)";
+  state->fn = fn;
+  state->pool = pool_;
+  state->max_helpers = width - 1;
+  state->remaining.store(n, std::memory_order_release);
+
+  int spawn = 0;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    spawn = state->SpawnBudgetLocked();
+  }
+  state->SubmitHelpers(state, spawn);
+  // CallerLoop only returns once remaining hits zero (its wait predicate admits an
+  // empty ready queue only on completion), so the DAG is fully executed here.
+  state->CallerLoop(state);
+}
+
+}  // namespace tao

@@ -1,0 +1,49 @@
+// Dependency-counting DAG scheduler (inter-op parallelism).
+//
+// The caller supplies, for every node index, the list of consumer indices and the
+// initial count of unfinished prerequisites; nodes whose count is zero are ready.
+// Workers (the calling thread plus up to num_threads-1 pool helpers) pop ready nodes
+// from a shared queue, execute them, and decrement their consumers' counts, enqueuing
+// each consumer the moment its count hits zero. Run() blocks until every node has
+// executed.
+//
+// Node indices must be given in a topological order: with num_threads <= 1 the
+// scheduler degenerates to a plain index-order loop, which is exactly the seed
+// executor's sequential semantics (the baseline the determinism tests compare
+// against).
+
+#ifndef TAO_SRC_RUNTIME_SCHEDULER_H_
+#define TAO_SRC_RUNTIME_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace tao {
+
+class ThreadPool;
+
+class Scheduler {
+ public:
+  // `pool` may be null (forces sequential). `num_threads` counts the caller, so 2
+  // means "caller + one pool helper".
+  Scheduler(ThreadPool* pool, int num_threads) : pool_(pool), num_threads_(num_threads) {}
+
+  // Executes fn(i) once for every node i in [0, consumers.size()), respecting the
+  // dependency structure. `pending[i]` must equal the number of j with i in
+  // consumers[j]. Blocks until all nodes have executed. Both containers are taken by
+  // value: callers build them per run and the parallel path moves them into shared
+  // state. Pool helpers never park waiting for nodes to become ready — an idle
+  // helper exits and is respawned when completions enqueue new ready work — so a
+  // scheduler run only occupies pool threads that are actually executing nodes.
+  void Run(std::vector<std::vector<int32_t>> consumers, std::vector<int32_t> pending,
+           const std::function<void(int32_t)>& fn) const;
+
+ private:
+  ThreadPool* pool_;
+  int num_threads_;
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_RUNTIME_SCHEDULER_H_

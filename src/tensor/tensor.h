@@ -113,6 +113,22 @@ class BasicTensor {
 
   bool SameStorageAs(const BasicTensor& other) const { return storage_ == other.storage_; }
 
+  // --- Runtime-arena hooks (src/runtime/arena.h) ------------------------------------
+  // Wraps an existing storage block, resizing it to `shape`'s element count. Contents
+  // are unspecified; the adopter must overwrite every element before publishing.
+  static BasicTensor AdoptStorage(Shape shape, std::shared_ptr<std::vector<T>> storage) {
+    TAO_CHECK(storage != nullptr);
+    storage->resize(static_cast<size_t>(shape.numel()));
+    BasicTensor t;
+    t.shape_ = std::move(shape);
+    t.storage_ = std::move(storage);
+    return t;
+  }
+
+  // Moves the storage block out, leaving this tensor empty. Callers use the returned
+  // pointer's uniqueness to decide whether the buffer is safe to recycle.
+  std::shared_ptr<std::vector<T>> ReleaseStorage() && { return std::move(storage_); }
+
  private:
   Shape shape_;
   std::shared_ptr<std::vector<T>> storage_;
