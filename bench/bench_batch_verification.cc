@@ -1,0 +1,124 @@
+// Batch verification throughput: claims/sec for a cohort of marketplace-style
+// claims (mixed honest/cheating, supervised/unsupervised) verified through the
+// BatchVerifier at batch sizes {1, 4, 16, 64} x thread counts {1, 2, 4, 8}, against
+// the sequential one-claim-at-a-time baseline (DisputeGame::Run per supervised
+// claim). Every configuration's C0 digests and verdicts are checked against the
+// baseline before its timing is reported — batching must never change an outcome.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/calib/calibrator.h"
+#include "src/protocol/batch_verifier.h"
+#include "src/util/stopwatch.h"
+#include "src/util/table.h"
+
+namespace tao {
+namespace {
+
+constexpr size_t kClaims = 64;
+
+std::vector<BatchClaim> MakeClaims(const Model& model, size_t count, uint64_t seed) {
+  const Graph& graph = *model.graph;
+  const auto& fleet = DeviceRegistry::Fleet();
+  Rng rng(seed);
+  std::vector<BatchClaim> claims;
+  claims.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    BatchClaim claim;
+    claim.inputs = model.sample_input(rng);
+    claim.proposer_device = &fleet[rng.NextBounded(fleet.size())];
+    if (rng.NextDouble() < 0.25) {
+      const NodeId site =
+          graph.op_nodes()[rng.NextBounded(static_cast<uint64_t>(graph.num_ops() - 1))];
+      Rng delta_rng(rng.NextU64());
+      claim.perturbations.push_back(
+          {site, Tensor::Randn(graph.node(site).shape, delta_rng, 5e-2f)});
+    }
+    if (rng.NextDouble() < 0.5) {
+      claim.verifier_device = &fleet[rng.NextBounded(fleet.size())];
+    }
+    claims.push_back(std::move(claim));
+  }
+  return claims;
+}
+
+struct CohortResult {
+  std::vector<Digest> digests;
+  std::vector<char> guilty;
+  double seconds = 0.0;
+};
+
+CohortResult VerifyCohort(const Model& model, const ModelCommitment& commitment,
+                          const ThresholdSet& thresholds,
+                          const std::vector<BatchClaim>& claims, size_t batch_size,
+                          int threads) {
+  Coordinator coordinator;
+  BatchVerifierOptions options;
+  options.dispute.num_threads = threads;
+  options.reuse_buffers = true;
+  BatchVerifier verifier(model, commitment, thresholds, coordinator, options);
+
+  CohortResult result;
+  Stopwatch watch;
+  size_t next = 0;
+  while (next < claims.size()) {
+    const size_t end = std::min(claims.size(), next + batch_size);
+    const std::vector<BatchClaim> chunk(claims.begin() + static_cast<long>(next),
+                                        claims.begin() + static_cast<long>(end));
+    for (const BatchClaimOutcome& outcome : verifier.VerifyBatch(chunk)) {
+      result.digests.push_back(outcome.c0);
+      result.guilty.push_back(outcome.proposer_guilty ? 1 : 0);
+    }
+    next = end;
+  }
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace
+}  // namespace tao
+
+int main() {
+  using namespace tao;
+  std::printf("Batch verification throughput (%zu-claim cohort, BERT-mini)\n", kClaims);
+  std::printf("batch=1/threads=1 is the sequential one-claim-at-a-time baseline;\n");
+  std::printf("digests and verdicts are cross-checked against it for every config.\n\n");
+
+  const Model model = BuildBertMini();
+  CalibrateOptions calib_options;
+  calib_options.num_samples = 4;
+  const ThresholdSet thresholds =
+      Calibrate(model, DeviceRegistry::Fleet(), calib_options).MakeThresholds(3.0);
+  const ModelCommitment commitment(*model.graph, thresholds);
+  const std::vector<BatchClaim> claims = MakeClaims(model, kClaims, 0xbe9cb);
+
+  const CohortResult baseline =
+      VerifyCohort(model, commitment, thresholds, claims, /*batch_size=*/1, /*threads=*/1);
+
+  TablePrinter table({"batch_size", "threads", "seconds", "claims_per_s", "speedup"});
+  for (const size_t batch_size : {size_t{1}, size_t{4}, size_t{16}, size_t{64}}) {
+    for (const int threads : {1, 2, 4, 8}) {
+      const CohortResult result =
+          VerifyCohort(model, commitment, thresholds, claims, batch_size, threads);
+      for (size_t i = 0; i < kClaims; ++i) {
+        if (result.digests[i] != baseline.digests[i] ||
+            result.guilty[i] != baseline.guilty[i]) {
+          std::printf("DETERMINISM VIOLATION at batch=%zu threads=%d claim %zu\n",
+                      batch_size, threads, i);
+          return 1;
+        }
+      }
+      table.AddRow({std::to_string(batch_size), std::to_string(threads),
+                    TablePrinter::Fixed(result.seconds, 3),
+                    TablePrinter::Fixed(static_cast<double>(kClaims) / result.seconds, 1),
+                    TablePrinter::Fixed(baseline.seconds / result.seconds, 2)});
+    }
+  }
+  table.Print();
+  std::printf("\nSpeedup is wall-clock relative to the sequential baseline; on a\n");
+  std::printf("single-core host it stays ~1.0 by hardware — the table then certifies\n");
+  std::printf("determinism while multi-core hosts (CI) show the scaling.\n");
+  return 0;
+}

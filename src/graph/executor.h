@@ -16,6 +16,7 @@
 #ifndef TAO_SRC_GRAPH_EXECUTOR_H_
 #define TAO_SRC_GRAPH_EXECUTOR_H_
 
+#include <functional>
 #include <vector>
 
 #include "src/device/device.h"
@@ -80,6 +81,40 @@ class Executor {
   ExecutionTrace RunPerturbed(const std::vector<Tensor>& inputs,
                               const std::vector<Perturbation>& perturbations,
                               const ExecutorOptions& options = {}) const;
+
+  // --- batched execution --------------------------------------------------------------
+  // One lane of a batched run: an independent execution of this graph with its own
+  // inputs, optional perturbations, and device profile, sharing the graph's weights
+  // (and, with `reuse_buffers`, one TensorArena) with every other lane. All lanes are
+  // lowered into a single Scheduler DAG, so node tasks from different lanes interleave
+  // in the pool instead of running back-to-back.
+  struct BatchItem {
+    const std::vector<Tensor>* inputs = nullptr;
+    const std::vector<Perturbation>* perturbations = nullptr;  // null = none
+    const DeviceProfile* device = nullptr;  // null = the executor's device
+    // Retain every node's value (Run semantics). When false the lane is output-only
+    // (RunOutput semantics) and its dead intermediates can be arena-recycled.
+    bool keep_values = false;
+    // Runs as the lane's final DAG node, after every operator of the lane has
+    // executed and while other lanes may still be executing — the natural place for
+    // per-claim commitment checks. Receives the lane index and the lane's trace.
+    std::function<void(size_t item, const ExecutionTrace&)> on_complete;
+  };
+
+  // Executes all lanes as one dependency-counting DAG. With num_threads <= 1 this is
+  // exactly the lanes run back-to-back in order (the sequential baseline); with more
+  // threads lanes interleave. Values are bitwise identical either way, per lane, to
+  // an individual Run/RunOutput call with the same options. `arena_stats` aggregates
+  // the shared arena's counters across every recycling lane.
+  std::vector<ExecutionTrace> RunBatch(const std::vector<BatchItem>& items,
+                                       const ExecutorOptions& options = {},
+                                       TensorArena::Stats* arena_stats = nullptr) const;
+
+  // Convenience: output-only batched run over B input sets on the executor's device.
+  // Element i is bitwise identical to RunOutput(batch_inputs[i], options).
+  std::vector<Tensor> RunOutputBatch(const std::vector<std::vector<Tensor>>& batch_inputs,
+                                     const ExecutorOptions& options = {},
+                                     TensorArena::Stats* arena_stats = nullptr) const;
 
  private:
   ExecutionTrace RunInternal(const std::vector<Tensor>& inputs,

@@ -1,0 +1,156 @@
+#include "src/protocol/batch_verifier.h"
+
+#include <optional>
+#include <utility>
+
+#include "src/runtime/parallel_for.h"
+#include "src/runtime/thread_pool.h"
+#include "src/util/check.h"
+
+namespace tao {
+
+BatchVerifier::BatchVerifier(const Model& model, const ModelCommitment& commitment,
+                             const ThresholdSet& thresholds, Coordinator& coordinator,
+                             BatchVerifierOptions options)
+    : model_(model),
+      commitment_(commitment),
+      thresholds_(thresholds),
+      coordinator_(coordinator),
+      options_(std::move(options)) {}
+
+std::vector<BatchClaimOutcome> BatchVerifier::VerifyBatch(
+    const std::vector<BatchClaim>& claims, TensorArena::Stats* arena_stats) {
+  const size_t num_claims = claims.size();
+  std::vector<BatchClaimOutcome> outcomes(num_claims);
+  if (num_claims == 0) {
+    return outcomes;
+  }
+  const Graph& graph = *model_.graph;
+  const NodeId output = graph.output();
+
+  // ---- Batched phase 1: one scheduler DAG for the whole cohort ----------------------
+  // Proposer lanes keep their full trace only when supervised (a dispute may need to
+  // post partitions from any node's value); challenger lanes are output-only. The
+  // commitment check for each claim runs as its proposer lane's epilogue node,
+  // interleaved with other lanes' compute.
+  std::vector<Executor::BatchItem> items;
+  items.reserve(2 * num_claims);
+  constexpr size_t kNoLane = static_cast<size_t>(-1);
+  std::vector<size_t> proposer_lane(num_claims, kNoLane);
+  std::vector<size_t> challenger_lane(num_claims, kNoLane);
+  std::vector<Digest> c0(num_claims);
+  for (size_t i = 0; i < num_claims; ++i) {
+    const BatchClaim& claim = claims[i];
+    TAO_CHECK(claim.proposer_device != nullptr) << "claim " << i << " has no proposer device";
+
+    Executor::BatchItem proposer;
+    proposer.inputs = &claim.inputs;
+    proposer.perturbations = claim.perturbations.empty() ? nullptr : &claim.perturbations;
+    proposer.device = claim.proposer_device;
+    proposer.keep_values = claim.supervised();
+    proposer.on_complete = [this, i, output, &claims, &c0](size_t,
+                                                           const ExecutionTrace& trace) {
+      ResultMeta meta;
+      meta.device = claims[i].proposer_device->name;
+      meta.challenge_window = options_.dispute.challenge_window;
+      c0[i] = ComputeResultCommitment(commitment_, claims[i].inputs, trace.value(output),
+                                      meta);
+    };
+    proposer_lane[i] = items.size();
+    items.push_back(std::move(proposer));
+
+    if (claim.supervised()) {
+      Executor::BatchItem challenger;
+      challenger.inputs = &claim.inputs;
+      challenger.device = claim.verifier_device;
+      challenger_lane[i] = items.size();
+      items.push_back(std::move(challenger));
+    }
+  }
+
+  ExecutorOptions exec_options;
+  exec_options.num_threads = options_.dispute.num_threads;
+  exec_options.reuse_buffers = options_.reuse_buffers;
+  const Executor executor(graph, *claims[0].proposer_device);  // per-lane device overrides
+  const std::vector<ExecutionTrace> traces =
+      executor.RunBatch(items, exec_options, arena_stats);
+
+  // ---- Claim resolution against the coordinator -------------------------------------
+  const auto resolve_unsupervised = [&](size_t i) {
+    // Nobody watches this claim: the proposer commits and the window elapses.
+    BatchClaimOutcome& outcome = outcomes[i];
+    const ClaimId id = coordinator_.SubmitCommitment(
+        c0[i], options_.dispute.challenge_window, options_.dispute.proposer_bond);
+    coordinator_.AdvanceTime(options_.dispute.challenge_window);
+    TAO_CHECK(coordinator_.TryFinalize(id) == ClaimState::kFinalized);
+    outcome.claim_id = id;
+    outcome.c0 = c0[i];
+    outcome.final_state = ClaimState::kFinalized;
+    outcome.gas_used = coordinator_.claim_gas(id);
+  };
+  const auto resolve_supervised = [&](size_t i, const DisputeOptions& dispute_options,
+                                      std::optional<bool> precomputed_flagged) {
+    BatchClaimOutcome& outcome = outcomes[i];
+    DisputeGame game(model_, commitment_, thresholds_, coordinator_, dispute_options);
+    outcome.dispute = game.RunFromPhase1(
+        claims[i].inputs, *claims[i].verifier_device, traces[proposer_lane[i]],
+        traces[challenger_lane[i]].value(output), c0[i], precomputed_flagged);
+    outcome.claim_id = outcome.dispute.claim_id;
+    outcome.c0 = c0[i];
+    outcome.supervised = true;
+    outcome.flagged = outcome.dispute.challenge_raised;
+    outcome.proposer_guilty = outcome.dispute.proposer_guilty;
+    outcome.final_state = outcome.dispute.final_state;
+    outcome.gas_used = outcome.dispute.gas_used;
+  };
+
+  if (!options_.concurrent_disputes) {
+    // Claim-ordered resolution: the exact per-claim action sequence of the
+    // historical one-claim-at-a-time path, so gas, ledger, claim ids, and stats are
+    // bitwise identical to it.
+    for (size_t i = 0; i < num_claims; ++i) {
+      if (claims[i].supervised()) {
+        resolve_supervised(i, options_.dispute, std::nullopt);
+      } else {
+        resolve_unsupervised(i);
+      }
+    }
+    return outcomes;
+  }
+
+  // Concurrent mode: resolve unflagged claims first in claim order (their happy
+  // paths advance the shared clock), then fan the flagged claims' dispute games out
+  // across the pool with the per-round clock advance disabled — games sharing the
+  // coordinator must not push each other past round deadlines or challenge windows.
+  std::vector<size_t> flagged;
+  for (size_t i = 0; i < num_claims; ++i) {
+    if (!claims[i].supervised()) {
+      resolve_unsupervised(i);
+      continue;
+    }
+    const bool exceeds =
+        thresholds_.Exceeds(output, traces[proposer_lane[i]].value(output),
+                            traces[challenger_lane[i]].value(output));
+    if (exceeds) {
+      flagged.push_back(i);
+    } else {
+      // Happy path, no dispute; the threshold verdict is already known.
+      resolve_supervised(i, options_.dispute, false);
+    }
+  }
+  if (!flagged.empty()) {
+    DisputeOptions frozen_clock = options_.dispute;
+    frozen_clock.advance_clock_per_round = false;
+    ThreadPool* pool =
+        options_.dispute.num_threads > 1 ? &ThreadPool::Shared() : nullptr;
+    const ParallelFor fan_out(pool, options_.dispute.num_threads);
+    fan_out(static_cast<int64_t>(flagged.size()), [&](int64_t begin, int64_t end) {
+      for (int64_t j = begin; j < end; ++j) {
+        resolve_supervised(flagged[static_cast<size_t>(j)], frozen_clock, true);
+      }
+    });
+  }
+  return outcomes;
+}
+
+}  // namespace tao

@@ -1,0 +1,98 @@
+// Batched multi-claim verification (the ROADMAP "batched multi-proposal
+// verification" item; SYSFLOW-style amortization of shared state across
+// concurrently scheduled work).
+//
+// A verifier supervising K independent claims against ONE committed model used to
+// re-walk the model once per claim, leaving the runtime pool idle between claims.
+// BatchVerifier instead lowers the whole cohort's phase-1 work into a single
+// Scheduler DAG (Executor::RunBatch): K proposer executions — output-only unless the
+// claim is supervised and may need partition posting — plus one challenger
+// re-execution per supervised claim, all sharing the model weights and one
+// TensorArena, each proposer lane terminated by a commitment-check epilogue node
+// that computes C0 while other lanes are still executing. Node tasks from different
+// claims interleave in the pool, so the batch fills the machine even when any single
+// graph has too little width to.
+//
+// After the batched phase 1, claims are resolved against the thread-safe
+// Coordinator. By default resolution runs in claim order, one claim at a time —
+// exactly the historical sequential path (DisputeGame::Run per supervised claim,
+// submit/finalize per unsupervised claim), so verdicts, per-claim gas, digests,
+// claim ids, stats, and the ledger are bitwise identical to it. With
+// `concurrent_disputes`, flagged claims instead fan their dispute games out across
+// the pool: verdicts, digests, and per-claim gas are unchanged (the runtime is
+// bitwise deterministic and gas is metered per claim), while ledger *ordering* —
+// not its conservation — may differ.
+
+#ifndef TAO_SRC_PROTOCOL_BATCH_VERIFIER_H_
+#define TAO_SRC_PROTOCOL_BATCH_VERIFIER_H_
+
+#include <vector>
+
+#include "src/protocol/dispute.h"
+
+namespace tao {
+
+// One claim of a batch: a request input, the proposer's (possibly perturbed)
+// execution, and an optional supervising verifier. All claims of a batch share the
+// model, commitment, and thresholds held by the BatchVerifier.
+struct BatchClaim {
+  std::vector<Tensor> inputs;
+  // The malicious proposer's injection set (empty = honest execution).
+  std::vector<Executor::Perturbation> perturbations;
+  const DeviceProfile* proposer_device = nullptr;
+  // Device of the supervising verifier (voluntary challenger or sampled auditor);
+  // null means nobody watches this claim and it finalizes after the window.
+  const DeviceProfile* verifier_device = nullptr;
+
+  bool supervised() const { return verifier_device != nullptr; }
+};
+
+// Protocol outcome of one claim.
+struct BatchClaimOutcome {
+  ClaimId claim_id = 0;
+  Digest c0{};
+  bool supervised = false;
+  // The verifier's output threshold check flagged the claim (a dispute was run).
+  bool flagged = false;
+  bool proposer_guilty = false;
+  ClaimState final_state = ClaimState::kCommitted;
+  int64_t gas_used = 0;  // per-claim gas (Coordinator::claim_gas)
+  // Full dispute statistics; populated for supervised claims (mirrors what
+  // DisputeGame::Run would have returned for this claim).
+  DisputeResult dispute;
+};
+
+struct BatchVerifierOptions {
+  // Dispute policy for flagged claims. `dispute.num_threads` also sets the width of
+  // the batched phase-1 DAG, and `dispute.challenge_window` / `proposer_bond` govern
+  // unsupervised submissions.
+  DisputeOptions dispute;
+  // Recycle dead intermediates of output-only lanes through one shared TensorArena.
+  bool reuse_buffers = false;
+  // Fan flagged claims' dispute games out across the pool instead of resolving them
+  // in claim order. Per-claim outcomes are identical; ledger ordering is not.
+  bool concurrent_disputes = false;
+};
+
+class BatchVerifier {
+ public:
+  BatchVerifier(const Model& model, const ModelCommitment& commitment,
+                const ThresholdSet& thresholds, Coordinator& coordinator,
+                BatchVerifierOptions options = {});
+
+  // Runs the full lifecycle of every claim. Outcomes are indexed like `claims`.
+  // `arena_stats`, when non-null, receives the batched phase's shared-arena counters.
+  std::vector<BatchClaimOutcome> VerifyBatch(const std::vector<BatchClaim>& claims,
+                                             TensorArena::Stats* arena_stats = nullptr);
+
+ private:
+  const Model& model_;
+  const ModelCommitment& commitment_;
+  const ThresholdSet& thresholds_;
+  Coordinator& coordinator_;
+  BatchVerifierOptions options_;
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_PROTOCOL_BATCH_VERIFIER_H_

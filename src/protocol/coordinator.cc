@@ -29,6 +29,7 @@ ClaimId Coordinator::SubmitCommitment(const Digest& c0, uint64_t challenge_windo
   record.challenge_window = challenge_window;
   record.proposer_bond = proposer_bond;
   balances_.proposer -= proposer_bond;  // escrowed
+  record.gas += schedule_.commit;
   claims_[record.id] = record;
   gas_.Charge(schedule_.commit);
   return record.id;
@@ -57,6 +58,7 @@ void Coordinator::OpenChallenge(ClaimId id, double challenger_bond) {
   claim.dispute_round = 0;
   claim.round_deadline = now_ + round_timeout_;
   balances_.challenger -= challenger_bond;  // escrowed
+  claim.gas += schedule_.open_challenge;
   gas_.Charge(schedule_.open_challenge);
 }
 
@@ -68,6 +70,7 @@ void Coordinator::RecordPartition(ClaimId id, int64_t children,
   TAO_CHECK(now_ <= claim.round_deadline) << "proposer partition past deadline";
   TAO_CHECK_EQ(static_cast<int64_t>(child_hashes.size()), children);
   claim.round_deadline = now_ + round_timeout_;
+  claim.gas += schedule_.PartitionCost(children);
   gas_.Charge(schedule_.PartitionCost(children));
 }
 
@@ -79,6 +82,7 @@ void Coordinator::RecordSelection(ClaimId id, int64_t selected_child) {
   TAO_CHECK_GE(selected_child, 0);
   claim.dispute_round += 1;
   claim.round_deadline = now_ + round_timeout_;
+  claim.gas += schedule_.selection;
   gas_.Charge(schedule_.selection);
 }
 
@@ -86,6 +90,7 @@ void Coordinator::RecordMerkleCheck(ClaimId id, int64_t proofs) {
   std::lock_guard<std::mutex> lock(mu_);
   ClaimRecord& claim = MutableClaim(id);
   claim.merkle_checks += proofs;
+  claim.gas += schedule_.merkle_check * proofs;
   gas_.Charge(schedule_.merkle_check * proofs);
 }
 
@@ -107,6 +112,7 @@ void Coordinator::RecordLeafAdjudicationLocked(ClaimId id, bool proposer_guilty,
                                                double challenger_share) {
   ClaimRecord& claim = MutableClaim(id);
   TAO_CHECK(claim.state == ClaimState::kDisputed);
+  claim.gas += schedule_.leaf_adjudication + schedule_.settlement;
   gas_.Charge(schedule_.leaf_adjudication);
   if (proposer_guilty) {
     claim.state = ClaimState::kProposerSlashed;
@@ -120,6 +126,13 @@ void Coordinator::RecordLeafAdjudicationLocked(ClaimId id, bool proposer_guilty,
     balances_.proposer += claim.proposer_bond + claim.challenger_bond;
   }
   gas_.Charge(schedule_.settlement);
+}
+
+int64_t Coordinator::claim_gas(ClaimId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = claims_.find(id);
+  TAO_CHECK(it != claims_.end()) << "unknown claim " << id;
+  return it->second.gas;
 }
 
 const ClaimRecord& Coordinator::claim(ClaimId id) const {

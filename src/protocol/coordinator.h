@@ -43,6 +43,10 @@ struct ClaimRecord {
   int64_t dispute_round = 0;
   uint64_t round_deadline = 0;
   int64_t merkle_checks = 0;
+  // Gas charged by this claim's lifecycle actions. The global GasMeter is the sum of
+  // these across claims; the per-claim ledger is what lets concurrently-running
+  // flows attribute cost without bracketing the shared meter.
+  int64_t gas = 0;
 };
 
 // Per-party balance ledger (bond escrow, rewards, slashes).
@@ -100,6 +104,8 @@ class Coordinator {
  public:
 
   const ClaimRecord& claim(ClaimId id) const;
+  // Gas charged against one claim so far (snapshot under the lock).
+  int64_t claim_gas(ClaimId id) const;
   // Snapshot of the ledger (copied under the lock).
   Balances balances() const {
     std::lock_guard<std::mutex> lock(mu_);

@@ -42,8 +42,6 @@ DisputeResult DisputeGame::Run(const std::vector<Tensor>& inputs,
                                const DeviceProfile& challenger_device,
                                const std::vector<Executor::Perturbation>& perturbations) {
   const Graph& graph = *model_.graph;
-  DisputeResult result;
-  const int64_t gas_before = coordinator_.gas().total();
 
   ExecutorOptions exec_options;
   exec_options.num_threads = options_.num_threads;
@@ -66,17 +64,35 @@ DisputeResult DisputeGame::Run(const std::vector<Tensor>& inputs,
   meta.challenge_window = options_.challenge_window;
   const Digest c0 = ComputeResultCommitment(commitment_, inputs,
                                             proposer_trace.value(graph.output()), meta);
+  return RunFromPhase1(inputs, challenger_device, proposer_trace,
+                       challenger_trace.value(graph.output()), c0);
+}
+
+DisputeResult DisputeGame::RunFromPhase1(const std::vector<Tensor>& inputs,
+                                         const DeviceProfile& challenger_device,
+                                         const ExecutionTrace& proposer_trace,
+                                         const Tensor& challenger_output,
+                                         const Digest& c0,
+                                         std::optional<bool> precomputed_flagged) {
+  const Graph& graph = *model_.graph;
+  DisputeResult result;
+  ThreadPool* pool = options_.num_threads > 1 ? &ThreadPool::Shared() : nullptr;
+
   const ClaimId claim =
       coordinator_.SubmitCommitment(c0, options_.challenge_window, options_.proposer_bond);
+  result.claim_id = claim;
 
   const NodeId output = graph.output();
-  if (!thresholds_.Exceeds(output, proposer_trace.value(output),
-                           challenger_trace.value(output))) {
+  const bool flagged =
+      precomputed_flagged.has_value()
+          ? *precomputed_flagged
+          : thresholds_.Exceeds(output, proposer_trace.value(output), challenger_output);
+  if (!flagged) {
     // Happy path: result finalizes after the window.
     coordinator_.AdvanceTime(options_.challenge_window);
     result.final_state = coordinator_.TryFinalize(claim);
     result.challenge_raised = false;
-    result.gas_used = coordinator_.gas().total() - gas_before;
+    result.gas_used = coordinator_.claim_gas(claim);
     return result;
   }
 
@@ -295,7 +311,9 @@ DisputeResult DisputeGame::Run(const std::vector<Tensor>& inputs,
     }
     round.selected_child = selected;
     coordinator_.RecordSelection(claim, selected);
-    coordinator_.AdvanceTime(1);
+    if (options_.advance_clock_per_round) {
+      coordinator_.AdvanceTime(1);
+    }
     slice = children[static_cast<size_t>(selected)];
     result.rounds += 1;
     result.round_stats.push_back(round);
@@ -306,7 +324,7 @@ DisputeResult DisputeGame::Run(const std::vector<Tensor>& inputs,
                                         options_.challenger_share);
     result.proposer_guilty = false;
     result.final_state = coordinator_.claim(claim).state;
-    result.gas_used = coordinator_.gas().total() - gas_before;
+    result.gas_used = coordinator_.claim_gas(claim);
     result.cost_ratio = static_cast<double>(result.challenger_flops) /
                         static_cast<double>(graph.TotalFlops());
     return result;
@@ -336,7 +354,7 @@ DisputeResult DisputeGame::Run(const std::vector<Tensor>& inputs,
   coordinator_.RecordLeafAdjudication(claim, result.proposer_guilty,
                                       options_.challenger_share);
   result.final_state = coordinator_.claim(claim).state;
-  result.gas_used = coordinator_.gas().total() - gas_before;
+  result.gas_used = coordinator_.claim_gas(claim);
   result.cost_ratio = static_cast<double>(result.challenger_flops) /
                       static_cast<double>(graph.TotalFlops());
   return result;

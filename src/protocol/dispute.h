@@ -17,6 +17,7 @@
 #define TAO_SRC_PROTOCOL_DISPUTE_H_
 
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "src/graph/executor.h"
@@ -46,6 +47,11 @@ struct DisputeOptions {
   // up-front and verdicts are unchanged; the DCR accounting then honestly includes
   // the speculative work past the offender (cost_ratio can rise; wall-clock drops).
   bool speculative_reexecution = false;
+  // Advance the coordinator's logical clock by one tick per dispute round. The
+  // BatchVerifier's concurrent-dispute mode turns this off so games sharing the
+  // coordinator cannot push each other past round deadlines; the clock is protocol
+  // bookkeeping only, so verdicts, rounds, and gas are unchanged.
+  bool advance_clock_per_round = true;
 };
 
 struct RoundStats {
@@ -61,6 +67,7 @@ struct RoundStats {
 };
 
 struct DisputeResult {
+  ClaimId claim_id = 0;
   bool challenge_raised = false;
   bool proposer_guilty = false;
   ClaimState final_state = ClaimState::kCommitted;
@@ -87,6 +94,23 @@ class DisputeGame {
   DisputeResult Run(const std::vector<Tensor>& inputs, const DeviceProfile& proposer_device,
                     const DeviceProfile& challenger_device,
                     const std::vector<Executor::Perturbation>& perturbations = {});
+
+  // Everything after phase 1: commitment submission, the output threshold check, and
+  // — when the check flags the claim — the full dispute pipeline. `proposer_trace`
+  // and `challenger_output` are the phase-1 execution results, computed either by
+  // Run() above or externally (the BatchVerifier lowers K claims' phase-1 runs into
+  // one scheduler DAG and feeds each result here); `c0` is the proposer's result
+  // commitment over that trace's output. Outcomes are identical to Run() because the
+  // runtime is bitwise deterministic, so where phase 1 executed cannot matter.
+  // `precomputed_flagged`, when set, is the caller's already-evaluated output
+  // threshold verdict (the check is deterministic, so passing it skips a duplicate
+  // evaluation — the BatchVerifier's concurrent mode classifies claims before
+  // fanning out); when unset, the check runs here.
+  DisputeResult RunFromPhase1(const std::vector<Tensor>& inputs,
+                              const DeviceProfile& challenger_device,
+                              const ExecutionTrace& proposer_trace,
+                              const Tensor& challenger_output, const Digest& c0,
+                              std::optional<bool> precomputed_flagged = std::nullopt);
 
  private:
   const Model& model_;

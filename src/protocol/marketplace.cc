@@ -1,8 +1,25 @@
 #include "src/protocol/marketplace.h"
 
+#include <algorithm>
+
+#include "src/protocol/batch_verifier.h"
 #include "src/util/check.h"
 
 namespace tao {
+namespace {
+
+// One task's resolved draws: the claim to execute plus the strategy/supervision
+// outcomes the statistics are tallied from.
+struct DrawnTask {
+  BatchClaim claim;
+  bool cheats = false;
+  bool challenged = false;
+  bool audited = false;
+
+  bool supervised() const { return challenged || audited; }
+};
+
+}  // namespace
 
 Marketplace::Marketplace(const Model& model, const ModelCommitment& commitment,
                          const ThresholdSet& thresholds, MarketplaceConfig config)
@@ -17,86 +34,108 @@ MarketplaceStats Marketplace::Run() {
   const Graph& graph = *model_.graph;
   const auto& fleet = DeviceRegistry::Fleet();
 
-  for (int64_t task = 0; task < config_.num_tasks; ++task) {
-    ++stats.tasks;
-    const std::vector<Tensor> input = model_.sample_input(rng);
-    const DeviceProfile& proposer_device = fleet[rng.NextBounded(fleet.size())];
+  BatchVerifierOptions verifier_options;
+  verifier_options.dispute = config_.dispute;
+  verifier_options.reuse_buffers = config_.reuse_buffers;
+  BatchVerifier verifier(model_, commitment_, thresholds_, coordinator_, verifier_options);
 
-    // Proposer strategy draw.
-    const bool cheats = rng.NextDouble() < config_.cheat_rate;
-    std::vector<Executor::Perturbation> perturbations;
-    if (cheats) {
-      ++stats.cheats_attempted;
-      const NodeId site =
-          graph.op_nodes()[rng.NextBounded(static_cast<uint64_t>(graph.num_ops() - 1))];
-      Rng delta_rng(rng.NextU64());
-      perturbations.push_back(
-          {site, Tensor::Randn(graph.node(site).shape, delta_rng, config_.cheat_magnitude)});
+  // Two-phase pipeline, one verify_batch_size chunk at a time: resolve the chunk's
+  // draws, then execute the drawn claims as one batch. Execution consumes nothing
+  // from the stats Rng stream, so the draw sequence across chunks is EXACTLY the
+  // historical per-task loop's — input, proposer device, strategy, perturbation
+  // site/seed, supervision channel, verifier device, task by task — and every
+  // statistic is bitwise identical to interleaving draws with execution. Chunked
+  // drawing also bounds resident tensors to one batch rather than the whole run.
+  const int64_t batch_size = std::max<int64_t>(1, config_.verify_batch_size);
+  for (int64_t base = 0; base < config_.num_tasks; base += batch_size) {
+    const int64_t chunk = std::min(config_.num_tasks - base, batch_size);
+
+    // ---- Phase 1: resolve the chunk's draws -----------------------------------------
+    std::vector<DrawnTask> cohort;
+    cohort.reserve(static_cast<size_t>(chunk));
+    for (int64_t task = 0; task < chunk; ++task) {
+      DrawnTask drawn;
+      drawn.claim.inputs = model_.sample_input(rng);
+      drawn.claim.proposer_device = &fleet[rng.NextBounded(fleet.size())];
+
+      // Proposer strategy draw.
+      drawn.cheats = rng.NextDouble() < config_.cheat_rate;
+      if (drawn.cheats) {
+        const NodeId site =
+            graph.op_nodes()[rng.NextBounded(static_cast<uint64_t>(graph.num_ops() - 1))];
+        Rng delta_rng(rng.NextU64());
+        drawn.claim.perturbations.push_back(
+            {site,
+             Tensor::Randn(graph.node(site).shape, delta_rng, config_.cheat_magnitude)});
+      }
+
+      // Supervision draw: voluntary challenge XOR randomized audit XOR none.
+      const double draw = rng.NextDouble();
+      drawn.challenged = draw < config_.economics.challenge_prob;
+      drawn.audited =
+          !drawn.challenged &&
+          draw < config_.economics.challenge_prob + config_.economics.audit_prob;
+      if (drawn.supervised()) {
+        // A verifier (voluntary challenger or sampled auditor) re-executes on its own
+        // hardware and runs the dispute pipeline when flagged.
+        drawn.claim.verifier_device = &fleet[rng.NextBounded(fleet.size())];
+      }
+      cohort.push_back(std::move(drawn));
     }
 
-    // Supervision draw: voluntary challenge XOR randomized audit XOR none.
-    const double draw = rng.NextDouble();
-    const bool challenged = draw < config_.economics.challenge_prob;
-    const bool audited =
-        !challenged &&
-        draw < config_.economics.challenge_prob + config_.economics.audit_prob;
+    // ---- Phase 2: batched execution of the drawn chunk ------------------------------
+    std::vector<BatchClaim> batch;
+    batch.reserve(cohort.size());
+    for (const DrawnTask& drawn : cohort) {
+      batch.push_back(drawn.claim);  // tensors share storage
+    }
+    const std::vector<BatchClaimOutcome> outcomes = verifier.VerifyBatch(batch);
 
-    if (!challenged && !audited) {
-      // Nobody watches this claim: it finalizes either way.
-      DisputeGame game(model_, commitment_, thresholds_, coordinator_, config_.dispute);
-      // No challenger verification: emulate by running the happy path directly —
-      // proposer commits and the window elapses.
-      const Executor proposer_exec(graph, proposer_device);
-      const ExecutionTrace trace = proposer_exec.RunPerturbed(input, perturbations);
-      ResultMeta meta;
-      meta.device = proposer_device.name;
-      meta.challenge_window = config_.dispute.challenge_window;
-      const Digest c0 = ComputeResultCommitment(commitment_, input,
-                                                trace.value(graph.output()), meta);
-      const ClaimId claim = coordinator_.SubmitCommitment(c0, meta.challenge_window,
-                                                          config_.dispute.proposer_bond);
-      coordinator_.AdvanceTime(meta.challenge_window);
-      TAO_CHECK(coordinator_.TryFinalize(claim) == ClaimState::kFinalized);
-      if (cheats) {
+    for (size_t i = 0; i < cohort.size(); ++i) {
+      const DrawnTask& drawn = cohort[i];
+      const BatchClaimOutcome& outcome = outcomes[i];
+      ++stats.tasks;
+      if (drawn.cheats) {
+        ++stats.cheats_attempted;
+      }
+
+      if (!drawn.supervised()) {
+        // Nobody watched this claim: it finalized either way.
+        if (drawn.cheats) {
+          ++stats.cheats_escaped;
+        } else {
+          ++stats.finalized_clean;
+        }
+        continue;
+      }
+
+      if (drawn.challenged) {
+        ++stats.voluntary_challenges;
+      } else {
+        ++stats.audits;
+      }
+      stats.total_gas += outcome.gas_used;
+
+      if (!outcome.flagged) {
+        if (drawn.cheats) {
+          ++stats.cheats_escaped;  // deviation hid inside the tolerance (the eps1 case)
+        } else {
+          ++stats.finalized_clean;
+        }
+        continue;
+      }
+      if (!drawn.cheats) {
+        ++stats.spurious_disputes;
+        if (outcome.final_state == ClaimState::kProposerSlashed) {
+          ++stats.honest_slashes;
+        }
+        continue;
+      }
+      if (outcome.proposer_guilty) {
+        ++stats.cheats_caught;
+      } else {
         ++stats.cheats_escaped;
-      } else {
-        ++stats.finalized_clean;
       }
-      continue;
-    }
-
-    // Supervised claim: a verifier (voluntary challenger or sampled auditor)
-    // re-executes on its own hardware and runs the dispute pipeline when flagged.
-    if (challenged) {
-      ++stats.voluntary_challenges;
-    } else {
-      ++stats.audits;
-    }
-    const DeviceProfile& verifier_device = fleet[rng.NextBounded(fleet.size())];
-    DisputeGame game(model_, commitment_, thresholds_, coordinator_, config_.dispute);
-    const DisputeResult result =
-        game.Run(input, proposer_device, verifier_device, perturbations);
-    stats.total_gas += result.gas_used;
-
-    if (!result.challenge_raised) {
-      if (cheats) {
-        ++stats.cheats_escaped;  // deviation hid inside the tolerance (the eps1 case)
-      } else {
-        ++stats.finalized_clean;
-      }
-      continue;
-    }
-    if (!cheats) {
-      ++stats.spurious_disputes;
-      if (result.final_state == ClaimState::kProposerSlashed) {
-        ++stats.honest_slashes;
-      }
-      continue;
-    }
-    if (result.proposer_guilty) {
-      ++stats.cheats_caught;
-    } else {
-      ++stats.cheats_escaped;
     }
   }
   return stats;

@@ -27,6 +27,17 @@ struct MarketplaceConfig {
   float cheat_magnitude = 5e-2f;
   DisputeOptions dispute;
   uint64_t seed = 0x3a4ce7;
+  // Run() is a two-phase pipeline over chunks of `verify_batch_size` tasks: each
+  // chunk's strategy and supervision draws are resolved ahead of execution on the
+  // same RNG stream as the historical per-task loop (execution draws nothing, so
+  // statistics are bitwise identical), then the drawn claims are lowered into one
+  // scheduler DAG through the BatchVerifier. `dispute.num_threads` sets the
+  // execution width; 1 claim / 1 thread is exactly the sequential path. Claims
+  // always resolve against the coordinator in task order, so the ledger and claim
+  // ids match the sequential path too.
+  int64_t verify_batch_size = 16;
+  // Recycle dead intermediates of output-only lanes during batched execution.
+  bool reuse_buffers = true;
 };
 
 struct MarketplaceStats {
@@ -42,11 +53,16 @@ struct MarketplaceStats {
   int64_t honest_slashes = 0;        // must stay 0 (soundness for the honest)
   int64_t total_gas = 0;
 
+  // Fraction of ATTEMPTED cheats that were caught. The denominator is every cheat
+  // attempt — supervised or not — matching the analytical d = (phi + phi_ch)(1 - eps1)
+  // of Eq. 16, which also conditions only on a cheat being attempted (supervision and
+  // the eps1 tolerance residue are what the rate is measuring). It is NOT the
+  // caught-given-supervised conditional, which would divide by the supervised-cheat
+  // count alone and track 1 - eps1 instead.
   double realized_detection_rate() const {
-    const int64_t supervised_cheats = cheats_caught;
     return cheats_attempted == 0
                ? 0.0
-               : static_cast<double>(supervised_cheats) / cheats_attempted;
+               : static_cast<double>(cheats_caught) / cheats_attempted;
   }
 };
 

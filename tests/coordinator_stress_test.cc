@@ -1,0 +1,186 @@
+// Coordinator concurrency stress: many threads drive full claim lifecycles —
+// submit / finalize / challenge / partition / select / adjudicate — against ONE
+// shared coordinator, interleaved arbitrarily by the scheduler. Invariants:
+//
+//   * ledger conservation — every bond is escrowed and later released, rewarded, or
+//     burned, so proposer + challenger + treasury deltas sum to zero;
+//   * soundness for the honest — claims whose flow never opened a dispute finalize,
+//     and no clean-adjudicated claim ever slashes the proposer;
+//   * per-claim gas — each claim's metered gas equals its action sequence's schedule
+//     cost, and the global meter equals the sum over claims.
+//
+// The test must pass under TSan (the CI tsan job runs it): every transition locks
+// the coordinator mutex and the gas meter is atomic, so no interleaving races.
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/crypto/sha256.h"
+#include "src/protocol/coordinator.h"
+
+namespace tao {
+namespace {
+
+// Flows running concurrently advance the shared logical clock under each other's
+// feet. Finalize flows therefore use a 1-tick challenge window (they advance the
+// clock by exactly 1), while disputed claims get an effectively infinite window and
+// round timeout so that no interleaving of other flows' advances can push them past
+// a deadline. Total clock advancement over the test is bounded by the number of
+// flow steps (~thousands), far below 2^60.
+constexpr uint64_t kDisputeWindow = uint64_t{1} << 60;
+constexpr uint64_t kFinalizeWindow = 1;
+
+enum class FlowKind {
+  kFinalize,       // honest claim, nobody watches: submit -> window -> finalize
+  kDisputeGuilty,  // cheat caught: full dispute, proposer slashed
+  kDisputeClean,   // spurious challenge: full dispute, challenger slashed
+};
+
+FlowKind KindFor(int thread_id, int claim_index) {
+  switch ((thread_id + claim_index) % 3) {
+    case 0:
+      return FlowKind::kFinalize;
+    case 1:
+      return FlowKind::kDisputeGuilty;
+    default:
+      return FlowKind::kDisputeClean;
+  }
+}
+
+constexpr int64_t kRounds = 3;       // dispute rounds per disputed claim
+constexpr int64_t kChildren = 2;     // partition width
+constexpr int64_t kProofsPerRound = 5;
+
+// Runs one claim's full lifecycle; returns its id.
+ClaimId RunFlow(Coordinator& coordinator, int thread_id, int claim_index, FlowKind kind) {
+  const Digest c0 = Sha256::Hash("claim-" + std::to_string(thread_id) + "-" +
+                                 std::to_string(claim_index));
+  const ClaimId id = coordinator.SubmitCommitment(
+      c0, kind == FlowKind::kFinalize ? kFinalizeWindow : kDisputeWindow,
+      /*proposer_bond=*/10.0);
+  if (kind == FlowKind::kFinalize) {
+    coordinator.AdvanceTime(kFinalizeWindow);
+    // Other flows only ever advance time further, so finalization cannot fail.
+    EXPECT_EQ(coordinator.TryFinalize(id), ClaimState::kFinalized);
+    return id;
+  }
+  coordinator.OpenChallenge(id, /*challenger_bond=*/2.0);
+  const std::vector<Digest> child_hashes(static_cast<size_t>(kChildren), c0);
+  for (int64_t round = 0; round < kRounds; ++round) {
+    coordinator.RecordPartition(id, kChildren, child_hashes);
+    coordinator.RecordMerkleCheck(id, kProofsPerRound);
+    coordinator.RecordSelection(id, round % kChildren);
+    coordinator.AdvanceTime(1);
+  }
+  coordinator.RecordLeafAdjudication(id, kind == FlowKind::kDisputeGuilty,
+                                     /*challenger_share=*/0.5);
+  return id;
+}
+
+int64_t ExpectedGas(const GasSchedule& schedule, FlowKind kind) {
+  int64_t gas = schedule.commit;
+  if (kind == FlowKind::kFinalize) {
+    return gas;
+  }
+  gas += schedule.open_challenge;
+  gas += kRounds * (schedule.PartitionCost(kChildren) + schedule.selection +
+                    schedule.merkle_check * kProofsPerRound);
+  gas += schedule.leaf_adjudication + schedule.settlement;
+  return gas;
+}
+
+TEST(CoordinatorStressTest, ConcurrentClaimFlowsKeepLedgerAndGasConsistent) {
+  constexpr int kThreads = 8;
+  constexpr int kClaimsPerThread = 40;
+
+  Coordinator coordinator(GasSchedule{}, /*round_timeout=*/kDisputeWindow);
+  std::vector<std::vector<ClaimId>> ids(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&coordinator, &ids, t] {
+      ids[static_cast<size_t>(t)].reserve(kClaimsPerThread);
+      for (int c = 0; c < kClaimsPerThread; ++c) {
+        ids[static_cast<size_t>(t)].push_back(RunFlow(coordinator, t, c, KindFor(t, c)));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  // Ledger conservation: balance deltas sum to zero net of burns (the treasury IS
+  // the burn account, so the three-way sum closes exactly).
+  const Balances balances = coordinator.balances();
+  EXPECT_NEAR(balances.proposer + balances.challenger + balances.treasury, 0.0, 1e-9);
+  EXPECT_GE(balances.treasury, 0.0);
+
+  const GasSchedule schedule = coordinator.schedule();
+  int64_t gas_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int c = 0; c < kClaimsPerThread; ++c) {
+      const FlowKind kind = KindFor(t, c);
+      const ClaimId id = ids[static_cast<size_t>(t)][static_cast<size_t>(c)];
+      const ClaimRecord record = coordinator.claim(id);
+      // No honest slash: finalize flows finalize, clean disputes slash the
+      // challenger, and only guilty flows slash the proposer.
+      switch (kind) {
+        case FlowKind::kFinalize:
+          EXPECT_EQ(record.state, ClaimState::kFinalized) << "claim " << id;
+          break;
+        case FlowKind::kDisputeGuilty:
+          EXPECT_EQ(record.state, ClaimState::kProposerSlashed) << "claim " << id;
+          break;
+        case FlowKind::kDisputeClean:
+          EXPECT_EQ(record.state, ClaimState::kChallengerSlashed) << "claim " << id;
+          break;
+      }
+      EXPECT_EQ(record.gas, ExpectedGas(schedule, kind)) << "claim " << id;
+      EXPECT_EQ(record.merkle_checks,
+                kind == FlowKind::kFinalize ? 0 : kRounds * kProofsPerRound)
+          << "claim " << id;
+      gas_sum += record.gas;
+    }
+  }
+  // Per-claim meters partition the global meter.
+  EXPECT_EQ(coordinator.gas().total(), gas_sum);
+}
+
+// Concurrent submissions alone: ids are unique and dense, every bond is escrowed.
+TEST(CoordinatorStressTest, ConcurrentSubmissionsAssignUniqueIds) {
+  constexpr int kThreads = 8;
+  constexpr int kClaimsPerThread = 100;
+  Coordinator coordinator;
+  std::vector<std::vector<ClaimId>> ids(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&coordinator, &ids, t] {
+      for (int c = 0; c < kClaimsPerThread; ++c) {
+        const Digest c0 = Sha256::Hash(std::to_string(t * kClaimsPerThread + c));
+        ids[static_cast<size_t>(t)].push_back(
+            coordinator.SubmitCommitment(c0, 100, 10.0));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  std::vector<char> seen(kThreads * kClaimsPerThread + 1, 0);
+  for (const auto& thread_ids : ids) {
+    for (const ClaimId id : thread_ids) {
+      ASSERT_GE(id, 1u);
+      ASSERT_LE(id, static_cast<ClaimId>(kThreads * kClaimsPerThread));
+      EXPECT_EQ(seen[static_cast<size_t>(id)], 0) << "duplicate claim id " << id;
+      seen[static_cast<size_t>(id)] = 1;
+    }
+  }
+  const Balances balances = coordinator.balances();
+  EXPECT_DOUBLE_EQ(balances.proposer, -10.0 * kThreads * kClaimsPerThread);
+}
+
+}  // namespace
+}  // namespace tao

@@ -101,6 +101,54 @@ TEST_F(MarketplaceFixture, RealizedDetectionTracksAnalyticalRate) {
   EXPECT_EQ(stats.honest_slashes, 0);
 }
 
+// Seed-sweep determinism regression guarding the two-phase RNG refactor: with the
+// draw phase hoisted ahead of execution, repeated runs at a fixed seed must produce
+// bitwise-identical statistics and ledger balances — across seeds, batch sizes, and
+// thread counts. A drift here means the cohort draw order no longer matches the
+// claim resolution order.
+TEST_F(MarketplaceFixture, SeedSweepRunsAreDeterministic) {
+  const uint64_t seeds[] = {0x5eed0, 0x5eed1, 0x5eed2, 0x5eed3, 0x5eed4};
+  for (const uint64_t seed : seeds) {
+    MarketplaceConfig config;
+    config.num_tasks = 10;
+    config.cheat_rate = 0.5;
+    config.economics.challenge_prob = 0.4;
+    config.economics.audit_prob = 0.2;
+    config.seed = seed;
+    config.verify_batch_size = 4;
+    config.dispute.num_threads = 4;
+
+    bool have_reference = false;
+    MarketplaceStats reference;
+    Balances reference_balances;
+    for (int run = 0; run < 3; ++run) {
+      Marketplace market(*model_, *commitment_, *thresholds_, config);
+      const MarketplaceStats stats = market.Run();
+      const Balances balances = market.balances();
+      if (!have_reference) {
+        have_reference = true;
+        reference = stats;
+        reference_balances = balances;
+        continue;
+      }
+      EXPECT_EQ(stats.tasks, reference.tasks) << "seed " << seed;
+      EXPECT_EQ(stats.finalized_clean, reference.finalized_clean) << "seed " << seed;
+      EXPECT_EQ(stats.cheats_attempted, reference.cheats_attempted) << "seed " << seed;
+      EXPECT_EQ(stats.cheats_caught, reference.cheats_caught) << "seed " << seed;
+      EXPECT_EQ(stats.cheats_escaped, reference.cheats_escaped) << "seed " << seed;
+      EXPECT_EQ(stats.voluntary_challenges, reference.voluntary_challenges)
+          << "seed " << seed;
+      EXPECT_EQ(stats.audits, reference.audits) << "seed " << seed;
+      EXPECT_EQ(stats.spurious_disputes, reference.spurious_disputes) << "seed " << seed;
+      EXPECT_EQ(stats.honest_slashes, reference.honest_slashes) << "seed " << seed;
+      EXPECT_EQ(stats.total_gas, reference.total_gas) << "seed " << seed;
+      EXPECT_EQ(balances.proposer, reference_balances.proposer) << "seed " << seed;
+      EXPECT_EQ(balances.challenger, reference_balances.challenger) << "seed " << seed;
+      EXPECT_EQ(balances.treasury, reference_balances.treasury) << "seed " << seed;
+    }
+  }
+}
+
 TEST_F(MarketplaceFixture, LedgerConservation) {
   MarketplaceConfig config;
   config.num_tasks = 30;
