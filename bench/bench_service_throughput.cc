@@ -1,0 +1,188 @@
+// Verification-service throughput: a closed-loop load generator driving the
+// always-on VerificationService across submitters {1, 4, 16} x verify workers
+// {1, 2, 8}, reporting claims/sec and p50/p99 enqueue->verdict latency from the
+// service's own MetricsRegistry. One fixed 48-claim workload (mixed honest/cheating,
+// supervised/unsupervised, BERT-mini) is partitioned across the submitter threads,
+// and every configuration's per-claim C0 digests and verdicts are cross-checked
+// against a sequential per-claim baseline before its numbers are reported — the
+// service may reorder and re-batch work freely, but it must never change an outcome.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/calib/calibrator.h"
+#include "src/service/verification_service.h"
+#include "src/util/table.h"
+
+namespace tao {
+namespace {
+
+constexpr size_t kClaims = 48;
+
+std::vector<BatchClaim> MakeClaims(const Model& model, size_t count, uint64_t seed) {
+  const Graph& graph = *model.graph;
+  const auto& fleet = DeviceRegistry::Fleet();
+  Rng rng(seed);
+  std::vector<BatchClaim> claims;
+  claims.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    BatchClaim claim;
+    claim.inputs = model.sample_input(rng);
+    claim.proposer_device = &fleet[rng.NextBounded(fleet.size())];
+    if (rng.NextDouble() < 0.25) {
+      const NodeId site =
+          graph.op_nodes()[rng.NextBounded(static_cast<uint64_t>(graph.num_ops() - 1))];
+      Rng delta_rng(rng.NextU64());
+      claim.perturbations.push_back(
+          {site, Tensor::Randn(graph.node(site).shape, delta_rng, 5e-2f)});
+    }
+    if (rng.NextDouble() < 0.5) {
+      claim.verifier_device = &fleet[rng.NextBounded(fleet.size())];
+    }
+    claims.push_back(std::move(claim));
+  }
+  return claims;
+}
+
+struct PerClaimBaseline {
+  Digest c0{};
+  bool guilty = false;
+  bool flagged = false;
+};
+
+// Per-claim sequential reference: each claim's lifecycle run standalone (its own
+// coordinator). C0, the threshold flag, and the verdict are order-independent, so
+// this one baseline serves every (submitters x workers) configuration.
+std::vector<PerClaimBaseline> ComputeBaselines(const Model& model,
+                                               const ModelCommitment& commitment,
+                                               const ThresholdSet& thresholds,
+                                               const std::vector<BatchClaim>& claims) {
+  const Graph& graph = *model.graph;
+  std::vector<PerClaimBaseline> baselines;
+  baselines.reserve(claims.size());
+  for (const BatchClaim& claim : claims) {
+    PerClaimBaseline baseline;
+    Coordinator coordinator;
+    if (claim.supervised()) {
+      DisputeGame game(model, commitment, thresholds, coordinator, DisputeOptions{});
+      const DisputeResult result = game.Run(claim.inputs, *claim.proposer_device,
+                                            *claim.verifier_device, claim.perturbations);
+      baseline.c0 = coordinator.claim(result.claim_id).c0;
+      baseline.guilty = result.proposer_guilty;
+      baseline.flagged = result.challenge_raised;
+    } else {
+      const Executor exec(graph, *claim.proposer_device);
+      const ExecutionTrace trace = exec.RunPerturbed(claim.inputs, claim.perturbations);
+      ResultMeta meta;
+      meta.device = claim.proposer_device->name;
+      meta.challenge_window = DisputeOptions{}.challenge_window;
+      baseline.c0 = ComputeResultCommitment(commitment, claim.inputs,
+                                            trace.value(graph.output()), meta);
+    }
+    baselines.push_back(baseline);
+  }
+  return baselines;
+}
+
+struct RunResult {
+  MetricsSnapshot metrics;
+  bool deterministic = true;
+};
+
+RunResult RunConfiguration(const Model& model, const ModelCommitment& commitment,
+                           const ThresholdSet& thresholds,
+                           const std::vector<BatchClaim>& claims,
+                           const std::vector<PerClaimBaseline>& baselines,
+                           size_t num_submitters, int num_workers) {
+  Coordinator coordinator;
+  ServiceOptions options;
+  options.num_workers = num_workers;
+  options.queue_capacity = 16;  // small enough that submitters feel backpressure
+  options.batching.initial_hint = 8;
+  options.verifier.dispute.num_threads = 4;
+  options.verifier.reuse_buffers = true;
+  VerificationService service(model, commitment, thresholds, coordinator, options);
+
+  // Closed-loop submitters: each owns a contiguous slice of the workload and pushes
+  // as fast as blocking admission allows.
+  std::vector<std::vector<std::shared_ptr<ClaimTicket>>> tickets(num_submitters);
+  std::vector<std::thread> submitters;
+  for (size_t s = 0; s < num_submitters; ++s) {
+    submitters.emplace_back([&, s] {
+      const size_t begin = s * kClaims / num_submitters;
+      const size_t end = (s + 1) * kClaims / num_submitters;
+      for (size_t i = begin; i < end; ++i) {
+        tickets[s].push_back(service.Submit(claims[i], s));
+      }
+    });
+  }
+  for (std::thread& t : submitters) {
+    t.join();
+  }
+  service.Drain();
+
+  RunResult result;
+  result.metrics = service.metrics();
+  for (size_t s = 0; s < num_submitters; ++s) {
+    const size_t begin = s * kClaims / num_submitters;
+    for (size_t i = 0; i < tickets[s].size(); ++i) {
+      const BatchClaimOutcome& outcome = tickets[s][i]->Wait();
+      const PerClaimBaseline& baseline = baselines[begin + i];
+      if (outcome.c0 != baseline.c0 || outcome.proposer_guilty != baseline.guilty ||
+          outcome.flagged != baseline.flagged) {
+        result.deterministic = false;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace tao
+
+int main() {
+  using namespace tao;
+  std::printf("Verification-service throughput (%zu-claim workload, BERT-mini)\n", kClaims);
+  std::printf("Closed-loop submitters block on the admission queue (capacity 16);\n");
+  std::printf("the BatchFormer sizes cohorts adaptively; per-claim digests and\n");
+  std::printf("verdicts are cross-checked against the sequential baseline.\n\n");
+
+  const Model model = BuildBertMini();
+  CalibrateOptions calib_options;
+  calib_options.num_samples = 4;
+  const ThresholdSet thresholds =
+      Calibrate(model, DeviceRegistry::Fleet(), calib_options).MakeThresholds(3.0);
+  const ModelCommitment commitment(*model.graph, thresholds);
+  const std::vector<BatchClaim> claims = MakeClaims(model, kClaims, 0x5e6b);
+  const std::vector<PerClaimBaseline> baselines =
+      ComputeBaselines(model, commitment, thresholds, claims);
+
+  TablePrinter table({"submitters", "workers", "claims_per_s", "p50_ms", "p99_ms",
+                      "batches", "peak_queue"});
+  for (const size_t submitters : {size_t{1}, size_t{4}, size_t{16}}) {
+    for (const int workers : {1, 2, 8}) {
+      const RunResult result = RunConfiguration(model, commitment, thresholds, claims,
+                                                baselines, submitters, workers);
+      if (!result.deterministic) {
+        std::printf("DETERMINISM VIOLATION at submitters=%zu workers=%d\n", submitters,
+                    workers);
+        return 1;
+      }
+      table.AddRow({std::to_string(submitters), std::to_string(workers),
+                    TablePrinter::Fixed(result.metrics.claims_per_second, 1),
+                    TablePrinter::Fixed(result.metrics.LatencyPercentileMillis(0.5), 1),
+                    TablePrinter::Fixed(result.metrics.LatencyPercentileMillis(0.99), 1),
+                    std::to_string(result.metrics.batches_dispatched),
+                    std::to_string(result.metrics.peak_queue_depth)});
+    }
+  }
+  table.Print();
+  std::printf("\np50/p99 are enqueue->verdict (queueing included), read from the\n");
+  std::printf("service's log-bucketed latency histogram (one-bucket resolution).\n");
+  std::printf("On a single-core host claims/sec stays ~flat by hardware — the table\n");
+  std::printf("then certifies determinism; multi-core hosts show worker scaling.\n");
+  return 0;
+}

@@ -1,6 +1,5 @@
 #include "src/protocol/batch_verifier.h"
 
-#include <optional>
 #include <utility>
 
 #include "src/runtime/parallel_for.h"
@@ -18,27 +17,26 @@ BatchVerifier::BatchVerifier(const Model& model, const ModelCommitment& commitme
       coordinator_(coordinator),
       options_(std::move(options)) {}
 
-std::vector<BatchClaimOutcome> BatchVerifier::VerifyBatch(
-    const std::vector<BatchClaim>& claims, TensorArena::Stats* arena_stats) {
+std::vector<ClaimPhase1> BatchVerifier::ExecutePhase1(const std::vector<BatchClaim>& claims,
+                                                      TensorArena::Stats* arena_stats) {
   const size_t num_claims = claims.size();
-  std::vector<BatchClaimOutcome> outcomes(num_claims);
+  std::vector<ClaimPhase1> phase1(num_claims);
   if (num_claims == 0) {
-    return outcomes;
+    return phase1;
   }
   const Graph& graph = *model_.graph;
   const NodeId output = graph.output();
 
   // ---- Batched phase 1: one scheduler DAG for the whole cohort ----------------------
-  // Proposer lanes keep their full trace only when supervised (a dispute may need to
-  // post partitions from any node's value); challenger lanes are output-only. The
-  // commitment check for each claim runs as its proposer lane's epilogue node,
-  // interleaved with other lanes' compute.
+  // Every lane is output-only — proposer lanes included — so the batch's working set
+  // stays flat in the number of supervised claims; flagged claims re-acquire their
+  // full trace lazily below. The commitment check for each claim runs as its
+  // proposer lane's epilogue node, interleaved with other lanes' compute.
   std::vector<Executor::BatchItem> items;
   items.reserve(2 * num_claims);
   constexpr size_t kNoLane = static_cast<size_t>(-1);
   std::vector<size_t> proposer_lane(num_claims, kNoLane);
   std::vector<size_t> challenger_lane(num_claims, kNoLane);
-  std::vector<Digest> c0(num_claims);
   for (size_t i = 0; i < num_claims; ++i) {
     const BatchClaim& claim = claims[i];
     TAO_CHECK(claim.proposer_device != nullptr) << "claim " << i << " has no proposer device";
@@ -47,14 +45,13 @@ std::vector<BatchClaimOutcome> BatchVerifier::VerifyBatch(
     proposer.inputs = &claim.inputs;
     proposer.perturbations = claim.perturbations.empty() ? nullptr : &claim.perturbations;
     proposer.device = claim.proposer_device;
-    proposer.keep_values = claim.supervised();
-    proposer.on_complete = [this, i, output, &claims, &c0](size_t,
-                                                           const ExecutionTrace& trace) {
+    proposer.on_complete = [this, i, output, &claims, &phase1](size_t,
+                                                               const ExecutionTrace& trace) {
       ResultMeta meta;
       meta.device = claims[i].proposer_device->name;
       meta.challenge_window = options_.dispute.challenge_window;
-      c0[i] = ComputeResultCommitment(commitment_, claims[i].inputs, trace.value(output),
-                                      meta);
+      phase1[i].c0 = ComputeResultCommitment(commitment_, claims[i].inputs,
+                                             trace.value(output), meta);
     };
     proposer_lane[i] = items.size();
     items.push_back(std::move(proposer));
@@ -72,48 +69,86 @@ std::vector<BatchClaimOutcome> BatchVerifier::VerifyBatch(
   exec_options.num_threads = options_.dispute.num_threads;
   exec_options.reuse_buffers = options_.reuse_buffers;
   const Executor executor(graph, *claims[0].proposer_device);  // per-lane device overrides
-  const std::vector<ExecutionTrace> traces =
-      executor.RunBatch(items, exec_options, arena_stats);
+  std::vector<ExecutionTrace> traces = executor.RunBatch(items, exec_options, arena_stats);
 
-  // ---- Claim resolution against the coordinator -------------------------------------
-  const auto resolve_unsupervised = [&](size_t i) {
+  // ---- Threshold checks + lazy full re-execution of flagged claims ------------------
+  // Unflagged claims keep nothing beyond c0 and the challenger output: their
+  // resolution never reads the proposer trace (the threshold verdict is passed
+  // precomputed), so the lane traces die here instead of riding the reorder buffer.
+  for (size_t i = 0; i < num_claims; ++i) {
+    ClaimPhase1& result = phase1[i];
+    if (!claims[i].supervised()) {
+      continue;
+    }
+    result.supervised = true;
+    result.challenger_output = traces[challenger_lane[i]].value(output);
+    result.flagged = thresholds_.Exceeds(output, traces[proposer_lane[i]].value(output),
+                                         result.challenger_output);
+    if (result.flagged) {
+      // A dispute will post partition interface values from interior nodes, so this
+      // claim — and only this claim — pays for a full-trace re-execution. Bitwise
+      // identical to the output-only lane (same inputs, perturbations, device), so
+      // C0 and every downstream verdict are unchanged.
+      ExecutorOptions reexec_options;
+      reexec_options.num_threads = options_.dispute.num_threads;
+      const Executor proposer_exec(graph, *claims[i].proposer_device);
+      result.proposer_trace =
+          proposer_exec.RunPerturbed(claims[i].inputs, claims[i].perturbations,
+                                     reexec_options);
+    }
+  }
+  return phase1;
+}
+
+BatchClaimOutcome BatchVerifier::ResolveClaim(const BatchClaim& claim,
+                                              const ClaimPhase1& phase1) {
+  return ResolveClaimWithOptions(claim, phase1, options_.dispute);
+}
+
+BatchClaimOutcome BatchVerifier::ResolveClaimWithOptions(
+    const BatchClaim& claim, const ClaimPhase1& phase1,
+    const DisputeOptions& dispute_options) {
+  BatchClaimOutcome outcome;
+  outcome.c0 = phase1.c0;
+  if (!claim.supervised()) {
     // Nobody watches this claim: the proposer commits and the window elapses.
-    BatchClaimOutcome& outcome = outcomes[i];
     const ClaimId id = coordinator_.SubmitCommitment(
-        c0[i], options_.dispute.challenge_window, options_.dispute.proposer_bond);
-    coordinator_.AdvanceTime(options_.dispute.challenge_window);
+        phase1.c0, dispute_options.challenge_window, dispute_options.proposer_bond);
+    coordinator_.AdvanceTime(dispute_options.challenge_window);
     TAO_CHECK(coordinator_.TryFinalize(id) == ClaimState::kFinalized);
     outcome.claim_id = id;
-    outcome.c0 = c0[i];
     outcome.final_state = ClaimState::kFinalized;
     outcome.gas_used = coordinator_.claim_gas(id);
-  };
-  const auto resolve_supervised = [&](size_t i, const DisputeOptions& dispute_options,
-                                      std::optional<bool> precomputed_flagged) {
-    BatchClaimOutcome& outcome = outcomes[i];
-    DisputeGame game(model_, commitment_, thresholds_, coordinator_, dispute_options);
-    outcome.dispute = game.RunFromPhase1(
-        claims[i].inputs, *claims[i].verifier_device, traces[proposer_lane[i]],
-        traces[challenger_lane[i]].value(output), c0[i], precomputed_flagged);
-    outcome.claim_id = outcome.dispute.claim_id;
-    outcome.c0 = c0[i];
-    outcome.supervised = true;
-    outcome.flagged = outcome.dispute.challenge_raised;
-    outcome.proposer_guilty = outcome.dispute.proposer_guilty;
-    outcome.final_state = outcome.dispute.final_state;
-    outcome.gas_used = outcome.dispute.gas_used;
-  };
+    return outcome;
+  }
+  DisputeGame game(model_, commitment_, thresholds_, coordinator_, dispute_options);
+  outcome.dispute =
+      game.RunFromPhase1(claim.inputs, *claim.verifier_device, phase1.proposer_trace,
+                         phase1.challenger_output, phase1.c0, phase1.flagged);
+  outcome.claim_id = outcome.dispute.claim_id;
+  outcome.supervised = true;
+  outcome.flagged = outcome.dispute.challenge_raised;
+  outcome.proposer_guilty = outcome.dispute.proposer_guilty;
+  outcome.final_state = outcome.dispute.final_state;
+  outcome.gas_used = outcome.dispute.gas_used;
+  return outcome;
+}
+
+std::vector<BatchClaimOutcome> BatchVerifier::VerifyBatch(
+    const std::vector<BatchClaim>& claims, TensorArena::Stats* arena_stats) {
+  const size_t num_claims = claims.size();
+  std::vector<BatchClaimOutcome> outcomes(num_claims);
+  if (num_claims == 0) {
+    return outcomes;
+  }
+  const std::vector<ClaimPhase1> phase1 = ExecutePhase1(claims, arena_stats);
 
   if (!options_.concurrent_disputes) {
     // Claim-ordered resolution: the exact per-claim action sequence of the
     // historical one-claim-at-a-time path, so gas, ledger, claim ids, and stats are
     // bitwise identical to it.
     for (size_t i = 0; i < num_claims; ++i) {
-      if (claims[i].supervised()) {
-        resolve_supervised(i, options_.dispute, std::nullopt);
-      } else {
-        resolve_unsupervised(i);
-      }
+      outcomes[i] = ResolveClaim(claims[i], phase1[i]);
     }
     return outcomes;
   }
@@ -124,18 +159,10 @@ std::vector<BatchClaimOutcome> BatchVerifier::VerifyBatch(
   // coordinator must not push each other past round deadlines or challenge windows.
   std::vector<size_t> flagged;
   for (size_t i = 0; i < num_claims; ++i) {
-    if (!claims[i].supervised()) {
-      resolve_unsupervised(i);
-      continue;
-    }
-    const bool exceeds =
-        thresholds_.Exceeds(output, traces[proposer_lane[i]].value(output),
-                            traces[challenger_lane[i]].value(output));
-    if (exceeds) {
+    if (phase1[i].supervised && phase1[i].flagged) {
       flagged.push_back(i);
     } else {
-      // Happy path, no dispute; the threshold verdict is already known.
-      resolve_supervised(i, options_.dispute, false);
+      outcomes[i] = ResolveClaim(claims[i], phase1[i]);
     }
   }
   if (!flagged.empty()) {
@@ -146,7 +173,8 @@ std::vector<BatchClaimOutcome> BatchVerifier::VerifyBatch(
     const ParallelFor fan_out(pool, options_.dispute.num_threads);
     fan_out(static_cast<int64_t>(flagged.size()), [&](int64_t begin, int64_t end) {
       for (int64_t j = begin; j < end; ++j) {
-        resolve_supervised(flagged[static_cast<size_t>(j)], frozen_clock, true);
+        const size_t i = flagged[static_cast<size_t>(j)];
+        outcomes[i] = ResolveClaimWithOptions(claims[i], phase1[i], frozen_clock);
       }
     });
   }

@@ -5,19 +5,32 @@
 // A verifier supervising K independent claims against ONE committed model used to
 // re-walk the model once per claim, leaving the runtime pool idle between claims.
 // BatchVerifier instead lowers the whole cohort's phase-1 work into a single
-// Scheduler DAG (Executor::RunBatch): K proposer executions — output-only unless the
-// claim is supervised and may need partition posting — plus one challenger
+// Scheduler DAG (Executor::RunBatch): K proposer executions plus one challenger
 // re-execution per supervised claim, all sharing the model weights and one
 // TensorArena, each proposer lane terminated by a commitment-check epilogue node
 // that computes C0 while other lanes are still executing. Node tasks from different
 // claims interleave in the pool, so the batch fills the machine even when any single
 // graph has too little width to.
 //
-// After the batched phase 1, claims are resolved against the thread-safe
-// Coordinator. By default resolution runs in claim order, one claim at a time —
-// exactly the historical sequential path (DisputeGame::Run per supervised claim,
-// submit/finalize per unsupervised claim), so verdicts, per-claim gas, digests,
-// claim ids, stats, and the ledger are bitwise identical to it. With
+// Every lane — proposer lanes included, supervised or not — is output-only, so the
+// batch's peak memory no longer scales with supervised-claims-per-batch. The output
+// threshold check runs right after the batched phase 1; only for the claims it FLAGS
+// is the proposer's full trace lazily re-executed (bitwise identical to the lane
+// execution, per the runtime determinism contract), because only a dispute needs to
+// post partition interface values from interior nodes.
+//
+// The claim lifecycle is split into two independently callable halves so the service
+// layer (src/service/) can pipeline them:
+//   * ExecutePhase1: the batched DAG + threshold checks + lazy re-execution. Touches
+//     no coordinator state, so cohorts from different workers can execute
+//     concurrently.
+//   * ResolveClaim: one claim's coordinator interaction (submission, window,
+//     dispute game). Callers choose the resolution order; resolving claims in
+//     submission order replays the historical sequential path bitwise.
+// VerifyBatch composes the two. By default resolution runs in claim order, one claim
+// at a time — exactly the historical sequential path (DisputeGame::Run per
+// supervised claim, submit/finalize per unsupervised claim), so verdicts, per-claim
+// gas, digests, claim ids, stats, and the ledger are bitwise identical to it. With
 // `concurrent_disputes`, flagged claims instead fan their dispute games out across
 // the pool: verdicts, digests, and per-claim gas are unchanged (the runtime is
 // bitwise deterministic and gas is metered per claim), while ledger *ordering* —
@@ -62,6 +75,25 @@ struct BatchClaimOutcome {
   DisputeResult dispute;
 };
 
+// Everything phase 1 produced for one claim: the result commitment, the threshold
+// verdict, and the execution results ResolveClaim later feeds to the dispute
+// pipeline. Holding one of these retains the claim's inputs/outputs — and, for
+// flagged claims only, the full proposer trace.
+struct ClaimPhase1 {
+  Digest c0{};
+  bool supervised = false;
+  // The output threshold check's verdict (meaningful only when supervised). The
+  // check is deterministic, so it is evaluated once here and passed through.
+  bool flagged = false;
+  // The lazily re-executed FULL proposer trace, populated ONLY for flagged claims —
+  // the dispute game posts partition interface values from interior nodes. Unflagged
+  // claims resolve from c0/challenger_output alone, so their lane traces are dropped
+  // rather than parked in the service's reorder buffer.
+  ExecutionTrace proposer_trace;
+  // The supervising verifier's re-executed output (unset when unsupervised).
+  Tensor challenger_output;
+};
+
 struct BatchVerifierOptions {
   // Dispute policy for flagged claims. `dispute.num_threads` also sets the width of
   // the batched phase-1 DAG, and `dispute.challenge_window` / `proposer_bond` govern
@@ -85,7 +117,25 @@ class BatchVerifier {
   std::vector<BatchClaimOutcome> VerifyBatch(const std::vector<BatchClaim>& claims,
                                              TensorArena::Stats* arena_stats = nullptr);
 
+  // The cohort's batched phase 1 only: one scheduler DAG for every lane, per-claim
+  // C0 epilogues, output threshold checks, and the lazy full re-execution of flagged
+  // claims' proposer traces. Touches no coordinator state — safe to call from
+  // concurrent service workers sharing this verifier.
+  std::vector<ClaimPhase1> ExecutePhase1(const std::vector<BatchClaim>& claims,
+                                         TensorArena::Stats* arena_stats = nullptr);
+
+  // One claim's coordinator interaction, fed by its phase-1 results: the
+  // commit-and-finalize path for unsupervised claims, DisputeGame::RunFromPhase1 for
+  // supervised ones. Calls for distinct claims may come from any thread, but the
+  // bitwise-sequential-ledger guarantee holds only when claims resolve one at a time
+  // in submission order.
+  BatchClaimOutcome ResolveClaim(const BatchClaim& claim, const ClaimPhase1& phase1);
+
  private:
+  BatchClaimOutcome ResolveClaimWithOptions(const BatchClaim& claim,
+                                            const ClaimPhase1& phase1,
+                                            const DisputeOptions& dispute_options);
+
   const Model& model_;
   const ModelCommitment& commitment_;
   const ThresholdSet& thresholds_;

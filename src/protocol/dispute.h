@@ -104,8 +104,9 @@ class DisputeGame {
   // runtime is bitwise deterministic, so where phase 1 executed cannot matter.
   // `precomputed_flagged`, when set, is the caller's already-evaluated output
   // threshold verdict (the check is deterministic, so passing it skips a duplicate
-  // evaluation — the BatchVerifier's concurrent mode classifies claims before
-  // fanning out); when unset, the check runs here.
+  // evaluation); when unset, the check runs here. With `precomputed_flagged ==
+  // false` the happy path reads nothing from `proposer_trace`, so callers may pass
+  // an empty trace — the BatchVerifier drops unflagged lane traces on this basis.
   DisputeResult RunFromPhase1(const std::vector<Tensor>& inputs,
                               const DeviceProfile& challenger_device,
                               const ExecutionTrace& proposer_trace,

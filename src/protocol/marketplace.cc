@@ -1,17 +1,17 @@
 #include "src/protocol/marketplace.h"
 
-#include <algorithm>
+#include <memory>
+#include <utility>
 
-#include "src/protocol/batch_verifier.h"
+#include "src/service/verification_service.h"
 #include "src/util/check.h"
 
 namespace tao {
 namespace {
 
-// One task's resolved draws: the claim to execute plus the strategy/supervision
-// outcomes the statistics are tallied from.
+// One task's strategy/supervision draws — what the statistics are tallied from once
+// the service delivers the claim's verdict.
 struct DrawnTask {
-  BatchClaim claim;
   bool cheats = false;
   bool challenged = false;
   bool audited = false;
@@ -34,108 +34,109 @@ MarketplaceStats Marketplace::Run() {
   const Graph& graph = *model_.graph;
   const auto& fleet = DeviceRegistry::Fleet();
 
-  BatchVerifierOptions verifier_options;
-  verifier_options.dispute = config_.dispute;
-  verifier_options.reuse_buffers = config_.reuse_buffers;
-  BatchVerifier verifier(model_, commitment_, thresholds_, coordinator_, verifier_options);
+  ServiceOptions service_options;
+  service_options.num_workers = config_.service_workers;
+  service_options.queue_capacity = config_.queue_capacity;
+  service_options.admission = AdmissionPolicy::kBlock;
+  service_options.batching.initial_hint = config_.verify_batch_size;
+  service_options.verifier.dispute = config_.dispute;
+  service_options.verifier.reuse_buffers = config_.reuse_buffers;
+  VerificationService service(model_, commitment_, thresholds_, coordinator_,
+                              service_options);
 
-  // Two-phase pipeline, one verify_batch_size chunk at a time: resolve the chunk's
-  // draws, then execute the drawn claims as one batch. Execution consumes nothing
-  // from the stats Rng stream, so the draw sequence across chunks is EXACTLY the
-  // historical per-task loop's — input, proposer device, strategy, perturbation
-  // site/seed, supervision channel, verifier device, task by task — and every
-  // statistic is bitwise identical to interleaving draws with execution. Chunked
-  // drawing also bounds resident tensors to one batch rather than the whole run.
-  const int64_t batch_size = std::max<int64_t>(1, config_.verify_batch_size);
-  for (int64_t base = 0; base < config_.num_tasks; base += batch_size) {
-    const int64_t chunk = std::min(config_.num_tasks - base, batch_size);
+  // Draw-and-submit loop. The draw sequence is EXACTLY the historical per-task
+  // loop's — input, proposer device, strategy, perturbation site/seed, supervision
+  // channel, verifier device, task by task — because execution consumes nothing
+  // from this Rng stream. Submission order equals task order (one submitter, a
+  // FIFO queue), and the service's resolve lane settles claims against the
+  // coordinator in submission order, so every statistic, the ledger, and claim ids
+  // are bitwise identical to the sequential path no matter how the BatchFormer
+  // groups execution or how many workers run. Blocking admission bounds resident
+  // tensors to the queue + reorder window rather than the whole run.
+  std::vector<DrawnTask> drawn_tasks;
+  std::vector<std::shared_ptr<ClaimTicket>> tickets;
+  drawn_tasks.reserve(static_cast<size_t>(config_.num_tasks));
+  tickets.reserve(static_cast<size_t>(config_.num_tasks));
+  for (int64_t task = 0; task < config_.num_tasks; ++task) {
+    DrawnTask drawn;
+    BatchClaim claim;
+    claim.inputs = model_.sample_input(rng);
+    claim.proposer_device = &fleet[rng.NextBounded(fleet.size())];
 
-    // ---- Phase 1: resolve the chunk's draws -----------------------------------------
-    std::vector<DrawnTask> cohort;
-    cohort.reserve(static_cast<size_t>(chunk));
-    for (int64_t task = 0; task < chunk; ++task) {
-      DrawnTask drawn;
-      drawn.claim.inputs = model_.sample_input(rng);
-      drawn.claim.proposer_device = &fleet[rng.NextBounded(fleet.size())];
-
-      // Proposer strategy draw.
-      drawn.cheats = rng.NextDouble() < config_.cheat_rate;
-      if (drawn.cheats) {
-        const NodeId site =
-            graph.op_nodes()[rng.NextBounded(static_cast<uint64_t>(graph.num_ops() - 1))];
-        Rng delta_rng(rng.NextU64());
-        drawn.claim.perturbations.push_back(
-            {site,
-             Tensor::Randn(graph.node(site).shape, delta_rng, config_.cheat_magnitude)});
-      }
-
-      // Supervision draw: voluntary challenge XOR randomized audit XOR none.
-      const double draw = rng.NextDouble();
-      drawn.challenged = draw < config_.economics.challenge_prob;
-      drawn.audited =
-          !drawn.challenged &&
-          draw < config_.economics.challenge_prob + config_.economics.audit_prob;
-      if (drawn.supervised()) {
-        // A verifier (voluntary challenger or sampled auditor) re-executes on its own
-        // hardware and runs the dispute pipeline when flagged.
-        drawn.claim.verifier_device = &fleet[rng.NextBounded(fleet.size())];
-      }
-      cohort.push_back(std::move(drawn));
+    // Proposer strategy draw.
+    drawn.cheats = rng.NextDouble() < config_.cheat_rate;
+    if (drawn.cheats) {
+      const NodeId site =
+          graph.op_nodes()[rng.NextBounded(static_cast<uint64_t>(graph.num_ops() - 1))];
+      Rng delta_rng(rng.NextU64());
+      claim.perturbations.push_back(
+          {site, Tensor::Randn(graph.node(site).shape, delta_rng, config_.cheat_magnitude)});
     }
 
-    // ---- Phase 2: batched execution of the drawn chunk ------------------------------
-    std::vector<BatchClaim> batch;
-    batch.reserve(cohort.size());
-    for (const DrawnTask& drawn : cohort) {
-      batch.push_back(drawn.claim);  // tensors share storage
+    // Supervision draw: voluntary challenge XOR randomized audit XOR none.
+    const double draw = rng.NextDouble();
+    drawn.challenged = draw < config_.economics.challenge_prob;
+    drawn.audited =
+        !drawn.challenged &&
+        draw < config_.economics.challenge_prob + config_.economics.audit_prob;
+    if (drawn.supervised()) {
+      // A verifier (voluntary challenger or sampled auditor) re-executes on its own
+      // hardware and runs the dispute pipeline when flagged.
+      claim.verifier_device = &fleet[rng.NextBounded(fleet.size())];
     }
-    const std::vector<BatchClaimOutcome> outcomes = verifier.VerifyBatch(batch);
 
-    for (size_t i = 0; i < cohort.size(); ++i) {
-      const DrawnTask& drawn = cohort[i];
-      const BatchClaimOutcome& outcome = outcomes[i];
-      ++stats.tasks;
+    std::shared_ptr<ClaimTicket> ticket = service.Submit(std::move(claim));
+    TAO_CHECK(ticket != nullptr) << "blocking admission cannot reject";
+    drawn_tasks.push_back(drawn);
+    tickets.push_back(std::move(ticket));
+  }
+
+  service.Drain();
+
+  for (size_t i = 0; i < drawn_tasks.size(); ++i) {
+    const DrawnTask& drawn = drawn_tasks[i];
+    const BatchClaimOutcome& outcome = tickets[i]->Wait();
+    ++stats.tasks;
+    if (drawn.cheats) {
+      ++stats.cheats_attempted;
+    }
+
+    if (!drawn.supervised()) {
+      // Nobody watched this claim: it finalized either way.
       if (drawn.cheats) {
-        ++stats.cheats_attempted;
-      }
-
-      if (!drawn.supervised()) {
-        // Nobody watched this claim: it finalized either way.
-        if (drawn.cheats) {
-          ++stats.cheats_escaped;
-        } else {
-          ++stats.finalized_clean;
-        }
-        continue;
-      }
-
-      if (drawn.challenged) {
-        ++stats.voluntary_challenges;
-      } else {
-        ++stats.audits;
-      }
-      stats.total_gas += outcome.gas_used;
-
-      if (!outcome.flagged) {
-        if (drawn.cheats) {
-          ++stats.cheats_escaped;  // deviation hid inside the tolerance (the eps1 case)
-        } else {
-          ++stats.finalized_clean;
-        }
-        continue;
-      }
-      if (!drawn.cheats) {
-        ++stats.spurious_disputes;
-        if (outcome.final_state == ClaimState::kProposerSlashed) {
-          ++stats.honest_slashes;
-        }
-        continue;
-      }
-      if (outcome.proposer_guilty) {
-        ++stats.cheats_caught;
-      } else {
         ++stats.cheats_escaped;
+      } else {
+        ++stats.finalized_clean;
       }
+      continue;
+    }
+
+    if (drawn.challenged) {
+      ++stats.voluntary_challenges;
+    } else {
+      ++stats.audits;
+    }
+    stats.total_gas += outcome.gas_used;
+
+    if (!outcome.flagged) {
+      if (drawn.cheats) {
+        ++stats.cheats_escaped;  // deviation hid inside the tolerance (the eps1 case)
+      } else {
+        ++stats.finalized_clean;
+      }
+      continue;
+    }
+    if (!drawn.cheats) {
+      ++stats.spurious_disputes;
+      if (outcome.final_state == ClaimState::kProposerSlashed) {
+        ++stats.honest_slashes;
+      }
+      continue;
+    }
+    if (outcome.proposer_guilty) {
+      ++stats.cheats_caught;
+    } else {
+      ++stats.cheats_escaped;
     }
   }
   return stats;

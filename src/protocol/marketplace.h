@@ -27,17 +27,24 @@ struct MarketplaceConfig {
   float cheat_magnitude = 5e-2f;
   DisputeOptions dispute;
   uint64_t seed = 0x3a4ce7;
-  // Run() is a two-phase pipeline over chunks of `verify_batch_size` tasks: each
-  // chunk's strategy and supervision draws are resolved ahead of execution on the
-  // same RNG stream as the historical per-task loop (execution draws nothing, so
-  // statistics are bitwise identical), then the drawn claims are lowered into one
-  // scheduler DAG through the BatchVerifier. `dispute.num_threads` sets the
-  // execution width; 1 claim / 1 thread is exactly the sequential path. Claims
-  // always resolve against the coordinator in task order, so the ledger and claim
-  // ids match the sequential path too.
+  // Run() drives the VerificationService (src/service/): tasks are drawn in order
+  // on the same RNG stream as the historical per-task loop (execution draws
+  // nothing, so statistics are bitwise identical) and submitted through the
+  // service's bounded queue; the BatchFormer sizes each execution cohort from live
+  // queue depth and its arena-derived memory budget, and the resolve lane settles
+  // claims against the coordinator in task order — so stats, gas, the ledger, and
+  // claim ids match the sequential path for any worker count or batch sizing.
+  // `verify_batch_size` is only the BatchFormer's initial hint (the cohort cap
+  // until its first memory observation); it no longer pins chunk boundaries.
   int64_t verify_batch_size = 16;
   // Recycle dead intermediates of output-only lanes during batched execution.
   bool reuse_buffers = true;
+  // Verify workers and admission-queue capacity for the embedded service. The
+  // queue bound (plus the service's reorder window) is also Run()'s
+  // resident-tensor bound: a full queue blocks further draws until workers drain
+  // it, instead of materializing every task's input up front.
+  int service_workers = 1;
+  size_t queue_capacity = 64;
 };
 
 struct MarketplaceStats {

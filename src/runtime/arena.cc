@@ -1,14 +1,20 @@
 #include "src/runtime/arena.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace tao {
 
 Tensor TensorArena::Allocate(const Shape& shape) {
   const int64_t numel = shape.numel();
+  const int64_t bytes = numel * static_cast<int64_t>(sizeof(float));
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.requests;
+    stats_.outstanding_bytes += bytes;
+    if (stats_.outstanding_bytes > stats_.peak_outstanding_bytes) {
+      stats_.peak_outstanding_bytes = stats_.outstanding_bytes;
+    }
     const auto it = pool_.find(numel);
     if (it != pool_.end()) {
       ++stats_.pool_hits;
@@ -28,6 +34,11 @@ void TensorArena::Recycle(Tensor&& dead) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.recycled;
+  // Clamped: a recycled buffer need not have been served by Allocate (a kernel may
+  // publish storage it built itself), so outstanding_bytes is an estimate.
+  stats_.outstanding_bytes =
+      std::max<int64_t>(0, stats_.outstanding_bytes -
+                               static_cast<int64_t>(storage->size() * sizeof(float)));
   pool_.emplace(static_cast<int64_t>(storage->size()), std::move(storage));
 }
 

@@ -32,6 +32,14 @@ class TensorArena {
     int64_t pool_hits = 0;          // served by recycling a dead intermediate
     int64_t fresh_allocations = 0;  // served by the system allocator
     int64_t recycled = 0;           // buffers returned to the pool
+    // Bytes currently handed out and not yet recycled back. Buffers whose Recycle
+    // was a no-op (still aliased by a trace or commitment) stay counted — they are
+    // still resident — as do retained outputs that are never offered back.
+    int64_t outstanding_bytes = 0;
+    // High-water mark of outstanding_bytes: the working-set peak of everything this
+    // arena served. The service layer's BatchFormer derives its per-claim memory
+    // estimate (and hence the adaptive batch-size cap) from this.
+    int64_t peak_outstanding_bytes = 0;
   };
 
   // Returns a tensor of `shape`, reusing a pooled buffer of equal element count when

@@ -1,0 +1,69 @@
+#include "src/service/batch_former.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace tao {
+namespace {
+
+// EWMA weight for new per-claim observations: heavy enough to track a workload
+// shift (e.g. the supervised-claim mix changing) within a few cohorts, light enough
+// that one outlier batch does not whipsaw the cap.
+constexpr double kObservationWeight = 0.3;
+
+}  // namespace
+
+BatchFormer::BatchFormer(BatchFormerOptions options) : options_(options) {
+  TAO_CHECK(options_.min_batch >= 1);
+  TAO_CHECK(options_.max_batch >= options_.min_batch);
+  TAO_CHECK(options_.memory_budget_bytes > 0);
+}
+
+int64_t BatchFormer::NextBatchSize(int64_t queue_depth, int64_t in_flight_claims) const {
+  // Throughput target: drain what is queued, one cohort per idle worker's pop.
+  int64_t size = std::max(queue_depth, options_.min_batch);
+
+  double per_claim;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    per_claim = per_claim_bytes_;
+  }
+  if (per_claim <= 0.0) {
+    // No memory signal yet: fall back to the configured hint.
+    if (options_.initial_hint > 0) {
+      size = std::min(size, options_.initial_hint);
+    }
+  } else {
+    // Memory cap: this cohort plus everything already in flight must fit the
+    // budget. In-flight claims retain at most their phase-1 working set, so pricing
+    // them at the same per-claim estimate is conservative.
+    const double budget_left =
+        static_cast<double>(options_.memory_budget_bytes) -
+        static_cast<double>(std::max<int64_t>(0, in_flight_claims)) * per_claim;
+    const int64_t memory_cap =
+        std::max(options_.min_batch, static_cast<int64_t>(budget_left / per_claim));
+    size = std::min(size, memory_cap);
+  }
+  return std::clamp(size, options_.min_batch, options_.max_batch);
+}
+
+void BatchFormer::ObserveBatch(int64_t batch_size, int64_t peak_bytes) {
+  if (batch_size <= 0 || peak_bytes <= 0) {
+    return;
+  }
+  const double observed =
+      static_cast<double>(peak_bytes) / static_cast<double>(batch_size);
+  std::lock_guard<std::mutex> lock(mu_);
+  per_claim_bytes_ = per_claim_bytes_ <= 0.0
+                         ? observed
+                         : (1.0 - kObservationWeight) * per_claim_bytes_ +
+                               kObservationWeight * observed;
+}
+
+int64_t BatchFormer::per_claim_bytes_estimate() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(per_claim_bytes_);
+}
+
+}  // namespace tao

@@ -1,0 +1,127 @@
+#include "src/service/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace tao {
+namespace {
+
+size_t BatchSizeBucket(int64_t size) {
+  if (size <= 1) {
+    return 0;
+  }
+  const auto width = static_cast<size_t>(std::bit_width(static_cast<uint64_t>(size - 1)));
+  return std::min(width, kBatchSizeBuckets - 1);
+}
+
+size_t LatencyBucket(double latency_seconds) {
+  const double us = latency_seconds * 1e6;
+  if (us < 1.0) {
+    return 0;
+  }
+  const auto width =
+      static_cast<size_t>(std::bit_width(static_cast<uint64_t>(us)));
+  return std::min(width - 1, kLatencyBuckets - 1);
+}
+
+}  // namespace
+
+double MetricsSnapshot::LatencyPercentileMillis(double p) const {
+  int64_t total = 0;
+  for (const int64_t count : latency_hist_us) {
+    total += count;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  // Rank of the percentile sample, 1-based: ceil(p * total), at least 1.
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(clamped * static_cast<double>(total) + 0.999999));
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < kLatencyBuckets; ++b) {
+    cumulative += latency_hist_us[b];
+    if (cumulative >= rank) {
+      // Bucket b spans [2^b, 2^(b+1)) us; report the upper bound in ms.
+      return static_cast<double>(int64_t{1} << (b + 1)) / 1e3;
+    }
+  }
+  return static_cast<double>(int64_t{1} << kLatencyBuckets) / 1e3;
+}
+
+MetricsRegistry::MetricsRegistry() : origin_(std::chrono::steady_clock::now()) {}
+
+void MetricsRegistry::RecordSubmission(bool accepted) {
+  submitted_.fetch_add(1);
+  if (accepted) {
+    // Accepted is bumped BEFORE the claim can possibly complete (the caller holds
+    // the submission until after this returns), and Snapshot reads completed before
+    // accepted — together that keeps completed <= accepted in every snapshot.
+    accepted_.fetch_add(1);
+    const int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - origin_)
+                               .count();
+    int64_t expected = 0;
+    first_accept_ns_.compare_exchange_strong(expected, std::max<int64_t>(1, now_ns));
+  } else {
+    rejected_.fetch_add(1);
+  }
+}
+
+void MetricsRegistry::RecordDispatch(int64_t batch_size) {
+  batches_dispatched_.fetch_add(1);
+  claims_dispatched_.fetch_add(batch_size);
+  batch_size_hist_[BatchSizeBucket(batch_size)].fetch_add(1);
+}
+
+void MetricsRegistry::RecordVerdict(double latency_seconds, bool dispute_ran) {
+  latency_hist_us_[LatencyBucket(latency_seconds)].fetch_add(1);
+  if (dispute_ran) {
+    disputes_run_.fetch_add(1);
+  }
+  const int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - origin_)
+                             .count();
+  last_verdict_ns_.store(now_ns);
+  completed_.fetch_add(1);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot(int64_t queue_depth,
+                                          int64_t peak_queue_depth) const {
+  MetricsSnapshot snapshot;
+  // Counter pairs are read in the reverse of their write order (completed before
+  // accepted; accepted/rejected before submitted — see RecordSubmission), so every
+  // snapshot satisfies completed <= accepted and accepted + rejected <= submitted.
+  snapshot.completed = completed_.load();
+  snapshot.disputes_run = disputes_run_.load();
+  snapshot.accepted = accepted_.load();
+  snapshot.rejected = rejected_.load();
+  snapshot.submitted = submitted_.load();
+  snapshot.batches_dispatched = batches_dispatched_.load();
+  snapshot.claims_in_flight = claims_dispatched_.load() - snapshot.completed;
+  snapshot.queue_depth = queue_depth;
+  snapshot.peak_queue_depth = peak_queue_depth;
+  for (size_t b = 0; b < kBatchSizeBuckets; ++b) {
+    snapshot.batch_size_hist[b] = batch_size_hist_[b].load();
+  }
+  for (size_t b = 0; b < kLatencyBuckets; ++b) {
+    snapshot.latency_hist_us[b] = latency_hist_us_[b].load();
+  }
+
+  const int64_t first_ns = first_accept_ns_.load();
+  if (first_ns > 0) {
+    int64_t end_ns = last_verdict_ns_.load();
+    if (snapshot.completed == 0 || end_ns <= first_ns) {
+      end_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - origin_)
+                   .count();
+    }
+    snapshot.elapsed_seconds =
+        static_cast<double>(std::max<int64_t>(1, end_ns - first_ns)) / 1e9;
+    snapshot.claims_per_second =
+        static_cast<double>(snapshot.completed) / snapshot.elapsed_seconds;
+  }
+  return snapshot;
+}
+
+}  // namespace tao

@@ -1,0 +1,90 @@
+// MetricsRegistry: lock-cheap live counters for the verification service.
+//
+// Everything on the hot path is a std::atomic increment — no mutex is ever taken by
+// submitters, workers, or the resolve lane — so metering does not serialize the
+// pipeline it is measuring. Distributions (batch sizes, enqueue→verdict latency)
+// are power-of-two-bucket histograms of atomics; percentiles are read off the
+// cumulative histogram at snapshot time, accurate to one bucket (a factor of two in
+// the tail), which is the resolution operators actually act on.
+//
+// Snapshot() is safe to call at any time from any thread while the service runs.
+// Each field is individually coherent (atomic reads in a total order), and ordering
+// between the accepted/completed pair is arranged so `completed <= accepted` holds
+// in every snapshot; cross-field exactness beyond that is not promised while the
+// pipeline is moving.
+
+#ifndef TAO_SRC_SERVICE_METRICS_H_
+#define TAO_SRC_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace tao {
+
+// Batch-size buckets: bucket b counts cohorts of size in (2^(b-1), 2^b]; bucket 0 is
+// size 1. 17 buckets cover sizes up to 65536.
+inline constexpr size_t kBatchSizeBuckets = 17;
+// Latency buckets: bucket b counts verdicts whose enqueue→verdict latency is in
+// [2^b, 2^(b+1)) microseconds. 40 buckets cover ~6 days.
+inline constexpr size_t kLatencyBuckets = 40;
+
+struct MetricsSnapshot {
+  // Admission.
+  int64_t submitted = 0;  // Submit() calls (accepted + rejected)
+  int64_t accepted = 0;
+  int64_t rejected = 0;
+  int64_t queue_depth = 0;       // resident submissions right now
+  int64_t peak_queue_depth = 0;  // high-water mark of queue_depth
+  // Pipeline.
+  int64_t batches_dispatched = 0;
+  int64_t claims_in_flight = 0;  // popped from the queue, verdict not yet delivered
+  int64_t completed = 0;         // verdicts delivered
+  int64_t disputes_run = 0;      // completed claims whose threshold check flagged them
+  // Rates.
+  double elapsed_seconds = 0.0;   // first accepted submission -> last verdict (or now)
+  double claims_per_second = 0.0; // completed / elapsed_seconds
+
+  std::array<int64_t, kBatchSizeBuckets> batch_size_hist{};
+  std::array<int64_t, kLatencyBuckets> latency_hist_us{};
+
+  // Latency percentile (p in [0, 1]) in milliseconds, read off the histogram's
+  // cumulative counts; returns the selected bucket's upper bound. 0 when no verdict
+  // has been delivered yet.
+  double LatencyPercentileMillis(double p) const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+
+  // -- hot-path recording (all atomic, no locks) --------------------------------------
+  void RecordSubmission(bool accepted);
+  void RecordDispatch(int64_t batch_size);  // one cohort left the queue
+  void RecordVerdict(double latency_seconds, bool dispute_ran);
+
+  // Queue gauges are sampled by the service at snapshot time (the queue already
+  // tracks them under its own lock); the registry owns everything else.
+  MetricsSnapshot Snapshot(int64_t queue_depth, int64_t peak_queue_depth) const;
+
+ private:
+  const std::chrono::steady_clock::time_point origin_;
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> accepted_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> batches_dispatched_{0};
+  std::atomic<int64_t> claims_dispatched_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> disputes_run_{0};
+  // Nanoseconds-since-origin stamps for the rate window; 0 = unset.
+  std::atomic<int64_t> first_accept_ns_{0};
+  std::atomic<int64_t> last_verdict_ns_{0};
+  std::array<std::atomic<int64_t>, kBatchSizeBuckets> batch_size_hist_{};
+  std::array<std::atomic<int64_t>, kLatencyBuckets> latency_hist_us_{};
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_SERVICE_METRICS_H_

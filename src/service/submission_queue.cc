@@ -1,0 +1,131 @@
+#include "src/service/submission_queue.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace tao {
+
+const BatchClaimOutcome& ClaimTicket::Wait() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return done_; });
+  return outcome_;
+}
+
+bool ClaimTicket::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void ClaimTicket::Deliver(BatchClaimOutcome outcome) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TAO_CHECK(!done_) << "ticket delivered twice";
+    outcome_ = std::move(outcome);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+SubmissionQueue::SubmissionQueue(size_t capacity, AdmissionPolicy policy,
+                                 size_t per_submitter_cap)
+    : capacity_(capacity), policy_(policy), per_submitter_cap_(per_submitter_cap) {
+  TAO_CHECK(capacity_ > 0) << "queue capacity must be positive";
+}
+
+bool SubmissionQueue::HasRoomLocked(uint64_t submitter) const {
+  if (items_.size() >= capacity_) {
+    return false;
+  }
+  if (per_submitter_cap_ > 0) {
+    const auto it = per_submitter_depth_.find(submitter);
+    if (it != per_submitter_depth_.end() && it->second >= per_submitter_cap_) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SubmitStatus SubmissionQueue::Push(SubmissionRecord record) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (policy_ == AdmissionPolicy::kBlock) {
+    not_full_.wait(lock, [&] { return closed_ || HasRoomLocked(record.submitter); });
+  }
+  if (closed_) {
+    return SubmitStatus::kRejectedClosed;
+  }
+  if (!HasRoomLocked(record.submitter)) {
+    return SubmitStatus::kRejectedFull;
+  }
+  record.sequence = next_sequence_++;
+  if (record.ticket != nullptr) {
+    // Stamped under the queue lock: the pop (same lock) happens-before resolution
+    // and delivery, so a client reading sequence() after Wait() races with nothing.
+    record.ticket->sequence_ = record.sequence;
+  }
+  ++per_submitter_depth_[record.submitter];
+  items_.push_back(std::move(record));
+  if (items_.size() > peak_depth_) {
+    peak_depth_ = items_.size();
+  }
+  lock.unlock();
+  not_empty_.notify_one();
+  return SubmitStatus::kAccepted;
+}
+
+std::vector<SubmissionRecord> SubmissionQueue::PopUpTo(size_t max_items) {
+  std::vector<SubmissionRecord> popped;
+  if (max_items == 0) {
+    return popped;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  const size_t count = std::min(max_items, items_.size());
+  popped.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    SubmissionRecord record = std::move(items_.front());
+    items_.pop_front();
+    const auto it = per_submitter_depth_.find(record.submitter);
+    TAO_CHECK(it != per_submitter_depth_.end() && it->second > 0);
+    if (--it->second == 0) {
+      per_submitter_depth_.erase(it);
+    }
+    popped.push_back(std::move(record));
+  }
+  lock.unlock();
+  if (count > 0) {
+    not_full_.notify_all();
+  }
+  return popped;
+}
+
+void SubmissionQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+size_t SubmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+size_t SubmissionQueue::peak_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_depth_;
+}
+
+uint64_t SubmissionQueue::accepted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_sequence_;
+}
+
+bool SubmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace tao

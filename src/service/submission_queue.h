@@ -1,0 +1,125 @@
+// SubmissionQueue: the admission edge of the verification service — a bounded MPMC
+// queue of claim submissions with backpressure and per-submitter fairness.
+//
+// Admission control is the service's first line of defense under heavy open-ended
+// traffic: a bounded queue turns overload into either blocking (closed-loop clients
+// absorb the latency) or rejection (open-loop clients get an immediate signal)
+// instead of unbounded memory growth, and the optional per-submitter cap keeps one
+// flooding client from starving everyone else's share of the queue (EYWA-style
+// fairness at the admission edge rather than the dispatch edge).
+//
+// Ordering contract: Push assigns each accepted submission a global sequence number
+// under the queue lock, and PopUpTo drains strictly in sequence order. That accepted
+// order IS the service's "submission order" — the order the resolve lane replays
+// against the coordinator, and the order the bitwise-determinism invariant is stated
+// over (see docs/service.md).
+
+#ifndef TAO_SRC_SERVICE_SUBMISSION_QUEUE_H_
+#define TAO_SRC_SERVICE_SUBMISSION_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/protocol/batch_verifier.h"
+
+namespace tao {
+
+// What an admission attempt came back with.
+enum class SubmitStatus {
+  kAccepted,
+  kRejectedFull,    // kReject policy and the queue (or the submitter's share) is full
+  kRejectedClosed,  // the service is draining; no new work is admitted
+};
+
+// What to do with a submission that arrives while the queue is full.
+enum class AdmissionPolicy {
+  kBlock,   // wait for capacity (closed-loop backpressure)
+  kReject,  // fail fast with kRejectedFull (open-loop shedding)
+};
+
+// The client's handle for one accepted claim: blocks until the service delivers the
+// verdict. Delivery happens exactly once, on the service's resolve lane.
+class ClaimTicket {
+ public:
+  // Blocks until the claim's lifecycle completed (possibly through a full dispute
+  // game) and returns the outcome.
+  const BatchClaimOutcome& Wait() const;
+  bool done() const;
+  // Global submission sequence number (assigned at admission). Valid once Wait()
+  // returned; the determinism tests replay claims in this order.
+  uint64_t sequence() const { return sequence_; }
+
+ private:
+  friend class SubmissionQueue;
+  friend class VerificationService;
+
+  void Deliver(BatchClaimOutcome outcome);
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool done_ = false;
+  uint64_t sequence_ = 0;
+  BatchClaimOutcome outcome_;
+};
+
+// One accepted submission in flight through the service.
+struct SubmissionRecord {
+  BatchClaim claim;
+  uint64_t submitter = 0;
+  uint64_t sequence = 0;  // assigned by Push under the queue lock
+  std::chrono::steady_clock::time_point enqueue_time{};
+  std::shared_ptr<ClaimTicket> ticket;  // may be null (queue unit tests)
+};
+
+class SubmissionQueue {
+ public:
+  // `capacity` bounds resident submissions. `per_submitter_cap` (0 = off) bounds any
+  // single submitter's resident share; a submitter at its cap blocks/rejects even
+  // while the queue has room for others.
+  SubmissionQueue(size_t capacity, AdmissionPolicy policy, size_t per_submitter_cap = 0);
+
+  // Admits `record`, assigning its sequence number (and stamping the ticket, when
+  // present). kBlock waits for room; kReject returns kRejectedFull. After Close(),
+  // always returns kRejectedClosed (blocked pushers wake with it).
+  SubmitStatus Push(SubmissionRecord record);
+
+  // Pops up to `max_items` submissions in sequence order. Blocks while the queue is
+  // empty and open; returns an empty vector only when the queue is closed and fully
+  // drained (the consumer's shutdown signal).
+  std::vector<SubmissionRecord> PopUpTo(size_t max_items);
+
+  // Stops admitting. Idempotent; wakes every blocked pusher and popper.
+  void Close();
+
+  size_t depth() const;
+  size_t peak_depth() const;
+  uint64_t accepted() const;  // total submissions ever admitted
+  bool closed() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  bool HasRoomLocked(uint64_t submitter) const;
+
+  const size_t capacity_;
+  const AdmissionPolicy policy_;
+  const size_t per_submitter_cap_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<SubmissionRecord> items_;
+  std::unordered_map<uint64_t, size_t> per_submitter_depth_;
+  uint64_t next_sequence_ = 0;
+  size_t peak_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_SERVICE_SUBMISSION_QUEUE_H_

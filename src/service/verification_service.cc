@@ -1,0 +1,174 @@
+#include "src/service/verification_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace tao {
+namespace {
+
+size_t ResolveWindow(const ServiceOptions& options) {
+  if (options.max_unresolved > 0) {
+    return options.max_unresolved;
+  }
+  return static_cast<size_t>(4 * std::max<int64_t>(1, options.batching.max_batch));
+}
+
+}  // namespace
+
+VerificationService::VerificationService(const Model& model,
+                                         const ModelCommitment& commitment,
+                                         const ThresholdSet& thresholds,
+                                         Coordinator& coordinator, ServiceOptions options)
+    : options_(std::move(options)),
+      max_unresolved_(ResolveWindow(options_)),
+      verifier_(model, commitment, thresholds, coordinator, options_.verifier),
+      queue_(options_.queue_capacity, options_.admission, options_.per_submitter_cap),
+      former_(options_.batching) {
+  TAO_CHECK(options_.num_workers >= 1) << "service needs at least one verify worker";
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  resolver_ = std::thread([this] { ResolveLoop(); });
+}
+
+VerificationService::~VerificationService() {
+  Drain();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  resolver_.join();
+}
+
+std::shared_ptr<ClaimTicket> VerificationService::Submit(BatchClaim claim,
+                                                         uint64_t submitter) {
+  auto ticket = std::make_shared<ClaimTicket>();
+  SubmissionRecord record;
+  record.claim = std::move(claim);
+  record.submitter = submitter;
+  record.enqueue_time = std::chrono::steady_clock::now();
+  record.ticket = ticket;
+  const SubmitStatus status = queue_.Push(std::move(record));
+  metrics_.RecordSubmission(status == SubmitStatus::kAccepted);
+  if (status != SubmitStatus::kAccepted) {
+    return nullptr;
+  }
+  return ticket;
+}
+
+void VerificationService::WorkerLoop() {
+  for (;;) {
+    // Reorder-window gate: don't pull new work while too many executed claims wait
+    // for in-order resolution (a dispute burst would otherwise pile up phase-1
+    // results without bound). Room is RESERVED against unresolved_ before popping,
+    // so the window bound holds even with several workers racing through the gate.
+    // Draining bypasses the gate so shutdown cannot wedge (room 1 keeps progress).
+    size_t take;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      window_cv_.wait(lock, [&] { return draining_ || unresolved_ < max_unresolved_; });
+      const size_t room =
+          unresolved_ < max_unresolved_ ? max_unresolved_ - unresolved_ : 1;
+      const int64_t batch_size =
+          former_.NextBatchSize(static_cast<int64_t>(queue_.depth()),
+                                static_cast<int64_t>(unresolved_));
+      take = std::min(static_cast<size_t>(batch_size), room);
+      unresolved_ += take;
+    }
+    std::vector<SubmissionRecord> cohort = queue_.PopUpTo(take);
+    if (cohort.size() < take) {
+      // The queue had less than the reservation (or is closed): release the rest.
+      std::lock_guard<std::mutex> lock(mu_);
+      unresolved_ -= take - cohort.size();
+      window_cv_.notify_all();
+    }
+    if (cohort.empty()) {
+      return;  // queue closed and fully drained
+    }
+    metrics_.RecordDispatch(static_cast<int64_t>(cohort.size()));
+
+    // Tensors share storage, so building the claim view of the cohort is cheap.
+    std::vector<BatchClaim> claims;
+    claims.reserve(cohort.size());
+    for (const SubmissionRecord& record : cohort) {
+      claims.push_back(record.claim);
+    }
+    TensorArena::Stats arena_stats;
+    std::vector<ClaimPhase1> phase1 = verifier_.ExecutePhase1(claims, &arena_stats);
+    former_.ObserveBatch(static_cast<int64_t>(cohort.size()),
+                         arena_stats.peak_outstanding_bytes);
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < cohort.size(); ++i) {
+        const uint64_t sequence = cohort[i].sequence;
+        ready_.emplace(sequence, PendingResolution{std::move(cohort[i]),
+                                                   std::move(phase1[i])});
+      }
+    }
+    resolve_cv_.notify_one();
+  }
+}
+
+void VerificationService::ResolveLoop() {
+  for (;;) {
+    PendingResolution item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      resolve_cv_.wait(lock, [&] {
+        return ready_.count(next_resolve_seq_) > 0 ||
+               (queue_.closed() && next_resolve_seq_ == queue_.accepted());
+      });
+      const auto it = ready_.find(next_resolve_seq_);
+      if (it == ready_.end()) {
+        return;  // drained: every accepted claim has been resolved
+      }
+      item = std::move(it->second);
+      ready_.erase(it);
+    }
+
+    // All coordinator interaction happens here, claim by claim in submission
+    // order. Flagged claims run their full dispute game on this thread — the
+    // "dispute lane" — while the verify workers keep executing later cohorts.
+    BatchClaimOutcome outcome = verifier_.ResolveClaim(item.record.claim, item.phase1);
+    const double latency_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      item.record.enqueue_time)
+            .count();
+    metrics_.RecordVerdict(latency_seconds, outcome.flagged);
+    TAO_CHECK(item.record.ticket != nullptr);
+    item.record.ticket->Deliver(std::move(outcome));
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++next_resolve_seq_;
+      TAO_CHECK(unresolved_ > 0);
+      --unresolved_;
+    }
+    window_cv_.notify_all();
+    resolve_cv_.notify_all();
+    drained_cv_.notify_all();
+  }
+}
+
+void VerificationService::Drain() {
+  queue_.Close();  // wakes blocked submitters (kRejectedClosed) and idle workers
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  window_cv_.notify_all();
+  resolve_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [&] { return next_resolve_seq_ == queue_.accepted(); });
+}
+
+MetricsSnapshot VerificationService::metrics() const {
+  return metrics_.Snapshot(static_cast<int64_t>(queue_.depth()),
+                           static_cast<int64_t>(queue_.peak_depth()));
+}
+
+}  // namespace tao

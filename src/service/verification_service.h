@@ -1,0 +1,121 @@
+// VerificationService: the always-on, in-process front-end that turns the PR-2
+// batch machinery into a served system. Any number of client threads submit claims;
+// the service owns admission, adaptive batching, dispatch, dispute escalation, and
+// verdict delivery.
+//
+// Pipeline (see docs/service.md for the full architecture and determinism argument):
+//
+//   clients ──Submit──▶ SubmissionQueue ──PopUpTo──▶ verify workers ──▶ reorder
+//             (bounded,    (FIFO, global     (N threads; BatchFormer     buffer
+//              fairness)    sequence)         sizes each cohort;           │
+//                                             BatchVerifier phase 1)       ▼
+//                                                       resolve/dispute lane ──▶ tickets
+//                                                       (1 thread; coordinator
+//                                                        actions + dispute games
+//                                                        in submission order)
+//
+//   * Verify workers run only coordinator-free work: the batched phase-1 DAG, the
+//     threshold checks, and the lazy full re-execution of flagged claims. Any
+//     number of workers can execute cohorts concurrently.
+//   * The resolve/dispute lane is ONE dedicated thread that performs every
+//     coordinator interaction in global submission order — flagged claims escalate
+//     to their full dispute game here, so a slow game never occupies a verify
+//     worker and phase-1 throughput is unaffected. In-order resolution is what
+//     makes verdicts, per-claim gas, C0 digests, claim ids, and the ledger bitwise
+//     identical to the sequential PR-1 path for a fixed submission order, for ANY
+//     worker count and ANY batch sizing.
+//   * The reorder window (`max_unresolved`) bounds executed-but-unresolved claims,
+//     so a dispute burst backpressures the workers (and, through the bounded queue,
+//     the clients) instead of accumulating unbounded phase-1 results.
+
+#ifndef TAO_SRC_SERVICE_VERIFICATION_SERVICE_H_
+#define TAO_SRC_SERVICE_VERIFICATION_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/service/batch_former.h"
+#include "src/service/metrics.h"
+#include "src/service/submission_queue.h"
+
+namespace tao {
+
+struct ServiceOptions {
+  // Verify workers (dedicated threads running batched phase 1). The heavy kernels
+  // additionally split across the shared runtime pool per
+  // `verifier.dispute.num_threads`, so 1 worker already uses every core; more
+  // workers overlap cohort setup/teardown and lazy re-executions.
+  int num_workers = 1;
+  size_t queue_capacity = 256;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  // Bounds one submitter's resident queue share (0 = off). See SubmissionQueue.
+  size_t per_submitter_cap = 0;
+  // Cap on claims popped from the queue whose verdicts have not been delivered yet
+  // (the reorder window between workers and the resolve lane). 0 = 4x max_batch.
+  size_t max_unresolved = 0;
+  BatchFormerOptions batching;
+  BatchVerifierOptions verifier;
+};
+
+class VerificationService {
+ public:
+  // The service starts its threads immediately and serves until Drain()/destruction.
+  // `coordinator` outlives the service; verdicts settle against it.
+  VerificationService(const Model& model, const ModelCommitment& commitment,
+                      const ThresholdSet& thresholds, Coordinator& coordinator,
+                      ServiceOptions options = {});
+  ~VerificationService();
+
+  VerificationService(const VerificationService&) = delete;
+  VerificationService& operator=(const VerificationService&) = delete;
+
+  // Submits one claim. Returns the ticket to wait on, or null when the submission
+  // was rejected (queue full under kReject, or the service is draining).
+  // `submitter` identifies the client for per-submitter fairness.
+  std::shared_ptr<ClaimTicket> Submit(BatchClaim claim, uint64_t submitter = 0);
+
+  // Graceful drain: closes admission, then blocks until every accepted claim has
+  // its verdict delivered. Idempotent; the destructor calls it.
+  void Drain();
+
+  // Live metrics; callable from any thread while the service runs.
+  MetricsSnapshot metrics() const;
+
+ private:
+  struct PendingResolution {
+    SubmissionRecord record;
+    ClaimPhase1 phase1;
+  };
+
+  void WorkerLoop();
+  void ResolveLoop();
+
+  const ServiceOptions options_;
+  const size_t max_unresolved_;
+  BatchVerifier verifier_;
+  SubmissionQueue queue_;
+  BatchFormer former_;
+  MetricsRegistry metrics_;
+
+  // Guards the reorder buffer and the pipeline gauges below.
+  mutable std::mutex mu_;
+  std::condition_variable resolve_cv_;  // resolve lane waits for next_resolve_seq_
+  std::condition_variable window_cv_;   // workers wait for reorder-window room
+  std::condition_variable drained_cv_;  // Drain() waits for full delivery
+  std::map<uint64_t, PendingResolution> ready_;
+  uint64_t next_resolve_seq_ = 0;
+  size_t unresolved_ = 0;  // popped from the queue, verdict not yet delivered
+  bool draining_ = false;
+
+  std::vector<std::thread> workers_;
+  std::thread resolver_;
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_SERVICE_VERIFICATION_SERVICE_H_

@@ -330,6 +330,48 @@ TEST_F(BatchVerifierFixture, ConcurrentDisputesMatchVerdictsGasAndDigests) {
   EXPECT_EQ(coordinator.gas().total(), reference_coordinator.gas().total());
 }
 
+// Supervised proposer lanes are output-only: the batch's arena working set must stay
+// ~flat as supervised claims are added, because full traces are only re-acquired
+// lazily for flagged claims (and that re-execution bypasses the shared arena). Before
+// this held, peak residency scaled linearly with supervised-claims-per-batch.
+TEST_F(BatchVerifierFixture, SupervisedBatchPeakMemoryStaysFlat) {
+  const auto& fleet = DeviceRegistry::Fleet();
+  Rng rng(0x0e60a);
+  const auto make_supervised_honest = [&](size_t count) {
+    std::vector<BatchClaim> claims;
+    for (size_t i = 0; i < count; ++i) {
+      BatchClaim claim;
+      claim.inputs = model_->sample_input(rng);
+      claim.proposer_device = &fleet[rng.NextBounded(fleet.size())];
+      claim.verifier_device = &fleet[rng.NextBounded(fleet.size())];
+      claims.push_back(std::move(claim));
+    }
+    return claims;
+  };
+  const std::vector<BatchClaim> claims = make_supervised_honest(8);
+
+  BatchVerifierOptions options;
+  options.dispute.num_threads = 1;  // sequential lanes: peaks are deterministic
+  options.reuse_buffers = true;
+
+  Coordinator single_coordinator;
+  BatchVerifier single(*model_, *commitment_, *thresholds_, single_coordinator, options);
+  TensorArena::Stats single_stats;
+  (void)single.VerifyBatch({claims[0]}, &single_stats);
+  ASSERT_GT(single_stats.peak_outstanding_bytes, 0);
+
+  Coordinator batch_coordinator;
+  BatchVerifier batched(*model_, *commitment_, *thresholds_, batch_coordinator, options);
+  TensorArena::Stats batch_stats;
+  (void)batched.VerifyBatch(claims, &batch_stats);
+
+  // 8 supervised claims' lanes recycle through one arena: the batch peak stays well
+  // under two single-claim peaks (it would be ~8x if supervised lanes kept traces).
+  EXPECT_LT(batch_stats.peak_outstanding_bytes, 2 * single_stats.peak_outstanding_bytes)
+      << "supervised lanes are retaining full traces again";
+  EXPECT_GT(batch_stats.pool_hits, 0);
+}
+
 // ------------------- Marketplace: two-phase pipeline equivalence --------------------
 
 // The PR-1 sequential Marketplace::Run, reproduced verbatim as the regression
