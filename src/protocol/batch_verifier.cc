@@ -101,8 +101,10 @@ std::vector<ClaimPhase1> BatchVerifier::ExecutePhase1(const std::vector<BatchCla
 }
 
 BatchClaimOutcome BatchVerifier::ResolveClaim(const BatchClaim& claim,
-                                              const ClaimPhase1& phase1) {
-  return ResolveClaimWithOptions(claim, phase1, options_.dispute);
+                                              const ClaimPhase1& phase1, uint64_t shard) {
+  DisputeOptions dispute_options = options_.dispute;
+  dispute_options.coordinator_shard = shard;
+  return ResolveClaimWithOptions(claim, phase1, dispute_options);
 }
 
 BatchClaimOutcome BatchVerifier::ResolveClaimWithOptions(
@@ -111,10 +113,12 @@ BatchClaimOutcome BatchVerifier::ResolveClaimWithOptions(
   BatchClaimOutcome outcome;
   outcome.c0 = phase1.c0;
   if (!claim.supervised()) {
-    // Nobody watches this claim: the proposer commits and the window elapses.
+    // Nobody watches this claim: the proposer commits and the window elapses (on the
+    // owning shard's clock only — flows on other shards are untouched).
     const ClaimId id = coordinator_.SubmitCommitment(
-        phase1.c0, dispute_options.challenge_window, dispute_options.proposer_bond);
-    coordinator_.AdvanceTime(dispute_options.challenge_window);
+        phase1.c0, dispute_options.challenge_window, dispute_options.proposer_bond,
+        dispute_options.coordinator_shard);
+    coordinator_.AdvanceTimeFor(id, dispute_options.challenge_window);
     TAO_CHECK(coordinator_.TryFinalize(id) == ClaimState::kFinalized);
     outcome.claim_id = id;
     outcome.final_state = ClaimState::kFinalized;

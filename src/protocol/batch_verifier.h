@@ -126,10 +126,14 @@ class BatchVerifier {
 
   // One claim's coordinator interaction, fed by its phase-1 results: the
   // commit-and-finalize path for unsupervised claims, DisputeGame::RunFromPhase1 for
-  // supervised ones. Calls for distinct claims may come from any thread, but the
-  // bitwise-sequential-ledger guarantee holds only when claims resolve one at a time
-  // in submission order.
-  BatchClaimOutcome ResolveClaim(const BatchClaim& claim, const ClaimPhase1& phase1);
+  // supervised ones. `shard` homes the claim on the (sharded) coordinator — the
+  // service's per-shard resolve lanes pass their lane index so each lane's claims
+  // live in their own shard. Calls for distinct claims may come from any thread; the
+  // bitwise-sequential-ledger guarantee holds per shard when each shard's claims
+  // resolve one at a time in that shard's submission order (with one shard that is
+  // exactly the historical global guarantee).
+  BatchClaimOutcome ResolveClaim(const BatchClaim& claim, const ClaimPhase1& phase1,
+                                 uint64_t shard = 0);
 
  private:
   BatchClaimOutcome ResolveClaimWithOptions(const BatchClaim& claim,

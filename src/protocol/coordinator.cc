@@ -18,133 +18,233 @@ const char* ClaimStateName(ClaimState state) {
   return "unknown";
 }
 
+Coordinator::Coordinator(GasSchedule schedule, uint64_t round_timeout, size_t num_shards)
+    : schedule_(schedule), round_timeout_(round_timeout) {
+  TAO_CHECK_GE(num_shards, 1u) << "coordinator needs at least one shard";
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+uint64_t Coordinator::shard_now(size_t shard) const {
+  TAO_CHECK_LT(shard, shards_.size());
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->now;
+}
+
+void Coordinator::AdvanceTime(uint64_t ticks) {
+  // One shard at a time (never two locks held), in shard order.
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->now += ticks;
+  }
+}
+
+void Coordinator::AdvanceTimeFor(ClaimId id, uint64_t ticks) {
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.now += ticks;
+}
+
 ClaimId Coordinator::SubmitCommitment(const Digest& c0, uint64_t challenge_window,
-                                      double proposer_bond) {
-  std::lock_guard<std::mutex> lock(mu_);
+                                      double proposer_bond, uint64_t shard_hint) {
+  const size_t index = static_cast<size_t>(shard_hint % shards_.size());
+  Shard& shard = *shards_[index];
+  std::lock_guard<std::mutex> lock(shard.mu);
   TAO_CHECK_GT(proposer_bond, 0.0);
   ClaimRecord record;
-  record.id = next_id_++;
+  // Shard-local id assignment: the i-th claim homed here is 1 + index + i*S, so a
+  // shard's id sequence is a function of ITS submission order alone (per-shard
+  // determinism), and S=1 reproduces the historical dense 1, 2, 3, ...
+  record.id = 1 + static_cast<ClaimId>(index) +
+              static_cast<ClaimId>(shard.submitted) * shards_.size();
+  ++shard.submitted;
   record.c0 = c0;
-  record.committed_at = now_;
+  record.committed_at = shard.now;
   record.challenge_window = challenge_window;
   record.proposer_bond = proposer_bond;
-  balances_.proposer -= proposer_bond;  // escrowed
+  shard.balances.proposer -= proposer_bond;  // escrowed
   record.gas += schedule_.commit;
-  claims_[record.id] = record;
-  gas_.Charge(schedule_.commit);
+  shard.claims[record.id] = record;
+  shard.gas += schedule_.commit;
   return record.id;
 }
 
 ClaimState Coordinator::TryFinalize(ClaimId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ClaimRecord& claim = MutableClaim(id);
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ClaimRecord& claim = MutableClaim(shard, id);
   if (claim.state == ClaimState::kCommitted &&
-      now_ >= claim.committed_at + claim.challenge_window) {
+      shard.now >= claim.committed_at + claim.challenge_window) {
     claim.state = ClaimState::kFinalized;
-    balances_.proposer += claim.proposer_bond;  // bond released with payment
+    shard.balances.proposer += claim.proposer_bond;  // bond released with payment
   }
   return claim.state;
 }
 
 void Coordinator::OpenChallenge(ClaimId id, double challenger_bond) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ClaimRecord& claim = MutableClaim(id);
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ClaimRecord& claim = MutableClaim(shard, id);
   TAO_CHECK(claim.state == ClaimState::kCommitted)
       << "cannot challenge claim in state " << ClaimStateName(claim.state);
-  TAO_CHECK(now_ < claim.committed_at + claim.challenge_window) << "challenge window closed";
+  TAO_CHECK(shard.now < claim.committed_at + claim.challenge_window)
+      << "challenge window closed";
   TAO_CHECK_GT(challenger_bond, 0.0);
   claim.state = ClaimState::kDisputed;
   claim.challenger_bond = challenger_bond;
   claim.dispute_round = 0;
-  claim.round_deadline = now_ + round_timeout_;
-  balances_.challenger -= challenger_bond;  // escrowed
+  claim.round_deadline = shard.now + round_timeout_;
+  shard.balances.challenger -= challenger_bond;  // escrowed
   claim.gas += schedule_.open_challenge;
-  gas_.Charge(schedule_.open_challenge);
+  shard.gas += schedule_.open_challenge;
 }
 
 void Coordinator::RecordPartition(ClaimId id, int64_t children,
                                   const std::vector<Digest>& child_hashes) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ClaimRecord& claim = MutableClaim(id);
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ClaimRecord& claim = MutableClaim(shard, id);
   TAO_CHECK(claim.state == ClaimState::kDisputed);
-  TAO_CHECK(now_ <= claim.round_deadline) << "proposer partition past deadline";
+  TAO_CHECK(shard.now <= claim.round_deadline) << "proposer partition past deadline";
   TAO_CHECK_EQ(static_cast<int64_t>(child_hashes.size()), children);
-  claim.round_deadline = now_ + round_timeout_;
+  claim.round_deadline = shard.now + round_timeout_;
   claim.gas += schedule_.PartitionCost(children);
-  gas_.Charge(schedule_.PartitionCost(children));
+  shard.gas += schedule_.PartitionCost(children);
 }
 
 void Coordinator::RecordSelection(ClaimId id, int64_t selected_child) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ClaimRecord& claim = MutableClaim(id);
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ClaimRecord& claim = MutableClaim(shard, id);
   TAO_CHECK(claim.state == ClaimState::kDisputed);
-  TAO_CHECK(now_ <= claim.round_deadline) << "challenger selection past deadline";
+  TAO_CHECK(shard.now <= claim.round_deadline) << "challenger selection past deadline";
   TAO_CHECK_GE(selected_child, 0);
   claim.dispute_round += 1;
-  claim.round_deadline = now_ + round_timeout_;
+  claim.round_deadline = shard.now + round_timeout_;
   claim.gas += schedule_.selection;
-  gas_.Charge(schedule_.selection);
+  shard.gas += schedule_.selection;
 }
 
 void Coordinator::RecordMerkleCheck(ClaimId id, int64_t proofs) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ClaimRecord& claim = MutableClaim(id);
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ClaimRecord& claim = MutableClaim(shard, id);
   claim.merkle_checks += proofs;
   claim.gas += schedule_.merkle_check * proofs;
-  gas_.Charge(schedule_.merkle_check * proofs);
+  shard.gas += schedule_.merkle_check * proofs;
 }
 
 void Coordinator::RecordTimeout(ClaimId id, bool proposer_timed_out) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ClaimRecord& claim = MutableClaim(id);
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ClaimRecord& claim = MutableClaim(shard, id);
   TAO_CHECK(claim.state == ClaimState::kDisputed);
-  TAO_CHECK(now_ > claim.round_deadline) << "no deadline has passed";
-  RecordLeafAdjudicationLocked(id, proposer_timed_out, 0.5);
+  TAO_CHECK(shard.now > claim.round_deadline) << "no deadline has passed";
+  RecordLeafAdjudicationLocked(shard, id, proposer_timed_out, 0.5);
 }
 
 void Coordinator::RecordLeafAdjudication(ClaimId id, bool proposer_guilty,
                                          double challenger_share) {
-  std::lock_guard<std::mutex> lock(mu_);
-  RecordLeafAdjudicationLocked(id, proposer_guilty, challenger_share);
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  RecordLeafAdjudicationLocked(shard, id, proposer_guilty, challenger_share);
 }
 
-void Coordinator::RecordLeafAdjudicationLocked(ClaimId id, bool proposer_guilty,
+void Coordinator::RecordLeafAdjudicationLocked(Shard& shard, ClaimId id,
+                                               bool proposer_guilty,
                                                double challenger_share) {
-  ClaimRecord& claim = MutableClaim(id);
+  ClaimRecord& claim = MutableClaim(shard, id);
   TAO_CHECK(claim.state == ClaimState::kDisputed);
   claim.gas += schedule_.leaf_adjudication + schedule_.settlement;
-  gas_.Charge(schedule_.leaf_adjudication);
+  shard.gas += schedule_.leaf_adjudication;
   if (proposer_guilty) {
     claim.state = ClaimState::kProposerSlashed;
     // Proposer bond slashed: a share to the challenger, remainder burned; challenger
     // bond returned.
     const double reward = challenger_share * claim.proposer_bond;
-    balances_.challenger += claim.challenger_bond + reward;
-    balances_.treasury += claim.proposer_bond - reward;
+    shard.balances.challenger += claim.challenger_bond + reward;
+    shard.balances.treasury += claim.proposer_bond - reward;
   } else {
     claim.state = ClaimState::kChallengerSlashed;
-    balances_.proposer += claim.proposer_bond + claim.challenger_bond;
+    shard.balances.proposer += claim.proposer_bond + claim.challenger_bond;
   }
-  gas_.Charge(schedule_.settlement);
+  shard.gas += schedule_.settlement;
+}
+
+void Coordinator::ChargeClaimGas(ClaimId id, int64_t gas) {
+  TAO_CHECK_GE(gas, 0);
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ClaimRecord& claim = MutableClaim(shard, id);
+  claim.gas += gas;
+  shard.gas += gas;
 }
 
 int64_t Coordinator::claim_gas(ClaimId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = claims_.find(id);
-  TAO_CHECK(it != claims_.end()) << "unknown claim " << id;
+  const Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.claims.find(id);
+  TAO_CHECK(it != shard.claims.end()) << "unknown claim " << id;
   return it->second.gas;
 }
 
-const ClaimRecord& Coordinator::claim(ClaimId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = claims_.find(id);
-  TAO_CHECK(it != claims_.end()) << "unknown claim " << id;
+ClaimRecord Coordinator::claim(ClaimId id) const {
+  const Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.claims.find(id);
+  TAO_CHECK(it != shard.claims.end()) << "unknown claim " << id;
   return it->second;
 }
 
-ClaimRecord& Coordinator::MutableClaim(ClaimId id) {
-  const auto it = claims_.find(id);
-  TAO_CHECK(it != claims_.end()) << "unknown claim " << id;
+Balances Coordinator::balances() const {
+  Balances total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.proposer += shard->balances.proposer;
+    total.challenger += shard->balances.challenger;
+    total.treasury += shard->balances.treasury;
+  }
+  return total;
+}
+
+Balances Coordinator::shard_balances(size_t shard) const {
+  TAO_CHECK_LT(shard, shards_.size());
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->balances;
+}
+
+GasTotals Coordinator::gas() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->gas;
+  }
+  return GasTotals(total);
+}
+
+int64_t Coordinator::shard_gas(size_t shard) const {
+  TAO_CHECK_LT(shard, shards_.size());
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->gas;
+}
+
+std::vector<ClaimId> Coordinator::shard_claims(size_t shard) const {
+  TAO_CHECK_LT(shard, shards_.size());
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  std::vector<ClaimId> ids;
+  ids.reserve(shards_[shard]->claims.size());
+  // std::map iterates in id order == this shard's submission order (ids ascend by S).
+  for (const auto& [id, record] : shards_[shard]->claims) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+ClaimRecord& Coordinator::MutableClaim(Shard& shard, ClaimId id) const {
+  const auto it = shard.claims.find(id);
+  TAO_CHECK(it != shard.claims.end()) << "unknown claim " << id;
   return it->second;
 }
 

@@ -3,12 +3,22 @@
 // escrows bonds, meters gas per action, and executes slashing/rewards on adjudication.
 // The paper's prototype deploys this as Ethereum contracts; the in-process state
 // machine implements the same transitions and cost accounting (see gas.h).
+//
+// The state machine is SHARDED (see docs/coordinator.md): claims are partitioned by
+// ClaimId across `num_shards` independent shards, each with its own mutex, claim map,
+// logical clock, gas accumulator, and balance ledger. Claim lifecycles on different
+// shards never contend on a lock and never perturb each other's clocks, which is what
+// lets thousands of concurrent dispute flows stop serializing on one mutex. Global
+// reads (`balances()`, `gas()`) fold the per-shard accumulators on demand. With
+// `num_shards == 1` (the default) the coordinator is bitwise identical to the
+// historical single-lock state machine: one shard, one clock, ids 1, 2, 3, ...
 
 #ifndef TAO_SRC_PROTOCOL_COORDINATOR_H_
 #define TAO_SRC_PROTOCOL_COORDINATOR_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -43,9 +53,9 @@ struct ClaimRecord {
   int64_t dispute_round = 0;
   uint64_t round_deadline = 0;
   int64_t merkle_checks = 0;
-  // Gas charged by this claim's lifecycle actions. The global GasMeter is the sum of
-  // these across claims; the per-claim ledger is what lets concurrently-running
-  // flows attribute cost without bracketing the shared meter.
+  // Gas charged by this claim's lifecycle actions. Each shard's gas accumulator is
+  // the sum of these over its claims; the per-claim ledger is what lets
+  // concurrently-running flows attribute cost without bracketing a shared meter.
   int64_t gas = 0;
 };
 
@@ -57,29 +67,46 @@ struct Balances {
 };
 
 // The Coordinator is safe to share across concurrently-running protocol flows (the
-// runtime layer executes independent claims in parallel): every state transition
-// locks an internal mutex, the gas meter is atomic, and claim() references stay
-// valid because std::map nodes are stable under insertion. Concurrent flows must
-// still operate on DISTINCT claims — two parties racing transitions on one claim is
-// a protocol violation, not a data race the lock should hide.
+// runtime and service layers execute independent claims in parallel): every state
+// transition locks the owning shard's mutex. Concurrent flows must still operate on
+// DISTINCT claims — two parties racing transitions on one claim is a protocol
+// violation, not a data race the lock should hide.
+//
+// Claim-id layout: shard s issues ids 1+s, 1+s+S, 1+s+2S, ... (S = num_shards), so
+// shard_of(id) = (id - 1) % S and — crucially for the service's per-shard
+// determinism — the i-th claim homed to a shard always gets the same id no matter
+// how submissions to OTHER shards interleave. With S = 1 this degenerates to the
+// historical dense sequence 1, 2, 3, ...
 
 class Coordinator {
  public:
-  explicit Coordinator(GasSchedule schedule = {}, uint64_t round_timeout = 10)
-      : schedule_(schedule), round_timeout_(round_timeout) {}
+  explicit Coordinator(GasSchedule schedule = {}, uint64_t round_timeout = 10,
+                       size_t num_shards = 1);
+
+  size_t num_shards() const { return shards_.size(); }
+  // Owning shard of a claim (ids start at 1).
+  size_t shard_of(ClaimId id) const {
+    TAO_CHECK_GE(id, 1u);
+    return static_cast<size_t>((id - 1) % shards_.size());
+  }
 
   // --- logical clock ----------------------------------------------------------------
-  uint64_t now() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return now_;
-  }
-  void AdvanceTime(uint64_t ticks) {
-    std::lock_guard<std::mutex> lock(mu_);
-    now_ += ticks;
-  }
+  // Each shard keeps its own clock: windows and deadlines of a claim are enforced
+  // against the clock of the shard that owns it.
+  uint64_t now() const { return shard_now(0); }
+  uint64_t shard_now(size_t shard) const;
+  // Advances EVERY shard's clock (the global view sequential drivers and tests use).
+  void AdvanceTime(uint64_t ticks);
+  // Advances only the clock of the shard owning `id`. Per-claim flows use this so
+  // that time on one shard never pushes claims on another shard past their
+  // deadlines; with one shard it is exactly AdvanceTime.
+  void AdvanceTimeFor(ClaimId id, uint64_t ticks);
 
   // --- phase 1: optimistic execution --------------------------------------------------
-  ClaimId SubmitCommitment(const Digest& c0, uint64_t challenge_window, double proposer_bond);
+  // `shard` homes the new claim (taken mod num_shards; callers running per-shard
+  // resolve lanes pass their lane index, everyone else can ignore it).
+  ClaimId SubmitCommitment(const Digest& c0, uint64_t challenge_window,
+                           double proposer_bond, uint64_t shard = 0);
   // Finalizes iff the window elapsed with no challenge. Returns the new state.
   ClaimState TryFinalize(ClaimId id);
 
@@ -97,36 +124,55 @@ class Coordinator {
   // --- phase 3: adjudication ------------------------------------------------------------
   void RecordLeafAdjudication(ClaimId id, bool proposer_guilty, double challenger_share);
 
- private:
-  // Adjudication body; callers must hold mu_.
-  void RecordLeafAdjudicationLocked(ClaimId id, bool proposer_guilty, double challenger_share);
+  // Charges `gas` against one claim AND its shard's meter — the metered per-claim
+  // path for costs arising outside the built-in transitions (the old
+  // `mutable_gas()` escape hatch bypassed claim attribution and is gone).
+  void ChargeClaimGas(ClaimId id, int64_t gas);
 
- public:
-
-  const ClaimRecord& claim(ClaimId id) const;
-  // Gas charged against one claim so far (snapshot under the lock).
+  // --- snapshots ------------------------------------------------------------------------
+  // Value snapshot of one claim, copied under its shard's lock. (Reference-returning
+  // accessors are gone: a reference into a shard's map is a dangling bug the moment
+  // another thread touches the shard.)
+  ClaimRecord claim(ClaimId id) const;
+  // Gas charged against one claim so far (snapshot under the shard lock).
   int64_t claim_gas(ClaimId id) const;
-  // Snapshot of the ledger (copied under the lock).
-  Balances balances() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return balances_;
-  }
-  const GasMeter& gas() const { return gas_; }
-  GasMeter& mutable_gas() { return gas_; }
+  // Global ledger: fold of the per-shard ledgers in shard order. Each shard's
+  // contribution is read under its lock; the cross-shard fold is not a linearizable
+  // cut while flows are running (it is exact at quiescence, and always exact for
+  // num_shards == 1).
+  Balances balances() const;
+  // One shard's ledger (copied under its lock).
+  Balances shard_balances(size_t shard) const;
+  // Global gas: fold of the per-shard accumulators (same caveat as balances()).
+  GasTotals gas() const;
+  int64_t shard_gas(size_t shard) const;
+  // Ids of the claims homed to one shard, in submission order.
+  std::vector<ClaimId> shard_claims(size_t shard) const;
   const GasSchedule& schedule() const { return schedule_; }
 
  private:
-  // Callers must hold mu_.
-  ClaimRecord& MutableClaim(ClaimId id);
+  // One independent slice of the state machine. `gas` is a plain counter because it
+  // is only ever touched under `mu` (the old global meter had to be atomic).
+  struct Shard {
+    mutable std::mutex mu;
+    uint64_t now = 0;
+    uint64_t submitted = 0;  // claims homed here; drives id assignment
+    std::map<ClaimId, ClaimRecord> claims;
+    Balances balances;
+    int64_t gas = 0;
+  };
+
+  Shard& shard_for(ClaimId id) { return *shards_[shard_of(id)]; }
+  const Shard& shard_for(ClaimId id) const { return *shards_[shard_of(id)]; }
+  // Callers must hold shard.mu.
+  ClaimRecord& MutableClaim(Shard& shard, ClaimId id) const;
+  void RecordLeafAdjudicationLocked(Shard& shard, ClaimId id, bool proposer_guilty,
+                                    double challenger_share);
 
   GasSchedule schedule_;
   uint64_t round_timeout_;
-  mutable std::mutex mu_;
-  uint64_t now_ = 0;
-  ClaimId next_id_ = 1;
-  std::map<ClaimId, ClaimRecord> claims_;
-  Balances balances_;
-  GasMeter gas_;
+  // unique_ptr: Shard holds a mutex and must stay pinned in memory.
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace tao

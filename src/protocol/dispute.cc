@@ -79,7 +79,8 @@ DisputeResult DisputeGame::RunFromPhase1(const std::vector<Tensor>& inputs,
   ThreadPool* pool = options_.num_threads > 1 ? &ThreadPool::Shared() : nullptr;
 
   const ClaimId claim =
-      coordinator_.SubmitCommitment(c0, options_.challenge_window, options_.proposer_bond);
+      coordinator_.SubmitCommitment(c0, options_.challenge_window, options_.proposer_bond,
+                                    options_.coordinator_shard);
   result.claim_id = claim;
 
   const NodeId output = graph.output();
@@ -88,8 +89,9 @@ DisputeResult DisputeGame::RunFromPhase1(const std::vector<Tensor>& inputs,
           ? *precomputed_flagged
           : thresholds_.Exceeds(output, proposer_trace.value(output), challenger_output);
   if (!flagged) {
-    // Happy path: result finalizes after the window.
-    coordinator_.AdvanceTime(options_.challenge_window);
+    // Happy path: result finalizes after the window. Per-claim advance: only this
+    // claim's shard clock moves, so concurrent flows on other shards are untouched.
+    coordinator_.AdvanceTimeFor(claim, options_.challenge_window);
     result.final_state = coordinator_.TryFinalize(claim);
     result.challenge_raised = false;
     result.gas_used = coordinator_.claim_gas(claim);
@@ -312,7 +314,7 @@ DisputeResult DisputeGame::RunFromPhase1(const std::vector<Tensor>& inputs,
     round.selected_child = selected;
     coordinator_.RecordSelection(claim, selected);
     if (options_.advance_clock_per_round) {
-      coordinator_.AdvanceTime(1);
+      coordinator_.AdvanceTimeFor(claim, 1);
     }
     slice = children[static_cast<size_t>(selected)];
     result.rounds += 1;

@@ -42,9 +42,24 @@ struct GasSchedule {
   int64_t RoundCost(int64_t children) const { return PartitionCost(children) + selection; }
 };
 
-// A simple gas meter the coordinator charges actions against. The counter is atomic
-// so concurrent protocol flows (parallel dispute games sharing one coordinator) meter
-// correctly without external locking.
+// Fold-on-read gas snapshot: what Coordinator::gas() returns now that metering is
+// sharded. The total is summed across the per-shard accumulators at the moment of
+// the call; the value is immutable thereafter (charge against the coordinator's
+// per-claim APIs, not against a snapshot).
+class GasTotals {
+ public:
+  explicit GasTotals(int64_t total = 0) : total_(total) {}
+  int64_t total() const { return total_; }
+  double total_kgas() const { return static_cast<double>(total_) / 1000.0; }
+
+ private:
+  int64_t total_;
+};
+
+// A simple gas meter standalone harnesses charge actions against. The counter is
+// atomic so concurrent protocol flows sharing one meter account correctly without
+// external locking. (The Coordinator itself no longer exposes one: its metering is
+// per-shard, folded on read into a GasTotals.)
 class GasMeter {
  public:
   void Charge(int64_t gas) { total_.fetch_add(gas, std::memory_order_relaxed); }

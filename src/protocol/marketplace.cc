@@ -26,7 +26,8 @@ Marketplace::Marketplace(const Model& model, const ModelCommitment& commitment,
     : model_(model),
       commitment_(commitment),
       thresholds_(thresholds),
-      config_(std::move(config)) {}
+      config_(std::move(config)),
+      coordinator_(GasSchedule{}, /*round_timeout=*/10, config_.coordinator_shards) {}
 
 MarketplaceStats Marketplace::Run() {
   MarketplaceStats stats;
@@ -39,6 +40,7 @@ MarketplaceStats Marketplace::Run() {
   service_options.queue_capacity = config_.queue_capacity;
   service_options.admission = AdmissionPolicy::kBlock;
   service_options.batching.initial_hint = config_.verify_batch_size;
+  service_options.unordered_delivery = config_.unordered_delivery;
   service_options.verifier.dispute = config_.dispute;
   service_options.verifier.reuse_buffers = config_.reuse_buffers;
   VerificationService service(model_, commitment_, thresholds_, coordinator_,
@@ -48,11 +50,12 @@ MarketplaceStats Marketplace::Run() {
   // loop's — input, proposer device, strategy, perturbation site/seed, supervision
   // channel, verifier device, task by task — because execution consumes nothing
   // from this Rng stream. Submission order equals task order (one submitter, a
-  // FIFO queue), and the service's resolve lane settles claims against the
-  // coordinator in submission order, so every statistic, the ledger, and claim ids
-  // are bitwise identical to the sequential path no matter how the BatchFormer
-  // groups execution or how many workers run. Blocking admission bounds resident
-  // tensors to the queue + reorder window rather than the whole run.
+  // FIFO queue), and the service's resolve lanes settle claims against the
+  // coordinator in submission order per shard (with the default single shard,
+  // globally), so every statistic, the ledger, and claim ids are bitwise identical
+  // to the sequential path no matter how the BatchFormer groups execution or how
+  // many workers run. Blocking admission bounds resident tensors to the queue +
+  // reorder window rather than the whole run.
   std::vector<DrawnTask> drawn_tasks;
   std::vector<std::shared_ptr<ClaimTicket>> tickets;
   drawn_tasks.reserve(static_cast<size_t>(config_.num_tasks));

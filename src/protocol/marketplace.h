@@ -31,9 +31,10 @@ struct MarketplaceConfig {
   // on the same RNG stream as the historical per-task loop (execution draws
   // nothing, so statistics are bitwise identical) and submitted through the
   // service's bounded queue; the BatchFormer sizes each execution cohort from live
-  // queue depth and its arena-derived memory budget, and the resolve lane settles
-  // claims against the coordinator in task order — so stats, gas, the ledger, and
-  // claim ids match the sequential path for any worker count or batch sizing.
+  // queue depth and its arena-derived memory budget, and the resolve lanes settle
+  // claims against the coordinator in task order per shard (one shard by default)
+  // — so stats, gas, the ledger, and claim ids match the sequential path for any
+  // worker count or batch sizing.
   // `verify_batch_size` is only the BatchFormer's initial hint (the cohort cap
   // until its first memory observation); it no longer pins chunk boundaries.
   int64_t verify_batch_size = 16;
@@ -45,6 +46,14 @@ struct MarketplaceConfig {
   // it, instead of materializing every task's input up front.
   int service_workers = 1;
   size_t queue_capacity = 64;
+  // Coordinator shards = service resolve lanes. 1 (the default) reproduces the
+  // sequential path bitwise; >1 resolves claims on per-shard lanes concurrently
+  // (stats and per-claim outcomes are unchanged — they are order-independent — but
+  // the ledger fold's floating-point summation order differs across shard counts).
+  size_t coordinator_shards = 1;
+  // Deliver verdicts as lanes complete instead of in global submission order.
+  // Run() waits for all tickets either way, so stats are unaffected.
+  bool unordered_delivery = false;
 };
 
 struct MarketplaceStats {

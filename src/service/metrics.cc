@@ -24,11 +24,11 @@ size_t LatencyBucket(double latency_seconds) {
   return std::min(width - 1, kLatencyBuckets - 1);
 }
 
-}  // namespace
-
-double MetricsSnapshot::LatencyPercentileMillis(double p) const {
+// Percentile read over one histogram image (shared by the snapshot accessor and the
+// registry's live read).
+double PercentileMillisOf(const std::array<int64_t, kLatencyBuckets>& hist, double p) {
   int64_t total = 0;
-  for (const int64_t count : latency_hist_us) {
+  for (const int64_t count : hist) {
     total += count;
   }
   if (total == 0) {
@@ -40,7 +40,7 @@ double MetricsSnapshot::LatencyPercentileMillis(double p) const {
       1, static_cast<int64_t>(clamped * static_cast<double>(total) + 0.999999));
   int64_t cumulative = 0;
   for (size_t b = 0; b < kLatencyBuckets; ++b) {
-    cumulative += latency_hist_us[b];
+    cumulative += hist[b];
     if (cumulative >= rank) {
       // Bucket b spans [2^b, 2^(b+1)) us; report the upper bound in ms.
       return static_cast<double>(int64_t{1} << (b + 1)) / 1e3;
@@ -49,7 +49,25 @@ double MetricsSnapshot::LatencyPercentileMillis(double p) const {
   return static_cast<double>(int64_t{1} << kLatencyBuckets) / 1e3;
 }
 
+}  // namespace
+
+double MetricsSnapshot::LatencyPercentileMillis(double p) const {
+  return PercentileMillisOf(latency_hist_us, p);
+}
+
 MetricsRegistry::MetricsRegistry() : origin_(std::chrono::steady_clock::now()) {}
+
+double MetricsRegistry::RecentLatencyPercentileMillis(double p) const {
+  const uint64_t valid = std::min<uint64_t>(recent_count_.load(), kSloLatencyWindow);
+  std::array<int64_t, kLatencyBuckets> hist{};
+  for (uint64_t i = 0; i < valid; ++i) {
+    const int32_t bucket = recent_latency_bucket_[i].load();
+    hist[static_cast<size_t>(bucket)] += 1;
+  }
+  return PercentileMillisOf(hist, p);
+}
+
+void MetricsRegistry::RecordSloShed() { shed_slo_.fetch_add(1); }
 
 void MetricsRegistry::RecordSubmission(bool accepted) {
   submitted_.fetch_add(1);
@@ -75,7 +93,10 @@ void MetricsRegistry::RecordDispatch(int64_t batch_size) {
 }
 
 void MetricsRegistry::RecordVerdict(double latency_seconds, bool dispute_ran) {
-  latency_hist_us_[LatencyBucket(latency_seconds)].fetch_add(1);
+  const size_t bucket = LatencyBucket(latency_seconds);
+  latency_hist_us_[bucket].fetch_add(1);
+  recent_latency_bucket_[recent_count_.fetch_add(1) % kSloLatencyWindow].store(
+      static_cast<int32_t>(bucket));
   if (dispute_ran) {
     disputes_run_.fetch_add(1);
   }
@@ -95,6 +116,7 @@ MetricsSnapshot MetricsRegistry::Snapshot(int64_t queue_depth,
   snapshot.completed = completed_.load();
   snapshot.disputes_run = disputes_run_.load();
   snapshot.accepted = accepted_.load();
+  snapshot.shed_slo = shed_slo_.load();
   snapshot.rejected = rejected_.load();
   snapshot.submitted = submitted_.load();
   snapshot.batches_dispatched = batches_dispatched_.load();

@@ -1,7 +1,7 @@
 // MetricsRegistry: lock-cheap live counters for the verification service.
 //
 // Everything on the hot path is a std::atomic increment — no mutex is ever taken by
-// submitters, workers, or the resolve lane — so metering does not serialize the
+// submitters, workers, or the resolve lanes — so metering does not serialize the
 // pipeline it is measuring. Distributions (batch sizes, enqueue→verdict latency)
 // are power-of-two-bucket histograms of atomics; percentiles are read off the
 // cumulative histogram at snapshot time, accurate to one bucket (a factor of two in
@@ -29,12 +29,17 @@ inline constexpr size_t kBatchSizeBuckets = 17;
 // Latency buckets: bucket b counts verdicts whose enqueue→verdict latency is in
 // [2^b, 2^(b+1)) microseconds. 40 buckets cover ~6 days.
 inline constexpr size_t kLatencyBuckets = 40;
+// Sliding window (in verdicts) the SLO admission gate reads its percentile over.
+// The cumulative histogram never decays, so a long-past burst would otherwise tax
+// admission forever; the ring keeps the gate's view recent.
+inline constexpr size_t kSloLatencyWindow = 256;
 
 struct MetricsSnapshot {
   // Admission.
   int64_t submitted = 0;  // Submit() calls (accepted + rejected)
   int64_t accepted = 0;
   int64_t rejected = 0;
+  int64_t shed_slo = 0;  // subset of rejected: shed by the p99-latency SLO gate
   int64_t queue_depth = 0;       // resident submissions right now
   int64_t peak_queue_depth = 0;  // high-water mark of queue_depth
   // Pipeline.
@@ -61,8 +66,17 @@ class MetricsRegistry {
 
   // -- hot-path recording (all atomic, no locks) --------------------------------------
   void RecordSubmission(bool accepted);
+  void RecordSloShed();  // a RecordSubmission(false) that the latency SLO caused
   void RecordDispatch(int64_t batch_size);  // one cohort left the queue
   void RecordVerdict(double latency_seconds, bool dispute_ran);
+
+  // -- live reads for admission policy (atomic loads, no snapshot allocation) ----------
+  int64_t completed_count() const { return completed_.load(); }
+  int64_t accepted_count() const { return accepted_.load(); }
+  // Latency percentile over the most recent kSloLatencyWindow verdicts (all
+  // verdicts, until that many exist) — what the SLO admission gate polls per
+  // submission. Same one-bucket resolution as the snapshot's percentile.
+  double RecentLatencyPercentileMillis(double p) const;
 
   // Queue gauges are sampled by the service at snapshot time (the queue already
   // tracks them under its own lock); the registry owns everything else.
@@ -74,6 +88,7 @@ class MetricsRegistry {
   std::atomic<int64_t> submitted_{0};
   std::atomic<int64_t> accepted_{0};
   std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> shed_slo_{0};
   std::atomic<int64_t> batches_dispatched_{0};
   std::atomic<int64_t> claims_dispatched_{0};
   std::atomic<int64_t> completed_{0};
@@ -83,6 +98,12 @@ class MetricsRegistry {
   std::atomic<int64_t> last_verdict_ns_{0};
   std::array<std::atomic<int64_t>, kBatchSizeBuckets> batch_size_hist_{};
   std::array<std::atomic<int64_t>, kLatencyBuckets> latency_hist_us_{};
+  // Ring of the last kSloLatencyWindow verdicts' latency buckets (valid entries:
+  // min(recent_count_, window)). Entry reads racing a concurrent overwrite see
+  // either the old or the new verdict's bucket — both are real samples, which is
+  // all a one-bucket-resolution gate needs.
+  std::array<std::atomic<int32_t>, kSloLatencyWindow> recent_latency_bucket_{};
+  std::atomic<uint64_t> recent_count_{0};
 };
 
 }  // namespace tao

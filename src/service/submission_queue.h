@@ -10,9 +10,10 @@
 //
 // Ordering contract: Push assigns each accepted submission a global sequence number
 // under the queue lock, and PopUpTo drains strictly in sequence order. That accepted
-// order IS the service's "submission order" — the order the resolve lane replays
-// against the coordinator, and the order the bitwise-determinism invariant is stated
-// over (see docs/service.md).
+// order IS the service's "submission order" — sequence s belongs to resolve lane
+// s % S, each lane replays its subsequence in order against its coordinator shard,
+// and the per-shard bitwise-determinism invariant is stated over these subsequences
+// (see docs/service.md and docs/coordinator.md).
 
 #ifndef TAO_SRC_SERVICE_SUBMISSION_QUEUE_H_
 #define TAO_SRC_SERVICE_SUBMISSION_QUEUE_H_
@@ -44,7 +45,7 @@ enum class AdmissionPolicy {
 };
 
 // The client's handle for one accepted claim: blocks until the service delivers the
-// verdict. Delivery happens exactly once, on the service's resolve lane.
+// verdict. Delivery happens exactly once, on one of the service's resolve lanes.
 class ClaimTicket {
  public:
   // Blocks until the claim's lifecycle completed (possibly through a full dispute

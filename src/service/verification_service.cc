@@ -28,11 +28,21 @@ VerificationService::VerificationService(const Model& model,
       queue_(options_.queue_capacity, options_.admission, options_.per_submitter_cap),
       former_(options_.batching) {
   TAO_CHECK(options_.num_workers >= 1) << "service needs at least one verify worker";
+  // One resolve lane per coordinator shard: lane k is the only thread that ever
+  // touches shard k, which is what makes each shard's history single-writer.
+  const size_t num_lanes = coordinator.num_shards();
+  lanes_.reserve(num_lanes);
+  for (size_t lane = 0; lane < num_lanes; ++lane) {
+    lanes_.push_back(std::make_unique<LaneState>());
+  }
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
-  resolver_ = std::thread([this] { ResolveLoop(); });
+  lane_threads_.reserve(num_lanes);
+  for (size_t lane = 0; lane < num_lanes; ++lane) {
+    lane_threads_.emplace_back([this, lane] { LaneLoop(lane); });
+  }
 }
 
 VerificationService::~VerificationService() {
@@ -40,11 +50,31 @@ VerificationService::~VerificationService() {
   for (std::thread& worker : workers_) {
     worker.join();
   }
-  resolver_.join();
+  for (std::thread& lane : lane_threads_) {
+    lane.join();
+  }
 }
 
 std::shared_ptr<ClaimTicket> VerificationService::Submit(BatchClaim claim,
                                                          uint64_t submitter) {
+  // Latency-target admission: once enough verdicts exist to trust the tail, shed
+  // while the p99 over the recent-verdict window is over the SLO. Shedding ahead
+  // of the queue turns an overloaded service into fast rejections instead of a
+  // queue full of claims whose verdicts will arrive after every client gave up.
+  // The busy guard (accepted > completed: work somewhere between admission and
+  // delivery) is what makes the gate self-releasing: an idle service cannot be
+  // over its SLO, so a past burst can never latch admission shut — the first
+  // post-burst submission is admitted and its fresh verdict re-ages the window.
+  if (options_.latency_slo_ms > 0.0) {
+    const int64_t completed = metrics_.completed_count();
+    if (completed >= options_.slo_min_observations &&
+        metrics_.accepted_count() > completed &&
+        metrics_.RecentLatencyPercentileMillis(0.99) > options_.latency_slo_ms) {
+      metrics_.RecordSubmission(false);
+      metrics_.RecordSloShed();
+      return nullptr;
+    }
+  }
   auto ticket = std::make_shared<ClaimTicket>();
   SubmissionRecord record;
   record.claim = std::move(claim);
@@ -60,9 +90,11 @@ std::shared_ptr<ClaimTicket> VerificationService::Submit(BatchClaim claim,
 }
 
 void VerificationService::WorkerLoop() {
+  const size_t num_lanes = lanes_.size();
+  std::vector<char> lane_touched(num_lanes, 0);
   for (;;) {
     // Reorder-window gate: don't pull new work while too many executed claims wait
-    // for in-order resolution (a dispute burst would otherwise pile up phase-1
+    // for resolution/delivery (a dispute burst would otherwise pile up phase-1
     // results without bound). Room is RESERVED against unresolved_ before popping,
     // so the window bound holds even with several workers racing through the gate.
     // Draining bypasses the gate so shutdown cannot wedge (room 1 keeps progress).
@@ -101,56 +133,120 @@ void VerificationService::WorkerLoop() {
     former_.ObserveBatch(static_cast<int64_t>(cohort.size()),
                          arena_stats.peak_outstanding_bytes);
 
+    // Hand each claim to the lane owning its sequence (lane = sequence mod lanes).
+    std::fill(lane_touched.begin(), lane_touched.end(), 0);
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (size_t i = 0; i < cohort.size(); ++i) {
         const uint64_t sequence = cohort[i].sequence;
-        ready_.emplace(sequence, PendingResolution{std::move(cohort[i]),
-                                                   std::move(phase1[i])});
+        const size_t lane = static_cast<size_t>(sequence % num_lanes);
+        lanes_[lane]->ready.emplace(sequence, PendingResolution{std::move(cohort[i]),
+                                                                std::move(phase1[i])});
+        lane_touched[lane] = 1;
       }
     }
-    resolve_cv_.notify_one();
+    for (size_t lane = 0; lane < num_lanes; ++lane) {
+      if (lane_touched[lane]) {
+        lanes_[lane]->cv.notify_one();
+      }
+    }
   }
 }
 
-void VerificationService::ResolveLoop() {
+size_t VerificationService::FlushOrderedDeliveriesLocked() {
+  size_t released = 0;
+  for (auto it = deliverable_.find(next_deliver_seq_); it != deliverable_.end();
+       it = deliverable_.find(next_deliver_seq_)) {
+    PendingDelivery& delivery = it->second;
+    // Latency is stamped HERE, not at resolution: a verdict parked behind an
+    // earlier claim's long dispute is latency the client observes, and the SLO
+    // gate must see it. Recording before Deliver keeps completed-count and the
+    // histogram ahead of any client that Wait()ed on this ticket. Delivering
+    // under mu_ is what makes the release order exactly global submission order.
+    const double latency_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      delivery.enqueue_time)
+            .count();
+    metrics_.RecordVerdict(latency_seconds, delivery.outcome.flagged);
+    TAO_CHECK(delivery.ticket != nullptr);
+    delivery.ticket->Deliver(std::move(delivery.outcome));
+    deliverable_.erase(it);
+    ++next_deliver_seq_;
+    ++delivered_;
+    TAO_CHECK(unresolved_ > 0);
+    --unresolved_;
+    ++released;
+  }
+  return released;
+}
+
+void VerificationService::LaneLoop(size_t lane) {
+  LaneState& state = *lanes_[lane];
+  const uint64_t num_lanes = static_cast<uint64_t>(lanes_.size());
   for (;;) {
     PendingResolution item;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      resolve_cv_.wait(lock, [&] {
-        return ready_.count(next_resolve_seq_) > 0 ||
-               (queue_.closed() && next_resolve_seq_ == queue_.accepted());
+      // Lane k resolves global sequences k, k+L, k+2L, ... in order; the next one
+      // is a pure function of how many it already resolved.
+      const auto next_sequence = [&] { return lane + num_lanes * state.resolved; };
+      state.cv.wait(lock, [&] {
+        return state.ready.count(next_sequence()) > 0 ||
+               (queue_.closed() && next_sequence() >= queue_.accepted());
       });
-      const auto it = ready_.find(next_resolve_seq_);
-      if (it == ready_.end()) {
-        return;  // drained: every accepted claim has been resolved
+      const auto it = state.ready.find(next_sequence());
+      if (it == state.ready.end()) {
+        return;  // drained: every claim homed to this lane has been resolved
       }
       item = std::move(it->second);
-      ready_.erase(it);
+      state.ready.erase(it);
     }
 
-    // All coordinator interaction happens here, claim by claim in submission
-    // order. Flagged claims run their full dispute game on this thread — the
-    // "dispute lane" — while the verify workers keep executing later cohorts.
-    BatchClaimOutcome outcome = verifier_.ResolveClaim(item.record.claim, item.phase1);
-    const double latency_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      item.record.enqueue_time)
-            .count();
-    metrics_.RecordVerdict(latency_seconds, outcome.flagged);
+    // All coordinator interaction for this claim happens here, on shard `lane`,
+    // claim by claim in the lane's submission order. Flagged claims run their full
+    // dispute game on this thread while the verify workers keep executing later
+    // cohorts and OTHER lanes keep resolving their own shards' claims.
+    BatchClaimOutcome outcome =
+        verifier_.ResolveClaim(item.record.claim, item.phase1, lane);
     TAO_CHECK(item.record.ticket != nullptr);
-    item.record.ticket->Deliver(std::move(outcome));
 
+    if (options_.unordered_delivery) {
+      // Deliver the moment the lane is done; only the shard's own order is
+      // promised. The ticket unblocks before head-of-line disputes elsewhere.
+      const double latency_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        item.record.enqueue_time)
+              .count();
+      metrics_.RecordVerdict(latency_seconds, outcome.flagged);
+      item.record.ticket->Deliver(std::move(outcome));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++state.resolved;
+        ++delivered_;
+        TAO_CHECK(unresolved_ > 0);
+        --unresolved_;
+      }
+      window_cv_.notify_all();
+      drained_cv_.notify_all();
+      continue;
+    }
+
+    // Ordered delivery: park the verdict until every earlier sequence delivered,
+    // then release as many consecutive verdicts as are ready.
+    size_t released;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      ++next_resolve_seq_;
-      TAO_CHECK(unresolved_ > 0);
-      --unresolved_;
+      ++state.resolved;
+      deliverable_.emplace(item.record.sequence,
+                           PendingDelivery{std::move(item.record.ticket),
+                                           std::move(outcome),
+                                           item.record.enqueue_time});
+      released = FlushOrderedDeliveriesLocked();
     }
-    window_cv_.notify_all();
-    resolve_cv_.notify_all();
-    drained_cv_.notify_all();
+    if (released > 0) {
+      window_cv_.notify_all();
+      drained_cv_.notify_all();
+    }
   }
 }
 
@@ -161,9 +257,11 @@ void VerificationService::Drain() {
     draining_ = true;
   }
   window_cv_.notify_all();
-  resolve_cv_.notify_all();
+  for (const auto& lane : lanes_) {
+    lane->cv.notify_all();
+  }
   std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock, [&] { return next_resolve_seq_ == queue_.accepted(); });
+  drained_cv_.wait(lock, [&] { return delivered_ == queue_.accepted(); });
 }
 
 MetricsSnapshot VerificationService::metrics() const {

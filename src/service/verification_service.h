@@ -3,34 +3,49 @@
 // the service owns admission, adaptive batching, dispatch, dispute escalation, and
 // verdict delivery.
 //
-// Pipeline (see docs/service.md for the full architecture and determinism argument):
+// Pipeline (see docs/service.md and docs/coordinator.md for the full architecture
+// and determinism argument):
 //
-//   clients ──Submit──▶ SubmissionQueue ──PopUpTo──▶ verify workers ──▶ reorder
-//             (bounded,    (FIFO, global     (N threads; BatchFormer     buffer
-//              fairness)    sequence)         sizes each cohort;           │
-//                                             BatchVerifier phase 1)       ▼
-//                                                       resolve/dispute lane ──▶ tickets
-//                                                       (1 thread; coordinator
-//                                                        actions + dispute games
-//                                                        in submission order)
+//   clients ──Submit──▶ SubmissionQueue ──PopUpTo──▶ verify workers ──▶ per-shard
+//             (bounded,    (FIFO, global     (N threads; BatchFormer    reorder
+//              fairness,    sequence)         sizes each cohort;        buffers
+//              SLO gate)                      BatchVerifier phase 1)      │
+//                                                    resolve lane 0 ──▶ delivery
+//                                                    resolve lane 1 ──▶ (ordered or
+//                                                    ...     lane S-1 ──▶ unordered)
 //
 //   * Verify workers run only coordinator-free work: the batched phase-1 DAG, the
 //     threshold checks, and the lazy full re-execution of flagged claims. Any
 //     number of workers can execute cohorts concurrently.
-//   * The resolve/dispute lane is ONE dedicated thread that performs every
-//     coordinator interaction in global submission order — flagged claims escalate
-//     to their full dispute game here, so a slow game never occupies a verify
-//     worker and phase-1 throughput is unaffected. In-order resolution is what
-//     makes verdicts, per-claim gas, C0 digests, claim ids, and the ledger bitwise
-//     identical to the sequential PR-1 path for a fixed submission order, for ANY
-//     worker count and ANY batch sizing.
-//   * The reorder window (`max_unresolved`) bounds executed-but-unresolved claims,
+//   * There is ONE resolve/dispute lane per coordinator shard (the service derives
+//     the lane count from Coordinator::num_shards()). A submission with global
+//     sequence s belongs to lane s % S; lane k performs every coordinator
+//     interaction for its claims — flagged claims escalate to their full dispute
+//     game on the lane thread — in ITS claims' submission order, against
+//     coordinator shard k. Shards are fully isolated (own lock, clock, gas,
+//     ledger), so lanes never contend and a slow dispute on one lane never stalls
+//     another lane's resolutions. Per-shard in-order resolution is what makes each
+//     shard's verdicts, per-claim gas, C0 digests, claim ids, and ledger a bitwise
+//     function of that shard's submission subsequence alone, for ANY worker count
+//     and ANY batch sizing. With one shard this is exactly the historical global
+//     guarantee: bitwise identity with the sequential PR-1 path.
+//   * Verdict delivery: by default tickets are released in GLOBAL submission order
+//     (head-of-line: a long dispute on any lane delays later claims' delivery, but
+//     not their resolution). `unordered_delivery` opts out: each verdict is
+//     delivered the moment its lane resolves it. Coordinator state is untouched by
+//     delivery order, so the per-shard determinism invariant holds either way.
+//   * The reorder window (`max_unresolved`) bounds executed-but-undelivered claims,
 //     so a dispute burst backpressures the workers (and, through the bounded queue,
 //     the clients) instead of accumulating unbounded phase-1 results.
+//   * Admission can additionally shed on a latency target (`latency_slo_ms`): when
+//     the recent-window p99 enqueue→verdict latency exceeds the SLO while work is
+//     in flight, Submit() rejects even though the queue has room — queueing more
+//     work a client will consider timed out only wastes verification capacity.
 
 #ifndef TAO_SRC_SERVICE_VERIFICATION_SERVICE_H_
 #define TAO_SRC_SERVICE_VERIFICATION_SERVICE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -56,8 +71,22 @@ struct ServiceOptions {
   // Bounds one submitter's resident queue share (0 = off). See SubmissionQueue.
   size_t per_submitter_cap = 0;
   // Cap on claims popped from the queue whose verdicts have not been delivered yet
-  // (the reorder window between workers and the resolve lane). 0 = 4x max_batch.
+  // (the window between workers and the resolve lanes). 0 = 4x max_batch.
   size_t max_unresolved = 0;
+  // Deliver each verdict as soon as its lane resolves it, instead of holding
+  // delivery to global submission order. Per-shard outcomes, gas, ledgers, and
+  // claim ids are identical either way; only the order tickets unblock changes.
+  bool unordered_delivery = false;
+  // Latency-target admission (0 = off): shed (reject) submissions while the p99
+  // enqueue→verdict latency over the recent-verdict window (kSloLatencyWindow)
+  // exceeds this many milliseconds AND work is in flight. Applies before the
+  // queue-capacity policy and to both admission policies. The busy requirement is
+  // what keeps the gate from latching after a burst: an idle service always
+  // admits, and the fresh verdicts re-age the window.
+  double latency_slo_ms = 0.0;
+  // The SLO gate stays open until this many verdicts have been delivered (a p99
+  // over a handful of samples is noise, and a cold service must be allowed to warm).
+  int64_t slo_min_observations = 32;
   BatchFormerOptions batching;
   BatchVerifierOptions verifier;
 };
@@ -65,7 +94,8 @@ struct ServiceOptions {
 class VerificationService {
  public:
   // The service starts its threads immediately and serves until Drain()/destruction.
-  // `coordinator` outlives the service; verdicts settle against it.
+  // `coordinator` outlives the service; verdicts settle against it. The service runs
+  // one resolve lane per coordinator shard.
   VerificationService(const Model& model, const ModelCommitment& commitment,
                       const ThresholdSet& thresholds, Coordinator& coordinator,
                       ServiceOptions options = {});
@@ -75,8 +105,8 @@ class VerificationService {
   VerificationService& operator=(const VerificationService&) = delete;
 
   // Submits one claim. Returns the ticket to wait on, or null when the submission
-  // was rejected (queue full under kReject, or the service is draining).
-  // `submitter` identifies the client for per-submitter fairness.
+  // was rejected (queue full under kReject, p99 over the latency SLO, or the
+  // service is draining). `submitter` identifies the client for fairness.
   std::shared_ptr<ClaimTicket> Submit(BatchClaim claim, uint64_t submitter = 0);
 
   // Graceful drain: closes admission, then blocks until every accepted claim has
@@ -86,14 +116,36 @@ class VerificationService {
   // Live metrics; callable from any thread while the service runs.
   MetricsSnapshot metrics() const;
 
+  size_t num_lanes() const { return lanes_.size(); }
+
  private:
   struct PendingResolution {
     SubmissionRecord record;
     ClaimPhase1 phase1;
   };
 
+  // A resolved claim parked until global submission order lets it deliver
+  // (ordered-delivery mode only). Carries the enqueue stamp, not a latency:
+  // head-of-line park time is client-visible latency and is metered at delivery.
+  struct PendingDelivery {
+    std::shared_ptr<ClaimTicket> ticket;
+    BatchClaimOutcome outcome;
+    std::chrono::steady_clock::time_point enqueue_time{};
+  };
+
+  // One resolve lane: the per-shard slice of the reorder buffer plus its thread's
+  // wake-up signal. Lane k owns the claims whose global sequence ≡ k (mod lanes).
+  struct LaneState {
+    std::condition_variable cv;     // lane thread waits for its next sequence
+    std::map<uint64_t, PendingResolution> ready;  // keyed by global sequence
+    uint64_t resolved = 0;          // claims this lane has resolved so far
+  };
+
   void WorkerLoop();
-  void ResolveLoop();
+  void LaneLoop(size_t lane);
+  // Delivers every consecutively-deliverable verdict. Caller holds mu_; returns the
+  // number delivered so the caller can notify the window/drain waiters.
+  size_t FlushOrderedDeliveriesLocked();
 
   const ServiceOptions options_;
   const size_t max_unresolved_;
@@ -102,18 +154,21 @@ class VerificationService {
   BatchFormer former_;
   MetricsRegistry metrics_;
 
-  // Guards the reorder buffer and the pipeline gauges below.
+  // Guards the lane buffers, the delivery buffer, and the pipeline gauges below.
+  // The bookkeeping under it is a few map operations — resolution and execution
+  // always happen outside it.
   mutable std::mutex mu_;
-  std::condition_variable resolve_cv_;  // resolve lane waits for next_resolve_seq_
   std::condition_variable window_cv_;   // workers wait for reorder-window room
   std::condition_variable drained_cv_;  // Drain() waits for full delivery
-  std::map<uint64_t, PendingResolution> ready_;
-  uint64_t next_resolve_seq_ = 0;
+  std::vector<std::unique_ptr<LaneState>> lanes_;
+  std::map<uint64_t, PendingDelivery> deliverable_;  // ordered mode only
+  uint64_t next_deliver_seq_ = 0;  // ordered mode: next global sequence to release
+  uint64_t delivered_ = 0;         // verdicts delivered (any mode)
   size_t unresolved_ = 0;  // popped from the queue, verdict not yet delivered
   bool draining_ = false;
 
   std::vector<std::thread> workers_;
-  std::thread resolver_;
+  std::vector<std::thread> lane_threads_;
 };
 
 }  // namespace tao

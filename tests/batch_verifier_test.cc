@@ -15,6 +15,7 @@
 #include "src/calib/calibrator.h"
 #include "src/protocol/batch_verifier.h"
 #include "src/protocol/marketplace.h"
+#include "tests/test_claims.h"
 
 namespace tao {
 namespace {
@@ -54,31 +55,10 @@ bool SameBits(const Tensor& a, const Tensor& b) {
                      static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
 }
 
-// Draws a deterministic cohort mixing honest/cheating x supervised/unsupervised
-// claims, marketplace-style.
+// Draws a deterministic cohort (shared generator, this suite's heavier mix).
 std::vector<BatchClaim> MakeClaims(const Model& model, size_t count, uint64_t seed) {
-  const Graph& graph = *model.graph;
-  const auto& fleet = DeviceRegistry::Fleet();
-  Rng rng(seed);
-  std::vector<BatchClaim> claims;
-  claims.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    BatchClaim claim;
-    claim.inputs = model.sample_input(rng);
-    claim.proposer_device = &fleet[rng.NextBounded(fleet.size())];
-    if (rng.NextDouble() < 0.5) {  // cheat
-      const NodeId site =
-          graph.op_nodes()[rng.NextBounded(static_cast<uint64_t>(graph.num_ops() - 1))];
-      Rng delta_rng(rng.NextU64());
-      claim.perturbations.push_back({site, Tensor::Randn(graph.node(site).shape,
-                                                         delta_rng, 5e-2f)});
-    }
-    if (rng.NextDouble() < 0.75) {  // supervised
-      claim.verifier_device = &fleet[rng.NextBounded(fleet.size())];
-    }
-    claims.push_back(std::move(claim));
-  }
-  return claims;
+  return MakeTestClaims(model, count, seed, /*cheat_rate=*/0.5,
+                        /*supervised_rate=*/0.75);
 }
 
 // Reference protocol outcome of one claim, computed by the sequential PR-1 path:

@@ -1,0 +1,389 @@
+// Sharded-coordinator suite. Two layers:
+//
+//   * Pure state-machine tests: shard-local id assignment, per-shard clock
+//     isolation, fold-on-read global snapshots, and the metered per-claim gas
+//     charge that replaced the old mutable_gas() escape hatch.
+//
+//   * The shard-sweep bitwise-equivalence suite: one accepted submission order is
+//     pushed through the service for shards {1, 2, 8, 32} x workers {1, 2, 8}.
+//     Per-claim outcomes (C0, verdicts, per-claim gas) must match the sequential
+//     reference for EVERY configuration; and for every shard of every
+//     configuration, the shard's ledger, gas accumulator, clock, and claim records
+//     must be bitwise identical to a sequential replay of that shard's claim
+//     subsequence on a fresh single-shard coordinator — the per-shard determinism
+//     contract of docs/coordinator.md. The replay drives coordinator actions only
+//     (no model re-execution), reconstructed from the delivered DisputeResults.
+//
+// The whole suite must run TSan-clean (CI runs it in the tsan job).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/calib/calibrator.h"
+#include "src/service/verification_service.h"
+#include "tests/test_claims.h"
+
+namespace tao {
+namespace {
+
+// ----------------------------- pure state machine ------------------------------------
+
+TEST(ShardedCoordinatorTest, ShardLocalIdAssignmentIsInterleavingIndependent) {
+  Coordinator coordinator(GasSchedule{}, /*round_timeout=*/10, /*num_shards=*/4);
+  ASSERT_EQ(coordinator.num_shards(), 4u);
+  const Digest c0 = Sha256::Hash(std::string("id-layout"));
+  // Shard s issues 1+s, 1+s+S, 1+s+2S, ... regardless of what other shards do.
+  EXPECT_EQ(coordinator.SubmitCommitment(c0, 10, 1.0, /*shard=*/2), 3u);
+  EXPECT_EQ(coordinator.SubmitCommitment(c0, 10, 1.0, /*shard=*/0), 1u);
+  EXPECT_EQ(coordinator.SubmitCommitment(c0, 10, 1.0, /*shard=*/2), 7u);
+  EXPECT_EQ(coordinator.SubmitCommitment(c0, 10, 1.0, /*shard=*/3), 4u);
+  EXPECT_EQ(coordinator.SubmitCommitment(c0, 10, 1.0, /*shard=*/0), 5u);
+  // Hints wrap mod S.
+  EXPECT_EQ(coordinator.SubmitCommitment(c0, 10, 1.0, /*shard=*/6), 11u);
+  EXPECT_EQ(coordinator.shard_of(3), 2u);
+  EXPECT_EQ(coordinator.shard_of(11), 2u);
+  EXPECT_EQ(coordinator.shard_of(1), 0u);
+  EXPECT_EQ(coordinator.shard_claims(2), (std::vector<ClaimId>{3, 7, 11}));
+  EXPECT_TRUE(coordinator.shard_claims(1).empty());
+}
+
+TEST(ShardedCoordinatorTest, SingleShardKeepsHistoricalDenseIds) {
+  Coordinator coordinator;  // num_shards = 1
+  const Digest c0 = Sha256::Hash(std::string("dense"));
+  for (ClaimId expected = 1; expected <= 5; ++expected) {
+    // Any hint lands on the only shard and the sequence stays 1, 2, 3, ...
+    EXPECT_EQ(coordinator.SubmitCommitment(c0, 10, 1.0, /*shard=*/expected * 7), expected);
+  }
+}
+
+TEST(ShardedCoordinatorTest, PerClaimTimeAdvancesOnlyTheOwningShardClock) {
+  Coordinator coordinator(GasSchedule{}, /*round_timeout=*/10, /*num_shards=*/2);
+  const Digest c0 = Sha256::Hash(std::string("clocks"));
+  const ClaimId on_shard0 = coordinator.SubmitCommitment(c0, 50, 1.0, /*shard=*/0);
+  const ClaimId on_shard1 = coordinator.SubmitCommitment(c0, 50, 1.0, /*shard=*/1);
+
+  coordinator.AdvanceTimeFor(on_shard0, 50);
+  EXPECT_EQ(coordinator.shard_now(0), 50u);
+  EXPECT_EQ(coordinator.shard_now(1), 0u);
+  // Shard 0's claim finalizes; shard 1's window has not moved at all.
+  EXPECT_EQ(coordinator.TryFinalize(on_shard0), ClaimState::kFinalized);
+  EXPECT_EQ(coordinator.TryFinalize(on_shard1), ClaimState::kCommitted);
+  // The shard-1 claim is still challengeable — its shard's clock is untouched.
+  coordinator.OpenChallenge(on_shard1, 1.0);
+  EXPECT_EQ(coordinator.claim(on_shard1).state, ClaimState::kDisputed);
+
+  // The global advance moves every shard.
+  coordinator.AdvanceTime(7);
+  EXPECT_EQ(coordinator.shard_now(0), 57u);
+  EXPECT_EQ(coordinator.shard_now(1), 7u);
+}
+
+TEST(ShardedCoordinatorTest, GlobalReadsFoldAcrossShards) {
+  Coordinator coordinator(GasSchedule{}, /*round_timeout=*/10, /*num_shards=*/3);
+  const Digest c0 = Sha256::Hash(std::string("fold"));
+  const ClaimId a = coordinator.SubmitCommitment(c0, 100, 10.0, /*shard=*/0);
+  const ClaimId b = coordinator.SubmitCommitment(c0, 100, 10.0, /*shard=*/1);
+  coordinator.SubmitCommitment(c0, 100, 10.0, /*shard=*/2);
+  coordinator.OpenChallenge(a, 2.0);
+  coordinator.RecordLeafAdjudication(a, /*proposer_guilty=*/true, 0.5);
+  coordinator.OpenChallenge(b, 2.0);
+  coordinator.RecordLeafAdjudication(b, /*proposer_guilty=*/false, 0.5);
+
+  Balances folded;
+  int64_t gas_folded = 0;
+  for (size_t shard = 0; shard < coordinator.num_shards(); ++shard) {
+    const Balances shard_balances = coordinator.shard_balances(shard);
+    folded.proposer += shard_balances.proposer;
+    folded.challenger += shard_balances.challenger;
+    folded.treasury += shard_balances.treasury;
+    gas_folded += coordinator.shard_gas(shard);
+  }
+  const Balances global = coordinator.balances();
+  EXPECT_EQ(global.proposer, folded.proposer);
+  EXPECT_EQ(global.challenger, folded.challenger);
+  EXPECT_EQ(global.treasury, folded.treasury);
+  EXPECT_EQ(coordinator.gas().total(), gas_folded);
+  // Settled shards hold their own slash accounting.
+  EXPECT_DOUBLE_EQ(coordinator.shard_balances(0).treasury, 5.0);
+  EXPECT_DOUBLE_EQ(coordinator.shard_balances(1).treasury, 0.0);
+}
+
+TEST(ShardedCoordinatorTest, ChargeClaimGasMetersClaimShardAndGlobalTogether) {
+  Coordinator coordinator(GasSchedule{}, /*round_timeout=*/10, /*num_shards=*/2);
+  const Digest c0 = Sha256::Hash(std::string("charge"));
+  const ClaimId id = coordinator.SubmitCommitment(c0, 100, 10.0, /*shard=*/1);
+  const int64_t before_claim = coordinator.claim_gas(id);
+  const int64_t before_shard = coordinator.shard_gas(1);
+  const int64_t before_global = coordinator.gas().total();
+
+  coordinator.ChargeClaimGas(id, 12345);
+  EXPECT_EQ(coordinator.claim_gas(id), before_claim + 12345);
+  EXPECT_EQ(coordinator.shard_gas(1), before_shard + 12345);
+  EXPECT_EQ(coordinator.gas().total(), before_global + 12345);
+  EXPECT_EQ(coordinator.shard_gas(0), 0);  // no cross-shard bleed
+}
+
+// ------------------------- shard-sweep service equivalence ---------------------------
+
+class ShardSweepFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_ = new Model(BuildBertMini());
+    CalibrateOptions options;
+    options.num_samples = 4;
+    thresholds_ = new ThresholdSet(
+        Calibrate(*model_, DeviceRegistry::Fleet(), options).MakeThresholds(3.0));
+    commitment_ = new ModelCommitment(*model_->graph, *thresholds_);
+  }
+
+  static void TearDownTestSuite() {
+    delete commitment_;
+    delete thresholds_;
+    delete model_;
+    commitment_ = nullptr;
+    thresholds_ = nullptr;
+    model_ = nullptr;
+  }
+
+  static Model* model_;
+  static ThresholdSet* thresholds_;
+  static ModelCommitment* commitment_;
+};
+
+Model* ShardSweepFixture::model_ = nullptr;
+ThresholdSet* ShardSweepFixture::thresholds_ = nullptr;
+ModelCommitment* ShardSweepFixture::commitment_ = nullptr;
+
+// Deterministic marketplace-style cohort (shared generator; same mix and seeds as
+// service_test so the two suites exercise the same workloads).
+std::vector<BatchClaim> MakeClaims(const Model& model, size_t count, uint64_t seed) {
+  return MakeTestClaims(model, count, seed, /*cheat_rate=*/0.4,
+                        /*supervised_rate=*/0.6);
+}
+
+// Order-independent per-claim reference (each claim's lifecycle standalone).
+struct ReferenceOutcome {
+  Digest c0{};
+  bool flagged = false;
+  bool proposer_guilty = false;
+  ClaimState final_state = ClaimState::kCommitted;
+  int64_t gas_used = 0;
+};
+
+std::vector<ReferenceOutcome> RunSequentialReference(const Model& model,
+                                                     const ModelCommitment& commitment,
+                                                     const ThresholdSet& thresholds,
+                                                     const std::vector<BatchClaim>& claims) {
+  const Graph& graph = *model.graph;
+  std::vector<ReferenceOutcome> outcomes;
+  outcomes.reserve(claims.size());
+  for (const BatchClaim& claim : claims) {
+    ReferenceOutcome ref;
+    Coordinator coordinator;
+    if (claim.supervised()) {
+      DisputeGame game(model, commitment, thresholds, coordinator, DisputeOptions{});
+      const DisputeResult result = game.Run(claim.inputs, *claim.proposer_device,
+                                            *claim.verifier_device, claim.perturbations);
+      ref.c0 = coordinator.claim(result.claim_id).c0;
+      ref.flagged = result.challenge_raised;
+      ref.proposer_guilty = result.proposer_guilty;
+      ref.final_state = result.final_state;
+      ref.gas_used = result.gas_used;
+    } else {
+      const Executor exec(graph, *claim.proposer_device);
+      const ExecutionTrace trace = exec.RunPerturbed(claim.inputs, claim.perturbations);
+      ResultMeta meta;
+      meta.device = claim.proposer_device->name;
+      meta.challenge_window = DisputeOptions{}.challenge_window;
+      ref.c0 = ComputeResultCommitment(commitment, claim.inputs,
+                                       trace.value(graph.output()), meta);
+      const ClaimId id = coordinator.SubmitCommitment(ref.c0, DisputeOptions{}.challenge_window,
+                                                      DisputeOptions{}.proposer_bond);
+      coordinator.AdvanceTime(DisputeOptions{}.challenge_window);
+      ref.final_state = coordinator.TryFinalize(id);
+      ref.gas_used = coordinator.claim_gas(id);
+    }
+    outcomes.push_back(ref);
+  }
+  return outcomes;
+}
+
+// Replays one shard's claim subsequence — coordinator ACTIONS only, reconstructed
+// from the delivered outcomes, no model re-execution — against a fresh single-shard
+// coordinator. This is the "per-shard replay" of the determinism contract: the
+// shard's entire state history must be a function of this action sequence alone.
+void ReplayShardActions(const std::vector<const BatchClaimOutcome*>& outcomes,
+                        Coordinator& replay) {
+  const DisputeOptions options;  // the service runs below use defaults
+  for (const BatchClaimOutcome* outcome : outcomes) {
+    const ClaimId id = replay.SubmitCommitment(outcome->c0, options.challenge_window,
+                                               options.proposer_bond);
+    if (!outcome->flagged) {
+      replay.AdvanceTimeFor(id, options.challenge_window);
+      EXPECT_EQ(replay.TryFinalize(id), ClaimState::kFinalized);
+      continue;
+    }
+    replay.OpenChallenge(id, options.challenger_bond);
+    for (const RoundStats& round : outcome->dispute.round_stats) {
+      replay.RecordPartition(id, round.children,
+                             std::vector<Digest>(static_cast<size_t>(round.children),
+                                                 outcome->c0));
+      replay.RecordMerkleCheck(id, round.merkle_proofs);
+      if (round.selected_child >= 0) {
+        replay.RecordSelection(id, round.selected_child);
+        replay.AdvanceTimeFor(id, 1);
+      }
+    }
+    replay.RecordLeafAdjudication(id, outcome->proposer_guilty,
+                                  options.challenger_share);
+  }
+}
+
+TEST_F(ShardSweepFixture, ShardSweepMatchesReferenceAndPerShardReplay) {
+  constexpr size_t kClaims = 10;
+  const std::vector<BatchClaim> claims = MakeClaims(*model_, kClaims, 0x5e2f1);
+  const std::vector<ReferenceOutcome> reference =
+      RunSequentialReference(*model_, *commitment_, *thresholds_, claims);
+  int64_t reference_gas = 0;
+  int64_t flagged = 0;
+  for (const ReferenceOutcome& ref : reference) {
+    reference_gas += ref.gas_used;
+    flagged += ref.flagged ? 1 : 0;
+  }
+  ASSERT_GT(flagged, 0);  // the cohort must exercise the dispute path
+
+  for (const size_t shards : {size_t{1}, size_t{2}, size_t{8}, size_t{32}}) {
+    for (const int workers : {1, 2, 8}) {
+      const std::string label =
+          "shards=" + std::to_string(shards) + " workers=" + std::to_string(workers);
+      Coordinator coordinator(GasSchedule{}, /*round_timeout=*/10, shards);
+      ServiceOptions options;
+      options.num_workers = workers;
+      options.queue_capacity = 4;  // force admission backpressure mid-run
+      options.batching.initial_hint = 3;
+      options.verifier.dispute.num_threads = 2;
+      options.verifier.reuse_buffers = true;
+      std::vector<std::shared_ptr<ClaimTicket>> tickets;
+      {
+        VerificationService service(*model_, *commitment_, *thresholds_, coordinator,
+                                    options);
+        ASSERT_EQ(service.num_lanes(), shards) << label;
+        for (const BatchClaim& claim : claims) {
+          tickets.push_back(service.Submit(claim));
+          ASSERT_NE(tickets.back(), nullptr) << label;
+        }
+        service.Drain();
+      }
+
+      // Per-claim outcomes are configuration-independent: bitwise equal to the
+      // standalone reference for every shard count and worker count.
+      int64_t gas_total = 0;
+      for (size_t i = 0; i < kClaims; ++i) {
+        const BatchClaimOutcome& outcome = tickets[i]->Wait();
+        EXPECT_EQ(outcome.c0, reference[i].c0) << label << ": claim " << i;
+        EXPECT_EQ(outcome.flagged, reference[i].flagged) << label << ": claim " << i;
+        EXPECT_EQ(outcome.proposer_guilty, reference[i].proposer_guilty)
+            << label << ": claim " << i;
+        EXPECT_EQ(outcome.final_state, reference[i].final_state)
+            << label << ": claim " << i;
+        EXPECT_EQ(outcome.gas_used, reference[i].gas_used) << label << ": claim " << i;
+        gas_total += outcome.gas_used;
+        // Claim-id layout: submission i rides lane i % S and is that lane's
+        // (i / S)-th claim, so its id is fixed by the accepted order alone.
+        const uint64_t lane = i % shards;
+        EXPECT_EQ(outcome.claim_id, 1 + lane + (i / shards) * shards)
+            << label << ": claim " << i;
+      }
+      // Gas is integer-summed, so the global fold is exact for every layout.
+      EXPECT_EQ(coordinator.gas().total(), reference_gas) << label;
+      EXPECT_EQ(gas_total, reference_gas) << label;
+
+      // Per-shard replay equivalence: each shard's ledger, meter, clock, and claim
+      // records are bitwise reproduced by replaying that shard's subsequence alone.
+      for (size_t shard = 0; shard < shards; ++shard) {
+        std::vector<const BatchClaimOutcome*> lane_outcomes;
+        for (size_t i = shard; i < kClaims; i += shards) {
+          lane_outcomes.push_back(&tickets[i]->Wait());
+        }
+        Coordinator replay;  // single shard
+        ReplayShardActions(lane_outcomes, replay);
+        const std::string shard_label = label + " shard=" + std::to_string(shard);
+        const Balances got = coordinator.shard_balances(shard);
+        const Balances want = replay.balances();
+        EXPECT_EQ(got.proposer, want.proposer) << shard_label;
+        EXPECT_EQ(got.challenger, want.challenger) << shard_label;
+        EXPECT_EQ(got.treasury, want.treasury) << shard_label;
+        EXPECT_EQ(coordinator.shard_gas(shard), replay.gas().total()) << shard_label;
+        EXPECT_EQ(coordinator.shard_now(shard), replay.now()) << shard_label;
+        const std::vector<ClaimId> shard_ids = coordinator.shard_claims(shard);
+        ASSERT_EQ(shard_ids.size(), lane_outcomes.size()) << shard_label;
+        for (size_t j = 0; j < shard_ids.size(); ++j) {
+          const ClaimRecord got_record = coordinator.claim(shard_ids[j]);
+          const ClaimRecord want_record = replay.claim(1 + static_cast<ClaimId>(j));
+          EXPECT_EQ(got_record.c0, want_record.c0) << shard_label;
+          EXPECT_EQ(got_record.state, want_record.state) << shard_label;
+          EXPECT_EQ(got_record.gas, want_record.gas) << shard_label;
+          EXPECT_EQ(got_record.merkle_checks, want_record.merkle_checks) << shard_label;
+          EXPECT_EQ(got_record.dispute_round, want_record.dispute_round) << shard_label;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ShardSweepFixture, UnorderedDeliveryKeepsPerShardDeterminism) {
+  constexpr size_t kClaims = 8;
+  constexpr size_t kShards = 4;
+  const std::vector<BatchClaim> claims = MakeClaims(*model_, kClaims, 0x5e2f1);
+  const std::vector<ReferenceOutcome> reference =
+      RunSequentialReference(*model_, *commitment_, *thresholds_, claims);
+
+  Coordinator coordinator(GasSchedule{}, /*round_timeout=*/10, kShards);
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 4;
+  options.unordered_delivery = true;
+  options.batching.initial_hint = 3;
+  options.verifier.dispute.num_threads = 2;
+  options.verifier.reuse_buffers = true;
+  std::vector<std::shared_ptr<ClaimTicket>> tickets;
+  {
+    VerificationService service(*model_, *commitment_, *thresholds_, coordinator,
+                                options);
+    for (const BatchClaim& claim : claims) {
+      tickets.push_back(service.Submit(claim));
+      ASSERT_NE(tickets.back(), nullptr);
+    }
+    service.Drain();
+  }
+
+  // Delivery order is relaxed; outcomes and per-shard state are not.
+  for (size_t i = 0; i < kClaims; ++i) {
+    const BatchClaimOutcome& outcome = tickets[i]->Wait();
+    EXPECT_EQ(outcome.c0, reference[i].c0) << "claim " << i;
+    EXPECT_EQ(outcome.flagged, reference[i].flagged) << "claim " << i;
+    EXPECT_EQ(outcome.proposer_guilty, reference[i].proposer_guilty) << "claim " << i;
+    EXPECT_EQ(outcome.final_state, reference[i].final_state) << "claim " << i;
+    EXPECT_EQ(outcome.gas_used, reference[i].gas_used) << "claim " << i;
+  }
+  for (size_t shard = 0; shard < kShards; ++shard) {
+    std::vector<const BatchClaimOutcome*> lane_outcomes;
+    for (size_t i = shard; i < kClaims; i += kShards) {
+      lane_outcomes.push_back(&tickets[i]->Wait());
+    }
+    Coordinator replay;
+    ReplayShardActions(lane_outcomes, replay);
+    const Balances got = coordinator.shard_balances(shard);
+    const Balances want = replay.balances();
+    EXPECT_EQ(got.proposer, want.proposer) << "shard " << shard;
+    EXPECT_EQ(got.challenger, want.challenger) << "shard " << shard;
+    EXPECT_EQ(got.treasury, want.treasury) << "shard " << shard;
+    EXPECT_EQ(coordinator.shard_gas(shard), replay.gas().total()) << "shard " << shard;
+  }
+}
+
+}  // namespace
+}  // namespace tao

@@ -7,10 +7,14 @@
 //   * soundness for the honest — claims whose flow never opened a dispute finalize,
 //     and no clean-adjudicated claim ever slashes the proposer;
 //   * per-claim gas — each claim's metered gas equals its action sequence's schedule
-//     cost, and the global meter equals the sum over claims.
+//     cost, and the global fold equals the sum over claims.
 //
-// The test must pass under TSan (the CI tsan job runs it): every transition locks
-// the coordinator mutex and the gas meter is atomic, so no interleaving races.
+// The single-shard tests exercise the historical everything-on-one-lock layout; the
+// cross-shard tests drive many threads against a sharded coordinator — both with
+// threads pinned one-per-shard (whose per-shard state must then replay bitwise) and
+// with every thread spraying submissions across ALL shards (arbitrary cross-shard
+// interleavings). The test must pass under TSan (the CI tsan job runs it): every
+// transition locks its shard's mutex, so no interleaving races.
 
 #include <cstdint>
 #include <thread>
@@ -54,15 +58,18 @@ constexpr int64_t kRounds = 3;       // dispute rounds per disputed claim
 constexpr int64_t kChildren = 2;     // partition width
 constexpr int64_t kProofsPerRound = 5;
 
-// Runs one claim's full lifecycle; returns its id.
-ClaimId RunFlow(Coordinator& coordinator, int thread_id, int claim_index, FlowKind kind) {
+// Runs one claim's full lifecycle; returns its id. `shard` homes the claim; time
+// advances are per-claim (AdvanceTimeFor), so only the owning shard's clock moves —
+// with the default single shard that is exactly the historical global clock.
+ClaimId RunFlow(Coordinator& coordinator, int thread_id, int claim_index, FlowKind kind,
+                uint64_t shard = 0) {
   const Digest c0 = Sha256::Hash("claim-" + std::to_string(thread_id) + "-" +
                                  std::to_string(claim_index));
   const ClaimId id = coordinator.SubmitCommitment(
       c0, kind == FlowKind::kFinalize ? kFinalizeWindow : kDisputeWindow,
-      /*proposer_bond=*/10.0);
+      /*proposer_bond=*/10.0, shard);
   if (kind == FlowKind::kFinalize) {
-    coordinator.AdvanceTime(kFinalizeWindow);
+    coordinator.AdvanceTimeFor(id, kFinalizeWindow);
     // Other flows only ever advance time further, so finalization cannot fail.
     EXPECT_EQ(coordinator.TryFinalize(id), ClaimState::kFinalized);
     return id;
@@ -73,7 +80,7 @@ ClaimId RunFlow(Coordinator& coordinator, int thread_id, int claim_index, FlowKi
     coordinator.RecordPartition(id, kChildren, child_hashes);
     coordinator.RecordMerkleCheck(id, kProofsPerRound);
     coordinator.RecordSelection(id, round % kChildren);
-    coordinator.AdvanceTime(1);
+    coordinator.AdvanceTimeFor(id, 1);
   }
   coordinator.RecordLeafAdjudication(id, kind == FlowKind::kDisputeGuilty,
                                      /*challenger_share=*/0.5);
@@ -180,6 +187,121 @@ TEST(CoordinatorStressTest, ConcurrentSubmissionsAssignUniqueIds) {
   }
   const Balances balances = coordinator.balances();
   EXPECT_DOUBLE_EQ(balances.proposer, -10.0 * kThreads * kClaimsPerThread);
+}
+
+// One thread per shard, each driving full lifecycles against its own shard only.
+// Afterwards every shard's ledger / gas / clock / claim records must be bitwise
+// reproducible by replaying that thread's flow sequence alone on a fresh
+// single-shard coordinator — shards share NO state, so what the other 7 threads did
+// cannot leak in. This is the state-machine half of the service's per-shard-lane
+// determinism contract, under real scheduler interleavings and TSan.
+TEST(CoordinatorStressTest, PinnedShardFlowsReplayBitwisePerShard) {
+  constexpr int kShards = 8;
+  constexpr int kClaimsPerThread = 40;
+
+  Coordinator coordinator(GasSchedule{}, /*round_timeout=*/kDisputeWindow, kShards);
+  std::vector<std::vector<ClaimId>> ids(kShards);
+  std::vector<std::thread> threads;
+  threads.reserve(kShards);
+  for (int t = 0; t < kShards; ++t) {
+    threads.emplace_back([&coordinator, &ids, t] {
+      ids[static_cast<size_t>(t)].reserve(kClaimsPerThread);
+      for (int c = 0; c < kClaimsPerThread; ++c) {
+        ids[static_cast<size_t>(t)].push_back(
+            RunFlow(coordinator, t, c, KindFor(t, c), static_cast<uint64_t>(t)));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  for (int t = 0; t < kShards; ++t) {
+    // Replay thread t's exact flow sequence on a fresh single-shard coordinator.
+    Coordinator replay(GasSchedule{}, /*round_timeout=*/kDisputeWindow);
+    std::vector<ClaimId> replay_ids;
+    for (int c = 0; c < kClaimsPerThread; ++c) {
+      replay_ids.push_back(RunFlow(replay, t, c, KindFor(t, c)));
+    }
+    const Balances got = coordinator.shard_balances(static_cast<size_t>(t));
+    const Balances want = replay.balances();
+    EXPECT_EQ(got.proposer, want.proposer) << "shard " << t;
+    EXPECT_EQ(got.challenger, want.challenger) << "shard " << t;
+    EXPECT_EQ(got.treasury, want.treasury) << "shard " << t;
+    EXPECT_EQ(coordinator.shard_gas(static_cast<size_t>(t)), replay.gas().total())
+        << "shard " << t;
+    EXPECT_EQ(coordinator.shard_now(static_cast<size_t>(t)), replay.now())
+        << "shard " << t;
+    for (int c = 0; c < kClaimsPerThread; ++c) {
+      // Shard-local id layout: thread t's c-th claim is always 1 + t + c*S.
+      const ClaimId id = ids[static_cast<size_t>(t)][static_cast<size_t>(c)];
+      EXPECT_EQ(id, 1 + static_cast<ClaimId>(t) + static_cast<ClaimId>(c) * kShards);
+      const ClaimRecord got_record = coordinator.claim(id);
+      const ClaimRecord want_record =
+          replay.claim(replay_ids[static_cast<size_t>(c)]);
+      EXPECT_EQ(got_record.state, want_record.state) << "claim " << id;
+      EXPECT_EQ(got_record.gas, want_record.gas) << "claim " << id;
+      EXPECT_EQ(got_record.merkle_checks, want_record.merkle_checks) << "claim " << id;
+    }
+  }
+}
+
+// Every thread sprays flows across EVERY shard (arbitrary cross-shard
+// interleavings — multiple threads contend on each shard lock). Determinism is out
+// the window by design; conservation and per-claim attribution must survive.
+TEST(CoordinatorStressTest, CrossShardInterleavingsKeepGlobalInvariants) {
+  constexpr int kThreads = 8;
+  constexpr int kShards = 4;
+  constexpr int kClaimsPerThread = 40;
+
+  Coordinator coordinator(GasSchedule{}, /*round_timeout=*/kDisputeWindow, kShards);
+  std::vector<std::vector<ClaimId>> ids(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&coordinator, &ids, t] {
+      ids[static_cast<size_t>(t)].reserve(kClaimsPerThread);
+      for (int c = 0; c < kClaimsPerThread; ++c) {
+        // Stride shards per claim so every thread exercises every shard lock.
+        ids[static_cast<size_t>(t)].push_back(RunFlow(
+            coordinator, t, c, KindFor(t, c), static_cast<uint64_t>(t + c) % kShards));
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+
+  // Ledger conservation, globally (fold) and per shard.
+  const Balances balances = coordinator.balances();
+  EXPECT_NEAR(balances.proposer + balances.challenger + balances.treasury, 0.0, 1e-9);
+  for (int shard = 0; shard < kShards; ++shard) {
+    const Balances per_shard = coordinator.shard_balances(static_cast<size_t>(shard));
+    EXPECT_NEAR(per_shard.proposer + per_shard.challenger + per_shard.treasury, 0.0,
+                1e-9)
+        << "shard " << shard;
+    EXPECT_GE(per_shard.treasury, 0.0) << "shard " << shard;
+  }
+
+  // Per-claim gas partitions each shard's meter, and the shard meters partition the
+  // global fold.
+  const GasSchedule schedule = coordinator.schedule();
+  int64_t gas_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int c = 0; c < kClaimsPerThread; ++c) {
+      const FlowKind kind = KindFor(t, c);
+      const ClaimId id = ids[static_cast<size_t>(t)][static_cast<size_t>(c)];
+      const ClaimRecord record = coordinator.claim(id);
+      EXPECT_EQ(record.gas, ExpectedGas(schedule, kind)) << "claim " << id;
+      gas_sum += record.gas;
+    }
+  }
+  int64_t shard_gas_sum = 0;
+  for (int shard = 0; shard < kShards; ++shard) {
+    shard_gas_sum += coordinator.shard_gas(static_cast<size_t>(shard));
+  }
+  EXPECT_EQ(coordinator.gas().total(), gas_sum);
+  EXPECT_EQ(shard_gas_sum, gas_sum);
 }
 
 }  // namespace

@@ -1,9 +1,12 @@
-// Verification-service suite: admission control and backpressure, per-submitter
-// fairness, adaptive batch-former policy, graceful drain, live-metrics consistency,
-// and the service determinism invariant — for a fixed submission order, verdicts,
+// Verification-service suite: admission control and backpressure (including the
+// p99-latency SLO shedding gate), per-submitter fairness, adaptive batch-former
+// policy, graceful drain, live-metrics consistency, and the service determinism
+// invariant — for a fixed submission order on a single-shard coordinator, verdicts,
 // per-claim gas, C0 digests, claim ids, and the coordinator ledger are bitwise
 // identical to the sequential PR-1 path, for any worker count and any batch sizing.
-// The whole suite must run TSan-clean (CI runs it in the tsan job).
+// (The multi-shard sweep and per-shard replay equivalence live in
+// coordinator_shard_test.cc.) The whole suite must run TSan-clean (CI runs it in
+// the tsan job).
 
 #include <algorithm>
 #include <atomic>
@@ -17,6 +20,7 @@
 
 #include "src/calib/calibrator.h"
 #include "src/service/verification_service.h"
+#include "tests/test_claims.h"
 
 namespace tao {
 namespace {
@@ -178,31 +182,10 @@ Model* ServiceFixture::model_ = nullptr;
 ThresholdSet* ServiceFixture::thresholds_ = nullptr;
 ModelCommitment* ServiceFixture::commitment_ = nullptr;
 
-// Deterministic marketplace-style cohort: mixed honest/cheating x
-// supervised/unsupervised claims.
+// Deterministic marketplace-style cohort (shared generator, this suite's mix).
 std::vector<BatchClaim> MakeClaims(const Model& model, size_t count, uint64_t seed) {
-  const Graph& graph = *model.graph;
-  const auto& fleet = DeviceRegistry::Fleet();
-  Rng rng(seed);
-  std::vector<BatchClaim> claims;
-  claims.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    BatchClaim claim;
-    claim.inputs = model.sample_input(rng);
-    claim.proposer_device = &fleet[rng.NextBounded(fleet.size())];
-    if (rng.NextDouble() < 0.4) {  // cheat
-      const NodeId site =
-          graph.op_nodes()[rng.NextBounded(static_cast<uint64_t>(graph.num_ops() - 1))];
-      Rng delta_rng(rng.NextU64());
-      claim.perturbations.push_back(
-          {site, Tensor::Randn(graph.node(site).shape, delta_rng, 5e-2f)});
-    }
-    if (rng.NextDouble() < 0.6) {  // supervised
-      claim.verifier_device = &fleet[rng.NextBounded(fleet.size())];
-    }
-    claims.push_back(std::move(claim));
-  }
-  return claims;
+  return MakeTestClaims(model, count, seed, /*cheat_rate=*/0.4,
+                        /*supervised_rate=*/0.6);
 }
 
 // Reference outcome of one claim under the sequential PR-1 path.
@@ -476,6 +459,99 @@ TEST_F(ServiceFixture, RejectPolicyShedsLoadButCompletesEveryAcceptedClaim) {
   EXPECT_EQ(snapshot.rejected, static_cast<int64_t>(rejected));
   EXPECT_EQ(snapshot.submitted, static_cast<int64_t>(claims.size()));
   EXPECT_EQ(snapshot.completed, snapshot.accepted);
+}
+
+TEST_F(ServiceFixture, LatencySloShedsWhileBusyAndReleasesWhenIdle) {
+  std::vector<BatchClaim> claims = MakeClaims(*model_, 6, 0x51c0);
+  // Make the pipeline-occupying claim supervised so its execution (two lanes, and
+  // a dispute if flagged) holds the service busy for many milliseconds — submits
+  // racing it land microseconds later.
+  claims[1].verifier_device = &DeviceRegistry::Fleet()[0];
+
+  Coordinator coordinator;
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 16;  // plenty of room: only the SLO gate can reject
+  options.latency_slo_ms = 1e-6;    // unreachable target: any real verdict busts it
+  options.slo_min_observations = 1; // gate arms after the first verdict
+  options.verifier.reuse_buffers = true;
+  VerificationService service(*model_, *commitment_, *thresholds_, coordinator, options);
+
+  // The gate stays open until a verdict exists: the first submission is admitted.
+  std::shared_ptr<ClaimTicket> first = service.Submit(claims[0]);
+  ASSERT_NE(first, nullptr);
+  first->Wait();  // delivery precedes Wait() returning, so p99 is now observable
+
+  // Idle service: p99 is over the (absurd) SLO, but nothing is in flight, so the
+  // gate must NOT latch shut — the next submission is admitted.
+  std::shared_ptr<ClaimTicket> busy = service.Submit(claims[1]);
+  ASSERT_NE(busy, nullptr);
+
+  // Now the service IS busy and p99 is over target: these are shed, with the
+  // queue nearly empty — purely the latency target talking, not capacity.
+  size_t shed = 0;
+  std::vector<std::shared_ptr<ClaimTicket>> admitted;
+  for (size_t i = 2; i < claims.size(); ++i) {
+    std::shared_ptr<ClaimTicket> ticket = service.Submit(claims[i]);
+    if (ticket == nullptr) {
+      ++shed;
+    } else {
+      admitted.push_back(std::move(ticket));
+    }
+  }
+  EXPECT_GE(shed, 1u);  // claims[1] takes ms to verify; the submits took us
+
+  // Recovery: once everything in flight delivers and the pipeline is idle again,
+  // the gate releases even though the recent window still remembers slow verdicts.
+  busy->Wait();
+  for (const auto& ticket : admitted) {
+    ticket->Wait();
+  }
+  std::shared_ptr<ClaimTicket> after = service.Submit(claims[2]);
+  EXPECT_NE(after, nullptr);
+  service.Drain();
+
+  const MetricsSnapshot snapshot = service.metrics();
+  EXPECT_EQ(snapshot.shed_slo, static_cast<int64_t>(shed));
+  EXPECT_EQ(snapshot.rejected, snapshot.shed_slo);
+  EXPECT_EQ(snapshot.accepted, snapshot.completed);
+  EXPECT_EQ(snapshot.submitted, snapshot.accepted + snapshot.rejected);
+}
+
+TEST_F(ServiceFixture, UnorderedDeliveryMatchesReferenceOutcomes) {
+  const std::vector<BatchClaim> claims = MakeClaims(*model_, 8, 0x5e2f1);
+  Coordinator reference_coordinator;
+  const std::vector<ReferenceOutcome> reference = RunSequentialReference(
+      *model_, *commitment_, *thresholds_, claims, reference_coordinator, DisputeOptions{});
+
+  // One shard/lane: even with delivery unordered, resolution is the global
+  // submission order, so the full bitwise invariant (ledger included) must hold.
+  Coordinator coordinator;
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 4;
+  options.unordered_delivery = true;
+  options.batching.initial_hint = 3;
+  options.verifier.reuse_buffers = true;
+  std::vector<std::shared_ptr<ClaimTicket>> tickets;
+  {
+    VerificationService service(*model_, *commitment_, *thresholds_, coordinator,
+                                options);
+    for (const BatchClaim& claim : claims) {
+      tickets.push_back(service.Submit(claim));
+      ASSERT_NE(tickets.back(), nullptr);
+    }
+    service.Drain();
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    ExpectOutcomeMatchesReference(tickets[i]->Wait(), reference[i], i, "unordered");
+  }
+  const Balances balances = coordinator.balances();
+  const Balances reference_balances = reference_coordinator.balances();
+  EXPECT_EQ(balances.proposer, reference_balances.proposer);
+  EXPECT_EQ(balances.challenger, reference_balances.challenger);
+  EXPECT_EQ(balances.treasury, reference_balances.treasury);
+  EXPECT_EQ(coordinator.gas().total(), reference_coordinator.gas().total());
 }
 
 TEST_F(ServiceFixture, MetricsSnapshotsAreConsistentWhileTheServiceRuns) {

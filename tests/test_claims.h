@@ -1,0 +1,46 @@
+// Shared cohort generator for the batch/service/shard suites: a deterministic
+// marketplace-style claim mix (honest/cheating x supervised/unsupervised). All
+// suites draw from the SAME Rng consumption pattern — input, proposer device,
+// cheat draw (+ site and delta on a forked stream), supervision draw (+ verifier
+// device) — so a given (seed, rates) pair names one bitwise-stable workload
+// everywhere it appears.
+
+#ifndef TAO_TESTS_TEST_CLAIMS_H_
+#define TAO_TESTS_TEST_CLAIMS_H_
+
+#include <vector>
+
+#include "src/protocol/batch_verifier.h"
+
+namespace tao {
+
+inline std::vector<BatchClaim> MakeTestClaims(const Model& model, size_t count,
+                                              uint64_t seed, double cheat_rate,
+                                              double supervised_rate) {
+  const Graph& graph = *model.graph;
+  const auto& fleet = DeviceRegistry::Fleet();
+  Rng rng(seed);
+  std::vector<BatchClaim> claims;
+  claims.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    BatchClaim claim;
+    claim.inputs = model.sample_input(rng);
+    claim.proposer_device = &fleet[rng.NextBounded(fleet.size())];
+    if (rng.NextDouble() < cheat_rate) {
+      const NodeId site =
+          graph.op_nodes()[rng.NextBounded(static_cast<uint64_t>(graph.num_ops() - 1))];
+      Rng delta_rng(rng.NextU64());
+      claim.perturbations.push_back(
+          {site, Tensor::Randn(graph.node(site).shape, delta_rng, 5e-2f)});
+    }
+    if (rng.NextDouble() < supervised_rate) {
+      claim.verifier_device = &fleet[rng.NextBounded(fleet.size())];
+    }
+    claims.push_back(std::move(claim));
+  }
+  return claims;
+}
+
+}  // namespace tao
+
+#endif  // TAO_TESTS_TEST_CLAIMS_H_
