@@ -39,6 +39,67 @@ bool SameBits(const Tensor& a, const Tensor& b) {
                      static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
 }
 
+bool SameBitsD(const DTensor& a, const DTensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.values().data(), b.values().data(),
+                     static_cast<size_t>(a.numel()) * sizeof(double)) == 0;
+}
+
+// Trace-retaining bounds run (the calibration / adjudication shape): every node
+// value AND every bound tensor is retained, so no output ever dies — the only
+// recycling such a run gets is per-kernel workspaces and bound scratch cycling
+// through the BoundContext/OpContext arena handle. The allocation columns show the
+// traffic that removes; values and bounds are checked bitwise against the no-arena
+// run first (the arena moves buffers, never values).
+void BenchTraceRetainingBounds(const Model& model) {
+  Rng rng(0x7a3e);
+  const std::vector<Tensor> input = model.sample_input(rng);
+  const Executor exec(*model.graph, DeviceRegistry::ByName("H100"));
+  std::printf("== %s: trace-retaining run with bounds (keep_values, with_bounds) ==\n",
+              model.name.c_str());
+
+  std::vector<Executor::BatchItem> items(1);
+  items[0].inputs = &input;
+  items[0].keep_values = true;
+  ExecutorOptions reference_options;
+  reference_options.with_bounds = true;
+  const std::vector<ExecutionTrace> reference = exec.RunBatch(items, reference_options);
+
+  TablePrinter table({"threads", "reuse_buffers", "median_s", "alloc_requests",
+                      "pool_hits", "recycled"});
+  for (const int threads : {1, 4}) {
+    for (const bool reuse : {false, true}) {
+      ExecutorOptions options;
+      options.with_bounds = true;
+      options.num_threads = threads;
+      options.reuse_buffers = reuse;
+      TensorArena::Stats stats;
+      const std::vector<ExecutionTrace> traces = exec.RunBatch(items, options, &stats);
+      for (const NodeId id : model.graph->op_nodes()) {
+        if (!SameBits(traces[0].value(id), reference[0].value(id)) ||
+            !SameBitsD(traces[0].bound(id), reference[0].bound(id))) {
+          std::printf("DETERMINISM VIOLATION at threads=%d reuse=%d node=%lld\n",
+                      threads, static_cast<int>(reuse), static_cast<long long>(id));
+          std::abort();
+        }
+      }
+      std::vector<double> times;
+      for (int i = 0; i < kRepeats; ++i) {
+        Stopwatch watch;
+        (void)exec.RunBatch(items, options);
+        times.push_back(watch.ElapsedSeconds());
+      }
+      std::sort(times.begin(), times.end());
+      table.AddRow({std::to_string(threads), reuse ? "yes" : "no",
+                    TablePrinter::Fixed(times[times.size() / 2], 4),
+                    std::to_string(stats.requests), std::to_string(stats.pool_hits),
+                    std::to_string(stats.recycled)});
+    }
+  }
+  table.Print();
+  std::printf("\n");
+}
+
 void BenchModel(const Model& model) {
   Rng rng(0xbe7c);
   const std::vector<Tensor> input = model.sample_input(rng);
@@ -84,8 +145,10 @@ void BenchModel(const Model& model) {
 int main() {
   std::printf("Executor scaling: parallel runtime (scheduler + ParallelFor + arena)\n");
   std::printf("Speedup is relative to the sequential (num_threads=1, no-arena) median;\n");
-  std::printf("allocation columns cover one output-only run (requests = kernel outputs).\n\n");
+  std::printf("allocation columns cover one run (requests = kernel outputs + per-chunk\n");
+  std::printf("workspaces, so they grow with thread count as chunks multiply).\n\n");
   tao::BenchModel(tao::BuildWideMlp());
   tao::BenchModel(tao::BuildResNetMini());
+  tao::BenchTraceRetainingBounds(tao::BuildResNetMini());
   return 0;
 }

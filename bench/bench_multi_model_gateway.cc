@@ -1,0 +1,199 @@
+// Multi-model serving-gateway bench: two zoo models served concurrently through one
+// ServingGateway under a hot/cold traffic mix (the hot model takes 8x the claims),
+// reporting per-model claims/sec and p50/p99 enqueue->verdict latency from the
+// gateway's per-model metrics, plus the apportioned memory-budget shares. Before any
+// number is reported, every hot-model outcome (C0 digest, flag, verdict, per-claim
+// gas, claim id) is cross-checked bitwise against a SINGLE-MODEL baseline — the same
+// claims pushed through a plain PR-4 VerificationService — so the table certifies
+// that multi-model routing added zero outcome drift. CI smoke-runs this binary.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/calib/calibrator.h"
+#include "src/registry/serving_gateway.h"
+#include "src/util/table.h"
+
+namespace tao {
+namespace {
+
+constexpr size_t kHotClaims = 32;
+constexpr size_t kColdClaims = 4;
+
+std::vector<BatchClaim> MakeClaims(const Model& model, size_t count, uint64_t seed) {
+  const Graph& graph = *model.graph;
+  const auto& fleet = DeviceRegistry::Fleet();
+  Rng rng(seed);
+  std::vector<BatchClaim> claims;
+  claims.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    BatchClaim claim;
+    claim.inputs = model.sample_input(rng);
+    claim.proposer_device = &fleet[rng.NextBounded(fleet.size())];
+    if (rng.NextDouble() < 0.25) {
+      const NodeId site =
+          graph.op_nodes()[rng.NextBounded(static_cast<uint64_t>(graph.num_ops() - 1))];
+      Rng delta_rng(rng.NextU64());
+      claim.perturbations.push_back(
+          {site, Tensor::Randn(graph.node(site).shape, delta_rng, 5e-2f)});
+    }
+    if (rng.NextDouble() < 0.5) {
+      claim.verifier_device = &fleet[rng.NextBounded(fleet.size())];
+    }
+    claims.push_back(std::move(claim));
+  }
+  return claims;
+}
+
+struct CommittedModel {
+  Model model;
+  std::unique_ptr<ThresholdSet> thresholds;
+  std::unique_ptr<ModelCommitment> commitment;
+};
+
+CommittedModel MakeCommitted(Model model) {
+  CommittedModel committed;
+  committed.model = std::move(model);
+  CalibrateOptions options;
+  options.num_samples = 4;
+  committed.thresholds = std::make_unique<ThresholdSet>(
+      Calibrate(committed.model, DeviceRegistry::Fleet(), options).MakeThresholds(3.0));
+  committed.commitment =
+      std::make_unique<ModelCommitment>(*committed.model.graph, *committed.thresholds);
+  return committed;
+}
+
+ServiceOptions MakeServiceOptions() {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_capacity = 16;
+  options.batching.initial_hint = 8;
+  options.verifier.dispute.num_threads = 4;
+  options.verifier.reuse_buffers = true;
+  return options;
+}
+
+// Single-model baseline: the hot model's claims through a plain VerificationService
+// (the PR-4 path the gateway must reproduce bitwise when routing is added on top).
+std::vector<BatchClaimOutcome> RunSingleModelBaseline(const CommittedModel& committed,
+                                                      const std::vector<BatchClaim>& claims) {
+  Coordinator coordinator;
+  VerificationService service(committed.model, *committed.commitment,
+                              *committed.thresholds, coordinator, MakeServiceOptions());
+  std::vector<std::shared_ptr<ClaimTicket>> tickets;
+  for (const BatchClaim& claim : claims) {
+    tickets.push_back(service.Submit(claim));
+  }
+  service.Drain();
+  std::vector<BatchClaimOutcome> outcomes;
+  outcomes.reserve(tickets.size());
+  for (const auto& ticket : tickets) {
+    outcomes.push_back(ticket->Wait());
+  }
+  return outcomes;
+}
+
+}  // namespace
+}  // namespace tao
+
+int main() {
+  using namespace tao;
+  std::printf("Multi-model serving gateway (hot/cold mix: %zu vs %zu claims)\n",
+              kHotClaims, kColdClaims);
+  std::printf("Two models share one runtime pool and one global arena budget;\n");
+  std::printf("hot-model outcomes are cross-checked bitwise against a single-model\n");
+  std::printf("VerificationService baseline before numbers are reported.\n\n");
+
+  BertConfig bert_config;
+  bert_config.layers = 2;
+  ResNetConfig resnet_config;
+  resnet_config.image_size = 16;
+  resnet_config.stem_channels = 4;
+  resnet_config.blocks_per_stage = {1, 1};
+  const CommittedModel hot = MakeCommitted(BuildBertMini(bert_config));
+  const CommittedModel cold = MakeCommitted(BuildResNetMini(resnet_config));
+
+  const std::vector<BatchClaim> hot_claims = MakeClaims(hot.model, kHotClaims, 0x607);
+  const std::vector<BatchClaim> cold_claims = MakeClaims(cold.model, kColdClaims, 0xc01d);
+  const std::vector<BatchClaimOutcome> baseline = RunSingleModelBaseline(hot, hot_claims);
+
+  ModelRegistry registry;
+  GatewayOptions gateway_options;
+  gateway_options.rebalance_interval = 8;  // visible budget drift within the run
+  ServingGateway gateway(registry, gateway_options);
+  const ModelId hot_id = registry.Register(hot.model);
+  registry.Commit(hot_id, *hot.commitment, *hot.thresholds);
+  const ModelId cold_id = registry.Register(cold.model);
+  registry.Commit(cold_id, *cold.commitment, *cold.thresholds);
+  gateway.Serve(hot_id, MakeServiceOptions());
+  gateway.Serve(cold_id, MakeServiceOptions());
+
+  std::vector<std::shared_ptr<ClaimTicket>> hot_tickets;
+  std::vector<std::shared_ptr<ClaimTicket>> cold_tickets;
+  std::thread hot_submitter([&] {
+    for (const BatchClaim& claim : hot_claims) {
+      GatewaySubmitResult result = gateway.Submit(hot_id, claim, /*submitter=*/1);
+      if (result.accepted()) {
+        hot_tickets.push_back(std::move(result.ticket));
+      }
+    }
+  });
+  std::thread cold_submitter([&] {
+    for (const BatchClaim& claim : cold_claims) {
+      GatewaySubmitResult result = gateway.Submit(cold_id, claim, /*submitter=*/2);
+      if (result.accepted()) {
+        cold_tickets.push_back(std::move(result.ticket));
+      }
+    }
+  });
+  hot_submitter.join();
+  cold_submitter.join();
+  gateway.DrainAll();
+
+  // Determinism cross-check: routing through the multi-model gateway must not move
+  // a single bit of any hot-model outcome relative to the single-model service.
+  if (hot_tickets.size() != baseline.size()) {
+    std::printf("ADMISSION MISMATCH: %zu accepted vs %zu baseline\n", hot_tickets.size(),
+                baseline.size());
+    return 1;
+  }
+  for (size_t i = 0; i < hot_tickets.size(); ++i) {
+    const BatchClaimOutcome& got = hot_tickets[i]->Wait();
+    const BatchClaimOutcome& want = baseline[i];
+    if (got.c0 != want.c0 || got.flagged != want.flagged ||
+        got.proposer_guilty != want.proposer_guilty || got.claim_id != want.claim_id ||
+        got.gas_used != want.gas_used || got.final_state != want.final_state) {
+      std::printf("DETERMINISM VIOLATION at hot claim %zu\n", i);
+      return 1;
+    }
+  }
+
+  const GatewaySnapshot snapshot = gateway.metrics();
+  TablePrinter table({"model", "state", "accepted", "claims_per_s", "p50_ms", "p99_ms",
+                      "disputes", "budget_mb"});
+  for (const GatewayModelMetrics& model : snapshot.models) {
+    table.AddRow({model.name, ModelLifecycleName(model.state),
+                  std::to_string(model.service.accepted),
+                  TablePrinter::Fixed(model.service.claims_per_second, 1),
+                  TablePrinter::Fixed(model.service.LatencyPercentileMillis(0.5), 1),
+                  TablePrinter::Fixed(model.service.LatencyPercentileMillis(0.99), 1),
+                  std::to_string(model.service.disputes_run),
+                  std::to_string(model.memory_budget_bytes >> 20)});
+  }
+  table.AddRow({"aggregate", "-", std::to_string(snapshot.aggregate.accepted),
+                TablePrinter::Fixed(snapshot.aggregate.claims_per_second, 1),
+                TablePrinter::Fixed(snapshot.aggregate.LatencyPercentileMillis(0.5), 1),
+                TablePrinter::Fixed(snapshot.aggregate.LatencyPercentileMillis(0.99), 1),
+                std::to_string(snapshot.aggregate.disputes_run), "-"});
+  table.Print();
+
+  std::printf("\nhot-model outcomes: bitwise identical to the single-model baseline.\n");
+  std::printf("budget_mb is the gateway's live apportionment of the global arena\n");
+  std::printf("budget (queue-pressure weighted, floored); an idle model pays ~zero\n");
+  std::printf("CPU — its workers block on an empty queue and the shared pool serves\n");
+  std::printf("whoever has work.\n");
+  return 0;
+}

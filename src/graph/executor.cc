@@ -112,8 +112,11 @@ std::vector<ExecutionTrace> Executor::RunBatch(const std::vector<BatchItem>& ite
   const ParallelFor* parallel_handle = pool != nullptr ? &parallel : nullptr;
 
   // One arena serves every recycling lane, so a buffer dying in one lane can be
-  // adopted by another. Arena reuse is only sound when dead intermediates really
-  // die: full-trace lanes retain every value and never recycle.
+  // adopted by another. VALUE reuse is only sound when dead intermediates really
+  // die: full-trace lanes retain every value and never recycle outputs. The arena
+  // still exists for pure keep-values runs under `reuse_buffers`, because kernels
+  // recycle their per-chunk WORKSPACES (and bound scratch, via BoundContext)
+  // through it even when every node value is retained.
   std::vector<char> release_dead(num_items, 0);
   bool any_release = false;
   for (size_t i = 0; i < num_items; ++i) {
@@ -121,7 +124,7 @@ std::vector<ExecutionTrace> Executor::RunBatch(const std::vector<BatchItem>& ite
     any_release = any_release || release_dead[i];
   }
   std::unique_ptr<TensorArena> arena;
-  if (any_release) {
+  if (options.reuse_buffers) {
     arena = std::make_unique<TensorArena>();
   }
 
@@ -171,7 +174,7 @@ std::vector<ExecutionTrace> Executor::RunBatch(const std::vector<BatchItem>& ite
       if (options.with_bounds && item.keep_values) {
         const BoundContext bctx{device,     op_inputs,          out,
                                 node.attrs, options.bound_mode, options.lambda,
-                                parallel_handle};
+                                parallel_handle, arena.get()};
         trace.bounds[static_cast<size_t>(id)] = kernel.Bound(bctx);
       }
 

@@ -61,9 +61,11 @@ class Conv2dKernel : public OpKernel {
     const auto bv = bias.values();
     auto ov = out.mutable_values();
     // Split over flattened (image, output row) pairs; each chunk gathers receptive
-    // fields into its own scratch buffer.
+    // fields into its own scratch buffer, drawn from (and returned to) the arena so
+    // chunks recycle each other's gather buffers instead of re-allocating.
     ctx.For(d.batch * d.oh, [&](int64_t begin, int64_t end) {
-      std::vector<float> patch(static_cast<size_t>(d.patch));
+      Tensor patch_scratch = ctx.AllocateScratch(Shape{d.patch});
+      float* patch = patch_scratch.mutable_values().data();
       for (int64_t r = begin; r < end; ++r) {
         const int64_t n = r / d.oh;
         const int64_t oy = r % d.oh;
@@ -82,13 +84,14 @@ class Conv2dKernel : public OpKernel {
             }
           }
           for (int64_t co = 0; co < d.cout; ++co) {
-            const float dot = ctx.device.DotStrided(patch.data(), 1, wv + co * d.patch, 1,
+            const float dot = ctx.device.DotStrided(patch, 1, wv + co * d.patch, 1,
                                                     d.patch);
             ov[static_cast<size_t>(((n * d.cout + co) * d.oh + oy) * d.ow + ox)] =
                 dot + bv[static_cast<size_t>(co)];
           }
         }
       }
+      ctx.Recycle(std::move(patch_scratch));
     });
     return out;
   }
@@ -104,7 +107,10 @@ class Conv2dKernel : public OpKernel {
     const auto yv = ctx.output.values();
     auto bnd = bound.mutable_values();
     ctx.For(d.batch * d.oh, [&](int64_t begin, int64_t end) {
-      std::vector<double> patch(static_cast<size_t>(d.patch));
+      // Abs-gather scratch from the arena's FP64 pool: bound runs retain every
+      // value/bound tensor, so this per-chunk recycling is the only reuse they get.
+      DTensor patch_scratch = ctx.AllocateScratch(Shape{d.patch});
+      double* patch = patch_scratch.mutable_values().data();
       for (int64_t r = begin; r < end; ++r) {
         const int64_t n = r / d.oh;
         const int64_t oy = r % d.oh;
@@ -134,6 +140,7 @@ class Conv2dKernel : public OpKernel {
           }
         }
       }
+      ctx.Recycle(std::move(patch_scratch));
     });
     return bound;
   }

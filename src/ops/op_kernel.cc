@@ -31,9 +31,29 @@ Tensor OpContext::AllocateOutput(Shape shape) const {
   return arena != nullptr ? arena->Allocate(shape) : Tensor(std::move(shape));
 }
 
+Tensor OpContext::AllocateScratch(Shape shape) const {
+  return arena != nullptr ? arena->Allocate(shape) : Tensor(std::move(shape));
+}
+
+void OpContext::Recycle(Tensor&& scratch) const {
+  if (arena != nullptr) {
+    arena->Recycle(std::move(scratch));
+  }
+}
+
 void BoundContext::For(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
                        int64_t grain) const {
   RunChunked(parallel, n, fn, grain);
+}
+
+DTensor BoundContext::AllocateScratch(Shape shape) const {
+  return arena != nullptr ? arena->AllocateD(shape) : DTensor(std::move(shape));
+}
+
+void BoundContext::Recycle(DTensor&& scratch) const {
+  if (arena != nullptr) {
+    arena->Recycle(std::move(scratch));
+  }
 }
 
 DTensor OpKernel::Bound(const BoundContext& ctx) const {

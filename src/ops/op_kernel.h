@@ -50,6 +50,15 @@ struct OpContext {
 
   // Allocates the kernel's output tensor, recycling a dead intermediate if possible.
   Tensor AllocateOutput(Shape shape) const;
+
+  // Per-kernel workspace allocation (e.g. a conv receptive-field gather buffer or a
+  // softmax exp row). Same allocator as AllocateOutput; the point of the distinct
+  // name is the contract: a workspace is RETURNED via Recycle when the chunk is
+  // done, so it cycles through the arena even in trace-retaining runs where no
+  // output ever dies. Not zeroed; overwrite before reading.
+  Tensor AllocateScratch(Shape shape) const;
+  // Offers a finished workspace back for reuse (no-op without an arena).
+  void Recycle(Tensor&& scratch) const;
 };
 
 struct BoundContext {
@@ -62,9 +71,21 @@ struct BoundContext {
   // Same contract as OpContext::parallel (bounds are per-element FP64 arithmetic, so
   // outer-loop splitting is always bitwise safe).
   const ParallelFor* parallel = nullptr;
+  // FP64 scratch allocator for bound templates; null means fresh heap allocation.
+  // Bound runs RETAIN every value and bound tensor (full traces), so this handle is
+  // the only recycling such a run gets: per-chunk scratch (|e|, eps rows, abs-patch
+  // gathers) drawn here and Recycled at chunk end cycles through the arena's double
+  // pool instead of hammering the system allocator once per chunk.
+  TensorArena* arena = nullptr;
 
   void For(int64_t n, const std::function<void(int64_t, int64_t)>& fn,
            int64_t grain = 1) const;
+
+  // Allocates an FP64 tensor (bound scratch; also usable for the bound result).
+  // Arena-served buffers are not zeroed: overwrite every element before reading.
+  DTensor AllocateScratch(Shape shape) const;
+  // Offers finished scratch back for reuse (no-op without an arena).
+  void Recycle(DTensor&& scratch) const;
 };
 
 struct VjpContext {

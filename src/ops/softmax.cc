@@ -54,9 +54,11 @@ class SoftmaxKernel : public OpKernel {
     Tensor out = ctx.AllocateOutput(x.shape());
     const auto xv = x.values();
     auto ov = out.mutable_values();
-    // Split over flattened (outer, inner) rows; each chunk keeps its own exp scratch.
+    // Split over flattened (outer, inner) rows; each chunk keeps its own exp
+    // scratch, drawn from the arena so chunks recycle each other's rows.
     ctx.For(view.outer * view.inner, [&](int64_t begin, int64_t end) {
-      std::vector<float> exps(static_cast<size_t>(view.n));
+      Tensor exp_scratch = ctx.AllocateScratch(Shape{view.n});
+      const std::span<float> exps = exp_scratch.mutable_values();
       for (int64_t r = begin; r < end; ++r) {
         const int64_t o = r / view.inner;
         const int64_t in = r % view.inner;
@@ -73,6 +75,7 @@ class SoftmaxKernel : public OpKernel {
           ov[static_cast<size_t>(view.Offset(o, i, in))] = exps[static_cast<size_t>(i)] / denom;
         }
       }
+      ctx.Recycle(std::move(exp_scratch));
     });
     return out;
   }
@@ -88,8 +91,12 @@ class SoftmaxKernel : public OpKernel {
     const auto yv = ctx.output.values();
     auto bv = bound.mutable_values();
     ctx.For(view.outer * view.inner, [&](int64_t begin, int64_t end) {
-      std::vector<double> e(static_cast<size_t>(view.n));
-      std::vector<double> eps_e(static_cast<size_t>(view.n));
+      // Per-chunk |e| / eps rows from the arena's FP64 pool (trace-retaining runs
+      // recycle nothing else; see BoundContext::AllocateScratch).
+      DTensor e_scratch = ctx.AllocateScratch(Shape{view.n});
+      DTensor eps_scratch = ctx.AllocateScratch(Shape{view.n});
+      const std::span<double> e = e_scratch.mutable_values();
+      const std::span<double> eps_e = eps_scratch.mutable_values();
       for (int64_t r = begin; r < end; ++r) {
         const int64_t o = r / view.inner;
         const int64_t in = r % view.inner;
@@ -119,6 +126,8 @@ class SoftmaxKernel : public OpKernel {
                   e[static_cast<size_t>(i)] * eps_s / (sum_e * sum_e) + u * std::abs(yi);
         }
       }
+      ctx.Recycle(std::move(eps_scratch));
+      ctx.Recycle(std::move(e_scratch));
     });
     return bound;
   }

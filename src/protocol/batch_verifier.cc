@@ -111,6 +111,7 @@ BatchClaimOutcome BatchVerifier::ResolveClaimWithOptions(
     const BatchClaim& claim, const ClaimPhase1& phase1,
     const DisputeOptions& dispute_options) {
   BatchClaimOutcome outcome;
+  outcome.model = coordinator_.model_id();
   outcome.c0 = phase1.c0;
   if (!claim.supervised()) {
     // Nobody watches this claim: the proposer commits and the window elapses (on the

@@ -63,6 +63,8 @@ struct BatchClaim {
 // Protocol outcome of one claim.
 struct BatchClaimOutcome {
   ClaimId claim_id = 0;
+  // Model the claim settled against (the coordinator's model id; 0 standalone).
+  ModelId model = 0;
   Digest c0{};
   bool supervised = false;
   // The verifier's output threshold check flagged the claim (a dispute was run).

@@ -18,8 +18,9 @@ const char* ClaimStateName(ClaimState state) {
   return "unknown";
 }
 
-Coordinator::Coordinator(GasSchedule schedule, uint64_t round_timeout, size_t num_shards)
-    : schedule_(schedule), round_timeout_(round_timeout) {
+Coordinator::Coordinator(GasSchedule schedule, uint64_t round_timeout, size_t num_shards,
+                         ModelId model_id)
+    : schedule_(schedule), round_timeout_(round_timeout), model_id_(model_id) {
   TAO_CHECK_GE(num_shards, 1u) << "coordinator needs at least one shard";
   shards_.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
@@ -60,6 +61,7 @@ ClaimId Coordinator::SubmitCommitment(const Digest& c0, uint64_t challenge_windo
   record.id = 1 + static_cast<ClaimId>(index) +
               static_cast<ClaimId>(shard.submitted) * shards_.size();
   ++shard.submitted;
+  record.model = model_id_;
   record.c0 = c0;
   record.committed_at = shard.now;
   record.challenge_window = challenge_window;

@@ -30,6 +30,9 @@
 namespace tao {
 
 using ClaimId = uint64_t;
+// Identity of a committed model in the ModelRegistry (src/registry/). 0 is the
+// legacy "unscoped" id used by standalone drivers that predate the registry.
+using ModelId = uint64_t;
 
 enum class ClaimState {
   kCommitted,          // C0 posted; challenge window open
@@ -43,6 +46,12 @@ const char* ClaimStateName(ClaimState state);
 
 struct ClaimRecord {
   ClaimId id = 0;
+  // Model this claim was submitted against (the owning coordinator's model id).
+  // Ledger entries and gas are per-model-scoped through it: a registry deployment
+  // runs one coordinator per model, so every record it holds carries that model's
+  // id and cross-model readers (dashboards folding several coordinators) can
+  // attribute rows without a side table. 0 for pre-registry standalone drivers.
+  ModelId model = 0;
   Digest c0{};
   uint64_t committed_at = 0;
   uint64_t challenge_window = 0;
@@ -80,10 +89,15 @@ struct Balances {
 
 class Coordinator {
  public:
+  // `model_id` scopes every claim this coordinator records (stamped into each
+  // ClaimRecord at submission); registry deployments pass the owning model's id,
+  // standalone drivers keep the default 0. It does not perturb ids, gas, clocks,
+  // or the ledger, so a model_id-0 coordinator is bitwise the historical one.
   explicit Coordinator(GasSchedule schedule = {}, uint64_t round_timeout = 10,
-                       size_t num_shards = 1);
+                       size_t num_shards = 1, ModelId model_id = 0);
 
   size_t num_shards() const { return shards_.size(); }
+  ModelId model_id() const { return model_id_; }
   // Owning shard of a claim (ids start at 1).
   size_t shard_of(ClaimId id) const {
     TAO_CHECK_GE(id, 1u);
@@ -171,6 +185,7 @@ class Coordinator {
 
   GasSchedule schedule_;
   uint64_t round_timeout_;
+  ModelId model_id_;
   // unique_ptr: Shard holds a mutex and must stay pinned in memory.
   std::vector<std::unique_ptr<Shard>> shards_;
 };

@@ -220,9 +220,17 @@ DisputeResult DisputeGame::RunFromPhase1(const std::vector<Tensor>& inputs,
     };
 
     // -- Speculative mode: re-execute every fresh child of the round concurrently ----
+    // Policy: always-on (`speculative_reexecution`), or adaptive — only when the
+    // partition is wide AND this round's slice is small enough that wasted
+    // speculative children are cheap (see the DisputeOptions comment; the fig. 8
+    // bench reports the DCR/latency tradeoff of the three policies).
+    const bool speculate_this_round =
+        options_.speculative_reexecution ||
+        (options_.adaptive_speculation && options_.partition_n > 2 &&
+         slice.size() <= options_.speculative_slice_limit);
     std::vector<std::map<NodeId, Tensor>> prefetched(records.size());
     std::vector<char> has_prefetch(records.size(), 0);
-    if (options_.speculative_reexecution && pool != nullptr && records.size() > 1) {
+    if (speculate_this_round && pool != nullptr && records.size() > 1) {
       std::vector<std::map<NodeId, Tensor>> boundaries(records.size());
       for (size_t j = 0; j < records.size(); ++j) {
         if (j == 0 && first_child_cached && cache_covers(records[0].slice)) {

@@ -47,6 +47,20 @@ struct DisputeOptions {
   // up-front and verdicts are unchanged; the DCR accounting then honestly includes
   // the speculative work past the offender (cost_ratio can rise; wall-clock drops).
   bool speculative_reexecution = false;
+  // Adaptive speculation (the ROADMAP follow-on to the always-on knob above, which
+  // stays off by default because it inflates DCR): speculate only on rounds where
+  // the expected DCR overhead is small — the partition is wide (partition_n > 2, so
+  // lazy selection would serialize many children) AND the round's slice is already
+  // small (at most speculative_slice_limit ops, so even fully wasted children cost
+  // little). Early rounds re-execute near-full-model slices lazily (DCR-cheap: the
+  // offender is usually found after ~n/2 children of a HUGE slice, and speculating
+  // there can nearly double challenger FLOPs); late narrow rounds fan out
+  // (latency-cheap: the residual slices are tiny). Verdicts are unchanged either
+  // way; only DCR accounting and wall-clock move. Ignored when
+  // speculative_reexecution is already true.
+  bool adaptive_speculation = false;
+  // Slice-size ceiling (in ops) below which adaptive speculation engages.
+  int64_t speculative_slice_limit = 64;
   // Advance the coordinator's logical clock by one tick per dispute round. The
   // BatchVerifier's concurrent-dispute mode turns this off so games sharing the
   // coordinator SHARD cannot push each other past round deadlines; the clock is

@@ -23,16 +23,22 @@ struct DrawnTask {
 
 Marketplace::Marketplace(const Model& model, const ModelCommitment& commitment,
                          const ThresholdSet& thresholds, MarketplaceConfig config)
-    : model_(model),
-      commitment_(commitment),
-      thresholds_(thresholds),
-      config_(std::move(config)),
-      coordinator_(GasSchedule{}, /*round_timeout=*/10, config_.coordinator_shards) {}
+    : config_(std::move(config)), gateway_(registry_) {
+  // Single-model registry: register + commit up front (the gateway serves in
+  // Run()). The coordinator configuration matches the pre-registry member
+  // (GasSchedule{}, round_timeout 10, config shards), so the ledger and claim-id
+  // machinery are unchanged.
+  model_id_ = registry_.Register(model);
+  ModelCommitConfig commit_config;
+  commit_config.coordinator_shards = config_.coordinator_shards;
+  registry_.Commit(model_id_, commitment, thresholds, commit_config);
+}
 
 MarketplaceStats Marketplace::Run() {
   MarketplaceStats stats;
   Rng rng(config_.seed);
-  const Graph& graph = *model_.graph;
+  const Model& model = registry_.model(model_id_);
+  const Graph& graph = *model.graph;
   const auto& fleet = DeviceRegistry::Fleet();
 
   ServiceOptions service_options;
@@ -43,8 +49,10 @@ MarketplaceStats Marketplace::Run() {
   service_options.unordered_delivery = config_.unordered_delivery;
   service_options.verifier.dispute = config_.dispute;
   service_options.verifier.reuse_buffers = config_.reuse_buffers;
-  VerificationService service(model_, commitment_, thresholds_, coordinator_,
-                              service_options);
+  // Serve() accepts kCommitted (first Run) and kRetired (repeated Run — the
+  // historical contract: each Run gets a fresh service over the persistent
+  // coordinator, so ids and the ledger continue where the last Run stopped).
+  gateway_.Serve(model_id_, service_options);
 
   // Draw-and-submit loop. The draw sequence is EXACTLY the historical per-task
   // loop's — input, proposer device, strategy, perturbation site/seed, supervision
@@ -63,7 +71,7 @@ MarketplaceStats Marketplace::Run() {
   for (int64_t task = 0; task < config_.num_tasks; ++task) {
     DrawnTask drawn;
     BatchClaim claim;
-    claim.inputs = model_.sample_input(rng);
+    claim.inputs = model.sample_input(rng);
     claim.proposer_device = &fleet[rng.NextBounded(fleet.size())];
 
     // Proposer strategy draw.
@@ -88,13 +96,19 @@ MarketplaceStats Marketplace::Run() {
       claim.verifier_device = &fleet[rng.NextBounded(fleet.size())];
     }
 
-    std::shared_ptr<ClaimTicket> ticket = service.Submit(std::move(claim));
-    TAO_CHECK(ticket != nullptr) << "blocking admission cannot reject";
+    GatewaySubmitResult submitted = gateway_.Submit(model_id_, std::move(claim));
+    TAO_CHECK(submitted.accepted())
+        << "blocking admission cannot reject (got " << GatewayStatusName(submitted.status)
+        << ")";
     drawn_tasks.push_back(drawn);
-    tickets.push_back(std::move(ticket));
+    tickets.push_back(std::move(submitted.ticket));
   }
 
-  service.Drain();
+  // Drain delivers every verdict, then Retire tears the service down — its worker
+  // and lane threads join HERE, not at Marketplace destruction, matching the
+  // pre-registry profile where the service was a Run()-local.
+  gateway_.Drain(model_id_);
+  gateway_.Retire(model_id_);
 
   for (size_t i = 0; i < drawn_tasks.size(); ++i) {
     const DrawnTask& drawn = drawn_tasks[i];

@@ -15,6 +15,8 @@
 
 #include "src/protocol/dispute.h"
 #include "src/protocol/economics.h"
+#include "src/registry/model_registry.h"
+#include "src/registry/serving_gateway.h"
 
 namespace tao {
 
@@ -82,6 +84,13 @@ struct MarketplaceStats {
   }
 };
 
+// Marketplace is now a THIN single-model client of the registry + gateway stack
+// (src/registry/): the constructor registers and commits the model into a private
+// ModelRegistry, Run() serves it through a ServingGateway and drives the same
+// draw-and-submit loop as before, tagged with the model's id. With exactly one
+// registered model the gateway adds only a routing-table lookup, so stats, gas,
+// digests, claim ids, and the ledger stay bitwise identical to the pre-registry
+// path (the marketplace seed-sweep test holds this).
 class Marketplace {
  public:
   Marketplace(const Model& model, const ModelCommitment& commitment,
@@ -89,16 +98,15 @@ class Marketplace {
 
   MarketplaceStats Run();
 
-  // Balances after Run(), from the coordinator ledger.
-  // Ledger snapshot (Coordinator::balances copies under its lock).
-  Balances balances() const { return coordinator_.balances(); }
+  // Balances after Run(), from the model's coordinator ledger in the registry
+  // (Coordinator::balances copies under its locks).
+  Balances balances() const { return registry_.coordinator(model_id_).balances(); }
 
  private:
-  const Model& model_;
-  const ModelCommitment& commitment_;
-  const ThresholdSet& thresholds_;
   MarketplaceConfig config_;
-  Coordinator coordinator_;
+  ModelRegistry registry_;
+  ServingGateway gateway_;
+  ModelId model_id_ = 0;
 };
 
 }  // namespace tao

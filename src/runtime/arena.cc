@@ -42,6 +42,41 @@ void TensorArena::Recycle(Tensor&& dead) {
   pool_.emplace(static_cast<int64_t>(storage->size()), std::move(storage));
 }
 
+DTensor TensorArena::AllocateD(const Shape& shape) {
+  const int64_t numel = shape.numel();
+  const int64_t bytes = numel * static_cast<int64_t>(sizeof(double));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+    stats_.outstanding_bytes += bytes;
+    if (stats_.outstanding_bytes > stats_.peak_outstanding_bytes) {
+      stats_.peak_outstanding_bytes = stats_.outstanding_bytes;
+    }
+    const auto it = dpool_.find(numel);
+    if (it != dpool_.end()) {
+      ++stats_.pool_hits;
+      std::shared_ptr<std::vector<double>> storage = std::move(it->second);
+      dpool_.erase(it);
+      return DTensor::AdoptStorage(shape, std::move(storage));
+    }
+    ++stats_.fresh_allocations;
+  }
+  return DTensor(shape);
+}
+
+void TensorArena::Recycle(DTensor&& dead) {
+  std::shared_ptr<std::vector<double>> storage = std::move(dead).ReleaseStorage();
+  if (storage == nullptr || storage.use_count() != 1 || storage->empty()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.recycled;
+  stats_.outstanding_bytes =
+      std::max<int64_t>(0, stats_.outstanding_bytes -
+                               static_cast<int64_t>(storage->size() * sizeof(double)));
+  dpool_.emplace(static_cast<int64_t>(storage->size()), std::move(storage));
+}
+
 TensorArena::Stats TensorArena::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
@@ -50,6 +85,7 @@ TensorArena::Stats TensorArena::stats() const {
 void TensorArena::Trim() {
   std::lock_guard<std::mutex> lock(mu_);
   pool_.clear();
+  dpool_.clear();
 }
 
 }  // namespace tao

@@ -51,6 +51,14 @@ class TensorArena {
   // tensor was its sole owner; otherwise this is a no-op (someone still reads it).
   void Recycle(Tensor&& dead);
 
+  // FP64 twin of Allocate/Recycle, backed by a separate double pool. This is what
+  // lets TRACE-RETAINING runs still recycle: values and bound results are all
+  // retained there, but the per-chunk bound scratch and per-kernel workspaces the
+  // kernels draw through BoundContext/OpContext die at chunk end and cycle through
+  // these pools. Same non-zeroed contract; same stats counters (bytes count 8x).
+  DTensor AllocateD(const Shape& shape);
+  void Recycle(DTensor&& dead);
+
   Stats stats() const;
 
   // Drops every pooled buffer (stats are preserved).
@@ -60,6 +68,7 @@ class TensorArena {
   mutable std::mutex mu_;
   // numel -> free storage blocks of exactly that many elements.
   std::unordered_multimap<int64_t, std::shared_ptr<std::vector<float>>> pool_;
+  std::unordered_multimap<int64_t, std::shared_ptr<std::vector<double>>> dpool_;
   Stats stats_;
 };
 

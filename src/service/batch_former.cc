@@ -14,7 +14,8 @@ constexpr double kObservationWeight = 0.3;
 
 }  // namespace
 
-BatchFormer::BatchFormer(BatchFormerOptions options) : options_(options) {
+BatchFormer::BatchFormer(BatchFormerOptions options)
+    : options_(options), memory_budget_bytes_(options.memory_budget_bytes) {
   TAO_CHECK(options_.min_batch >= 1);
   TAO_CHECK(options_.max_batch >= options_.min_batch);
   TAO_CHECK(options_.memory_budget_bytes > 0);
@@ -25,9 +26,11 @@ int64_t BatchFormer::NextBatchSize(int64_t queue_depth, int64_t in_flight_claims
   int64_t size = std::max(queue_depth, options_.min_batch);
 
   double per_claim;
+  int64_t budget;
   {
     std::lock_guard<std::mutex> lock(mu_);
     per_claim = per_claim_bytes_;
+    budget = memory_budget_bytes_;
   }
   if (per_claim <= 0.0) {
     // No memory signal yet: fall back to the configured hint.
@@ -39,7 +42,7 @@ int64_t BatchFormer::NextBatchSize(int64_t queue_depth, int64_t in_flight_claims
     // budget. In-flight claims retain at most their phase-1 working set, so pricing
     // them at the same per-claim estimate is conservative.
     const double budget_left =
-        static_cast<double>(options_.memory_budget_bytes) -
+        static_cast<double>(budget) -
         static_cast<double>(std::max<int64_t>(0, in_flight_claims)) * per_claim;
     const int64_t memory_cap =
         std::max(options_.min_batch, static_cast<int64_t>(budget_left / per_claim));
@@ -64,6 +67,17 @@ void BatchFormer::ObserveBatch(int64_t batch_size, int64_t peak_bytes) {
 int64_t BatchFormer::per_claim_bytes_estimate() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(per_claim_bytes_);
+}
+
+void BatchFormer::set_memory_budget(int64_t bytes) {
+  TAO_CHECK(bytes > 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  memory_budget_bytes_ = bytes;
+}
+
+int64_t BatchFormer::memory_budget() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memory_budget_bytes_;
 }
 
 }  // namespace tao

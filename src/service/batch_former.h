@@ -34,7 +34,9 @@ struct BatchFormerOptions {
   int64_t min_batch = 1;
   int64_t max_batch = 64;
   // Target ceiling for the batch-execution working set (this cohort plus claims
-  // already in flight), enforced through the learned per-claim estimate.
+  // already in flight), enforced through the learned per-claim estimate. Only the
+  // INITIAL budget: the serving gateway (src/registry/) re-apportions one global
+  // budget across hot models at runtime via set_memory_budget().
   int64_t memory_budget_bytes = 256ll << 20;
 };
 
@@ -53,10 +55,17 @@ class BatchFormer {
   // Smoothed per-claim working-set estimate; 0 until the first observation.
   int64_t per_claim_bytes_estimate() const;
 
+  // Live memory-budget knob (gateway apportionment). Sizing is outcome-free (see
+  // docs/batching.md), so the budget may move at any time without a determinism
+  // cost; the next NextBatchSize call sees the new ceiling.
+  void set_memory_budget(int64_t bytes);
+  int64_t memory_budget() const;
+
  private:
   const BatchFormerOptions options_;
   mutable std::mutex mu_;
   double per_claim_bytes_ = 0.0;
+  int64_t memory_budget_bytes_;  // guarded by mu_
 };
 
 }  // namespace tao

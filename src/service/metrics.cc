@@ -107,6 +107,61 @@ void MetricsRegistry::RecordVerdict(double latency_seconds, bool dispute_ran) {
   completed_.fetch_add(1);
 }
 
+std::vector<NamedCounter> NamedCounters(const MetricsSnapshot& snapshot,
+                                        const std::string& scope) {
+  const std::string prefix = scope.empty() ? std::string() : scope + "/";
+  std::vector<NamedCounter> counters;
+  counters.reserve(16);
+  const auto add = [&](const char* name, double value) {
+    counters.push_back({prefix + name, value});
+  };
+  add("claims/submitted", static_cast<double>(snapshot.submitted));
+  add("claims/accepted", static_cast<double>(snapshot.accepted));
+  add("claims/rejected", static_cast<double>(snapshot.rejected));
+  add("claims/shed_slo", static_cast<double>(snapshot.shed_slo));
+  add("claims/completed", static_cast<double>(snapshot.completed));
+  add("claims/in_flight", static_cast<double>(snapshot.claims_in_flight));
+  add("claims/per_second", snapshot.claims_per_second);
+  add("disputes/run", static_cast<double>(snapshot.disputes_run));
+  add("queue/depth", static_cast<double>(snapshot.queue_depth));
+  add("queue/peak_depth", static_cast<double>(snapshot.peak_queue_depth));
+  add("batches/dispatched", static_cast<double>(snapshot.batches_dispatched));
+  add("latency/p50_ms", snapshot.LatencyPercentileMillis(0.50));
+  add("latency/p99_ms", snapshot.LatencyPercentileMillis(0.99));
+  add("elapsed_seconds", snapshot.elapsed_seconds);
+  return counters;
+}
+
+MetricsSnapshot AggregateSnapshots(const std::vector<MetricsSnapshot>& snapshots) {
+  MetricsSnapshot total;
+  for (const MetricsSnapshot& snapshot : snapshots) {
+    total.submitted += snapshot.submitted;
+    total.accepted += snapshot.accepted;
+    total.rejected += snapshot.rejected;
+    total.shed_slo += snapshot.shed_slo;
+    total.queue_depth += snapshot.queue_depth;
+    // Peaks are max-gauges, not additive counters: summing per-service peaks that
+    // occurred at disjoint times would report a high-water mark that never existed.
+    total.peak_queue_depth = std::max(total.peak_queue_depth, snapshot.peak_queue_depth);
+    total.batches_dispatched += snapshot.batches_dispatched;
+    total.claims_in_flight += snapshot.claims_in_flight;
+    total.completed += snapshot.completed;
+    total.disputes_run += snapshot.disputes_run;
+    total.elapsed_seconds = std::max(total.elapsed_seconds, snapshot.elapsed_seconds);
+    for (size_t b = 0; b < kBatchSizeBuckets; ++b) {
+      total.batch_size_hist[b] += snapshot.batch_size_hist[b];
+    }
+    for (size_t b = 0; b < kLatencyBuckets; ++b) {
+      total.latency_hist_us[b] += snapshot.latency_hist_us[b];
+    }
+  }
+  if (total.elapsed_seconds > 0.0) {
+    total.claims_per_second =
+        static_cast<double>(total.completed) / total.elapsed_seconds;
+  }
+  return total;
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot(int64_t queue_depth,
                                           int64_t peak_queue_depth) const {
   MetricsSnapshot snapshot;

@@ -20,6 +20,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace tao {
 
@@ -59,6 +61,26 @@ struct MetricsSnapshot {
   // has been delivered yet.
   double LatencyPercentileMillis(double p) const;
 };
+
+// One exported metric: a namespaced counter name and its value.
+struct NamedCounter {
+  std::string name;
+  double value = 0.0;
+};
+
+// Flattens a snapshot into namespaced counters. Counter names used to be implicit
+// and global ("claims/accepted" meant THE service); with the model registry many
+// services export concurrently, so every name is now prefixed with its scope —
+// "model/<id>/claims/accepted" for a per-model snapshot, "aggregate/claims/accepted"
+// for the gateway fold — and per-model exports can never collide with each other or
+// shadow the aggregate a dashboard reader already consumes.
+std::vector<NamedCounter> NamedCounters(const MetricsSnapshot& snapshot,
+                                        const std::string& scope);
+
+// Cross-service fold for the gateway's aggregate view: counters and histograms add,
+// max-gauges (peak queue depth) take the max, and the rate window spans the union
+// (elapsed = max, claims/sec recomputed over it).
+MetricsSnapshot AggregateSnapshots(const std::vector<MetricsSnapshot>& snapshots);
 
 class MetricsRegistry {
  public:

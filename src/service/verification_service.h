@@ -118,6 +118,15 @@ class VerificationService {
 
   size_t num_lanes() const { return lanes_.size(); }
 
+  // Current admission-queue depth (the gateway's hotness signal; cheap).
+  size_t queue_depth() const { return queue_.depth(); }
+
+  // Re-points the BatchFormer's memory ceiling (the serving gateway apportions one
+  // global budget across hot models). Batch sizing never affects outcomes, so this
+  // is safe at any time while the service runs.
+  void SetMemoryBudget(int64_t bytes) { former_.set_memory_budget(bytes); }
+  int64_t memory_budget() const { return former_.memory_budget(); }
+
  private:
   struct PendingResolution {
     SubmissionRecord record;

@@ -149,6 +149,28 @@ TEST_F(MarketplaceFixture, SeedSweepRunsAreDeterministic) {
   }
 }
 
+// Run() was historically repeatable (each call built a fresh service over the
+// persistent coordinator); the registry refactor keeps that contract through the
+// retire + re-serve path — a second Run must not abort, draws the same task
+// sequence (same seed), and accumulates the ledger.
+TEST_F(MarketplaceFixture, RunIsRepeatableOverThePersistentLedger) {
+  MarketplaceConfig config;
+  config.num_tasks = 4;
+  config.cheat_rate = 0.5;
+  config.economics.challenge_prob = 0.5;
+  Marketplace market(*model_, *commitment_, *thresholds_, config);
+  const MarketplaceStats first = market.Run();
+  const Balances after_first = market.balances();
+  const MarketplaceStats second = market.Run();
+  EXPECT_EQ(second.tasks, first.tasks);
+  EXPECT_EQ(second.cheats_attempted, first.cheats_attempted);
+  EXPECT_EQ(second.cheats_caught, first.cheats_caught);
+  EXPECT_EQ(second.total_gas, first.total_gas);
+  const Balances after_second = market.balances();
+  EXPECT_NEAR(after_second.treasury, 2 * after_first.treasury, 1e-9);
+  EXPECT_NEAR(after_second.proposer, 2 * after_first.proposer, 1e-6);
+}
+
 TEST_F(MarketplaceFixture, LedgerConservation) {
   MarketplaceConfig config;
   config.num_tasks = 30;
