@@ -1,106 +1,217 @@
-// Operator-level microbenchmarks (google-benchmark): forward throughput per device
-// profile and the cost of theoretical-bound co-execution, quantifying the "negligible
-// overhead / no custom kernels" implementation claims of Sec. 6.
+// Operator-level microbenchmarks: per-op GFLOP/s under the scalar backend vs the
+// runtime-dispatched SIMD backend, on the fleet's vector-eligible profile (RTX6000,
+// kStridedVector = the fixed 8-lane reduction tree).
+//
+// The SIMD backend is only admissible because it is bitwise identical to the scalar
+// fixed-tree loops (src/device/simd.h); the last column re-checks that here, on the
+// exact tensors being timed — a speedup reported next to "equal" means the fast path
+// produced the same commitment-relevant bits, not merely close values. On hosts
+// without AVX2 (or with TAO_DISABLE_SIMD set) the SIMD columns repeat the scalar
+// backend, and the speedup column reads ~1.0x.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <vector>
 
 #include "src/device/device.h"
-#include "src/graph/executor.h"
-#include "src/models/model_zoo.h"
+#include "src/device/simd.h"
 #include "src/ops/op_kernel.h"
+#include "src/tensor/tensor.h"
 #include "src/util/rng.h"
+#include "src/util/stopwatch.h"
+#include "src/util/table.h"
 
-namespace tao {
+using namespace tao;
+
 namespace {
 
-void BM_DeviceAccumulate(benchmark::State& state) {
-  RegisterAllOps();
-  const auto& device = DeviceRegistry::Fleet()[static_cast<size_t>(state.range(0))];
-  Rng rng(1);
-  std::vector<float> xs(1 << 14);
-  for (float& x : xs) {
-    x = static_cast<float>(rng.NextGaussian());
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(device.Accumulate(xs));
-  }
-  state.SetLabel(device.name);
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(xs.size()));
-}
-BENCHMARK(BM_DeviceAccumulate)->DenseRange(0, 3);
-
-void BM_MatmulForward(benchmark::State& state) {
-  RegisterAllOps();
-  const int64_t n = state.range(0);
-  Rng rng(2);
-  const std::vector<Tensor> inputs = {Tensor::Randn(Shape{n, n}, rng),
-                                      Tensor::Randn(Shape{n, n}, rng)};
-  const OpKernel& kernel = OpRegistry::Instance().Get("matmul");
-  const OpContext ctx{DeviceRegistry::ByName("A100"), inputs, {}};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(kernel.Forward(ctx));
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * n * n * n);
-}
-BENCHMARK(BM_MatmulForward)->Arg(32)->Arg(64)->Arg(128);
-
-void BM_MatmulBound(benchmark::State& state) {
-  RegisterAllOps();
-  const int64_t n = state.range(0);
-  Rng rng(3);
-  const std::vector<Tensor> inputs = {Tensor::Randn(Shape{n, n}, rng),
-                                      Tensor::Randn(Shape{n, n}, rng)};
-  const OpKernel& kernel = OpRegistry::Instance().Get("matmul");
-  const OpContext fwd{DeviceRegistry::ByName("A100"), inputs, {}};
-  const Tensor out = kernel.Forward(fwd);
-  const BoundContext bctx{DeviceRegistry::ByName("A100"), inputs, out, {},
-                          BoundMode::kProbabilistic, kDefaultLambda};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(kernel.Bound(bctx));
+// Times `body` with repeats adapted until the measured window is long enough to
+// trust (>= ~40 ms), returning milliseconds per call.
+double TimeLoop(const std::function<void()>& body) {
+  body();  // warmup
+  int reps = 1;
+  for (;;) {
+    Stopwatch watch;
+    for (int i = 0; i < reps; ++i) {
+      body();
+    }
+    const double elapsed = watch.ElapsedMillis();
+    if (elapsed >= 40.0 || reps >= (1 << 20)) {
+      return elapsed / reps;
+    }
+    reps *= 2;
   }
 }
-BENCHMARK(BM_MatmulBound)->Arg(32)->Arg(64)->Arg(128);
 
-void BM_SoftmaxForwardVsBound(benchmark::State& state) {
-  RegisterAllOps();
-  Rng rng(4);
+struct OpCase {
+  std::string op;
+  std::vector<Shape> shapes;
   Attrs attrs;
-  attrs.Set("axis", static_cast<int64_t>(-1));
-  const std::vector<Tensor> inputs = {Tensor::Randn(Shape{64, 256}, rng)};
-  const OpKernel& kernel = OpRegistry::Instance().Get("softmax");
-  const OpContext fwd{DeviceRegistry::ByName("H100"), inputs, attrs};
-  if (state.range(0) == 0) {
-    for (auto _ : state) {
-      benchmark::DoNotOptimize(kernel.Forward(fwd));
-    }
-    state.SetLabel("forward");
-  } else {
-    const Tensor out = kernel.Forward(fwd);
-    const BoundContext bctx{DeviceRegistry::ByName("H100"), inputs, out, attrs,
-                            BoundMode::kProbabilistic, kDefaultLambda};
-    for (auto _ : state) {
-      benchmark::DoNotOptimize(kernel.Bound(bctx));
-    }
-    state.SetLabel("bound");
-  }
-}
-BENCHMARK(BM_SoftmaxForwardVsBound)->Arg(0)->Arg(1);
+  float scale = 1.0f;
+};
 
-void BM_ModelForward(benchmark::State& state) {
-  static const Model model = BuildBertMini();
-  Rng rng(5);
-  const std::vector<Tensor> input = model.sample_input(rng);
-  const Executor exec(*model.graph, DeviceRegistry::Fleet()[
-      static_cast<size_t>(state.range(0))]);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(exec.RunOutput(input));
+Tensor RandTensor(const Shape& shape, uint64_t seed, float scale) {
+  Rng rng(seed);
+  Tensor t(shape);
+  auto v = t.mutable_values();
+  for (float& x : v) {
+    x = scale * static_cast<float>(rng.NextGaussian());
   }
-  state.SetLabel(DeviceRegistry::Fleet()[static_cast<size_t>(state.range(0))].name);
+  return t;
 }
-BENCHMARK(BM_ModelForward)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+std::string ShapeString(const std::vector<Shape>& shapes) {
+  std::string s;
+  for (size_t i = 0; i < shapes.size() && i < 2; ++i) {
+    if (i > 0) {
+      s += " x ";
+    }
+    s += shapes[i].ToString();
+  }
+  return s;
+}
+
+bool Bitwise(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.values().data(), b.values().data(),
+                     a.values().size() * sizeof(float)) == 0;
+}
 
 }  // namespace
-}  // namespace tao
 
-BENCHMARK_MAIN();
+int main() {
+  RegisterAllOps();
+  LogSimdBackendOnce();
+  const bool have_avx2 = SimdBackendSupported(SimdBackend::kAvx2);
+  const SimdBackend fast =
+      have_avx2 ? SimdBackend::kAvx2 : SimdBackend::kScalar;
+  std::printf("=== Operator microbenchmarks: scalar vs %s backend ===\n\n",
+              SimdBackendName(fast));
+  if (!have_avx2) {
+    std::printf("(AVX2 unavailable on this host/build: SIMD columns repeat the "
+                "scalar backend)\n\n");
+  }
+
+  // The fleet's vector-eligible profile; every reduction below runs the fixed
+  // 8-lane tree on both backends.
+  const DeviceProfile& device = DeviceRegistry::ByName("RTX6000");
+
+  std::vector<OpCase> cases;
+  cases.push_back({"matmul", {Shape{128, 128}, Shape{128, 128}}, {}, 1.0f});
+  cases.push_back({"matmul", {Shape{256, 256}, Shape{256, 256}}, {}, 1.0f});
+  cases.push_back({"bmm", {Shape{8, 64, 64}, Shape{8, 64, 64}}, {}, 1.0f});
+  cases.push_back({"linear", {Shape{256, 512}, Shape{512, 512}, Shape{512}}, {}, 1.0f});
+  {
+    Attrs a;
+    a.Set("axis", static_cast<int64_t>(-1));
+    cases.push_back({"softmax", {Shape{256, 1024}}, a, 3.0f});
+  }
+  {
+    Attrs a;
+    a.Set("eps", 1e-5);
+    cases.push_back({"layer_norm", {Shape{256, 1024}, Shape{1024}, Shape{1024}}, a, 2.0f});
+  }
+  {
+    Attrs a;
+    a.Set("eps", 1e-6);
+    cases.push_back({"rms_norm", {Shape{256, 1024}, Shape{1024}}, a, 1.0f});
+  }
+  {
+    Attrs a;
+    a.Set("axis", static_cast<int64_t>(-1));
+    cases.push_back({"sum", {Shape{256, 4096}}, a, 1.0f});
+  }
+  // Cache-resident sizes: at streaming sizes these ops are memory-bound and both
+  // backends run at the same bandwidth.
+  cases.push_back({"relu", {Shape{1 << 16}}, {}, 1.0f});
+  cases.push_back({"add", {Shape{1 << 16}, Shape{1 << 16}}, {}, 1.0f});
+
+  TablePrinter table({"op", "shape", "scalar GFLOP/s", "simd GFLOP/s", "speedup",
+                      "bitwise"});
+  for (const OpCase& c : cases) {
+    const OpKernel& kernel = OpRegistry::Instance().Get(c.op);
+    std::vector<Tensor> inputs;
+    std::vector<Shape> input_shapes;
+    for (size_t i = 0; i < c.shapes.size(); ++i) {
+      inputs.push_back(RandTensor(c.shapes[i], 0x5eed + 17 * i, c.scale));
+      input_shapes.push_back(c.shapes[i]);
+    }
+    const OpContext ctx{device, inputs, c.attrs};
+    const Shape out_shape = kernel.InferShape(input_shapes, c.attrs);
+    const double flops =
+        static_cast<double>(kernel.Flops(input_shapes, out_shape, c.attrs));
+
+    Tensor scalar_out, simd_out;
+    double scalar_ms = 0.0, simd_ms = 0.0;
+    {
+      ScopedSimdBackend force(SimdBackend::kScalar);
+      scalar_out = kernel.Forward(ctx);
+      scalar_ms = TimeLoop([&] { (void)kernel.Forward(ctx); });
+    }
+    {
+      ScopedSimdBackend force(fast);
+      simd_out = kernel.Forward(ctx);
+      simd_ms = TimeLoop([&] { (void)kernel.Forward(ctx); });
+    }
+    const double scalar_gfs = flops / (scalar_ms * 1e6);
+    const double simd_gfs = flops / (simd_ms * 1e6);
+    table.AddRow({c.op, ShapeString(c.shapes), TablePrinter::Fixed(scalar_gfs, 2),
+                  TablePrinter::Fixed(simd_gfs, 2),
+                  TablePrinter::Fixed(scalar_ms / simd_ms, 2) + "x",
+                  Bitwise(scalar_out, simd_out) ? "equal" : "DIFFER"});
+  }
+  table.Print();
+
+  // Device-primitive reductions: the raw fixed-tree kernels every op above leans on.
+  std::printf("\ndevice primitives (n = 16384, RTX6000 fixed 8-lane tree):\n");
+  std::vector<float> xs(1 << 14), ys(1 << 14);
+  {
+    Rng rng(0xacc);
+    for (size_t i = 0; i < xs.size(); ++i) {
+      xs[i] = static_cast<float>(rng.NextGaussian());
+      ys[i] = static_cast<float>(rng.NextGaussian());
+    }
+  }
+  TablePrinter prims({"primitive", "scalar GFLOP/s", "simd GFLOP/s", "speedup",
+                      "bitwise"});
+  const auto prim_row = [&](const char* name, double flops_per_call,
+                            const std::function<float()>& body) {
+    float scalar_val = 0.0f, simd_val = 0.0f;
+    double scalar_ms = 0.0, simd_ms = 0.0;
+    volatile float sink = 0.0f;
+    {
+      ScopedSimdBackend force(SimdBackend::kScalar);
+      scalar_val = body();
+      scalar_ms = TimeLoop([&] { sink = body(); });
+    }
+    {
+      ScopedSimdBackend force(fast);
+      simd_val = body();
+      simd_ms = TimeLoop([&] { sink = body(); });
+    }
+    (void)sink;
+    prims.AddRow({name, TablePrinter::Fixed(flops_per_call / (scalar_ms * 1e6), 2),
+                  TablePrinter::Fixed(flops_per_call / (simd_ms * 1e6), 2),
+                  TablePrinter::Fixed(scalar_ms / simd_ms, 2) + "x",
+                  std::memcmp(&scalar_val, &simd_val, sizeof(float)) == 0
+                      ? "equal"
+                      : "DIFFER"});
+  };
+  const double n = static_cast<double>(xs.size());
+  prim_row("Accumulate", n, [&] { return device.Accumulate(xs); });
+  prim_row("DotStrided (contiguous)", 2 * n,
+           [&] { return device.DotStrided(xs.data(), 1, ys.data(), 1,
+                                          static_cast<int64_t>(xs.size())); });
+  prim_row("DotStrided (stride 8)", 2 * (n / 8), [&] {
+    return device.DotStrided(xs.data(), 1, ys.data(), 8,
+                             static_cast<int64_t>(xs.size()) / 8);
+  });
+  prims.Print();
+
+  std::printf("\nDeterminism note: every \"equal\" above is bitwise FP32 equality on\n"
+              "the timed tensors. The SIMD backend is not an approximation — it is the\n"
+              "same fixed reduction tree executed eight lanes at a time, so commitments\n"
+              "(C0 digests), traces, and verdicts are independent of the backend.\n");
+  return 0;
+}

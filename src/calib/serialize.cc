@@ -26,9 +26,17 @@ std::vector<double> ReadDoubles(std::istringstream& in, size_t count) {
 
 }  // namespace
 
-std::string SerializeThresholds(const ThresholdSet& thresholds) {
+std::string SerializeThresholds(const ThresholdSet& thresholds,
+                                const std::string& fleet_signature) {
   std::ostringstream out;
-  out << "tao-thresholds v1\n";
+  if (fleet_signature.empty()) {
+    out << "tao-thresholds v1\n";
+  } else {
+    TAO_CHECK(fleet_signature.find_first_of(" \n") == std::string::npos)
+        << "fleet signature must be a single token";
+    out << "tao-thresholds v2\n";
+    out << "fleet " << fleet_signature << "\n";
+  }
   out << "alpha " << thresholds.alpha() << "\n";
   out << "grid";
   AppendDoubles(out, thresholds.grid());
@@ -44,15 +52,30 @@ std::string SerializeThresholds(const ThresholdSet& thresholds) {
   return out.str();
 }
 
-ThresholdSet DeserializeThresholds(const std::string& text) {
+ThresholdSet DeserializeThresholds(const std::string& text,
+                                   std::string* fleet_signature) {
   std::istringstream in(text);
   std::string line;
   TAO_CHECK(static_cast<bool>(std::getline(in, line))) << "empty threshold file";
-  TAO_CHECK_EQ(line, "tao-thresholds v1");
+  TAO_CHECK(line == "tao-thresholds v1" || line == "tao-thresholds v2")
+      << "tao-thresholds header expected, got: " << line;
+  const bool v2 = line == "tao-thresholds v2";
+  std::string keyword;
+
+  std::string file_fleet;
+  if (v2) {
+    TAO_CHECK(static_cast<bool>(std::getline(in, line)));
+    std::istringstream fleet_line(line);
+    TAO_CHECK(static_cast<bool>(fleet_line >> keyword >> file_fleet) &&
+              keyword == "fleet")
+        << "v2 threshold file missing fleet line";
+  }
+  if (fleet_signature != nullptr) {
+    *fleet_signature = file_fleet;
+  }
 
   TAO_CHECK(static_cast<bool>(std::getline(in, line)));
   std::istringstream alpha_line(line);
-  std::string keyword;
   double alpha = 0.0;
   TAO_CHECK(static_cast<bool>(alpha_line >> keyword >> alpha) && keyword == "alpha");
 

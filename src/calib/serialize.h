@@ -13,14 +13,25 @@
 namespace tao {
 
 // Line-oriented format:
-//   tao-thresholds v1
+//   tao-thresholds v2
+//   fleet <signature>        (v2 only; FleetSignature() of the calibration fleet)
 //   alpha <a>
 //   grid <p0> <p1> ...
 //   node <id> abs <v...> rel <v...>
-std::string SerializeThresholds(const ThresholdSet& thresholds);
+//
+// Thresholds are statements about a *specific* fleet's cross-device error; a file
+// replayed against a different fleet silently under- or over-flags. v2 therefore
+// embeds the canonical fleet signature (see FleetSignature in src/device/device.h)
+// so loaders can detect composition drift and demand recalibration. Pure relabels
+// (kStridedVector vs kStrided block=8) share a signature — no recalibration needed.
+// Pass an empty signature to emit the legacy v1 header without a fleet line.
+std::string SerializeThresholds(const ThresholdSet& thresholds,
+                                const std::string& fleet_signature = std::string());
 
-// Parses the format above; aborts on malformed input.
-ThresholdSet DeserializeThresholds(const std::string& text);
+// Parses v1 or v2; aborts on malformed input. If `fleet_signature` is non-null it
+// receives the file's fleet line (empty for v1 files).
+ThresholdSet DeserializeThresholds(const std::string& text,
+                                   std::string* fleet_signature = nullptr);
 
 }  // namespace tao
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/device/simd.h"
 #include "src/util/check.h"
 
 namespace tao {
@@ -70,6 +71,12 @@ float SumStrided(std::span<const float> xs, int64_t lanes) {
 }  // namespace
 
 float DeviceProfile::Accumulate(std::span<const float> xs) const {
+  // Vector-eligible profiles (the fixed 8-lane tree) route through the SIMD backend;
+  // simd::SumStrided8 is bitwise identical to SumStrided(xs, 8) on every input, so
+  // this is a pure speed dispatch, never a numerics dispatch.
+  if (vector_eligible()) {
+    return simd::SumStrided8(xs.data(), static_cast<int64_t>(xs.size()));
+  }
   switch (order) {
     case AccumulationOrder::kSequential:
       return SumSequential(xs);
@@ -81,6 +88,8 @@ float DeviceProfile::Accumulate(std::span<const float> xs) const {
       return SumBlocked(xs, block);
     case AccumulationOrder::kStrided:
       return SumStrided(xs, block);
+    case AccumulationOrder::kStridedVector:
+      return SumStrided(xs, 8);  // unreachable: vector_eligible() handled above
   }
   TAO_CHECK(false) << "unreachable";
   return 0.0f;
@@ -96,6 +105,13 @@ float DeviceProfile::DotStrided(const float* a, int64_t stride_a, const float* b
   // Sequential-family orders fold the product into the accumulator directly (possibly
   // with FMA contraction); tree/blocked/strided orders materialize rounded products
   // first, matching how tiled GPU kernels stage operands through registers.
+  // The fixed 8-lane tree stages one rounding per product whether the profile fuses or
+  // not (fl(a*b + 0) == fl(a*b) as a summand: a lane accumulator starting at +0 can
+  // never become -0, so the sign of an exact-zero product is absorbed identically), so
+  // vector-eligible profiles share one SIMD-dispatched kernel for both FMA policies.
+  if (vector_eligible()) {
+    return simd::DotStrided8(a, stride_a, b, stride_b, n);
+  }
   auto product = [&](int64_t i) -> float { return a[i * stride_a] * b[i * stride_b]; };
   switch (order) {
     case AccumulationOrder::kSequential: {
@@ -126,7 +142,8 @@ float DeviceProfile::DotStrided(const float* a, int64_t stride_a, const float* b
     }
     case AccumulationOrder::kPairwiseTree:
     case AccumulationOrder::kBlocked:
-    case AccumulationOrder::kStrided: {
+    case AccumulationOrder::kStrided:
+    case AccumulationOrder::kStridedVector: {
       std::vector<float> prods(static_cast<size_t>(n));
       if (fma) {
         // Contracted product staging: round-to-nearest of the exact product is what
@@ -245,13 +262,47 @@ const std::vector<DeviceProfile>& DeviceRegistry::Fleet() {
                     .block = 32,
                     .fma = false,
                     .intrinsics = IntrinsicFlavor::kFloatNative},
+      // Relabelled from kStrided(block=8) to kStridedVector: the two orders are
+      // bitwise-identical aliases, so existing calibrations stay valid, and the
+      // explicit name documents that this is the fleet's vector-eligible profile.
       DeviceProfile{.name = "RTX6000",
-                    .order = AccumulationOrder::kStrided,
+                    .order = AccumulationOrder::kStridedVector,
                     .block = 8,
                     .fma = true,
                     .intrinsics = IntrinsicFlavor::kFloatNative},
   };
   return kFleet;
+}
+
+std::string FleetSignature(std::span<const DeviceProfile> fleet) {
+  std::string sig;
+  for (const DeviceProfile& d : fleet) {
+    AccumulationOrder order = d.order;
+    int64_t block = d.block;
+    // kStridedVector is a bitwise alias of kStrided(block=8); encode both the same
+    // way so a pure relabel does not read as a fleet change.
+    if (order == AccumulationOrder::kStridedVector) {
+      order = AccumulationOrder::kStrided;
+      block = 8;
+    }
+    // Block only participates in the arithmetic for blocked/strided orders.
+    if (order != AccumulationOrder::kBlocked && order != AccumulationOrder::kStrided) {
+      block = 0;
+    }
+    static const char* kOrderTokens[] = {"seq", "rev", "tree", "blocked", "strided",
+                                         "stridedvec"};
+    if (!sig.empty()) {
+      sig += ';';
+    }
+    sig += d.name;
+    sig += ':';
+    sig += kOrderTokens[static_cast<int>(order)];
+    sig += ':';
+    sig += std::to_string(block);
+    sig += d.fma ? ":fma1:" : ":fma0:";
+    sig += d.intrinsics == IntrinsicFlavor::kDoubleRounded ? "dbl" : "fn";
+  }
+  return sig;
 }
 
 const DeviceProfile& DeviceRegistry::ByName(const std::string& name) {

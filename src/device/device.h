@@ -33,6 +33,12 @@ enum class AccumulationOrder {
   kPairwiseTree,  // recursive pairwise halving (tree reduction)
   kBlocked,       // per-block sequential partials, then sequential across partials
   kStrided,       // S interleaved accumulators (warp-lane style), then combine
+  // Eight interleaved accumulators with a fixed sequential lane combine — numerically
+  // IDENTICAL to kStrided with block=8 in every bit, but named separately because this
+  // is the one order a 8-lane FP32 vector unit reproduces natively: profiles carrying
+  // it are eligible for the SIMD backend (src/device/simd.h) with bitwise-equal
+  // results guaranteed by construction.
+  kStridedVector,
 };
 
 // How a device evaluates transcendental intrinsics (CUDA math functions are allowed
@@ -51,6 +57,15 @@ struct DeviceProfile {
   // Whether multiply-accumulate steps contract to fused multiply-add (one rounding).
   bool fma = false;
   IntrinsicFlavor intrinsics = IntrinsicFlavor::kFloatNative;
+
+  // True when this profile's reduction order is exactly the fixed 8-lane tree a vector
+  // unit executes natively (kStridedVector, or kStrided with block == 8). Only such
+  // profiles may take the SIMD reduction path; all others must stay scalar because a
+  // vector unit cannot reproduce their association order bit for bit.
+  bool vector_eligible() const {
+    return order == AccumulationOrder::kStridedVector ||
+           (order == AccumulationOrder::kStrided && block == 8);
+  }
 
   // --- Reductions -----------------------------------------------------------------
   // Sum of `xs` in this device's order. This is the sole source of cross-device
@@ -84,6 +99,16 @@ struct DeviceProfile {
   double PowUlp() const;
   double ErfUlp() const;
 };
+
+// Canonical single-token signature of a fleet's *arithmetic* (one entry per device:
+// name, accumulation order, block, FMA policy, intrinsic flavour). Thresholds are
+// calibrated against a specific fleet, so serialized threshold files embed this
+// signature and a loader can detect that the fleet composition changed underneath a
+// published calibration (which requires recalibrating). Pure relabels that do not
+// change any bit of arithmetic hash identically: kStridedVector encodes as
+// kStrided(block=8) — they are the same reduction tree — so renaming a profile to
+// mark it vector-eligible does not invalidate existing calibrations.
+std::string FleetSignature(std::span<const DeviceProfile> fleet);
 
 // The calibration fleet (stand-ins for RTX 4090, RTX 6000, A100, H100) plus the
 // canonical reference profile used for deterministic re-execution.

@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "src/device/simd.h"
 #include "src/ops/op_kernel.h"
 #include "src/util/check.h"
 
@@ -38,12 +39,12 @@ class ReluKernel : public ActivationKernel {
 
   Tensor Forward(const OpContext& ctx) const override {
     const Tensor& x = ctx.inputs[0];
-    Tensor out(x.shape());
+    Tensor out = ctx.AllocateOutput(x.shape());
     const auto xv = x.values();
     auto ov = out.mutable_values();
-    for (size_t i = 0; i < ov.size(); ++i) {
-      ov[i] = xv[i] > 0.0f ? xv[i] : 0.0f;
-    }
+    ctx.For(out.numel(), [&](int64_t begin, int64_t end) {
+      simd::Relu(xv.data() + begin, ov.data() + begin, end - begin);
+    });
     return out;
   }
 

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <functional>
 
+#include "src/device/simd.h"
 #include "src/ops/broadcast.h"
 #include "src/ops/op_kernel.h"
 #include "src/util/check.h"
@@ -30,12 +31,20 @@ class BinaryKernel : public OpKernel {
     const Tensor& a = ctx.inputs[0];
     const Tensor& b = ctx.inputs[1];
     const Shape out_shape = BroadcastShape(a.shape(), b.shape());
-    Tensor out(out_shape);
-    const BroadcastIndexer ia(out_shape, a.shape());
-    const BroadcastIndexer ib(out_shape, b.shape());
+    Tensor out = ctx.AllocateOutput(out_shape);
     const auto av = a.values();
     const auto bv = b.values();
     auto ov = out.mutable_values();
+    // No broadcasting: both indexers are identities, so chunks apply straight through
+    // ApplyVec (vectorized for the four arithmetic kernels, a plain loop otherwise).
+    if (a.shape() == out_shape && b.shape() == out_shape) {
+      ctx.For(out.numel(), [&](int64_t begin, int64_t end) {
+        ApplyVec(av.data() + begin, bv.data() + begin, ov.data() + begin, end - begin);
+      });
+      return out;
+    }
+    const BroadcastIndexer ia(out_shape, a.shape());
+    const BroadcastIndexer ib(out_shape, b.shape());
     for (int64_t i = 0; i < out.numel(); ++i) {
       ov[static_cast<size_t>(i)] =
           Apply(av[static_cast<size_t>(ia.MapOffset(i))], bv[static_cast<size_t>(ib.MapOffset(i))]);
@@ -61,6 +70,14 @@ class BinaryKernel : public OpKernel {
 
  protected:
   virtual float Apply(float a, float b) const = 0;
+
+  // Contiguous same-shape batch of Apply; arithmetic kernels override with the SIMD
+  // helpers (bitwise-identical: one IEEE rounding per element either way).
+  virtual void ApplyVec(const float* a, const float* b, float* out, int64_t n) const {
+    for (int64_t i = 0; i < n; ++i) {
+      out[i] = Apply(a[i], b[i]);
+    }
+  }
 };
 
 class AddKernel : public BinaryKernel {
@@ -74,6 +91,9 @@ class AddKernel : public BinaryKernel {
 
  protected:
   float Apply(float a, float b) const override { return a + b; }
+  void ApplyVec(const float* a, const float* b, float* out, int64_t n) const override {
+    simd::AddVec(a, b, out, n);
+  }
 };
 
 class SubKernel : public BinaryKernel {
@@ -91,6 +111,9 @@ class SubKernel : public BinaryKernel {
 
  protected:
   float Apply(float a, float b) const override { return a - b; }
+  void ApplyVec(const float* a, const float* b, float* out, int64_t n) const override {
+    simd::SubVec(a, b, out, n);
+  }
 };
 
 class MulKernel : public BinaryKernel {
@@ -120,6 +143,9 @@ class MulKernel : public BinaryKernel {
 
  protected:
   float Apply(float a, float b) const override { return a * b; }
+  void ApplyVec(const float* a, const float* b, float* out, int64_t n) const override {
+    simd::MulVec(a, b, out, n);
+  }
 };
 
 class DivKernel : public BinaryKernel {
@@ -151,6 +177,9 @@ class DivKernel : public BinaryKernel {
 
  protected:
   float Apply(float a, float b) const override { return a / b; }
+  void ApplyVec(const float* a, const float* b, float* out, int64_t n) const override {
+    simd::DivVec(a, b, out, n);
+  }
 };
 
 // ------------------------------- unary operators ----------------------------------
@@ -209,6 +238,17 @@ class NegKernel : public UnaryKernel {
   std::string name() const override { return "neg"; }
 
   // Sign-bit flip is exact: zero bound (the base-class default).
+
+  Tensor Forward(const OpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    Tensor out = ctx.AllocateOutput(x.shape());
+    const auto xv = x.values();
+    auto ov = out.mutable_values();
+    ctx.For(out.numel(), [&](int64_t begin, int64_t end) {
+      simd::Neg(xv.data() + begin, ov.data() + begin, end - begin);
+    });
+    return out;
+  }
 
   std::vector<Tensor> Vjp(const VjpContext& ctx) const override {
     return {ElementwiseGrad(ctx, [](size_t) { return -1.0f; })};

@@ -13,6 +13,7 @@
 
 #include <cmath>
 
+#include "src/device/simd.h"
 #include "src/ops/op_kernel.h"
 #include "src/util/check.h"
 
@@ -29,15 +30,17 @@ struct NormGroupBound {
   double mu = 0.0;
 };
 
-NormGroupBound ComputeGroupStatsBound(std::span<const float> xs, std::span<const size_t> idx,
-                                      double eps_attr, double gamma, const DeviceProfile& device) {
-  const int64_t n = static_cast<int64_t>(idx.size());
+// `group` is the group's contiguous value range (rows and [image, group] blocks are
+// both contiguous in memory, so no index gather is needed).
+NormGroupBound ComputeGroupStatsBound(std::span<const float> group, double eps_attr,
+                                      double gamma, const DeviceProfile& device) {
+  const int64_t n = static_cast<int64_t>(group.size());
   const double u = kUnitRoundoff;
   double sum = 0.0;
   double abs_sum = 0.0;
-  for (const size_t k : idx) {
-    sum += xs[k];
-    abs_sum += std::abs(static_cast<double>(xs[k]));
+  for (const float x : group) {
+    sum += x;
+    abs_sum += std::abs(static_cast<double>(x));
   }
   const double mu = sum / static_cast<double>(n);
   // mean: reduction error then one division rounding.
@@ -46,8 +49,8 @@ NormGroupBound ComputeGroupStatsBound(std::span<const float> xs, std::span<const
   double var = 0.0;
   double sum_sq = 0.0;
   double sum_eps_sq = 0.0;
-  for (const size_t k : idx) {
-    const double d = static_cast<double>(xs[k]) - mu;
+  for (const float x : group) {
+    const double d = static_cast<double>(x) - mu;
     const double eps_d = eps_mu + u * std::abs(d);
     const double sq = d * d;
     const double eps_sq = 2.0 * std::abs(d) * eps_d + u * sq;
@@ -97,27 +100,25 @@ class LayerNormKernel : public OpKernel {
     const auto wv = weight.values();
     const auto bv = bias.values();
     auto ov = out.mutable_values();
-    // Rows are independent; each chunk carries its own gather/square scratch.
+    // Rows are independent and contiguous, so statistics reduce over the input in
+    // place; only the squares need scratch, drawn per chunk from the arena.
     ctx.For(rows, [&](int64_t row_begin, int64_t row_end) {
-      std::vector<float> row(static_cast<size_t>(d));
-      std::vector<float> sq(static_cast<size_t>(d));
+      Tensor sq_scratch = ctx.AllocateScratch(Shape{d});
+      float* sq = sq_scratch.mutable_values().data();
       for (int64_t r = row_begin; r < row_end; ++r) {
         const size_t base = static_cast<size_t>(r * d);
-        for (int64_t i = 0; i < d; ++i) {
-          row[static_cast<size_t>(i)] = xv[base + static_cast<size_t>(i)];
-        }
-        const float mean = ctx.device.Accumulate(row) / static_cast<float>(d);
-        for (int64_t i = 0; i < d; ++i) {
-          const float centered = row[static_cast<size_t>(i)] - mean;
-          sq[static_cast<size_t>(i)] = centered * centered;
-        }
-        const float var = ctx.device.Accumulate(sq) / static_cast<float>(d);
+        const float* row = xv.data() + base;
+        const float mean =
+            ctx.device.Accumulate(std::span<const float>(row, static_cast<size_t>(d))) /
+            static_cast<float>(d);
+        simd::CenterSquare(row, mean, sq, d);
+        const float var =
+            ctx.device.Accumulate(std::span<const float>(sq, static_cast<size_t>(d))) /
+            static_cast<float>(d);
         const float inv = ctx.device.Rsqrt(var + static_cast<float>(eps));
-        for (int64_t i = 0; i < d; ++i) {
-          const size_t k = base + static_cast<size_t>(i);
-          ov[k] = (xv[k] - mean) * inv * wv[static_cast<size_t>(i)] + bv[static_cast<size_t>(i)];
-        }
+        simd::NormAffine(row, mean, inv, wv.data(), bv.data(), ov.data() + base, d);
       }
+      ctx.Recycle(std::move(sq_scratch));
     });
     return out;
   }
@@ -136,13 +137,10 @@ class LayerNormKernel : public OpKernel {
     const auto yv = ctx.output.values();
     auto bnd = bound.mutable_values();
     ctx.For(rows, [&](int64_t row_begin, int64_t row_end) {
-      std::vector<size_t> idx(static_cast<size_t>(d));
       for (int64_t r = row_begin; r < row_end; ++r) {
         const size_t base = static_cast<size_t>(r * d);
-        for (int64_t i = 0; i < d; ++i) {
-          idx[static_cast<size_t>(i)] = base + static_cast<size_t>(i);
-        }
-        const NormGroupBound g = ComputeGroupStatsBound(xv, idx, eps, gamma, ctx.device);
+        const NormGroupBound g = ComputeGroupStatsBound(
+            xv.subspan(base, static_cast<size_t>(d)), eps, gamma, ctx.device);
         for (int64_t i = 0; i < d; ++i) {
           const size_t k = base + static_cast<size_t>(i);
           const double di = static_cast<double>(xv[k]) - g.mu;
@@ -240,20 +238,19 @@ class RmsNormKernel : public OpKernel {
     const auto wv = weight.values();
     auto ov = out.mutable_values();
     ctx.For(rows, [&](int64_t row_begin, int64_t row_end) {
-      std::vector<float> sq(static_cast<size_t>(d));
+      Tensor sq_scratch = ctx.AllocateScratch(Shape{d});
+      float* sq = sq_scratch.mutable_values().data();
       for (int64_t r = row_begin; r < row_end; ++r) {
         const size_t base = static_cast<size_t>(r * d);
-        for (int64_t i = 0; i < d; ++i) {
-          const float v = xv[base + static_cast<size_t>(i)];
-          sq[static_cast<size_t>(i)] = v * v;
-        }
-        const float ms = ctx.device.Accumulate(sq) / static_cast<float>(d);
+        const float* row = xv.data() + base;
+        simd::Square(row, sq, d);
+        const float ms =
+            ctx.device.Accumulate(std::span<const float>(sq, static_cast<size_t>(d))) /
+            static_cast<float>(d);
         const float inv = ctx.device.Rsqrt(ms + static_cast<float>(eps));
-        for (int64_t i = 0; i < d; ++i) {
-          const size_t k = base + static_cast<size_t>(i);
-          ov[k] = xv[k] * inv * wv[static_cast<size_t>(i)];
-        }
+        simd::ScaleWeight(row, inv, wv.data(), ov.data() + base, d);
       }
+      ctx.Recycle(std::move(sq_scratch));
     });
     return out;
   }
@@ -382,10 +379,8 @@ class BatchNormKernel : public OpKernel {
         const float inv = ctx.device.Rsqrt(vv[ci] + static_cast<float>(eps));
         const float scale = wv[ci] * inv;
         const size_t base = static_cast<size_t>(r * spatial);
-        for (int64_t s = 0; s < spatial; ++s) {
-          ov[base + static_cast<size_t>(s)] =
-              (xv[base + static_cast<size_t>(s)] - mv[ci]) * scale + bv[ci];
-        }
+        simd::AffineScalar(xv.data() + base, mv[ci], scale, bv[ci], ov.data() + base,
+                           spatial);
       }
     });
     return out;
@@ -497,30 +492,34 @@ class GroupNormKernel : public OpKernel {
     Tensor out = ctx.AllocateOutput(x.shape());
     const auto xv = x.values();
     auto ov = out.mutable_values();
-    // Split over flattened (image, group) pairs; chunks keep private scratch.
+    // Split over flattened (image, group) pairs. A group's values are contiguous, so
+    // stats reduce over the input directly; squares use per-chunk arena scratch, and
+    // the affine epilogue runs per channel (w and b are constant across a channel's
+    // spatial extent).
     ctx.For(batch * groups, [&](int64_t begin, int64_t end) {
-      std::vector<float> buf(static_cast<size_t>(group_elems));
-      std::vector<float> sq(static_cast<size_t>(group_elems));
+      Tensor sq_scratch = ctx.AllocateScratch(Shape{group_elems});
+      float* sq = sq_scratch.mutable_values().data();
       for (int64_t r = begin; r < end; ++r) {
         const int64_t g = r % groups;
         const size_t base = static_cast<size_t>(r * per_group * spatial);
-        for (int64_t i = 0; i < group_elems; ++i) {
-          buf[static_cast<size_t>(i)] = xv[base + static_cast<size_t>(i)];
-        }
-        const float mean = ctx.device.Accumulate(buf) / static_cast<float>(group_elems);
-        for (int64_t i = 0; i < group_elems; ++i) {
-          const float centered = buf[static_cast<size_t>(i)] - mean;
-          sq[static_cast<size_t>(i)] = centered * centered;
-        }
-        const float var = ctx.device.Accumulate(sq) / static_cast<float>(group_elems);
+        const float* group = xv.data() + base;
+        const float mean =
+            ctx.device.Accumulate(
+                std::span<const float>(group, static_cast<size_t>(group_elems))) /
+            static_cast<float>(group_elems);
+        simd::CenterSquare(group, mean, sq, group_elems);
+        const float var =
+            ctx.device.Accumulate(
+                std::span<const float>(sq, static_cast<size_t>(group_elems))) /
+            static_cast<float>(group_elems);
         const float inv = ctx.device.Rsqrt(var + static_cast<float>(eps));
-        for (int64_t i = 0; i < group_elems; ++i) {
-          const int64_t ch = g * per_group + i / spatial;
-          const size_t k = base + static_cast<size_t>(i);
-          ov[k] = (xv[k] - mean) * inv * wv[static_cast<size_t>(ch)] +
-                  bv[static_cast<size_t>(ch)];
+        for (int64_t cl = 0; cl < per_group; ++cl) {
+          const size_t ch = static_cast<size_t>(g * per_group + cl);
+          simd::NormAffineScalar(group + cl * spatial, mean, inv, wv[ch], bv[ch],
+                                 ov.data() + base + cl * spatial, spatial);
         }
       }
+      ctx.Recycle(std::move(sq_scratch));
     });
     return out;
   }
@@ -542,14 +541,11 @@ class GroupNormKernel : public OpKernel {
     const auto yv = ctx.output.values();
     auto bnd = bound.mutable_values();
     ctx.For(batch * groups, [&](int64_t begin, int64_t end) {
-      std::vector<size_t> idx(static_cast<size_t>(group_elems));
       for (int64_t r = begin; r < end; ++r) {
         const int64_t g = r % groups;
         const size_t base = static_cast<size_t>(r * per_group * spatial);
-        for (int64_t i = 0; i < group_elems; ++i) {
-          idx[static_cast<size_t>(i)] = base + static_cast<size_t>(i);
-        }
-        const NormGroupBound st = ComputeGroupStatsBound(xv, idx, eps, gamma, ctx.device);
+        const NormGroupBound st = ComputeGroupStatsBound(
+            xv.subspan(base, static_cast<size_t>(group_elems)), eps, gamma, ctx.device);
         for (int64_t i = 0; i < group_elems; ++i) {
           const int64_t ch = g * per_group + i / spatial;
           const size_t k = base + static_cast<size_t>(i);

@@ -122,13 +122,15 @@ class AvgPool2dKernel : public OpKernel {
     const Tensor& x = ctx.inputs[0];
     const PoolDims d = PoolDims::Make(x.shape(), ctx.attrs);
     const float count = static_cast<float>(d.kernel * d.kernel);
-    Tensor out(Shape{d.batch, d.c, d.oh, d.ow});
+    Tensor out = ctx.AllocateOutput(Shape{d.batch, d.c, d.oh, d.ow});
     const auto xv = x.values();
     auto ov = out.mutable_values();
-    std::vector<float> window(static_cast<size_t>(d.kernel * d.kernel));
-    for (int64_t n = 0; n < d.batch; ++n) {
-      for (int64_t c = 0; c < d.c; ++c) {
-        const int64_t plane = (n * d.c + c) * d.h * d.w;
+    // Planes are independent; each chunk draws its window gather from the arena.
+    ctx.For(d.batch * d.c, [&](int64_t begin, int64_t end) {
+      Tensor window_scratch = ctx.AllocateScratch(Shape{d.kernel * d.kernel});
+      const std::span<float> window = window_scratch.mutable_values();
+      for (int64_t r = begin; r < end; ++r) {
+        const int64_t plane = r * d.h * d.w;
         for (int64_t oy = 0; oy < d.oh; ++oy) {
           for (int64_t ox = 0; ox < d.ow; ++ox) {
             size_t p = 0;
@@ -139,12 +141,13 @@ class AvgPool2dKernel : public OpKernel {
                 window[p++] = xv[static_cast<size_t>(plane + iy * d.w + ix)];
               }
             }
-            ov[static_cast<size_t>(((n * d.c + c) * d.oh + oy) * d.ow + ox)] =
+            ov[static_cast<size_t>((r * d.oh + oy) * d.ow + ox)] =
                 ctx.device.Accumulate(window) / count;
           }
         }
       }
-    }
+      ctx.Recycle(std::move(window_scratch));
+    });
     return out;
   }
 
@@ -236,31 +239,35 @@ class AdaptiveAvgPool2dKernel : public OpKernel {
     const int64_t w = x.shape().dim(3);
     const int64_t oh = ctx.attrs.GetInt("out_h");
     const int64_t ow = ctx.attrs.GetInt("out_w");
-    Tensor out(Shape{batch, c, oh, ow});
+    Tensor out = ctx.AllocateOutput(Shape{batch, c, oh, ow});
     const auto xv = x.values();
     auto ov = out.mutable_values();
-    std::vector<float> window;
-    for (int64_t n = 0; n < batch; ++n) {
-      for (int64_t ch = 0; ch < c; ++ch) {
-        const int64_t plane = (n * c + ch) * h * w;
+    // Largest window any output cell can span: ceil(h/oh)+1 by ceil(w/ow)+1.
+    const int64_t max_win = ((h + oh - 1) / oh + 1) * ((w + ow - 1) / ow + 1);
+    ctx.For(batch * c, [&](int64_t begin, int64_t end) {
+      Tensor window_scratch = ctx.AllocateScratch(Shape{max_win});
+      const std::span<float> window = window_scratch.mutable_values();
+      for (int64_t r = begin; r < end; ++r) {
+        const int64_t plane = r * h * w;
         for (int64_t oy = 0; oy < oh; ++oy) {
           const int64_t y0 = oy * h / oh;
           const int64_t y1 = ((oy + 1) * h + oh - 1) / oh;
           for (int64_t ox = 0; ox < ow; ++ox) {
             const int64_t x0 = ox * w / ow;
             const int64_t x1 = ((ox + 1) * w + ow - 1) / ow;
-            window.clear();
+            size_t p = 0;
             for (int64_t iy = y0; iy < y1; ++iy) {
               for (int64_t ix = x0; ix < x1; ++ix) {
-                window.push_back(xv[static_cast<size_t>(plane + iy * w + ix)]);
+                window[p++] = xv[static_cast<size_t>(plane + iy * w + ix)];
               }
             }
-            ov[static_cast<size_t>(((n * c + ch) * oh + oy) * ow + ox)] =
-                ctx.device.Accumulate(window) / static_cast<float>(window.size());
+            ov[static_cast<size_t>((r * oh + oy) * ow + ox)] =
+                ctx.device.Accumulate(window.subspan(0, p)) / static_cast<float>(p);
           }
         }
       }
-    }
+      ctx.Recycle(std::move(window_scratch));
+    });
     return out;
   }
 

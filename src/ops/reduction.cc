@@ -64,18 +64,33 @@ class SumKernel : public ReduceKernelBase {
   Tensor Forward(const OpContext& ctx) const override {
     const Tensor& x = ctx.inputs[0];
     const ReduceView view = ReduceView::Make(x.shape(), ctx.attrs);
-    Tensor out(view.out_shape);
+    Tensor out = ctx.AllocateOutput(view.out_shape);
     const auto xv = x.values();
     auto ov = out.mutable_values();
-    std::vector<float> buf(static_cast<size_t>(view.n));
-    for (int64_t o = 0; o < view.outer; ++o) {
-      for (int64_t in = 0; in < view.inner; ++in) {
+    if (view.inner == 1) {
+      // Last-axis reduction: slices are contiguous, so Accumulate reads the input in
+      // place (and its SIMD path engages on vector-eligible profiles).
+      ctx.For(view.outer, [&](int64_t begin, int64_t end) {
+        for (int64_t o = begin; o < end; ++o) {
+          ov[static_cast<size_t>(o)] = ctx.device.Accumulate(
+              xv.subspan(static_cast<size_t>(o * view.n), static_cast<size_t>(view.n)));
+        }
+      });
+      return out;
+    }
+    ctx.For(view.outer * view.inner, [&](int64_t begin, int64_t end) {
+      Tensor gather = ctx.AllocateScratch(Shape{view.n});
+      const std::span<float> buf = gather.mutable_values();
+      for (int64_t r = begin; r < end; ++r) {
+        const int64_t o = r / view.inner;
+        const int64_t in = r % view.inner;
         for (int64_t i = 0; i < view.n; ++i) {
           buf[static_cast<size_t>(i)] = xv[static_cast<size_t>(view.InOffset(o, i, in))];
         }
         ov[static_cast<size_t>(view.OutOffset(o, in))] = ctx.device.Accumulate(buf);
       }
-    }
+      ctx.Recycle(std::move(gather));
+    });
     return out;
   }
 
@@ -123,19 +138,34 @@ class MeanKernel : public ReduceKernelBase {
   Tensor Forward(const OpContext& ctx) const override {
     const Tensor& x = ctx.inputs[0];
     const ReduceView view = ReduceView::Make(x.shape(), ctx.attrs);
-    Tensor out(view.out_shape);
+    Tensor out = ctx.AllocateOutput(view.out_shape);
     const auto xv = x.values();
     auto ov = out.mutable_values();
-    std::vector<float> buf(static_cast<size_t>(view.n));
-    for (int64_t o = 0; o < view.outer; ++o) {
-      for (int64_t in = 0; in < view.inner; ++in) {
+    const float n = static_cast<float>(view.n);
+    if (view.inner == 1) {
+      ctx.For(view.outer, [&](int64_t begin, int64_t end) {
+        for (int64_t o = begin; o < end; ++o) {
+          ov[static_cast<size_t>(o)] =
+              ctx.device.Accumulate(xv.subspan(static_cast<size_t>(o * view.n),
+                                               static_cast<size_t>(view.n))) /
+              n;
+        }
+      });
+      return out;
+    }
+    ctx.For(view.outer * view.inner, [&](int64_t begin, int64_t end) {
+      Tensor gather = ctx.AllocateScratch(Shape{view.n});
+      const std::span<float> buf = gather.mutable_values();
+      for (int64_t r = begin; r < end; ++r) {
+        const int64_t o = r / view.inner;
+        const int64_t in = r % view.inner;
         for (int64_t i = 0; i < view.n; ++i) {
           buf[static_cast<size_t>(i)] = xv[static_cast<size_t>(view.InOffset(o, i, in))];
         }
-        ov[static_cast<size_t>(view.OutOffset(o, in))] =
-            ctx.device.Accumulate(buf) / static_cast<float>(view.n);
+        ov[static_cast<size_t>(view.OutOffset(o, in))] = ctx.device.Accumulate(buf) / n;
       }
-    }
+      ctx.Recycle(std::move(gather));
+    });
     return out;
   }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "src/device/simd.h"
+
 namespace tao {
 namespace {
 
@@ -129,6 +131,11 @@ std::vector<NamedCounter> NamedCounters(const MetricsSnapshot& snapshot,
   add("latency/p50_ms", snapshot.LatencyPercentileMillis(0.50));
   add("latency/p99_ms", snapshot.LatencyPercentileMillis(0.99));
   add("elapsed_seconds", snapshot.elapsed_seconds);
+  // Live dispatch gauge, not a snapshot field: the backend is a process-wide
+  // property decided once at startup, and dashboards need it next to the claim
+  // counters to attribute a host's throughput to the kernel path that produced it.
+  add("backend/simd_avx2",
+      ActiveSimdBackend() == SimdBackend::kAvx2 ? 1.0 : 0.0);
   return counters;
 }
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "src/device/simd.h"
 #include "src/util/check.h"
 
 namespace tao {
@@ -28,6 +29,8 @@ VerificationService::VerificationService(const Model& model,
       queue_(options_.queue_capacity, options_.admission, options_.per_submitter_cap),
       former_(options_.batching) {
   TAO_CHECK(options_.num_workers >= 1) << "service needs at least one verify worker";
+  // Record which kernel backend serves this host's commitments (once per process).
+  LogSimdBackendOnce();
   // One resolve lane per coordinator shard: lane k is the only thread that ever
   // touches shard k, which is what makes each shard's history single-writer.
   const size_t num_lanes = coordinator.num_shards();

@@ -1,13 +1,20 @@
 // Tests for the simulated accelerator fleet: reduction orderings must agree to within
 // IEEE-754 reassociation error, genuinely differ bitwise on hard inputs, and be
-// deterministic per profile.
+// deterministic per profile. The SIMD backend (src/device/simd.h) additionally must
+// be BITWISE identical to the scalar fixed-tree loops — commitments hash exact FP32
+// values, so "close" is not good enough; every equality below is on bit patterns.
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/device/device.h"
+#include "src/device/simd.h"
 #include "src/util/rng.h"
 
 namespace tao {
@@ -176,6 +183,258 @@ TEST_P(AccumOrderTest, AllOrdersWithinEnvelopeAcrossSizes) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, AccumOrderTest,
                          ::testing::Values(1, 2, 3, 7, 8, 9, 63, 64, 65, 127, 1000, 4096));
+
+// ---------------------------------------------------------------------------------
+// SIMD backend: bitwise equivalence with the scalar fixed-tree loops.
+// ---------------------------------------------------------------------------------
+
+// Bit-pattern equality: distinguishes -0 from +0 and treats identical NaNs as equal,
+// which is the standard a hashed commitment actually imposes.
+::testing::AssertionResult BitEq(float a, float b) {
+  if (std::bit_cast<uint32_t>(a) == std::bit_cast<uint32_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << std::hexfloat << a << " (0x" << std::hex << std::bit_cast<uint32_t>(a)
+         << ") vs " << std::hexfloat << b << " (0x" << std::hex
+         << std::bit_cast<uint32_t>(b) << ")";
+}
+
+// Adversarial float mix: gaussians spiked with signed zeros, denormals, and
+// magnitude cliffs, so tail handling and lane combines see the hard cases.
+std::vector<float> HardVector(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    switch (rng.NextBounded(8)) {
+      case 0:
+        v[i] = (rng.NextU64() & 1) ? 0.0f : -0.0f;
+        break;
+      case 1:
+        v[i] = 1e-40f * static_cast<float>(rng.NextGaussian());  // denormal range
+        break;
+      case 2:
+        v[i] = 1e12f * static_cast<float>(rng.NextGaussian());
+        break;
+      default:
+        v[i] = static_cast<float>(rng.NextGaussian());
+    }
+  }
+  return v;
+}
+
+const std::vector<size_t>& SimdSizes() {
+  // Crosses every tail length mod 8 plus the n <= 8 sequential-rule boundary.
+  static const std::vector<size_t> kSizes = {0,  1,  2,   3,   7,    8,    9,   15,
+                                             16, 17, 63,  64,  65,   100,  127, 128,
+                                             129, 1000, 4095, 4096, 4097};
+  return kSizes;
+}
+
+class SimdEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!SimdBackendSupported(SimdBackend::kAvx2)) {
+      GTEST_SKIP() << "AVX2 unavailable; scalar fallback is the only backend";
+    }
+  }
+};
+
+TEST_F(SimdEquivalenceTest, SumBitwiseAcrossSizesAndAlignments) {
+  for (const size_t n : SimdSizes()) {
+    // +9 so every offset below stays in bounds.
+    const auto xs = HardVector(n + 9, 0x51d0 + n);
+    for (const size_t offset : {size_t{0}, size_t{1}, size_t{3}, size_t{9}}) {
+      float scalar_sum = 0.0f, simd_sum = 0.0f;
+      {
+        ScopedSimdBackend force(SimdBackend::kScalar);
+        scalar_sum = simd::SumStrided8(xs.data() + offset, static_cast<int64_t>(n));
+      }
+      {
+        ScopedSimdBackend force(SimdBackend::kAvx2);
+        simd_sum = simd::SumStrided8(xs.data() + offset, static_cast<int64_t>(n));
+      }
+      EXPECT_TRUE(BitEq(scalar_sum, simd_sum)) << "n=" << n << " offset=" << offset;
+    }
+  }
+}
+
+TEST_F(SimdEquivalenceTest, DotBitwiseAcrossSizesStridesAndAlignments) {
+  // Strides cover the matmul fast path (1,1), the fallback's column walk (1,n) which
+  // exercises the gather kernel, and a doubly-strided case.
+  const std::vector<std::pair<int64_t, int64_t>> strides = {{1, 1}, {1, 7}, {3, 1}, {2, 5}};
+  for (const size_t n : SimdSizes()) {
+    for (const auto& [sa, sb] : strides) {
+      const auto a = HardVector(n * static_cast<size_t>(sa) + 9, 0xd07a + n);
+      const auto b = HardVector(n * static_cast<size_t>(sb) + 9, 0xd07b + n);
+      for (const size_t offset : {size_t{0}, size_t{1}}) {
+        float scalar_dot = 0.0f, simd_dot = 0.0f;
+        {
+          ScopedSimdBackend force(SimdBackend::kScalar);
+          scalar_dot = simd::DotStrided8(a.data() + offset, sa, b.data() + offset, sb,
+                                         static_cast<int64_t>(n));
+        }
+        {
+          ScopedSimdBackend force(SimdBackend::kAvx2);
+          simd_dot = simd::DotStrided8(a.data() + offset, sa, b.data() + offset, sb,
+                                       static_cast<int64_t>(n));
+        }
+        EXPECT_TRUE(BitEq(scalar_dot, simd_dot))
+            << "n=" << n << " sa=" << sa << " sb=" << sb << " offset=" << offset;
+      }
+    }
+  }
+}
+
+TEST_F(SimdEquivalenceTest, ElementwiseHelpersBitwise) {
+  const size_t n = 1003;  // tail of 3 mod 8
+  const auto a = HardVector(n, 0xe1e1);
+  const auto b = HardVector(n, 0xe2e2);
+  std::vector<float> scalar_out(n), simd_out(n);
+  const auto check = [&](const char* what, const std::function<void(float*)>& run) {
+    ScopedSimdBackend scalar(SimdBackend::kScalar);
+    run(scalar_out.data());
+    {
+      ScopedSimdBackend avx2(SimdBackend::kAvx2);
+      run(simd_out.data());
+    }
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(BitEq(scalar_out[i], simd_out[i])) << what << " i=" << i;
+    }
+  };
+  const int64_t sn = static_cast<int64_t>(n);
+  check("add", [&](float* o) { simd::AddVec(a.data(), b.data(), o, sn); });
+  check("sub", [&](float* o) { simd::SubVec(a.data(), b.data(), o, sn); });
+  check("mul", [&](float* o) { simd::MulVec(a.data(), b.data(), o, sn); });
+  check("div", [&](float* o) { simd::DivVec(a.data(), b.data(), o, sn); });
+  check("relu", [&](float* o) { simd::Relu(a.data(), o, sn); });
+  check("neg", [&](float* o) { simd::Neg(a.data(), o, sn); });
+  check("norm_affine", [&](float* o) {
+    simd::NormAffine(a.data(), 0.125f, 1.5f, b.data(), a.data(), o, sn);
+  });
+  check("center_square",
+        [&](float* o) { simd::CenterSquare(a.data(), -0.25f, o, sn); });
+}
+
+TEST_F(SimdEquivalenceTest, RowMaxMatchesScalarFold) {
+  for (const size_t n : SimdSizes()) {
+    if (n == 0) {
+      continue;  // RowMax requires a nonempty row (softmax rows are nonempty)
+    }
+    const auto xs = HardVector(n, 0x3a41 + n);
+    float scalar_max = 0.0f, simd_max = 0.0f;
+    {
+      ScopedSimdBackend force(SimdBackend::kScalar);
+      scalar_max = simd::RowMax(xs.data(), static_cast<int64_t>(n));
+    }
+    {
+      ScopedSimdBackend force(SimdBackend::kAvx2);
+      simd_max = simd::RowMax(xs.data(), static_cast<int64_t>(n));
+    }
+    // The vector fold may legitimately differ only in the sign of a zero maximum
+    // (documented in simd.h; invisible through exp()). Everything else is bitwise.
+    if (scalar_max == 0.0f && simd_max == 0.0f) {
+      continue;
+    }
+    EXPECT_TRUE(BitEq(scalar_max, simd_max)) << "n=" << n;
+  }
+}
+
+TEST(SimdProfileTest, StridedVectorIsBitwiseAliasOfStridedBlock8) {
+  DeviceProfile strided = DeviceRegistry::Reference();
+  strided.order = AccumulationOrder::kStrided;
+  strided.block = 8;
+  DeviceProfile vec = strided;
+  vec.order = AccumulationOrder::kStridedVector;
+  ASSERT_TRUE(strided.vector_eligible());
+  ASSERT_TRUE(vec.vector_eligible());
+  for (const size_t n : SimdSizes()) {
+    const auto xs = HardVector(n, 0xa11a + n);
+    const auto ys = HardVector(n, 0xa22a + n);
+    EXPECT_TRUE(BitEq(strided.Accumulate(xs), vec.Accumulate(xs))) << "n=" << n;
+    if (n > 0) {
+      EXPECT_TRUE(BitEq(
+          strided.DotStrided(xs.data(), 1, ys.data(), 1, static_cast<int64_t>(n)),
+          vec.DotStrided(xs.data(), 1, ys.data(), 1, static_cast<int64_t>(n))))
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(SimdProfileTest, VectorPathEqualsScalarStridedSemantics) {
+  // The dispatched vector-eligible path must reproduce the *profile semantics*
+  // (kStrided block=8 staged products), not merely agree with itself: compare the
+  // RTX6000 vector profile against a plain kStrided(8) profile forced scalar.
+  const DeviceProfile& rtx6000 = DeviceRegistry::ByName("RTX6000");
+  ASSERT_TRUE(rtx6000.vector_eligible());
+  DeviceProfile pinned = rtx6000;
+  pinned.order = AccumulationOrder::kStrided;
+  pinned.block = 8;
+  for (const size_t n : SimdSizes()) {
+    const auto xs = HardVector(n, 0xbead + n);
+    const auto ys = HardVector(n, 0xcead + n);
+    float pinned_sum = 0.0f, pinned_dot = 0.0f;
+    {
+      ScopedSimdBackend force(SimdBackend::kScalar);
+      pinned_sum = pinned.Accumulate(xs);
+      pinned_dot = pinned.DotStrided(xs.data(), 1, ys.data(), 1,
+                                     static_cast<int64_t>(n));
+    }
+    EXPECT_TRUE(BitEq(rtx6000.Accumulate(xs), pinned_sum)) << "n=" << n;
+    EXPECT_TRUE(BitEq(rtx6000.DotStrided(xs.data(), 1, ys.data(), 1,
+                                         static_cast<int64_t>(n)),
+                      pinned_dot))
+        << "n=" << n;
+  }
+}
+
+TEST(SimdProfileTest, NonEligibleProfilesNeverTakeVectorPath) {
+  // Sequential/tree/blocked orders cannot be reproduced by the 8-lane unit; their
+  // results must be independent of the dispatch decision.
+  for (const auto& d : DeviceRegistry::Fleet()) {
+    if (d.vector_eligible()) {
+      continue;
+    }
+    const auto xs = HardVector(1001, 0xf1ee);
+    float scalar_sum = 0.0f;
+    {
+      ScopedSimdBackend force(SimdBackend::kScalar);
+      scalar_sum = d.Accumulate(xs);
+    }
+    if (SimdBackendSupported(SimdBackend::kAvx2)) {
+      ScopedSimdBackend force(SimdBackend::kAvx2);
+      EXPECT_TRUE(BitEq(d.Accumulate(xs), scalar_sum)) << d.name;
+    }
+  }
+}
+
+TEST(SimdProfileTest, BackendNamesAndSupport) {
+  EXPECT_STREQ(SimdBackendName(SimdBackend::kScalar), "scalar");
+  EXPECT_STREQ(SimdBackendName(SimdBackend::kAvx2), "avx2");
+  EXPECT_TRUE(SimdBackendSupported(SimdBackend::kScalar));
+  // ActiveSimdBackend always resolves to something this host supports.
+  EXPECT_TRUE(SimdBackendSupported(ActiveSimdBackend()));
+}
+
+TEST(FleetSignatureTest, StableUnderVectorRelabelOnly) {
+  std::vector<DeviceProfile> fleet = DeviceRegistry::Fleet();
+  const std::string sig = FleetSignature(fleet);
+  // Relabelling kStridedVector back to kStrided(8) is arithmetic-neutral: the
+  // signature must not move (published calibrations stay valid).
+  for (DeviceProfile& d : fleet) {
+    if (d.order == AccumulationOrder::kStridedVector) {
+      d.order = AccumulationOrder::kStrided;
+      d.block = 8;
+    }
+  }
+  EXPECT_EQ(FleetSignature(fleet), sig);
+  // Any arithmetic change must move it.
+  fleet[0].fma = !fleet[0].fma;
+  EXPECT_NE(FleetSignature(fleet), sig);
+  fleet[0].fma = !fleet[0].fma;
+  fleet[1].order = AccumulationOrder::kReversed;
+  EXPECT_NE(FleetSignature(fleet), sig);
+}
 
 }  // namespace
 }  // namespace tao

@@ -198,5 +198,24 @@ TEST(SerializeTest, RejectsWrongHeader) {
   EXPECT_DEATH(DeserializeThresholds("bogus v9\n"), "tao-thresholds");
 }
 
+TEST(SerializeTest, V2CarriesFleetSignature) {
+  Bundle& bundle = BertBundle();
+  const std::string sig = FleetSignature(DeviceRegistry::Fleet());
+  ASSERT_FALSE(sig.empty());
+  const std::string text = SerializeThresholds(bundle.thresholds, sig);
+  EXPECT_NE(text.find("tao-thresholds v2"), std::string::npos);
+  std::string loaded_sig;
+  const ThresholdSet loaded = DeserializeThresholds(text, &loaded_sig);
+  // A loader compares the embedded signature against its own fleet: equality means
+  // the calibration still describes this fleet's arithmetic; a mismatch means the
+  // fleet composition drifted and the thresholds must be recalibrated.
+  EXPECT_EQ(loaded_sig, sig);
+  EXPECT_EQ(DigestToHex(loaded.CommitRoot()), DigestToHex(bundle.thresholds.CommitRoot()));
+  // v1 files still parse, reporting no signature.
+  std::string legacy_sig = "sentinel";
+  (void)DeserializeThresholds(SerializeThresholds(bundle.thresholds), &legacy_sig);
+  EXPECT_TRUE(legacy_sig.empty());
+}
+
 }  // namespace
 }  // namespace tao

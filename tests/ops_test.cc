@@ -6,10 +6,14 @@
 // confidence).
 
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
 #include "src/device/device.h"
+#include "src/device/simd.h"
+#include "src/graph/executor.h"
+#include "src/models/model_zoo.h"
 #include "src/ops/op_kernel.h"
 #include "src/util/rng.h"
 
@@ -479,6 +483,139 @@ TEST_F(OpsTest, DataMovementOpsHaveZeroBound) {
     for (int64_t i = 0; i < bound.numel(); ++i) {
       EXPECT_EQ(bound[i], 0.0) << op;
     }
+  }
+}
+
+// --------------------------- SIMD backend equivalence ------------------------------
+//
+// The vectorized backend (src/device/simd.h) claims bitwise identity with the scalar
+// fixed-tree loops. These sweeps check the claim where it matters: whole operator
+// forwards and bound templates on the fleet's vector-eligible profile, and full
+// zoo-model traces. Bitwise-equal outputs imply equal result commitments (C0 hashes
+// exact FP32 bytes), so a passing sweep means dispatch can never change a verdict.
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.values().data(), b.values().data(),
+                     a.values().size() * sizeof(float)) == 0;
+}
+
+bool BitwiseEqualD(const DTensor& a, const DTensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.values().data(), b.values().data(),
+                     a.values().size() * sizeof(double)) == 0;
+}
+
+std::vector<SoundnessCase> SimdSweepCases() {
+  std::vector<SoundnessCase> cases = SoundnessCases();
+  // Remainder-lane shapes: inner dimensions not divisible by 8 and below-8 tails.
+  cases.push_back({"matmul", {Shape{9, 37}, Shape{37, 11}}, {}, 1.0f});
+  cases.push_back({"matmul", {Shape{5, 7}, Shape{7, 3}}, {}, 1.0f});
+  cases.push_back({"bmm", {Shape{3, 6, 29}, Shape{3, 29, 5}}, {}, 1.0f});
+  cases.push_back({"linear", {Shape{6, 83}, Shape{13, 83}, Shape{13}}, {}, 1.0f});
+  {
+    Attrs a;
+    a.Set("axis", static_cast<int64_t>(-1));
+    cases.push_back({"softmax", {Shape{7, 101}}, a, 3.0f});
+    cases.push_back({"sum", {Shape{5, 999}}, a, 1.0f});
+    cases.push_back({"mean", {Shape{5, 999}}, a, 1.0f});
+  }
+  {
+    Attrs a;
+    a.Set("eps", 1e-5);
+    cases.push_back({"layer_norm", {Shape{3, 77}, Shape{77}, Shape{77}}, a, 2.0f});
+  }
+  {
+    Attrs a;
+    a.Set("out_h", static_cast<int64_t>(3));
+    a.Set("out_w", static_cast<int64_t>(5));
+    cases.push_back({"adaptive_avg_pool2d", {Shape{2, 3, 11, 13}}, a, 1.0f});
+  }
+  {
+    Attrs a;
+    a.Set("kernel", static_cast<int64_t>(3));
+    a.Set("stride", static_cast<int64_t>(2));
+    cases.push_back({"avg_pool2d", {Shape{2, 3, 13, 13}}, a, 1.0f});
+  }
+  cases.push_back({"relu", {Shape{1001}}, {}, 1.0f});
+  cases.push_back({"neg", {Shape{1001}}, {}, 1.0f});
+  cases.push_back({"sub", {Shape{515}, Shape{515}}, {}, 1.0f});
+  cases.push_back({"div", {Shape{515}, Shape{515}}, {}, 1.0f});
+  return cases;
+}
+
+class SimdOpSweepTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    RegisterAllOps();
+    if (!SimdBackendSupported(SimdBackend::kAvx2)) {
+      GTEST_SKIP() << "AVX2 unavailable; only the scalar backend exists here";
+    }
+  }
+};
+
+TEST_P(SimdOpSweepTest, ForwardAndBoundBitwiseScalarVsSimd) {
+  const SoundnessCase c = SimdSweepCases()[static_cast<size_t>(GetParam())];
+  std::vector<Tensor> inputs;
+  for (size_t i = 0; i < c.shapes.size(); ++i) {
+    inputs.push_back(RandTensor(c.shapes[i], 300 + GetParam() * 10 + i, c.scale));
+  }
+  // RTX6000 carries kStridedVector — the one profile whose reductions dispatch to
+  // the vector backend.
+  const DeviceProfile& device = DeviceRegistry::ByName("RTX6000");
+  ASSERT_TRUE(device.vector_eligible());
+  const OpKernel& kernel = OpRegistry::Instance().Get(c.op);
+  Tensor out_scalar, out_simd;
+  DTensor bound_scalar, bound_simd;
+  {
+    ScopedSimdBackend force(SimdBackend::kScalar);
+    out_scalar = kernel.Forward({device, inputs, c.attrs});
+    bound_scalar = kernel.Bound({device, inputs, out_scalar, c.attrs,
+                                 BoundMode::kDeterministic, kDefaultLambda});
+  }
+  {
+    ScopedSimdBackend force(SimdBackend::kAvx2);
+    out_simd = kernel.Forward({device, inputs, c.attrs});
+    bound_simd = kernel.Bound({device, inputs, out_simd, c.attrs,
+                               BoundMode::kDeterministic, kDefaultLambda});
+  }
+  EXPECT_TRUE(BitwiseEqual(out_scalar, out_simd)) << c.op;
+  EXPECT_TRUE(BitwiseEqualD(bound_scalar, bound_simd)) << c.op;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, SimdOpSweepTest,
+                         ::testing::Range(0, static_cast<int>(SimdSweepCases().size())));
+
+TEST(SimdZooTraceTest, FullTracesAndBoundsBitwiseStableAcrossBackends) {
+  if (!SimdBackendSupported(SimdBackend::kAvx2)) {
+    GTEST_SKIP() << "AVX2 unavailable; only the scalar backend exists here";
+  }
+  RegisterAllOps();
+  const DeviceProfile& device = DeviceRegistry::ByName("RTX6000");
+  ExecutorOptions options;
+  options.with_bounds = true;
+  options.bound_mode = BoundMode::kDeterministic;
+  for (const Model& model : {BuildBertMini(), BuildResNetMini()}) {
+    Rng rng(0x700d);
+    const std::vector<Tensor> input = model.sample_input(rng);
+    const Executor exec(*model.graph, device);
+    ExecutionTrace scalar_trace, simd_trace;
+    {
+      ScopedSimdBackend force(SimdBackend::kScalar);
+      scalar_trace = exec.Run(input, options);
+    }
+    {
+      ScopedSimdBackend force(SimdBackend::kAvx2);
+      simd_trace = exec.Run(input, options);
+    }
+    for (const NodeId id : model.graph->op_nodes()) {
+      ASSERT_TRUE(BitwiseEqual(scalar_trace.value(id), simd_trace.value(id)))
+          << model.name << " node " << id;
+      ASSERT_TRUE(BitwiseEqualD(scalar_trace.bound(id), simd_trace.bound(id)))
+          << model.name << " node " << id;
+    }
+    // Equal per-node values means equal canonical serializations, hence equal C0
+    // result commitments and identical threshold verdicts for any challenger.
   }
 }
 
