@@ -1,0 +1,137 @@
+// Async per-shard changelog writer + changelog file reader (docs/durability.md).
+//
+// One ChangelogWriter serves every shard of a coordinator: coordinator actions are
+// framed on the caller's thread (under the shard lock, so log order == lock order)
+// and handed to a single background thread that batches write(2) calls and applies
+// the fsync policy. The hot path therefore costs one heap append + cv notify —
+// never a syscall. Snapshot jobs ride the same queue BEHIND the records they cover,
+// so a committed snapshot on disk never claims coverage the log can't back.
+//
+// Crash injection: when DurabilityOptions::crash_hook is set, the writer consults
+// it at each CrashPoint; a `true` return makes the writer go dead — every
+// subsequent append/flush/snapshot is silently dropped, exactly as if the process
+// had been killed at that instant. Flush() barriers still release (the harness's
+// process is alive and must not hang), they just no longer promise durability.
+
+#ifndef TAO_SRC_DURABILITY_CHANGELOG_H_
+#define TAO_SRC_DURABILITY_CHANGELOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/durability/framing.h"
+#include "src/durability/options.h"
+
+namespace tao {
+
+// File layout inside DurabilityOptions::directory.
+std::string ChangelogPath(const std::string& directory, size_t shard);
+std::string SnapshotPath(const std::string& directory, size_t shard);
+std::string SnapshotTmpPath(const std::string& directory, size_t shard);
+
+inline constexpr char kChangelogMagic[8] = {'T', 'A', 'O', 'W', 'A', 'L', '0', '1'};
+inline constexpr char kSnapshotMagic[8] = {'T', 'A', 'O', 'S', 'N', 'A', 'P', '1'};
+
+// One changelog file, decoded. `records` holds the payload of every intact frame;
+// `valid_bytes` is the prefix (header + intact frames) a recovered writer keeps,
+// `truncated_bytes` the torn-tail remainder it drops.
+struct ChangelogContents {
+  FileHeader header;
+  std::vector<std::vector<uint8_t>> records;
+  uint64_t valid_bytes = 0;
+  uint64_t truncated_bytes = 0;
+  bool torn_tail = false;
+};
+
+// Reads + validates one changelog file. A missing file sets `exists = false` and
+// returns kOk (an empty log is a legal fresh state). A torn tail is kOk (recorded
+// in `out`); a corrupt record or header is the corresponding typed error.
+RecoveryStatus ReadChangelogFile(const std::string& path, const char magic[8],
+                                 ChangelogContents& out, bool& exists);
+
+// One snapshot file: a file header (base_record = records covered) + one framed
+// payload. Used for both the committed snapshot and — during recovery inspection
+// only — a leftover tmp.
+RecoveryStatus ReadSnapshotFile(const std::string& path, const char magic[8],
+                                FileHeader& header, std::vector<uint8_t>& payload,
+                                bool& exists);
+
+class ChangelogWriter {
+ public:
+  // `model_id` is the owning coordinator's ModelId (plain uint64_t here to keep
+  // this header free of protocol includes); it is stamped into every file header.
+  ChangelogWriter(DurabilityOptions options, size_t num_shards, uint64_t model_id);
+  ~ChangelogWriter();
+
+  // Opens every shard's changelog and starts the writer thread. `valid_bytes[s]`
+  // is the intact prefix recovery validated (0 for a fresh shard): the file is
+  // truncated there — dropping any torn tail — before appends resume.
+  RecoveryStatus Start(const std::vector<uint64_t>& valid_bytes);
+
+  // Queues one record for `shard`. Caller holds the shard lock, which is what
+  // serializes the queue order for that shard. Never blocks on I/O.
+  void Append(size_t shard, std::span<const uint8_t> payload);
+
+  // Queues an atomic snapshot write (tmp + fsync + rename) for `shard`, covering
+  // the shard's first `covered` records. Must be queued after those records.
+  void WriteSnapshot(size_t shard, std::vector<uint8_t> payload, uint64_t covered);
+
+  // Barrier: returns once every previously queued item is on disk (fsynced unless
+  // the policy is kNever) — or immediately once the writer is dead.
+  void Flush();
+
+  DurabilityStats stats() const;
+  bool dead() const { return dead_.load(std::memory_order_acquire); }
+
+ private:
+  struct Item {
+    enum class Kind { kRecord, kSnapshot, kBarrier } kind = Kind::kRecord;
+    size_t shard = 0;
+    std::vector<uint8_t> bytes;   // framed record / snapshot payload
+    uint64_t covered = 0;         // kSnapshot
+    uint64_t barrier_id = 0;      // kBarrier
+  };
+
+  void Run();
+  // Each returns false once the writer goes dead.
+  bool WriteBatch(size_t shard, std::vector<Item>& items);
+  bool WriteSnapshotFile(const Item& item);
+  void MaybeFsync(size_t shard);
+  bool Crash(CrashPoint point, size_t shard);
+
+  const DurabilityOptions options_;
+  const size_t num_shards_;
+  const uint64_t model_id_;
+
+  std::vector<int> fds_;  // one changelog fd per shard; -1 until Start
+  std::vector<std::chrono::steady_clock::time_point> last_fsync_;
+  std::vector<bool> dirty_;  // bytes written since last fsync
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        // queue became non-empty / stopping
+  std::condition_variable done_cv_;   // barrier completed
+  std::deque<Item> queue_;
+  uint64_t next_barrier_ = 1;
+  uint64_t completed_barrier_ = 0;
+  bool stopping_ = false;
+  std::thread thread_;
+
+  std::atomic<bool> dead_{false};
+  std::atomic<int64_t> records_appended_{0};
+  std::atomic<int64_t> bytes_appended_{0};
+  std::atomic<int64_t> flushes_{0};
+  std::atomic<int64_t> fsyncs_{0};
+  std::atomic<int64_t> snapshots_written_{0};
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_DURABILITY_CHANGELOG_H_

@@ -1,0 +1,125 @@
+// Durability configuration and observability types (see docs/durability.md).
+//
+// This header is dependency-free on purpose: `src/protocol/coordinator.h` includes
+// it to take a DurabilityOptions in its constructor, while the changelog/snapshot
+// machinery (`changelog.h`, `coordinator_log.h`) depends on the coordinator's types
+// — keeping options/stats here breaks that cycle.
+
+#ifndef TAO_SRC_DURABILITY_OPTIONS_H_
+#define TAO_SRC_DURABILITY_OPTIONS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace tao {
+
+// When the changelog writer thread issues fsync(2) for appended records.
+enum class FsyncPolicy {
+  // Never fsync: the OS page cache decides when bytes reach media. Fastest; a
+  // *host* crash can lose acknowledged records (a process crash cannot — the
+  // kernel owns written bytes either way).
+  kNever,
+  // Group commit (default): the writer fsyncs a file at most once per
+  // `group_commit_interval_ms`, so one sync amortizes over every record appended
+  // in the window — the async_change_log batching idea.
+  kGroupCommit,
+  // fsync after every writer flush. Strongest; the bench quantifies the cost.
+  kEveryFlush,
+};
+
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+// Crash-injection points of the test harness (tests/durability_test.cc). Each marks
+// a boundary where a real process death would leave a distinct on-disk shape; the
+// injected "crash" makes the writer go dead (drop all subsequent writes) exactly
+// there, so recovery can be asserted against every shape.
+enum class CrashPoint {
+  kPreFlush,         // buffered records were never written
+  kMidRecord,        // a record's frame was torn mid-write
+  kPostSnapshotTmp,  // snapshot tmp file written, not yet fsynced or renamed
+  kPreRename,        // snapshot tmp fsynced, rename never happened
+};
+
+const char* CrashPointName(CrashPoint point);
+
+// Test hook: return true to simulate a crash at this point (the writer goes dead —
+// every later append/flush/snapshot is silently dropped, like a killed process).
+// Called on the writer thread. Production leaves it unset.
+using CrashHook = std::function<bool(CrashPoint point, size_t shard)>;
+
+struct DurabilityOptions {
+  // Root directory of the per-shard changelogs and snapshots. Empty (default) means
+  // in-memory only: no files, no writer thread, zero hot-path cost beyond one
+  // null-pointer branch per coordinator action.
+  std::string directory;
+  FsyncPolicy fsync = FsyncPolicy::kGroupCommit;
+  // Minimum milliseconds between fsyncs of one file under kGroupCommit.
+  int64_t group_commit_interval_ms = 20;
+  // Write a shard snapshot every this many records appended to that shard's log
+  // (0 = never snapshot; recovery then replays the whole log).
+  uint64_t snapshot_interval_records = 4096;
+  CrashHook crash_hook;  // tests only
+};
+
+// Typed recovery outcome. Anything but kOk means the on-disk state is damaged in a
+// way recovery refuses to paper over (the "fail loudly, never silently diverge"
+// contract); kTornTail is NOT an error — a torn final record is the expected shape
+// of a crash mid-append and is truncated away.
+enum class RecoveryCode {
+  kOk,
+  kBadHeader,        // changelog/snapshot magic or version unrecognized
+  kShardMismatch,    // file was written by a different shard layout or model
+  kCorruptRecord,    // a fully-present changelog record fails its CRC/length check
+  kCorruptSnapshot,  // a renamed (i.e. committed) snapshot fails validation
+  kLogGap,           // changelog starts after the newest snapshot's coverage ends
+  kIoError,          // open/read/create failed
+};
+
+const char* RecoveryCodeName(RecoveryCode code);
+
+struct RecoveryStatus {
+  RecoveryCode code = RecoveryCode::kOk;
+  std::string message;
+
+  bool ok() const { return code == RecoveryCode::kOk; }
+};
+
+// Per-shard recovery accounting (what the durability metrics export and the crash
+// harness asserts prefix-consistency against).
+struct ShardRecoveryInfo {
+  uint64_t snapshot_records = 0;  // records covered by the snapshot that was loaded
+  uint64_t replayed_records = 0;  // changelog tail records applied after it
+  uint64_t total_records = 0;     // snapshot_records + replayed_records
+  uint64_t truncated_bytes = 0;   // torn-tail bytes dropped from the changelog
+  bool loaded_snapshot = false;
+};
+
+struct RecoveryInfo {
+  bool recovered = false;  // false = the directory was fresh (or durability is off)
+  std::vector<ShardRecoveryInfo> shards;
+
+  uint64_t total_replayed() const {
+    uint64_t total = 0;
+    for (const ShardRecoveryInfo& shard : shards) {
+      total += shard.replayed_records;
+    }
+    return total;
+  }
+};
+
+// Monotonic counters of the durability pipeline, snapshot-readable while serving
+// (exported as `durability/...` by the service metrics).
+struct DurabilityStats {
+  int64_t records_appended = 0;
+  int64_t bytes_appended = 0;   // framed bytes handed to the writer
+  int64_t flushes = 0;          // writer write() batches
+  int64_t fsyncs = 0;
+  int64_t snapshots_written = 0;
+  int64_t recovery_replayed = 0;  // tail records replayed at construction
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_DURABILITY_OPTIONS_H_

@@ -1,5 +1,9 @@
 #include "src/protocol/coordinator.h"
 
+#include <utility>
+
+#include "src/durability/coordinator_log.h"
+
 namespace tao {
 
 const char* ClaimStateName(ClaimState state) {
@@ -19,12 +23,188 @@ const char* ClaimStateName(ClaimState state) {
 }
 
 Coordinator::Coordinator(GasSchedule schedule, uint64_t round_timeout, size_t num_shards,
-                         ModelId model_id)
+                         ModelId model_id, DurabilityOptions durability,
+                         RecoveryStatus* recovery_status)
     : schedule_(schedule), round_timeout_(round_timeout), model_id_(model_id) {
   TAO_CHECK_GE(num_shards, 1u) << "coordinator needs at least one shard";
   shards_.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
+  }
+  RecoveryStatus status;
+  if (!durability.directory.empty()) {
+    status = InitDurability(std::move(durability));
+  }
+  if (!status.ok()) {
+    durability_.reset();
+    TAO_CHECK(recovery_status != nullptr)
+        << "coordinator recovery failed [" << RecoveryCodeName(status.code)
+        << "]: " << status.message;
+  }
+  if (recovery_status != nullptr) {
+    *recovery_status = status;
+  }
+}
+
+Coordinator::~Coordinator() = default;
+
+RecoveryStatus Coordinator::InitDurability(DurabilityOptions options) {
+  auto durability = std::make_unique<CoordinatorDurability>(
+      options, shards_.size(), static_cast<uint64_t>(model_id_));
+  std::vector<ShardDiskState> disk(shards_.size());
+  recovery_info_ = RecoveryInfo{};
+  recovery_info_.shards.resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    RecoveryStatus status = LoadShardDiskState(options, s, shards_.size(),
+                                               static_cast<uint64_t>(model_id_), disk[s]);
+    if (!status.ok()) {
+      return status;
+    }
+    recovery_info_.recovered =
+        recovery_info_.recovered || disk[s].changelog_exists || disk[s].has_snapshot;
+  }
+  // Rebuild state single-threaded, BEFORE the writer exists: snapshot image first,
+  // then the logged tail through the very transition methods that produced it.
+  replaying_ = true;
+  int64_t replayed_total = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const ShardDiskState& state = disk[s];
+    if (state.has_snapshot) {
+      RestoreShard(s, state.snapshot);
+    }
+    for (const CoordinatorAction& action : state.tail) {
+      RecoveryStatus status = ApplyLoggedAction(s, action);
+      if (!status.ok()) {
+        replaying_ = false;
+        return status;
+      }
+    }
+    ShardRecoveryInfo& info = recovery_info_.shards[s];
+    info.snapshot_records = state.snapshot_covered;
+    info.replayed_records = state.tail.size();
+    info.total_records = state.log_records;
+    info.truncated_bytes = state.truncated_bytes;
+    info.loaded_snapshot = state.has_snapshot;
+    replayed_total += static_cast<int64_t>(state.tail.size());
+  }
+  replaying_ = false;
+  durability->set_recovery_replayed(replayed_total);
+  RecoveryStatus status = durability->Start(disk);
+  if (!status.ok()) {
+    return status;
+  }
+  durability_ = std::move(durability);
+  return {};
+}
+
+void Coordinator::LogMutation(size_t index, Shard& shard,
+                              const CoordinatorAction& action) {
+  if (durability_ == nullptr || replaying_) {
+    return;
+  }
+  if (durability_->LogAction(index, action)) {
+    durability_->Snapshot(index, SnapshotShardLocked(shard));
+  }
+}
+
+ShardSnapshotState Coordinator::SnapshotShardLocked(const Shard& shard) const {
+  ShardSnapshotState state;
+  state.now = shard.now;
+  state.submitted = shard.submitted;
+  state.balances = shard.balances;
+  state.gas = shard.gas;
+  state.claims.reserve(shard.claims.size());
+  for (const auto& [id, record] : shard.claims) {
+    state.claims.push_back(record);
+  }
+  return state;
+}
+
+void Coordinator::RestoreShard(size_t index, const ShardSnapshotState& state) {
+  Shard& shard = *shards_[index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.now = state.now;
+  shard.submitted = state.submitted;
+  shard.balances = state.balances;
+  shard.gas = state.gas;
+  shard.claims.clear();
+  for (const ClaimRecord& claim : state.claims) {
+    shard.claims[claim.id] = claim;
+  }
+}
+
+RecoveryStatus Coordinator::ApplyLoggedAction(size_t index,
+                                              const CoordinatorAction& action) {
+  // A CRC-valid record with protocol-impossible contents still aborts loudly via
+  // the transition methods' own TAO_CHECKs — replay never invents a lenient path.
+  switch (action.kind) {
+    case CoordinatorAction::Kind::kSubmit: {
+      const ClaimId id = SubmitCommitment(action.c0, action.challenge_window,
+                                          action.proposer_bond, index);
+      if (id != action.id) {
+        return {RecoveryCode::kCorruptRecord,
+                "replayed submission got id " + std::to_string(id) + ", log recorded " +
+                    std::to_string(action.id)};
+      }
+      return {};
+    }
+    case CoordinatorAction::Kind::kTryFinalize:
+      // Logged only when the call transitioned; the replayed clock must agree.
+      if (TryFinalize(action.id) != ClaimState::kFinalized) {
+        return {RecoveryCode::kCorruptRecord,
+                "replayed finalize of claim " + std::to_string(action.id) +
+                    " did not finalize"};
+      }
+      return {};
+    case CoordinatorAction::Kind::kOpenChallenge:
+      OpenChallenge(action.id, action.challenger_bond);
+      return {};
+    case CoordinatorAction::Kind::kPartition: {
+      // Hashes are checked off-chain and are not coordinator state; replay feeds
+      // placeholder digests of the logged arity.
+      constexpr int64_t kMaxChildren = 1 << 20;
+      if (action.children < 0 || action.children > kMaxChildren) {
+        return {RecoveryCode::kCorruptRecord,
+                "replayed partition arity " + std::to_string(action.children) +
+                    " out of range"};
+      }
+      RecordPartition(action.id, action.children,
+                      std::vector<Digest>(static_cast<size_t>(action.children)));
+      return {};
+    }
+    case CoordinatorAction::Kind::kSelection:
+      RecordSelection(action.id, action.selected_child);
+      return {};
+    case CoordinatorAction::Kind::kMerkleCheck:
+      RecordMerkleCheck(action.id, action.proofs);
+      return {};
+    case CoordinatorAction::Kind::kTimeout:
+      RecordTimeout(action.id, action.proposer_timed_out);
+      return {};
+    case CoordinatorAction::Kind::kLeafAdjudication:
+      RecordLeafAdjudication(action.id, action.proposer_guilty,
+                             action.challenger_share);
+      return {};
+    case CoordinatorAction::Kind::kChargeGas:
+      ChargeClaimGas(action.id, action.gas);
+      return {};
+    case CoordinatorAction::Kind::kAdvanceClock: {
+      Shard& shard = *shards_[index];
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.now += action.ticks;
+      return {};
+    }
+  }
+  return {RecoveryCode::kCorruptRecord, "unknown action kind"};
+}
+
+DurabilityStats Coordinator::durability_stats() const {
+  return durability_ ? durability_->stats() : DurabilityStats{};
+}
+
+void Coordinator::FlushDurability() {
+  if (durability_) {
+    durability_->Flush();
   }
 }
 
@@ -35,10 +215,16 @@ uint64_t Coordinator::shard_now(size_t shard) const {
 }
 
 void Coordinator::AdvanceTime(uint64_t ticks) {
-  // One shard at a time (never two locks held), in shard order.
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    shard->now += ticks;
+  // One shard at a time (never two locks held), in shard order. Each shard's log
+  // gets its own kAdvanceClock record: per-shard logs are self-contained.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.now += ticks;
+    CoordinatorAction action;
+    action.kind = CoordinatorAction::Kind::kAdvanceClock;
+    action.ticks = ticks;
+    LogMutation(s, shard, action);
   }
 }
 
@@ -46,6 +232,10 @@ void Coordinator::AdvanceTimeFor(ClaimId id, uint64_t ticks) {
   Shard& shard = shard_for(id);
   std::lock_guard<std::mutex> lock(shard.mu);
   shard.now += ticks;
+  CoordinatorAction action;
+  action.kind = CoordinatorAction::Kind::kAdvanceClock;
+  action.ticks = ticks;
+  LogMutation(shard_of(id), shard, action);
 }
 
 ClaimId Coordinator::SubmitCommitment(const Digest& c0, uint64_t challenge_window,
@@ -70,6 +260,13 @@ ClaimId Coordinator::SubmitCommitment(const Digest& c0, uint64_t challenge_windo
   record.gas += schedule_.commit;
   shard.claims[record.id] = record;
   shard.gas += schedule_.commit;
+  CoordinatorAction action;
+  action.kind = CoordinatorAction::Kind::kSubmit;
+  action.id = record.id;  // replay asserts the regenerated id matches
+  action.c0 = c0;
+  action.challenge_window = challenge_window;
+  action.proposer_bond = proposer_bond;
+  LogMutation(index, shard, action);
   return record.id;
 }
 
@@ -81,6 +278,11 @@ ClaimState Coordinator::TryFinalize(ClaimId id) {
       shard.now >= claim.committed_at + claim.challenge_window) {
     claim.state = ClaimState::kFinalized;
     shard.balances.proposer += claim.proposer_bond;  // bond released with payment
+    // Logged only on the transition: a no-op probe is not a state mutation.
+    CoordinatorAction action;
+    action.kind = CoordinatorAction::Kind::kTryFinalize;
+    action.id = id;
+    LogMutation(shard_of(id), shard, action);
   }
   return claim.state;
 }
@@ -101,6 +303,11 @@ void Coordinator::OpenChallenge(ClaimId id, double challenger_bond) {
   shard.balances.challenger -= challenger_bond;  // escrowed
   claim.gas += schedule_.open_challenge;
   shard.gas += schedule_.open_challenge;
+  CoordinatorAction action;
+  action.kind = CoordinatorAction::Kind::kOpenChallenge;
+  action.id = id;
+  action.challenger_bond = challenger_bond;
+  LogMutation(shard_of(id), shard, action);
 }
 
 void Coordinator::RecordPartition(ClaimId id, int64_t children,
@@ -114,6 +321,13 @@ void Coordinator::RecordPartition(ClaimId id, int64_t children,
   claim.round_deadline = shard.now + round_timeout_;
   claim.gas += schedule_.PartitionCost(children);
   shard.gas += schedule_.PartitionCost(children);
+  // Child hashes are dispute-transcript material checked off-chain, not coordinator
+  // state — only the arity (which drives gas) is logged.
+  CoordinatorAction action;
+  action.kind = CoordinatorAction::Kind::kPartition;
+  action.id = id;
+  action.children = children;
+  LogMutation(shard_of(id), shard, action);
 }
 
 void Coordinator::RecordSelection(ClaimId id, int64_t selected_child) {
@@ -127,6 +341,11 @@ void Coordinator::RecordSelection(ClaimId id, int64_t selected_child) {
   claim.round_deadline = shard.now + round_timeout_;
   claim.gas += schedule_.selection;
   shard.gas += schedule_.selection;
+  CoordinatorAction action;
+  action.kind = CoordinatorAction::Kind::kSelection;
+  action.id = id;
+  action.selected_child = selected_child;
+  LogMutation(shard_of(id), shard, action);
 }
 
 void Coordinator::RecordMerkleCheck(ClaimId id, int64_t proofs) {
@@ -136,6 +355,11 @@ void Coordinator::RecordMerkleCheck(ClaimId id, int64_t proofs) {
   claim.merkle_checks += proofs;
   claim.gas += schedule_.merkle_check * proofs;
   shard.gas += schedule_.merkle_check * proofs;
+  CoordinatorAction action;
+  action.kind = CoordinatorAction::Kind::kMerkleCheck;
+  action.id = id;
+  action.proofs = proofs;
+  LogMutation(shard_of(id), shard, action);
 }
 
 void Coordinator::RecordTimeout(ClaimId id, bool proposer_timed_out) {
@@ -145,6 +369,13 @@ void Coordinator::RecordTimeout(ClaimId id, bool proposer_timed_out) {
   TAO_CHECK(claim.state == ClaimState::kDisputed);
   TAO_CHECK(shard.now > claim.round_deadline) << "no deadline has passed";
   RecordLeafAdjudicationLocked(shard, id, proposer_timed_out, 0.5);
+  // One record per public call: the settlement RecordTimeout performs internally is
+  // deterministic from the timeout itself, so it is not logged twice.
+  CoordinatorAction action;
+  action.kind = CoordinatorAction::Kind::kTimeout;
+  action.id = id;
+  action.proposer_timed_out = proposer_timed_out;
+  LogMutation(shard_of(id), shard, action);
 }
 
 void Coordinator::RecordLeafAdjudication(ClaimId id, bool proposer_guilty,
@@ -152,6 +383,12 @@ void Coordinator::RecordLeafAdjudication(ClaimId id, bool proposer_guilty,
   Shard& shard = shard_for(id);
   std::lock_guard<std::mutex> lock(shard.mu);
   RecordLeafAdjudicationLocked(shard, id, proposer_guilty, challenger_share);
+  CoordinatorAction action;
+  action.kind = CoordinatorAction::Kind::kLeafAdjudication;
+  action.id = id;
+  action.proposer_guilty = proposer_guilty;
+  action.challenger_share = challenger_share;
+  LogMutation(shard_of(id), shard, action);
 }
 
 void Coordinator::RecordLeafAdjudicationLocked(Shard& shard, ClaimId id,
@@ -182,6 +419,11 @@ void Coordinator::ChargeClaimGas(ClaimId id, int64_t gas) {
   ClaimRecord& claim = MutableClaim(shard, id);
   claim.gas += gas;
   shard.gas += gas;
+  CoordinatorAction action;
+  action.kind = CoordinatorAction::Kind::kChargeGas;
+  action.id = id;
+  action.gas = gas;
+  LogMutation(shard_of(id), shard, action);
 }
 
 int64_t Coordinator::claim_gas(ClaimId id) const {

@@ -24,10 +24,17 @@
 #include <vector>
 
 #include "src/crypto/sha256.h"
+#include "src/durability/options.h"
 #include "src/protocol/gas.h"
 #include "src/util/check.h"
 
 namespace tao {
+
+// Durability machinery (src/durability/coordinator_log.h); forward-declared so the
+// protocol header stays free of the changelog/writer includes.
+struct CoordinatorAction;
+class CoordinatorDurability;
+struct ShardSnapshotState;
 
 using ClaimId = uint64_t;
 // Identity of a committed model in the ModelRegistry (src/registry/). 0 is the
@@ -93,8 +100,23 @@ class Coordinator {
   // ClaimRecord at submission); registry deployments pass the owning model's id,
   // standalone drivers keep the default 0. It does not perturb ids, gas, clocks,
   // or the ledger, so a model_id-0 coordinator is bitwise the historical one.
+  //
+  // `durability` with a non-empty directory makes every state transition append to
+  // a per-shard write-ahead changelog (with periodic snapshots) and RECOVERS any
+  // state already on disk there — replaying it through these same transition
+  // methods, so the recovered coordinator is bitwise the uninterrupted one (see
+  // docs/durability.md). The empty-directory default is in-memory only: no files,
+  // no writer thread, one null-pointer branch per action.
+  //
+  // Recovery failures are typed (RecoveryStatus): with `recovery_status` null they
+  // abort loudly; otherwise the status is written there and on error the
+  // coordinator is left durability-off with partial state — check ok() and discard
+  // it on failure.
   explicit Coordinator(GasSchedule schedule = {}, uint64_t round_timeout = 10,
-                       size_t num_shards = 1, ModelId model_id = 0);
+                       size_t num_shards = 1, ModelId model_id = 0,
+                       DurabilityOptions durability = {},
+                       RecoveryStatus* recovery_status = nullptr);
+  ~Coordinator();  // out-of-line: CoordinatorDurability is incomplete here
 
   size_t num_shards() const { return shards_.size(); }
   ModelId model_id() const { return model_id_; }
@@ -164,6 +186,15 @@ class Coordinator {
   std::vector<ClaimId> shard_claims(size_t shard) const;
   const GasSchedule& schedule() const { return schedule_; }
 
+  // --- durability -------------------------------------------------------------------
+  bool durable() const { return durability_ != nullptr; }
+  // Zero when in-memory; recovery_replayed counts tail records applied at startup.
+  DurabilityStats durability_stats() const;
+  // What recovery found at construction (recovered=false for a fresh directory).
+  const RecoveryInfo& recovery_info() const { return recovery_info_; }
+  // Barrier: every action logged so far is on disk (fsynced unless policy kNever).
+  void FlushDurability();
+
  private:
   // One independent slice of the state machine. `gas` is a plain counter because it
   // is only ever touched under `mu` (the old global meter had to be atomic).
@@ -183,11 +214,27 @@ class Coordinator {
   void RecordLeafAdjudicationLocked(Shard& shard, ClaimId id, bool proposer_guilty,
                                     double challenger_share);
 
+  // --- durability plumbing (coordinator.cc; all defined via coordinator_log.h) ----
+  // Appends one action to shard `index`'s changelog and snapshots the shard when
+  // due. Caller holds shard.mu — the lock is what orders the log. No-op (one
+  // branch) when in-memory or replaying.
+  void LogMutation(size_t index, Shard& shard, const CoordinatorAction& action);
+  ShardSnapshotState SnapshotShardLocked(const Shard& shard) const;
+  void RestoreShard(size_t index, const ShardSnapshotState& state);
+  // Re-applies one recovered action through the public transition methods
+  // (replaying_ suppresses re-logging). Typed error on any divergence.
+  RecoveryStatus ApplyLoggedAction(size_t index, const CoordinatorAction& action);
+  RecoveryStatus InitDurability(DurabilityOptions options);
+
   GasSchedule schedule_;
   uint64_t round_timeout_;
   ModelId model_id_;
   // unique_ptr: Shard holds a mutex and must stay pinned in memory.
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<CoordinatorDurability> durability_;
+  // True only inside the single-threaded recovery replay in the constructor.
+  bool replaying_ = false;
+  RecoveryInfo recovery_info_;
 };
 
 }  // namespace tao

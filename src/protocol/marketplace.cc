@@ -31,6 +31,7 @@ Marketplace::Marketplace(const Model& model, const ModelCommitment& commitment,
   model_id_ = registry_.Register(model);
   ModelCommitConfig commit_config;
   commit_config.coordinator_shards = config_.coordinator_shards;
+  commit_config.durability = config_.durability;
   registry_.Commit(model_id_, commitment, thresholds, commit_config);
 }
 

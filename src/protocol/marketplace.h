@@ -56,6 +56,11 @@ struct MarketplaceConfig {
   // Deliver verdicts as lanes complete instead of in global submission order.
   // Run() waits for all tickets either way, so stats are unaffected.
   bool unordered_delivery = false;
+  // Coordinator durability root (see ModelCommitConfig::durability): non-empty
+  // makes the embedded model's coordinator write-ahead-log every action under
+  // `<directory>/model-<id>` and recover it on the next construction. Default off:
+  // the simulation stays bitwise the in-memory path.
+  DurabilityOptions durability;
 };
 
 struct MarketplaceStats {

@@ -38,8 +38,16 @@ void ModelRegistry::Commit(ModelId id, ModelCommitment commitment,
       << "model " << id << " cannot commit from state " << ModelLifecycleName(e.state);
   e.commitment.emplace(std::move(commitment));
   e.thresholds.emplace(std::move(thresholds));
-  e.coordinator = std::make_unique<Coordinator>(config.gas, config.round_timeout,
-                                                config.coordinator_shards, id);
+  // Per-model durability directory under the configured root; a coordinator never
+  // shares files with another model's. Recovery failure aborts loudly here (null
+  // status): a marketplace that cannot trust its recovered ledger must not serve.
+  DurabilityOptions durability = config.durability;
+  if (!durability.directory.empty()) {
+    durability.directory += "/model-" + std::to_string(id);
+  }
+  e.coordinator =
+      std::make_unique<Coordinator>(config.gas, config.round_timeout,
+                                    config.coordinator_shards, id, std::move(durability));
   e.state = ModelLifecycle::kCommitted;
 }
 

@@ -67,6 +67,12 @@ struct ModelCommitConfig {
   GasSchedule gas;
   uint64_t round_timeout = 10;
   size_t coordinator_shards = 1;
+  // Coordinator durability (docs/durability.md). A non-empty `directory` is treated
+  // as the deployment ROOT: each model's coordinator logs under
+  // `<directory>/model-<id>`, so one configured root serves every model without
+  // collisions, and re-committing after a restart recovers that model's ledger and
+  // claims from its own subdirectory. Empty (default) = in-memory only.
+  DurabilityOptions durability;
 };
 
 class ModelRegistry {

@@ -130,6 +130,15 @@ std::vector<NamedCounter> NamedCounters(const MetricsSnapshot& snapshot,
   add("batches/dispatched", static_cast<double>(snapshot.batches_dispatched));
   add("latency/p50_ms", snapshot.LatencyPercentileMillis(0.50));
   add("latency/p99_ms", snapshot.LatencyPercentileMillis(0.99));
+  add("durability/records_appended",
+      static_cast<double>(snapshot.durability_records_appended));
+  add("durability/bytes_appended",
+      static_cast<double>(snapshot.durability_bytes_appended));
+  add("durability/flushes", static_cast<double>(snapshot.durability_flushes));
+  add("durability/fsyncs", static_cast<double>(snapshot.durability_fsyncs));
+  add("durability/snapshots", static_cast<double>(snapshot.durability_snapshots));
+  add("durability/recovery_replayed",
+      static_cast<double>(snapshot.durability_recovery_replayed));
   add("elapsed_seconds", snapshot.elapsed_seconds);
   // Live dispatch gauge, not a snapshot field: the backend is a process-wide
   // property decided once at startup, and dashboards need it next to the claim
@@ -154,6 +163,12 @@ MetricsSnapshot AggregateSnapshots(const std::vector<MetricsSnapshot>& snapshots
     total.claims_in_flight += snapshot.claims_in_flight;
     total.completed += snapshot.completed;
     total.disputes_run += snapshot.disputes_run;
+    total.durability_records_appended += snapshot.durability_records_appended;
+    total.durability_bytes_appended += snapshot.durability_bytes_appended;
+    total.durability_flushes += snapshot.durability_flushes;
+    total.durability_fsyncs += snapshot.durability_fsyncs;
+    total.durability_snapshots += snapshot.durability_snapshots;
+    total.durability_recovery_replayed += snapshot.durability_recovery_replayed;
     total.elapsed_seconds = std::max(total.elapsed_seconds, snapshot.elapsed_seconds);
     for (size_t b = 0; b < kBatchSizeBuckets; ++b) {
       total.batch_size_hist[b] += snapshot.batch_size_hist[b];

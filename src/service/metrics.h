@@ -52,6 +52,15 @@ struct MetricsSnapshot {
   // Rates.
   double elapsed_seconds = 0.0;   // first accepted submission -> last verdict (or now)
   double claims_per_second = 0.0; // completed / elapsed_seconds
+  // Durability (the model's coordinator changelog; all zero when in-memory —
+  // src/durability/options.h). Sampled from Coordinator::durability_stats at
+  // snapshot time, like the queue gauges.
+  int64_t durability_records_appended = 0;
+  int64_t durability_bytes_appended = 0;
+  int64_t durability_flushes = 0;
+  int64_t durability_fsyncs = 0;
+  int64_t durability_snapshots = 0;
+  int64_t durability_recovery_replayed = 0;
 
   std::array<int64_t, kBatchSizeBuckets> batch_size_hist{};
   std::array<int64_t, kLatencyBuckets> latency_hist_us{};

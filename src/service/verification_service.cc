@@ -25,6 +25,7 @@ VerificationService::VerificationService(const Model& model,
                                          Coordinator& coordinator, ServiceOptions options)
     : options_(std::move(options)),
       max_unresolved_(ResolveWindow(options_)),
+      coordinator_(coordinator),
       verifier_(model, commitment, thresholds, coordinator, options_.verifier),
       queue_(options_.queue_capacity, options_.admission, options_.per_submitter_cap),
       former_(options_.batching) {
@@ -268,8 +269,18 @@ void VerificationService::Drain() {
 }
 
 MetricsSnapshot VerificationService::metrics() const {
-  return metrics_.Snapshot(static_cast<int64_t>(queue_.depth()),
-                           static_cast<int64_t>(queue_.peak_depth()));
+  MetricsSnapshot snapshot = metrics_.Snapshot(
+      static_cast<int64_t>(queue_.depth()), static_cast<int64_t>(queue_.peak_depth()));
+  // Durability gauges are the coordinator's, sampled here like the queue gauges so
+  // one snapshot carries the whole per-model serving picture. All zero in-memory.
+  const DurabilityStats durability = coordinator_.durability_stats();
+  snapshot.durability_records_appended = durability.records_appended;
+  snapshot.durability_bytes_appended = durability.bytes_appended;
+  snapshot.durability_flushes = durability.flushes;
+  snapshot.durability_fsyncs = durability.fsyncs;
+  snapshot.durability_snapshots = durability.snapshots_written;
+  snapshot.durability_recovery_replayed = durability.recovery_replayed;
+  return snapshot;
 }
 
 }  // namespace tao

@@ -158,6 +158,9 @@ class VerificationService {
 
   const ServiceOptions options_;
   const size_t max_unresolved_;
+  // The model's coordinator (also held by verifier_): metrics() samples its
+  // durability counters so the per-model snapshot carries the changelog gauges.
+  Coordinator& coordinator_;
   BatchVerifier verifier_;
   SubmissionQueue queue_;
   BatchFormer former_;

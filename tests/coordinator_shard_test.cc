@@ -24,6 +24,7 @@
 
 #include "src/calib/calibrator.h"
 #include "src/service/verification_service.h"
+#include "tests/replay_harness.h"
 #include "tests/test_claims.h"
 
 namespace tao {
@@ -211,36 +212,9 @@ std::vector<ReferenceOutcome> RunSequentialReference(const Model& model,
   return outcomes;
 }
 
-// Replays one shard's claim subsequence — coordinator ACTIONS only, reconstructed
-// from the delivered outcomes, no model re-execution — against a fresh single-shard
-// coordinator. This is the "per-shard replay" of the determinism contract: the
-// shard's entire state history must be a function of this action sequence alone.
-void ReplayShardActions(const std::vector<const BatchClaimOutcome*>& outcomes,
-                        Coordinator& replay) {
-  const DisputeOptions options;  // the service runs below use defaults
-  for (const BatchClaimOutcome* outcome : outcomes) {
-    const ClaimId id = replay.SubmitCommitment(outcome->c0, options.challenge_window,
-                                               options.proposer_bond);
-    if (!outcome->flagged) {
-      replay.AdvanceTimeFor(id, options.challenge_window);
-      EXPECT_EQ(replay.TryFinalize(id), ClaimState::kFinalized);
-      continue;
-    }
-    replay.OpenChallenge(id, options.challenger_bond);
-    for (const RoundStats& round : outcome->dispute.round_stats) {
-      replay.RecordPartition(id, round.children,
-                             std::vector<Digest>(static_cast<size_t>(round.children),
-                                                 outcome->c0));
-      replay.RecordMerkleCheck(id, round.merkle_proofs);
-      if (round.selected_child >= 0) {
-        replay.RecordSelection(id, round.selected_child);
-        replay.AdvanceTimeFor(id, 1);
-      }
-    }
-    replay.RecordLeafAdjudication(id, outcome->proposer_guilty,
-                                  options.challenger_share);
-  }
-}
+// The replay reconstruction itself now lives in tests/replay_harness.h (the
+// durability harness replays the same action streams); this suite keeps the
+// service sweep and calls the shared ReplayShardActions/ExpectShardMatchesReplay.
 
 TEST_F(ShardSweepFixture, ShardSweepMatchesReferenceAndPerShardReplay) {
   constexpr size_t kClaims = 10;
@@ -310,25 +284,8 @@ TEST_F(ShardSweepFixture, ShardSweepMatchesReferenceAndPerShardReplay) {
         }
         Coordinator replay;  // single shard
         ReplayShardActions(lane_outcomes, replay);
-        const std::string shard_label = label + " shard=" + std::to_string(shard);
-        const Balances got = coordinator.shard_balances(shard);
-        const Balances want = replay.balances();
-        EXPECT_EQ(got.proposer, want.proposer) << shard_label;
-        EXPECT_EQ(got.challenger, want.challenger) << shard_label;
-        EXPECT_EQ(got.treasury, want.treasury) << shard_label;
-        EXPECT_EQ(coordinator.shard_gas(shard), replay.gas().total()) << shard_label;
-        EXPECT_EQ(coordinator.shard_now(shard), replay.now()) << shard_label;
-        const std::vector<ClaimId> shard_ids = coordinator.shard_claims(shard);
-        ASSERT_EQ(shard_ids.size(), lane_outcomes.size()) << shard_label;
-        for (size_t j = 0; j < shard_ids.size(); ++j) {
-          const ClaimRecord got_record = coordinator.claim(shard_ids[j]);
-          const ClaimRecord want_record = replay.claim(1 + static_cast<ClaimId>(j));
-          EXPECT_EQ(got_record.c0, want_record.c0) << shard_label;
-          EXPECT_EQ(got_record.state, want_record.state) << shard_label;
-          EXPECT_EQ(got_record.gas, want_record.gas) << shard_label;
-          EXPECT_EQ(got_record.merkle_checks, want_record.merkle_checks) << shard_label;
-          EXPECT_EQ(got_record.dispute_round, want_record.dispute_round) << shard_label;
-        }
+        ExpectShardMatchesReplay(coordinator, shard, replay,
+                                 label + " shard=" + std::to_string(shard));
       }
     }
   }
@@ -376,12 +333,8 @@ TEST_F(ShardSweepFixture, UnorderedDeliveryKeepsPerShardDeterminism) {
     }
     Coordinator replay;
     ReplayShardActions(lane_outcomes, replay);
-    const Balances got = coordinator.shard_balances(shard);
-    const Balances want = replay.balances();
-    EXPECT_EQ(got.proposer, want.proposer) << "shard " << shard;
-    EXPECT_EQ(got.challenger, want.challenger) << "shard " << shard;
-    EXPECT_EQ(got.treasury, want.treasury) << "shard " << shard;
-    EXPECT_EQ(coordinator.shard_gas(shard), replay.gas().total()) << "shard " << shard;
+    ExpectShardMatchesReplay(coordinator, shard, replay,
+                             "shard " + std::to_string(shard));
   }
 }
 
