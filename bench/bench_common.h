@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/attack/pgd.h"
@@ -118,6 +119,71 @@ inline std::string CellString(const BucketCell& cell) {
                 cell.MeanDeltaM(), cell.MeanDeltaRel() * 100.0);
   return buffer;
 }
+
+// Machine-readable bench summary. Benches that wire it accept `--json=<path>` and
+// write a flat JSON object of their headline numbers (throughput, percentiles,
+// the bitwise-check verdict) next to the human table, so CI can assert on runs
+// and dashboards can diff them without scraping stdout. Without the flag every
+// call is a no-op.
+class JsonSummary {
+ public:
+  JsonSummary(int argc, char** argv, std::string bench) : bench_(std::move(bench)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--json=", 0) == 0) {
+        path_ = arg.substr(7);
+      }
+    }
+  }
+
+  bool active() const { return !path_.empty(); }
+
+  void Add(const std::string& name, double value) {
+    if (!active()) {
+      return;
+    }
+    char buffer[64];
+    // Integral values render without exponent; others round-trip.
+    if (value == static_cast<double>(static_cast<long long>(value))) {
+      std::snprintf(buffer, sizeof(buffer), "%lld", static_cast<long long>(value));
+    } else {
+      std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    }
+    entries_.push_back({name, buffer});
+  }
+
+  void AddBool(const std::string& name, bool value) {
+    if (active()) {
+      entries_.push_back({name, value ? "true" : "false"});
+    }
+  }
+
+  // Writes `{"bench": "...", "metrics": {...}}`; returns false on IO failure.
+  bool Write() const {
+    if (!active()) {
+      return true;
+    }
+    std::FILE* file = std::fopen(path_.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(file, "{\"bench\": \"%s\", \"metrics\": {", bench_.c_str());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(file, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                   entries_[i].first.c_str(), entries_[i].second.c_str());
+    }
+    std::fprintf(file, "}}\n");
+    std::fclose(file);
+    std::printf("\nwrote JSON summary to %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace bench
 }  // namespace tao

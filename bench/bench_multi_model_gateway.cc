@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/calib/calibrator.h"
 #include "src/registry/serving_gateway.h"
 #include "src/util/table.h"
@@ -99,8 +100,9 @@ std::vector<BatchClaimOutcome> RunSingleModelBaseline(const CommittedModel& comm
 }  // namespace
 }  // namespace tao
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tao;
+  bench::JsonSummary json(argc, argv, "multi_model_gateway");
   std::printf("Multi-model serving gateway (hot/cold mix: %zu vs %zu claims)\n",
               kHotClaims, kColdClaims);
   std::printf("Two models share one runtime pool and one global arena budget;\n");
@@ -182,6 +184,11 @@ int main() {
                   TablePrinter::Fixed(model.service.LatencyPercentileMillis(0.99), 1),
                   std::to_string(model.service.disputes_run),
                   std::to_string(model.memory_budget_bytes >> 20)});
+    const std::string key = model.id == hot_id ? "hot" : "cold";
+    json.Add(key + "/claims_per_s", model.service.claims_per_second);
+    json.Add(key + "/p50_ms", model.service.LatencyPercentileMillis(0.5));
+    json.Add(key + "/p99_ms", model.service.LatencyPercentileMillis(0.99));
+    json.Add(key + "/accepted", static_cast<double>(model.service.accepted));
   }
   table.AddRow({"aggregate", "-", std::to_string(snapshot.aggregate.accepted),
                 TablePrinter::Fixed(snapshot.aggregate.claims_per_second, 1),
@@ -189,6 +196,12 @@ int main() {
                 TablePrinter::Fixed(snapshot.aggregate.LatencyPercentileMillis(0.99), 1),
                 std::to_string(snapshot.aggregate.disputes_run), "-"});
   table.Print();
+  json.Add("aggregate/claims_per_s", snapshot.aggregate.claims_per_second);
+  json.Add("aggregate/p99_ms", snapshot.aggregate.LatencyPercentileMillis(0.99));
+  json.AddBool("bitwise_check", true);  // a violation returned 1 above
+  if (!json.Write()) {
+    return 1;
+  }
 
   std::printf("\nhot-model outcomes: bitwise identical to the single-model baseline.\n");
   std::printf("budget_mb is the gateway's live apportionment of the global arena\n");

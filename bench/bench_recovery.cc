@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/crypto/sha256.h"
 #include "src/durability/options.h"
 #include "src/protocol/coordinator.h"
@@ -124,8 +125,10 @@ std::string BenchDir(const std::string& tag) {
 }  // namespace
 }  // namespace tao
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tao;
+  bench::JsonSummary json(argc, argv, "recovery");
+  bool all_checks_ok = true;
   constexpr int64_t kAppendFlows = 2048;
 
   Coordinator reference(GasSchedule{}, kDisputeWindow, kShards);
@@ -142,8 +145,11 @@ int main() {
     Stopwatch watch;
     DriveWorkload(memory, kAppendFlows);
     const double rate = static_cast<double>(total_actions) / watch.ElapsedSeconds();
+    const bool check = BitwiseEqual(memory, reference);
+    all_checks_ok &= check;
     append_table.AddRow({"off", TablePrinter::Fixed(rate, 0), "0", "0.00", "0",
-                         BitwiseEqual(memory, reference) ? "ok" : "MISMATCH"});
+                         check ? "ok" : "MISMATCH"});
+    json.Add("append/off/actions_per_s", rate);
   }
   for (const FsyncPolicy policy :
        {FsyncPolicy::kNever, FsyncPolicy::kGroupCommit, FsyncPolicy::kEveryFlush}) {
@@ -158,12 +164,17 @@ int main() {
     durable.FlushDurability();  // every acknowledged action is on disk
     const double rate = static_cast<double>(total_actions) / watch.ElapsedSeconds();
     const DurabilityStats stats = durable.durability_stats();
+    const bool check = BitwiseEqual(durable, reference);
+    all_checks_ok &= check;
     append_table.AddRow(
         {FsyncPolicyName(policy), TablePrinter::Fixed(rate, 0),
          std::to_string(stats.records_appended),
          TablePrinter::Fixed(static_cast<double>(stats.bytes_appended) / (1 << 20), 2),
          std::to_string(stats.fsyncs),
-         BitwiseEqual(durable, reference) ? "ok" : "MISMATCH"});
+         check ? "ok" : "MISMATCH"});
+    json.Add(std::string("append/") + FsyncPolicyName(policy) + "/actions_per_s", rate);
+    json.Add(std::string("append/") + FsyncPolicyName(policy) + "/fsyncs",
+             static_cast<double>(stats.fsyncs));
     std::filesystem::remove_all(dir);
   }
   std::printf("Append throughput (single driver thread, barrier included)\n");
@@ -196,14 +207,22 @@ int main() {
                             options, &status);
       const double recover_ms = watch.ElapsedMillis();
       const bool check = status.ok() && BitwiseEqual(recovered, uninterrupted);
+      all_checks_ok &= check;
       recovery_table.AddRow(
           {std::to_string(flows), std::to_string(actions),
            snapshot_interval == 0 ? "off" : std::to_string(snapshot_interval),
            std::to_string(recovered.durability_stats().recovery_replayed),
            TablePrinter::Fixed(recover_ms, 2), check ? "ok" : "MISMATCH"});
+      json.Add("recover/flows_" + std::to_string(flows) + "_snap_" +
+                   std::to_string(snapshot_interval) + "/ms",
+               recover_ms);
       std::filesystem::remove_all(dir);
     }
   }
   recovery_table.Print();
-  return 0;
+  json.AddBool("bitwise_check", all_checks_ok);
+  if (!json.Write()) {
+    return 1;
+  }
+  return all_checks_ok ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/calib/calibrator.h"
 #include "src/service/verification_service.h"
 #include "src/util/table.h"
@@ -143,8 +144,9 @@ RunResult RunConfiguration(const Model& model, const ModelCommitment& commitment
 }  // namespace
 }  // namespace tao
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tao;
+  bench::JsonSummary json(argc, argv, "service_throughput");
   std::printf("Verification-service throughput (%zu-claim workload, BERT-mini)\n", kClaims);
   std::printf("Closed-loop submitters block on the admission queue (capacity 16);\n");
   std::printf("the BatchFormer sizes cohorts adaptively; per-claim digests and\n");
@@ -177,9 +179,18 @@ int main() {
                     TablePrinter::Fixed(result.metrics.LatencyPercentileMillis(0.99), 1),
                     std::to_string(result.metrics.batches_dispatched),
                     std::to_string(result.metrics.peak_queue_depth)});
+      const std::string key =
+          "s" + std::to_string(submitters) + "_w" + std::to_string(workers);
+      json.Add(key + "/claims_per_s", result.metrics.claims_per_second);
+      json.Add(key + "/p50_ms", result.metrics.LatencyPercentileMillis(0.5));
+      json.Add(key + "/p99_ms", result.metrics.LatencyPercentileMillis(0.99));
     }
   }
   table.Print();
+  json.AddBool("bitwise_check", true);  // a violation returned 1 above
+  if (!json.Write()) {
+    return 1;
+  }
   std::printf("\np50/p99 are enqueue->verdict (queueing included), read from the\n");
   std::printf("service's log-bucketed latency histogram (one-bucket resolution).\n");
   std::printf("On a single-core host claims/sec stays ~flat by hardware — the table\n");

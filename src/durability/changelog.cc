@@ -347,6 +347,8 @@ DurabilityStats ChangelogWriter::stats() const {
   stats.flushes = flushes_.load(std::memory_order_relaxed);
   stats.fsyncs = fsyncs_.load(std::memory_order_relaxed);
   stats.snapshots_written = snapshots_written_.load(std::memory_order_relaxed);
+  stats.flush_ns_total = flush_ns_.load(std::memory_order_relaxed);
+  stats.fsync_ns_total = fsync_ns_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -376,9 +378,14 @@ void ChangelogWriter::MaybeFsync(size_t shard) {
       break;
     }
   }
+  const auto fsync_begin = std::chrono::steady_clock::now();
   ::fsync(fds_[shard]);
   fsyncs_.fetch_add(1, std::memory_order_relaxed);
   last_fsync_[shard] = std::chrono::steady_clock::now();
+  fsync_ns_.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          last_fsync_[shard] - fsync_begin)
+                          .count(),
+                      std::memory_order_relaxed);
   dirty_[shard] = false;
 }
 
@@ -400,7 +407,12 @@ bool ChangelogWriter::WriteBatch(size_t shard, std::vector<Item>& items) {
     buffer.insert(buffer.end(), item.bytes.begin(), item.bytes.end());
   }
   if (!buffer.empty()) {
+    const auto flush_begin = std::chrono::steady_clock::now();
     WriteFully(fds_[shard], buffer.data(), buffer.size());
+    flush_ns_.fetch_add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::steady_clock::now() - flush_begin)
+                            .count(),
+                        std::memory_order_relaxed);
     flushes_.fetch_add(1, std::memory_order_relaxed);
     dirty_[shard] = true;
     MaybeFsync(shard);
@@ -491,8 +503,14 @@ void ChangelogWriter::Run() {
           if (!dead() && options_.fsync != FsyncPolicy::kNever) {
             for (size_t s = 0; s < num_shards_; ++s) {
               if (dirty_[s]) {
+                const auto fsync_begin = std::chrono::steady_clock::now();
                 ::fsync(fds_[s]);
                 fsyncs_.fetch_add(1, std::memory_order_relaxed);
+                fsync_ns_.fetch_add(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - fsync_begin)
+                        .count(),
+                    std::memory_order_relaxed);
                 dirty_[s] = false;
               }
             }

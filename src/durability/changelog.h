@@ -130,6 +130,8 @@ class ChangelogWriter {
   std::atomic<int64_t> flushes_{0};
   std::atomic<int64_t> fsyncs_{0};
   std::atomic<int64_t> snapshots_written_{0};
+  std::atomic<int64_t> flush_ns_{0};
+  std::atomic<int64_t> fsync_ns_{0};
 };
 
 }  // namespace tao

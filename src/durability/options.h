@@ -118,6 +118,10 @@ struct DurabilityStats {
   int64_t fsyncs = 0;
   int64_t snapshots_written = 0;
   int64_t recovery_replayed = 0;  // tail records replayed at construction
+  // Writer-thread wall time spent inside write(2) batches / fsync(2) calls, for
+  // flush/fsync latency gauges (mean latency = total / count).
+  int64_t flush_ns_total = 0;
+  int64_t fsync_ns_total = 0;
 };
 
 }  // namespace tao

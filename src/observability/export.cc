@@ -1,0 +1,75 @@
+#include "src/observability/export.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tao {
+namespace {
+
+bool IsMetricChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+// %.17g keeps doubles round-trippable; integral values render without exponent.
+std::string FormatValue(double value) {
+  if (!std::isfinite(value)) {
+    return value > 0 ? "+Inf" : (value < 0 ? "-Inf" : "NaN");
+  }
+  char buffer[64];
+  if (value == static_cast<double>(static_cast<int64_t>(value))) {
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(value)));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out = "tao_";
+  out.reserve(name.size() + 4);
+  for (const char c : name) {
+    out.push_back(IsMetricChar(c) ? c : '_');
+  }
+  return out;
+}
+
+std::string PrometheusText(const std::vector<NamedCounter>& counters) {
+  std::string out;
+  for (const NamedCounter& counter : counters) {
+    const std::string metric = PrometheusMetricName(counter.name);
+    out += "# HELP " + metric + " " + counter.name + "\n";
+    out += "# TYPE " + metric + " untyped\n";
+    out += metric + " " + FormatValue(counter.value) + "\n";
+  }
+  return out;
+}
+
+std::string CountersJson(const std::vector<NamedCounter>& counters) {
+  std::string out = "{";
+  bool first = true;
+  for (const NamedCounter& counter : counters) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    out += "\"";
+    for (const char c : counter.name) {  // names are slash/alnum; escape anyway
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+      }
+      out.push_back(c);
+    }
+    out += "\":";
+    const std::string value = FormatValue(counter.value);
+    // JSON has no Inf/NaN literals.
+    out += (value == "+Inf" || value == "-Inf" || value == "NaN") ? "null" : value;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace tao

@@ -1,0 +1,36 @@
+// Text renderings of NamedCounters for the monitoring endpoint.
+//
+// Counter names in this codebase are slash-namespaced ("model/1/claims/accepted");
+// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*, so the Prometheus
+// rendering sanitizes every name (slashes and other illegal characters become '_',
+// a leading digit gets a '_' prefix) under a "tao_" prefix and carries the
+// original slash-name on the preceding "# HELP" line, e.g.:
+//
+//   # HELP tao_model_1_claims_accepted model/1/claims/accepted
+//   # TYPE tao_model_1_claims_accepted untyped
+//   tao_model_1_claims_accepted 128
+//
+// so dashboards scrape valid names while greps for the repo's native names still
+// match the page. The JSON rendering is a flat {"name": value} object keyed by
+// the original names.
+
+#ifndef TAO_SRC_OBSERVABILITY_EXPORT_H_
+#define TAO_SRC_OBSERVABILITY_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/service/metrics.h"
+
+namespace tao {
+
+// "tao_" + name with every character outside [a-zA-Z0-9_] replaced by '_'.
+std::string PrometheusMetricName(const std::string& name);
+
+std::string PrometheusText(const std::vector<NamedCounter>& counters);
+
+std::string CountersJson(const std::vector<NamedCounter>& counters);
+
+}  // namespace tao
+
+#endif  // TAO_SRC_OBSERVABILITY_EXPORT_H_

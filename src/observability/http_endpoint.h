@@ -1,0 +1,98 @@
+// Embedded HTTP/1.1 monitoring endpoint (docs/observability.md).
+//
+// A deliberately minimal server — POSIX sockets, no external deps, no TLS, no
+// keep-alive — meant for localhost scrapes and curl, NOT as the claim-submission
+// front-end (that is the ROADMAP's separate RPC gateway item). One accept thread
+// (poll()-gated so shutdown never hangs in accept) feeds a small handler thread
+// over an fd queue; each request is read, answered, and the connection closed.
+//
+// Routes:
+//   /healthz      "ok" while the server runs
+//   /metrics      Prometheus text rendered from the wired CountersFn
+//   /snapshot     the same counters as a flat JSON object
+//   /traces       per-claim span chains, compact text table
+//   /traces.json  the same chains as chrome://tracing JSON
+//
+// Starting the server enables Tracer recording and the ResourceTracker sampler;
+// stopping disables tracing again (spans cost nothing while disabled).
+
+#ifndef TAO_SRC_OBSERVABILITY_HTTP_ENDPOINT_H_
+#define TAO_SRC_OBSERVABILITY_HTTP_ENDPOINT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/observability/trace.h"
+#include "src/service/metrics.h"
+
+namespace tao {
+
+struct MonitoringOptions {
+  bool enabled = false;    // off by default: opt-in via gateway/marketplace config
+  int port = 0;            // 0 = ephemeral (read the bound port from the server)
+  std::string bind_address = "127.0.0.1";
+  // Sampling period of the background resource sampler.
+  int sampler_period_ms = 100;
+  // Slow-claim retention policy for /traces.
+  TraceCollectorOptions trace;
+  // Also enable span recording (the server works as a pure metrics endpoint with
+  // tracing off; /traces is then empty).
+  bool enable_tracing = true;
+};
+
+class MonitoringServer {
+ public:
+  using CountersFn = std::function<std::vector<NamedCounter>()>;
+
+  // Binds and starts serving immediately; throws std::runtime_error when the
+  // socket cannot be bound. `counters` is called per /metrics//snapshot request
+  // from the handler thread and must be safe until the server is destroyed.
+  MonitoringServer(const MonitoringOptions& options, CountersFn counters);
+  ~MonitoringServer();
+
+  MonitoringServer(const MonitoringServer&) = delete;
+  MonitoringServer& operator=(const MonitoringServer&) = delete;
+
+  int port() const { return port_; }
+  TraceCollector& collector() { return collector_; }
+
+  int64_t requests_served() const { return requests_.load(); }
+
+  // Route dispatch without a socket (tests; the demo's self-check).
+  std::string HandleForTest(const std::string& target) { return Dispatch(target); }
+
+ private:
+  void AcceptLoop();
+  void HandlerLoop();
+  void HandleConnection(int fd);
+  std::string Dispatch(const std::string& target);
+
+  const MonitoringOptions options_;
+  const CountersFn counters_;
+  TraceCollector collector_;
+  const bool owns_tracing_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> requests_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<int> pending_;  // accepted fds awaiting the handler
+
+  std::thread accept_thread_;
+  std::thread handler_thread_;
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_OBSERVABILITY_HTTP_ENDPOINT_H_

@@ -1,0 +1,207 @@
+#include "src/observability/resource_tracker.h"
+
+#include <time.h>
+
+#include <algorithm>
+
+#include "src/runtime/arena.h"
+
+namespace tao {
+namespace {
+
+double ReadClockSeconds(clockid_t clock) {
+  struct timespec ts {};
+  if (clock_gettime(clock, &ts) != 0) {
+    return 0.0;
+  }
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) / 1e9;
+}
+
+}  // namespace
+
+ResourceTracker& ResourceTracker::Get() {
+  // Leaked: registered threads may deregister during static destruction.
+  static ResourceTracker* instance = new ResourceTracker();
+  return *instance;
+}
+
+size_t ResourceTracker::Register(const std::string& role, std::string* name) {
+  clockid_t clock{};
+  const bool have_clock = pthread_getcpuclockid(pthread_self(), &clock) == 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Recycle the lowest dead slot of the same role so ordinals stay stable across
+  // service restarts; the predecessor's CPU moves into dead_seconds.
+  size_t slot = slots_.size();
+  size_t ordinal = 0;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].role == role) {
+      if (!slots_[i].alive && slot == slots_.size()) {
+        slot = i;
+      }
+      ++ordinal;
+    }
+  }
+  if (slot == slots_.size()) {
+    slots_.emplace_back();
+    slots_[slot].role = role;
+    slots_[slot].ordinal = ordinal;
+  }
+  Slot& s = slots_[slot];
+  s.clock = have_clock ? clock : clockid_t{};
+  s.alive = have_clock;
+  s.dead_seconds += s.live_seconds;
+  s.live_seconds = have_clock ? ReadClockSeconds(clock) : 0.0;
+  // The occupant's baseline is its CPU so far; its contribution is the delta.
+  s.dead_seconds -= s.live_seconds;
+  *name = s.role + "/" + std::to_string(s.ordinal);
+  return slot;
+}
+
+void ResourceTracker::Deregister(size_t slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Slot& s = slots_[slot];
+  if (s.alive) {
+    // Final self-sample while the thread (and its clock) still exists.
+    s.live_seconds = ReadClockSeconds(s.clock);
+    s.alive = false;
+  }
+}
+
+ResourceTracker::ScopedThread::ScopedThread(const std::string& role) {
+  // Registration happens in the body: every member (name_ included) must be
+  // constructed before Register writes the assigned name through the pointer.
+  slot_ = ResourceTracker::Get().Register(role, &name_);
+}
+
+ResourceTracker::ScopedThread::~ScopedThread() {
+  ResourceTracker::Get().Deregister(slot_);
+}
+
+void ResourceTracker::SampleLocked() {
+  for (Slot& s : slots_) {
+    if (s.alive) {
+      s.live_seconds = ReadClockSeconds(s.clock);
+    }
+  }
+  ++samples_taken_;
+}
+
+std::vector<ResourceTracker::ThreadSample> ResourceTracker::Sample() {
+  std::lock_guard<std::mutex> lock(mu_);
+  SampleLocked();
+  std::vector<ThreadSample> samples;
+  samples.reserve(slots_.size());
+  for (const Slot& s : slots_) {
+    samples.push_back({s.role + "/" + std::to_string(s.ordinal),
+                       std::max(0.0, s.dead_seconds + s.live_seconds), s.alive});
+  }
+  return samples;
+}
+
+size_t ResourceTracker::RegisterGauge(std::string name, std::function<double()> gauge) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t handle = next_gauge_handle_++;
+  gauges_.push_back({handle, std::move(name), std::move(gauge)});
+  return handle;
+}
+
+void ResourceTracker::UnregisterGauge(size_t handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_.erase(std::remove_if(gauges_.begin(), gauges_.end(),
+                               [&](const Gauge& g) { return g.handle == handle; }),
+                gauges_.end());
+}
+
+void ResourceTracker::SamplerLoop(std::chrono::milliseconds period) {
+  ScopedThread self("sampler");
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!sampler_stop_) {
+    SampleLocked();
+    sampler_cv_.wait_for(lock, period, [&] { return sampler_stop_; });
+  }
+}
+
+void ResourceTracker::StartSampler(std::chrono::milliseconds period) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sampler_running_) {
+      return;
+    }
+    sampler_running_ = true;
+    sampler_stop_ = false;
+  }
+  sampler_ = std::thread([this, period] { SamplerLoop(period); });
+}
+
+void ResourceTracker::StopSampler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!sampler_running_) {
+      return;
+    }
+    sampler_stop_ = true;
+  }
+  sampler_cv_.notify_all();
+  sampler_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  sampler_running_ = false;
+}
+
+bool ResourceTracker::sampler_running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sampler_running_;
+}
+
+int64_t ResourceTracker::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_taken_;
+}
+
+size_t ResourceTracker::threads_alive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t alive = 0;
+  for (const Slot& s : slots_) {
+    alive += s.alive ? 1 : 0;
+  }
+  return alive;
+}
+
+size_t ResourceTracker::threads_registered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+std::vector<NamedCounter> ResourceTracker::Counters() {
+  std::vector<NamedCounter> counters;
+  std::vector<Gauge> gauges;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SampleLocked();
+    double total = 0.0;
+    size_t alive = 0;
+    for (const Slot& s : slots_) {
+      const double cpu = std::max(0.0, s.dead_seconds + s.live_seconds);
+      counters.push_back(
+          {s.role + "/" + std::to_string(s.ordinal) + "/cpu_seconds", cpu});
+      total += cpu;
+      alive += s.alive ? 1 : 0;
+    }
+    counters.push_back({"resource/cpu_seconds_total", total});
+    counters.push_back({"resource/threads_alive", static_cast<double>(alive)});
+    counters.push_back(
+        {"resource/threads_registered", static_cast<double>(slots_.size())});
+    counters.push_back(
+        {"resource/sampler_samples", static_cast<double>(samples_taken_)});
+    gauges = gauges_;  // evaluate outside mu_: a gauge may take its own locks
+  }
+  counters.push_back({"resource/arena_outstanding_bytes",
+                      static_cast<double>(TensorArena::GlobalOutstandingBytes())});
+  counters.push_back({"resource/arena_peak_bytes",
+                      static_cast<double>(TensorArena::GlobalPeakBytes())});
+  for (const Gauge& gauge : gauges) {
+    counters.push_back({gauge.name, gauge.fn()});
+  }
+  return counters;
+}
+
+}  // namespace tao

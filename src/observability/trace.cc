@@ -1,0 +1,356 @@
+#include "src/observability/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tao {
+namespace {
+
+// The calling thread's published claim context(s) (see ScopedTraceContext).
+thread_local const TraceContext* tls_contexts = nullptr;
+thread_local size_t tls_context_count = 0;
+
+// The calling thread's span ring; registered with the tracer on first record.
+thread_local SpanRing* tls_ring = nullptr;
+
+void AppendEscaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kSubmit:
+      return "submit";
+    case SpanKind::kQueueWait:
+      return "queue_wait";
+    case SpanKind::kBatchForm:
+      return "batch_form";
+    case SpanKind::kPhase1:
+      return "phase1";
+    case SpanKind::kThresholdCheck:
+      return "threshold_check";
+    case SpanKind::kResolveWait:
+      return "resolve_wait";
+    case SpanKind::kResolve:
+      return "resolve";
+    case SpanKind::kDisputeRound:
+      return "dispute_round";
+    case SpanKind::kDeliver:
+      return "deliver";
+  }
+  return "unknown";
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext* contexts, size_t count)
+    : previous_contexts_(tls_contexts), previous_count_(tls_context_count) {
+  tls_contexts = contexts;
+  tls_context_count = count;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  tls_contexts = previous_contexts_;
+  tls_context_count = previous_count_;
+}
+
+const TraceContext* ScopedTraceContext::At(size_t index) {
+  return index < tls_context_count ? &tls_contexts[index] : nullptr;
+}
+
+const TraceContext* ScopedTraceContext::Current() { return At(0); }
+
+void SpanRing::Push(const SpanRecord& span) {
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  const uint64_t tail = tail_.load(std::memory_order_acquire);
+  if (head - tail >= kCapacity) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slots_[head % kCapacity] = span;
+  head_.store(head + 1, std::memory_order_release);
+}
+
+size_t SpanRing::DrainInto(std::vector<SpanRecord>& out) {
+  const uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  for (uint64_t i = tail; i < head; ++i) {
+    out.push_back(slots_[i % kCapacity]);
+  }
+  tail_.store(head, std::memory_order_release);
+  return static_cast<size_t>(head - tail);
+}
+
+std::atomic<bool> Tracer::enabled_{false};
+
+Tracer::Tracer() : origin_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Get() {
+  // Leaked on purpose: worker threads may record during static destruction, and
+  // the rings must outlive every thread that ever held one.
+  static Tracer* instance = new Tracer();
+  return *instance;
+}
+
+SpanRing* Tracer::RegisterRing() {
+  auto ring = std::make_unique<SpanRing>();
+  SpanRing* raw = ring.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.push_back(std::move(ring));
+  return raw;
+}
+
+void Tracer::Record(const SpanRecord& span) {
+  if (!enabled()) {
+    return;
+  }
+  Tracer& tracer = Get();
+  if (tls_ring == nullptr) {
+    tls_ring = tracer.RegisterRing();
+  }
+  tls_ring->Push(span);
+  tracer.recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t Tracer::NowNs() { return ToNs(std::chrono::steady_clock::now()); }
+
+int64_t Tracer::ToNs(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(tp - Get().origin_)
+      .count();
+}
+
+size_t Tracer::Drain(std::vector<SpanRecord>& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t drained = 0;
+  for (const auto& ring : rings_) {
+    drained += ring->DrainInto(out);
+  }
+  return drained;
+}
+
+int64_t Tracer::spans_dropped() const {
+  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mu_));
+  int64_t dropped = 0;
+  for (const auto& ring : rings_) {
+    dropped += ring->dropped();
+  }
+  return dropped;
+}
+
+// -------------------------------------------------------------------------------------
+
+bool ClaimTrace::has(SpanKind kind) const {
+  for (const SpanRecord& span : spans) {
+    if (span.kind == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TraceCollector::TraceCollector(TraceCollectorOptions options) : options_(options) {}
+
+void TraceCollector::Poll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  scratch_.clear();
+  Tracer::Get().Drain(scratch_);
+  // Fold everything first, then finalize: spans of one claim may be drained from
+  // different rings in any relative order within a poll, and a delivery span must
+  // not close a chain whose earlier spans sit later in the same drain batch.
+  std::vector<Key> completed;
+  for (const SpanRecord& span : scratch_) {
+    FoldLocked(span);
+    if (span.kind == SpanKind::kDeliver) {
+      completed.push_back({span.model, span.sequence});
+    }
+  }
+  for (const Key& key : completed) {
+    FinalizeLocked(key);
+  }
+  // Bound the open store: evict the oldest chain by first-span time. An evicted
+  // chain simply never completes (its later spans count as late).
+  while (open_.size() > options_.max_open_claims) {
+    auto oldest = open_.begin();
+    for (auto it = open_.begin(); it != open_.end(); ++it) {
+      if (it->second.begin_ns < oldest->second.begin_ns) {
+        oldest = it;
+      }
+    }
+    MarkClosedLocked(oldest->first);
+    open_.erase(oldest);
+  }
+}
+
+void TraceCollector::MarkClosedLocked(const Key& key) {
+  // Bounded memory of closed chains; old entries age out, which only risks a
+  // straggler span from a long-retired chain re-opening as a ghost — an
+  // observability smudge, never an outcome.
+  static constexpr size_t kClosedMemory = 8192;
+  if (closed_.insert(key).second) {
+    closed_fifo_.push_back(key);
+    while (closed_fifo_.size() > kClosedMemory) {
+      closed_.erase(closed_fifo_.front());
+      closed_fifo_.pop_front();
+    }
+  }
+}
+
+void TraceCollector::FoldLocked(const SpanRecord& span) {
+  const Key key{span.model, span.sequence};
+  auto it = open_.find(key);
+  if (it == open_.end()) {
+    if (closed_.count(key) != 0) {
+      ++late_spans_;  // straggler for a finalized/evicted chain: count, drop
+      return;
+    }
+    ClaimTrace fresh;
+    fresh.model = span.model;
+    fresh.sequence = span.sequence;
+    fresh.begin_ns = span.begin_ns;
+    fresh.end_ns = span.end_ns;
+    it = open_.emplace(key, std::move(fresh)).first;
+  }
+  ClaimTrace& trace = it->second;
+  trace.begin_ns = std::min(trace.begin_ns, span.begin_ns);
+  trace.end_ns = std::max(trace.end_ns, span.end_ns);
+  if (span.claim_id != 0) {
+    trace.claim_id = span.claim_id;
+  }
+  trace.spans.push_back(span);
+  ++spans_folded_;
+}
+
+void TraceCollector::FinalizeLocked(Key key) {
+  const auto it = open_.find(key);
+  if (it == open_.end()) {
+    // The chain was evicted (its delivery span was already counted late by the
+    // fold) — nothing left to finalize.
+    return;
+  }
+  ClaimTrace trace = std::move(it->second);
+  open_.erase(it);
+  MarkClosedLocked(key);
+  trace.complete = true;
+  std::sort(trace.spans.begin(), trace.spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.begin_ns != b.begin_ns ? a.begin_ns < b.begin_ns
+                                              : a.end_ns < b.end_ns;
+            });
+  ++claims_completed_;
+  if (trace.latency_ms() >= options_.slow_claim_ms) {
+    slow_.push_front(std::move(trace));
+    while (slow_.size() > options_.max_slow_claims) {
+      slow_.pop_back();
+    }
+  } else {
+    recent_.push_front(std::move(trace));
+    while (recent_.size() > options_.max_recent_claims) {
+      recent_.pop_back();
+    }
+  }
+}
+
+std::vector<ClaimTrace> TraceCollector::Traces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ClaimTrace> traces;
+  traces.reserve(slow_.size() + recent_.size());
+  traces.insert(traces.end(), slow_.begin(), slow_.end());
+  traces.insert(traces.end(), recent_.begin(), recent_.end());
+  return traces;
+}
+
+std::string TraceCollector::ChromeTraceJson() {
+  Poll();
+  const std::vector<ClaimTrace> traces = Traces();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buffer[256];
+  for (const ClaimTrace& trace : traces) {
+    for (const SpanRecord& span : trace.spans) {
+      if (!first) {
+        out.push_back(',');
+      }
+      first = false;
+      // Complete ("X") events; ts/dur in microseconds. pid groups by model,
+      // tid by the span's worker (verify stages) or shard (resolve stages).
+      const uint32_t tid = span.worker != kNoIndex ? span.worker
+                           : span.shard != kNoIndex ? 1000 + span.shard
+                                                    : 9999;
+      std::snprintf(buffer, sizeof(buffer),
+                    "{\"name\":\"%s\",\"cat\":\"claim\",\"ph\":\"X\","
+                    "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%llu,\"tid\":%u,"
+                    "\"args\":{\"sequence\":%llu,\"claim_id\":%llu,"
+                    "\"detail\":%lld}}",
+                    SpanKindName(span.kind),
+                    static_cast<double>(span.begin_ns) / 1e3,
+                    static_cast<double>(span.end_ns - span.begin_ns) / 1e3,
+                    static_cast<unsigned long long>(span.model), tid,
+                    static_cast<unsigned long long>(span.sequence),
+                    static_cast<unsigned long long>(span.claim_id),
+                    static_cast<long long>(span.detail));
+      out += buffer;
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TraceCollector::TextTable() {
+  Poll();
+  const std::vector<ClaimTrace> traces = Traces();
+  std::string out;
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "# %zu retained claim trace(s); spans_folded=%lld "
+                "claims_completed=%lld\n",
+                traces.size(), static_cast<long long>(spans_folded()),
+                static_cast<long long>(claims_completed()));
+  out += buffer;
+  for (const ClaimTrace& trace : traces) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "claim model=%llu sequence=%llu claim_id=%llu latency_ms=%.3f "
+                  "spans=%zu%s\n",
+                  static_cast<unsigned long long>(trace.model),
+                  static_cast<unsigned long long>(trace.sequence),
+                  static_cast<unsigned long long>(trace.claim_id),
+                  trace.latency_ms(), trace.spans.size(),
+                  trace.complete ? "" : " (incomplete)");
+    out += buffer;
+    for (const SpanRecord& span : trace.spans) {
+      std::string name = SpanKindName(span.kind);
+      std::snprintf(buffer, sizeof(buffer),
+                    "  %-16s begin_ms=%10.3f dur_ms=%9.3f shard=%d worker=%d "
+                    "detail=%lld\n",
+                    name.c_str(), static_cast<double>(span.begin_ns) / 1e6,
+                    static_cast<double>(span.end_ns - span.begin_ns) / 1e6,
+                    span.shard == kNoIndex ? -1 : static_cast<int>(span.shard),
+                    span.worker == kNoIndex ? -1 : static_cast<int>(span.worker),
+                    static_cast<long long>(span.detail));
+      out += buffer;
+    }
+  }
+  (void)AppendEscaped;  // escaping is used by the JSON exporters in export.cc
+  return out;
+}
+
+int64_t TraceCollector::spans_folded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_folded_;
+}
+
+int64_t TraceCollector::claims_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return claims_completed_;
+}
+
+int64_t TraceCollector::late_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return late_spans_;
+}
+
+}  // namespace tao

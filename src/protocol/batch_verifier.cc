@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/observability/trace.h"
 #include "src/runtime/parallel_for.h"
 #include "src/runtime/thread_pool.h"
 #include "src/util/check.h"
@@ -80,6 +81,10 @@ std::vector<ClaimPhase1> BatchVerifier::ExecutePhase1(const std::vector<BatchCla
     if (!claims[i].supervised()) {
       continue;
     }
+    // Tracing: the service worker published the cohort's contexts (indexed by
+    // claim position) around this call; null when driven standalone.
+    const bool tracing = Tracer::enabled();
+    const int64_t check_begin = tracing ? Tracer::NowNs() : 0;
     result.supervised = true;
     result.challenger_output = traces[challenger_lane[i]].value(output);
     result.flagged = thresholds_.Exceeds(output, traces[proposer_lane[i]].value(output),
@@ -95,6 +100,20 @@ std::vector<ClaimPhase1> BatchVerifier::ExecutePhase1(const std::vector<BatchCla
       result.proposer_trace =
           proposer_exec.RunPerturbed(claims[i].inputs, claims[i].perturbations,
                                      reexec_options);
+    }
+    if (tracing) {
+      if (const TraceContext* context = ScopedTraceContext::At(i)) {
+        SpanRecord span;
+        span.model = context->model;
+        span.sequence = context->sequence;
+        span.shard = context->shard;
+        span.worker = context->worker;
+        span.kind = SpanKind::kThresholdCheck;
+        span.detail = result.flagged ? 1 : 0;
+        span.begin_ns = check_begin;
+        span.end_ns = Tracer::NowNs();
+        Tracer::Record(span);
+      }
     }
   }
   return phase1;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/observability/trace.h"
 #include "src/runtime/parallel_for.h"
 #include "src/runtime/thread_pool.h"
 #include "src/util/check.h"
@@ -112,6 +113,25 @@ DisputeResult DisputeGame::RunFromPhase1(const std::vector<Tensor>& inputs,
 
   Slice slice{0, graph.num_ops()};
   bool no_offender_found = false;
+  // Tracing: one span per dispute round (detail = round index), tagged with the
+  // claim context the resolve lane published (absent for standalone drivers).
+  const auto record_round_span = [&](int64_t round_index, int64_t begin_ns) {
+    if (!Tracer::enabled()) {
+      return;
+    }
+    SpanRecord span;
+    if (const TraceContext* context = ScopedTraceContext::Current()) {
+      span.model = context->model;
+      span.sequence = context->sequence;
+      span.shard = context->shard;
+    }
+    span.claim_id = claim;
+    span.kind = SpanKind::kDisputeRound;
+    span.detail = round_index;
+    span.begin_ns = begin_ns;
+    span.end_ns = Tracer::NowNs();
+    Tracer::Record(span);
+  };
   // DCR optimization (what makes the Table 3 cost ratio land in ~[0.4, 1.25] rather
   // than ~[1, 2]): when the challenger re-executes a slice from an agreed boundary,
   // it keeps those values. At the next round, the FIRST child of the selected slice
@@ -124,6 +144,7 @@ DisputeResult DisputeGame::RunFromPhase1(const std::vector<Tensor>& inputs,
     RoundStats round;
     round.round = result.rounds;
     round.slice_size = slice.size();
+    const int64_t round_begin_ns = Tracer::enabled() ? Tracer::NowNs() : 0;
 
     // -- Proposer: canonical partition + commitments + proofs ------------------------
     Stopwatch partition_watch;
@@ -316,6 +337,7 @@ DisputeResult DisputeGame::RunFromPhase1(const std::vector<Tensor>& inputs,
     if (selected < 0) {
       // No child exceeded its thresholds: the challenge does not hold up.
       no_offender_found = true;
+      record_round_span(round.round, round_begin_ns);
       result.round_stats.push_back(round);
       break;
     }
@@ -326,6 +348,7 @@ DisputeResult DisputeGame::RunFromPhase1(const std::vector<Tensor>& inputs,
     }
     slice = children[static_cast<size_t>(selected)];
     result.rounds += 1;
+    record_round_span(round.round, round_begin_ns);
     result.round_stats.push_back(round);
   }
 

@@ -23,7 +23,8 @@ struct DrawnTask {
 
 Marketplace::Marketplace(const Model& model, const ModelCommitment& commitment,
                          const ThresholdSet& thresholds, MarketplaceConfig config)
-    : config_(std::move(config)), gateway_(registry_) {
+    : config_(std::move(config)),
+      gateway_(registry_, GatewayOptions{.monitoring = config_.monitoring}) {
   // Single-model registry: register + commit up front (the gateway serves in
   // Run()). The coordinator configuration matches the pre-registry member
   // (GasSchedule{}, round_timeout 10, config shards), so the ledger and claim-id

@@ -61,6 +61,11 @@ struct MarketplaceConfig {
   // `<directory>/model-<id>` and recover it on the next construction. Default off:
   // the simulation stays bitwise the in-memory path.
   DurabilityOptions durability;
+  // Embedded HTTP monitoring endpoint for the simulation's gateway (off by
+  // default). Enabling it turns span tracing on for the run; instrumentation is
+  // outcome-inert, so stats/gas/ledger/claim ids stay bitwise identical either way
+  // (held by the observability test's tracing sweep).
+  MonitoringOptions monitoring;
 };
 
 struct MarketplaceStats {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/observability/resource_tracker.h"
+#include "src/runtime/thread_pool.h"
 #include "src/util/check.h"
 
 namespace tao {
@@ -52,9 +54,22 @@ ServingGateway::ServingGateway(ModelRegistry& registry, GatewayOptions options)
     : registry_(registry), options_(options) {
   TAO_CHECK(options_.total_memory_budget_bytes > 0);
   TAO_CHECK(options_.min_model_budget_bytes > 0);
+  if (options_.monitoring.enabled) {
+    pool_gauge_handle_ = ResourceTracker::Get().RegisterGauge(
+        "resource/pool_queue_depth",
+        [] { return static_cast<double>(ThreadPool::Shared().queue_depth()); });
+    monitoring_ = std::make_unique<MonitoringServer>(
+        options_.monitoring, [this] { return metrics().NamedCounters(); });
+  }
 }
 
 ServingGateway::~ServingGateway() {
+  // Endpoint first: its handler thread calls back into metrics(), so it must be
+  // gone before any teardown below.
+  monitoring_.reset();
+  if (pool_gauge_handle_ != 0) {
+    ResourceTracker::Get().UnregisterGauge(pool_gauge_handle_);
+  }
   DrainAll();
   // Retire every still-attached model (drained above, so teardown is prompt).
   // Going through Retire — not just resetting the slots — also moves the registry

@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/observability/http_endpoint.h"
 #include "src/registry/model_registry.h"
 #include "src/service/verification_service.h"
 
@@ -75,6 +76,10 @@ struct GatewayOptions {
   // transitions). The cadence is a freshness/overhead knob only; budgets never
   // affect outcomes.
   int64_t rebalance_interval = 64;
+  // HTTP monitoring endpoint (off by default). When enabled, the gateway serves
+  // /metrics, /snapshot, /traces, and /healthz over its own NamedCounters plus the
+  // process ResourceTracker, and turns span tracing on for its lifetime.
+  MonitoringOptions monitoring;
 };
 
 // Per-model slice of a gateway metrics snapshot.
@@ -149,6 +154,10 @@ class ServingGateway {
   static std::vector<int64_t> ApportionBudget(int64_t total, int64_t floor,
                                               const std::vector<int64_t>& weights);
 
+  // The embedded monitoring endpoint; null unless GatewayOptions::monitoring
+  // enabled it. Lives exactly as long as the gateway.
+  MonitoringServer* monitoring() { return monitoring_.get(); }
+
  private:
   struct ServingSlot {
     std::shared_ptr<VerificationService> service;  // null once retired
@@ -163,6 +172,8 @@ class ServingGateway {
 
   ModelRegistry& registry_;
   const GatewayOptions options_;
+  std::unique_ptr<MonitoringServer> monitoring_;  // null when disabled
+  size_t pool_gauge_handle_ = 0;
 
   // Guards slots_ (the routing table). Submit share-locks only long enough to copy
   // the service pointer; blocking admission happens outside the lock, so a stalled

@@ -1,13 +1,42 @@
 #include "src/runtime/arena.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 namespace tao {
+namespace {
+
+// Process-wide gauges across every arena instance (see GlobalOutstandingBytes).
+std::atomic<int64_t> g_outstanding_bytes{0};
+std::atomic<int64_t> g_peak_bytes{0};
+
+void GlobalAdd(int64_t bytes) {
+  const int64_t now = g_outstanding_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !g_peak_bytes.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void GlobalSub(int64_t bytes) {
+  g_outstanding_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+int64_t TensorArena::GlobalOutstandingBytes() {
+  return std::max<int64_t>(0, g_outstanding_bytes.load(std::memory_order_relaxed));
+}
+
+int64_t TensorArena::GlobalPeakBytes() {
+  return g_peak_bytes.load(std::memory_order_relaxed);
+}
 
 Tensor TensorArena::Allocate(const Shape& shape) {
   const int64_t numel = shape.numel();
   const int64_t bytes = numel * static_cast<int64_t>(sizeof(float));
+  GlobalAdd(bytes);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.requests;
@@ -32,6 +61,7 @@ void TensorArena::Recycle(Tensor&& dead) {
   if (storage == nullptr || storage.use_count() != 1 || storage->empty()) {
     return;
   }
+  GlobalSub(static_cast<int64_t>(storage->size() * sizeof(float)));
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.recycled;
   // Clamped: a recycled buffer need not have been served by Allocate (a kernel may
@@ -45,6 +75,7 @@ void TensorArena::Recycle(Tensor&& dead) {
 DTensor TensorArena::AllocateD(const Shape& shape) {
   const int64_t numel = shape.numel();
   const int64_t bytes = numel * static_cast<int64_t>(sizeof(double));
+  GlobalAdd(bytes);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.requests;
@@ -69,6 +100,7 @@ void TensorArena::Recycle(DTensor&& dead) {
   if (storage == nullptr || storage.use_count() != 1 || storage->empty()) {
     return;
   }
+  GlobalSub(static_cast<int64_t>(storage->size() * sizeof(double)));
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.recycled;
   stats_.outstanding_bytes =

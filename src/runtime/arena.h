@@ -61,6 +61,12 @@ class TensorArena {
 
   Stats stats() const;
 
+  // Process-wide fold of outstanding/peak bytes across EVERY arena instance, for
+  // the resource tracker (a monitoring endpoint cannot enumerate arenas). The
+  // global peak is a high-water mark of the global outstanding sum.
+  static int64_t GlobalOutstandingBytes();
+  static int64_t GlobalPeakBytes();
+
   // Drops every pooled buffer (stats are preserved).
   void Trim();
 

@@ -40,6 +40,12 @@ class ThreadPool {
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
+  // Tasks queued but not yet claimed by a worker (monitoring gauge).
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
   // Process-wide shared pool, created on first use. Sized so that even a
   // single-core CI box can genuinely exercise `num_threads = 8` execution paths:
   // max(hardware_concurrency, 8) - 1 workers (the caller thread is the +1).
@@ -50,7 +56,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
 };

@@ -139,6 +139,39 @@ std::vector<NamedCounter> NamedCounters(const MetricsSnapshot& snapshot,
   add("durability/snapshots", static_cast<double>(snapshot.durability_snapshots));
   add("durability/recovery_replayed",
       static_cast<double>(snapshot.durability_recovery_replayed));
+  add("durability/flush_seconds_total",
+      static_cast<double>(snapshot.durability_flush_ns) / 1e9);
+  add("durability/fsync_seconds_total",
+      static_cast<double>(snapshot.durability_fsync_ns) / 1e9);
+  add("durability/flush_ms_mean",
+      snapshot.durability_flushes > 0
+          ? static_cast<double>(snapshot.durability_flush_ns) / 1e6 /
+                static_cast<double>(snapshot.durability_flushes)
+          : 0.0);
+  add("durability/fsync_ms_mean",
+      snapshot.durability_fsyncs > 0
+          ? static_cast<double>(snapshot.durability_fsync_ns) / 1e6 /
+                static_cast<double>(snapshot.durability_fsyncs)
+          : 0.0);
+  // Cumulative latency histogram (Prometheus-style "le" buckets; bounds in
+  // microseconds). Dashboards that want percentiles beyond p50/p99 re-derive them
+  // from these instead of the unexported raw buckets. Trailing empty buckets are
+  // folded into the final +count counter to keep the page compact.
+  int64_t cumulative = 0;
+  int64_t total = 0;
+  size_t last_nonzero = 0;
+  for (size_t b = 0; b < kLatencyBuckets; ++b) {
+    total += snapshot.latency_hist_us[b];
+    if (snapshot.latency_hist_us[b] > 0) {
+      last_nonzero = b;
+    }
+  }
+  for (size_t b = 0; b <= last_nonzero; ++b) {
+    cumulative += snapshot.latency_hist_us[b];
+    add(("latency/hist_us/le_" + std::to_string(int64_t{1} << (b + 1))).c_str(),
+        static_cast<double>(cumulative));
+  }
+  add("latency/hist_us/count", static_cast<double>(total));
   add("elapsed_seconds", snapshot.elapsed_seconds);
   // Live dispatch gauge, not a snapshot field: the backend is a process-wide
   // property decided once at startup, and dashboards need it next to the claim
@@ -169,6 +202,8 @@ MetricsSnapshot AggregateSnapshots(const std::vector<MetricsSnapshot>& snapshots
     total.durability_fsyncs += snapshot.durability_fsyncs;
     total.durability_snapshots += snapshot.durability_snapshots;
     total.durability_recovery_replayed += snapshot.durability_recovery_replayed;
+    total.durability_flush_ns += snapshot.durability_flush_ns;
+    total.durability_fsync_ns += snapshot.durability_fsync_ns;
     total.elapsed_seconds = std::max(total.elapsed_seconds, snapshot.elapsed_seconds);
     for (size_t b = 0; b < kBatchSizeBuckets; ++b) {
       total.batch_size_hist[b] += snapshot.batch_size_hist[b];

@@ -61,6 +61,10 @@ struct MetricsSnapshot {
   int64_t durability_fsyncs = 0;
   int64_t durability_snapshots = 0;
   int64_t durability_recovery_replayed = 0;
+  // Writer wall time inside write(2) / fsync(2) (nanoseconds): mean flush/fsync
+  // latency = total / count, which is what the resource view exports.
+  int64_t durability_flush_ns = 0;
+  int64_t durability_fsync_ns = 0;
 
   std::array<int64_t, kBatchSizeBuckets> batch_size_hist{};
   std::array<int64_t, kLatencyBuckets> latency_hist_us{};

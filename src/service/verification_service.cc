@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "src/device/simd.h"
+#include "src/observability/resource_tracker.h"
+#include "src/observability/trace.h"
 #include "src/util/check.h"
 
 namespace tao {
@@ -41,7 +43,7 @@ VerificationService::VerificationService(const Model& model,
   }
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
   }
   lane_threads_.reserve(num_lanes);
   for (size_t lane = 0; lane < num_lanes; ++lane) {
@@ -79,6 +81,7 @@ std::shared_ptr<ClaimTicket> VerificationService::Submit(BatchClaim claim,
       return nullptr;
     }
   }
+  const int64_t submit_begin = Tracer::enabled() ? Tracer::NowNs() : 0;
   auto ticket = std::make_shared<ClaimTicket>();
   SubmissionRecord record;
   record.claim = std::move(claim);
@@ -90,13 +93,24 @@ std::shared_ptr<ClaimTicket> VerificationService::Submit(BatchClaim claim,
   if (status != SubmitStatus::kAccepted) {
     return nullptr;
   }
+  if (Tracer::enabled()) {
+    SpanRecord span;
+    span.model = coordinator_.model_id();
+    span.sequence = ticket->sequence();
+    span.kind = SpanKind::kSubmit;
+    span.begin_ns = submit_begin;
+    span.end_ns = Tracer::NowNs();
+    Tracer::Record(span);
+  }
   return ticket;
 }
 
-void VerificationService::WorkerLoop() {
+void VerificationService::WorkerLoop(size_t worker) {
+  ResourceTracker::ScopedThread tracked("worker");
   const size_t num_lanes = lanes_.size();
   std::vector<char> lane_touched(num_lanes, 0);
   for (;;) {
+    const int64_t form_begin = Tracer::enabled() ? Tracer::NowNs() : 0;
     // Reorder-window gate: don't pull new work while too many executed claims wait
     // for resolution/delivery (a dispute burst would otherwise pile up phase-1
     // results without bound). Room is RESERVED against unresolved_ before popping,
@@ -126,6 +140,32 @@ void VerificationService::WorkerLoop() {
     }
     metrics_.RecordDispatch(static_cast<int64_t>(cohort.size()));
 
+    // Tracing: per-claim queue-wait and batch-formation spans, plus the cohort's
+    // contexts published around phase 1 so the batch verifier can tag its
+    // threshold-check spans without any API change. Observation only.
+    const bool tracing = Tracer::enabled();
+    std::vector<TraceContext> contexts;
+    if (tracing) {
+      const int64_t now_ns = Tracer::NowNs();
+      contexts.reserve(cohort.size());
+      for (const SubmissionRecord& record : cohort) {
+        SpanRecord span;
+        span.model = coordinator_.model_id();
+        span.sequence = record.sequence;
+        span.shard = static_cast<uint32_t>(record.sequence % num_lanes);
+        span.worker = static_cast<uint32_t>(worker);
+        span.kind = SpanKind::kQueueWait;
+        span.begin_ns = Tracer::ToNs(record.enqueue_time);
+        span.end_ns = now_ns;
+        Tracer::Record(span);
+        span.kind = SpanKind::kBatchForm;
+        span.detail = static_cast<int64_t>(cohort.size());
+        span.begin_ns = form_begin;
+        Tracer::Record(span);
+        contexts.push_back({span.model, span.sequence, span.shard, span.worker});
+      }
+    }
+
     // Tensors share storage, so building the claim view of the cohort is cheap.
     std::vector<BatchClaim> claims;
     claims.reserve(cohort.size());
@@ -133,19 +173,41 @@ void VerificationService::WorkerLoop() {
       claims.push_back(record.claim);
     }
     TensorArena::Stats arena_stats;
-    std::vector<ClaimPhase1> phase1 = verifier_.ExecutePhase1(claims, &arena_stats);
+    const int64_t phase1_begin = tracing ? Tracer::NowNs() : 0;
+    std::vector<ClaimPhase1> phase1;
+    {
+      ScopedTraceContext scope(contexts.data(), contexts.size());
+      phase1 = verifier_.ExecutePhase1(claims, &arena_stats);
+    }
+    if (tracing) {
+      const int64_t now_ns = Tracer::NowNs();
+      for (const TraceContext& context : contexts) {
+        SpanRecord span;
+        span.model = context.model;
+        span.sequence = context.sequence;
+        span.shard = context.shard;
+        span.worker = context.worker;
+        span.kind = SpanKind::kPhase1;
+        span.detail = static_cast<int64_t>(cohort.size());
+        span.begin_ns = phase1_begin;
+        span.end_ns = now_ns;
+        Tracer::Record(span);
+      }
+    }
     former_.ObserveBatch(static_cast<int64_t>(cohort.size()),
                          arena_stats.peak_outstanding_bytes);
 
     // Hand each claim to the lane owning its sequence (lane = sequence mod lanes).
+    const int64_t handoff_ns = tracing ? Tracer::NowNs() : 0;
     std::fill(lane_touched.begin(), lane_touched.end(), 0);
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (size_t i = 0; i < cohort.size(); ++i) {
         const uint64_t sequence = cohort[i].sequence;
         const size_t lane = static_cast<size_t>(sequence % num_lanes);
-        lanes_[lane]->ready.emplace(sequence, PendingResolution{std::move(cohort[i]),
-                                                                std::move(phase1[i])});
+        lanes_[lane]->ready.emplace(
+            sequence, PendingResolution{std::move(cohort[i]), std::move(phase1[i]),
+                                        handoff_ns});
         lane_touched[lane] = 1;
       }
     }
@@ -173,6 +235,17 @@ size_t VerificationService::FlushOrderedDeliveriesLocked() {
             .count();
     metrics_.RecordVerdict(latency_seconds, delivery.outcome.flagged);
     TAO_CHECK(delivery.ticket != nullptr);
+    if (Tracer::enabled()) {
+      SpanRecord span;
+      span.model = coordinator_.model_id();
+      span.sequence = next_deliver_seq_;
+      span.claim_id = delivery.outcome.claim_id;
+      span.shard = static_cast<uint32_t>(next_deliver_seq_ % lanes_.size());
+      span.kind = SpanKind::kDeliver;
+      span.begin_ns = delivery.parked_ns > 0 ? delivery.parked_ns : Tracer::NowNs();
+      span.end_ns = Tracer::NowNs();
+      Tracer::Record(span);
+    }
     delivery.ticket->Deliver(std::move(delivery.outcome));
     deliverable_.erase(it);
     ++next_deliver_seq_;
@@ -185,6 +258,7 @@ size_t VerificationService::FlushOrderedDeliveriesLocked() {
 }
 
 void VerificationService::LaneLoop(size_t lane) {
+  ResourceTracker::ScopedThread tracked("lane");
   LaneState& state = *lanes_[lane];
   const uint64_t num_lanes = static_cast<uint64_t>(lanes_.size());
   for (;;) {
@@ -206,13 +280,47 @@ void VerificationService::LaneLoop(size_t lane) {
       state.ready.erase(it);
     }
 
+    // Tracing: the wait between the worker's handoff and this pickup, then the
+    // resolve itself, with the claim context published so the dispute game can
+    // record its per-round spans. Observation only.
+    const bool tracing = Tracer::enabled();
+    const int64_t resolve_begin = tracing ? Tracer::NowNs() : 0;
+    TraceContext context{coordinator_.model_id(), item.record.sequence,
+                         static_cast<uint32_t>(lane), kNoIndex};
+    if (tracing && item.handoff_ns > 0) {
+      SpanRecord span;
+      span.model = context.model;
+      span.sequence = context.sequence;
+      span.shard = context.shard;
+      span.kind = SpanKind::kResolveWait;
+      span.begin_ns = item.handoff_ns;
+      span.end_ns = resolve_begin;
+      Tracer::Record(span);
+    }
+
     // All coordinator interaction for this claim happens here, on shard `lane`,
     // claim by claim in the lane's submission order. Flagged claims run their full
     // dispute game on this thread while the verify workers keep executing later
     // cohorts and OTHER lanes keep resolving their own shards' claims.
-    BatchClaimOutcome outcome =
-        verifier_.ResolveClaim(item.record.claim, item.phase1, lane);
+    BatchClaimOutcome outcome;
+    {
+      ScopedTraceContext scope(&context, 1);
+      outcome = verifier_.ResolveClaim(item.record.claim, item.phase1, lane);
+    }
     TAO_CHECK(item.record.ticket != nullptr);
+    const int64_t resolve_end = tracing ? Tracer::NowNs() : 0;
+    if (tracing) {
+      SpanRecord span;
+      span.model = context.model;
+      span.sequence = context.sequence;
+      span.claim_id = outcome.claim_id;
+      span.shard = context.shard;
+      span.kind = SpanKind::kResolve;
+      span.detail = outcome.flagged ? 1 : 0;
+      span.begin_ns = resolve_begin;
+      span.end_ns = resolve_end;
+      Tracer::Record(span);
+    }
 
     if (options_.unordered_delivery) {
       // Deliver the moment the lane is done; only the shard's own order is
@@ -222,6 +330,17 @@ void VerificationService::LaneLoop(size_t lane) {
                                         item.record.enqueue_time)
               .count();
       metrics_.RecordVerdict(latency_seconds, outcome.flagged);
+      if (tracing) {
+        SpanRecord span;
+        span.model = context.model;
+        span.sequence = context.sequence;
+        span.claim_id = outcome.claim_id;
+        span.shard = context.shard;
+        span.kind = SpanKind::kDeliver;
+        span.begin_ns = resolve_end;
+        span.end_ns = Tracer::NowNs();
+        Tracer::Record(span);
+      }
       item.record.ticket->Deliver(std::move(outcome));
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -244,7 +363,7 @@ void VerificationService::LaneLoop(size_t lane) {
       deliverable_.emplace(item.record.sequence,
                            PendingDelivery{std::move(item.record.ticket),
                                            std::move(outcome),
-                                           item.record.enqueue_time});
+                                           item.record.enqueue_time, resolve_end});
       released = FlushOrderedDeliveriesLocked();
     }
     if (released > 0) {
@@ -280,6 +399,8 @@ MetricsSnapshot VerificationService::metrics() const {
   snapshot.durability_fsyncs = durability.fsyncs;
   snapshot.durability_snapshots = durability.snapshots_written;
   snapshot.durability_recovery_replayed = durability.recovery_replayed;
+  snapshot.durability_flush_ns = durability.flush_ns_total;
+  snapshot.durability_fsync_ns = durability.fsync_ns_total;
   return snapshot;
 }
 

@@ -131,6 +131,7 @@ class VerificationService {
   struct PendingResolution {
     SubmissionRecord record;
     ClaimPhase1 phase1;
+    int64_t handoff_ns = 0;  // tracing: when the worker parked it for the lane
   };
 
   // A resolved claim parked until global submission order lets it deliver
@@ -140,6 +141,7 @@ class VerificationService {
     std::shared_ptr<ClaimTicket> ticket;
     BatchClaimOutcome outcome;
     std::chrono::steady_clock::time_point enqueue_time{};
+    int64_t parked_ns = 0;  // tracing: when the lane finished resolving it
   };
 
   // One resolve lane: the per-shard slice of the reorder buffer plus its thread's
@@ -150,7 +152,7 @@ class VerificationService {
     uint64_t resolved = 0;          // claims this lane has resolved so far
   };
 
-  void WorkerLoop();
+  void WorkerLoop(size_t worker);
   void LaneLoop(size_t lane);
   // Delivers every consecutively-deliverable verdict. Caller holds mu_; returns the
   // number delivered so the caller can notify the window/drain waiters.
