@@ -9,13 +9,16 @@
 // without AVX2 (or with TAO_DISABLE_SIMD set) the SIMD columns repeat the scalar
 // backend, and the speedup column reads ~1.0x.
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <functional>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/device/device.h"
 #include "src/device/simd.h"
+#include "src/device/vmath.h"
 #include "src/ops/op_kernel.h"
 #include "src/tensor/tensor.h"
 #include "src/util/rng.h"
@@ -80,8 +83,9 @@ bool Bitwise(const Tensor& a, const Tensor& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   RegisterAllOps();
+  bench::JsonSummary json(argc, argv, "micro_ops");
   LogSimdBackendOnce();
   const bool have_avx2 = SimdBackendSupported(SimdBackend::kAvx2);
   const SimdBackend fast =
@@ -122,6 +126,13 @@ int main() {
     a.Set("axis", static_cast<int64_t>(-1));
     cases.push_back({"sum", {Shape{256, 4096}}, a, 1.0f});
   }
+  // Transcendental ops route through src/device/vmath.h: the "scalar" column is
+  // the vmath scalar recipe, the "simd" column its AVX2 twin (same arithmetic,
+  // eight lanes at a time), so the bitwise column holds by construction.
+  cases.push_back({"exp", {Shape{256, 1024}}, {}, 1.0f});
+  cases.push_back({"tanh", {Shape{256, 1024}}, {}, 1.0f});
+  cases.push_back({"gelu", {Shape{256, 1024}}, {}, 1.0f});
+  cases.push_back({"silu", {Shape{256, 1024}}, {}, 1.0f});
   // Cache-resident sizes: at streaming sizes these ops are memory-bound and both
   // backends run at the same bandwidth.
   cases.push_back({"relu", {Shape{1 << 16}}, {}, 1.0f});
@@ -209,9 +220,163 @@ int main() {
   });
   prims.Print();
 
+  // --- Transcendental vector math (src/device/vmath.h) -----------------------------
+  // Three columns per function: glibc libm (what the ops called before vmath),
+  // the vmath scalar recipe, and its AVX2 twin. The two vmath columns are the SAME
+  // arithmetic in the same order — the bitwise column re-checks that on the timed
+  // buffers. GFLOP/s uses the nominal per-element op count of the vmath recipe.
+  std::printf("\ntranscendental vector math (n = 16384, vmath fixed polynomials):\n");
+  struct VmathCase {
+    const char* name;
+    double flops_per_elem;  // nominal: the vmath recipe's arithmetic op count
+    std::function<void(const float*, float*, int64_t)> libm;
+    void (*vmath)(const float*, float*, int64_t);
+  };
+  const std::vector<VmathCase> vmath_cases = {
+      {"exp", 15.0,
+       [](const float* x, float* o, int64_t n) {
+         for (int64_t i = 0; i < n; ++i) o[i] = std::exp(x[i]);
+       },
+       &vmath::ExpVec},
+      {"erf", 28.0,
+       [](const float* x, float* o, int64_t n) {
+         for (int64_t i = 0; i < n; ++i) o[i] = std::erf(x[i]);
+       },
+       &vmath::ErfVec},
+      {"tanh", 26.0,
+       [](const float* x, float* o, int64_t n) {
+         for (int64_t i = 0; i < n; ++i) o[i] = std::tanh(x[i]);
+       },
+       &vmath::TanhVec},
+      {"sigmoid", 18.0,
+       [](const float* x, float* o, int64_t n) {
+         for (int64_t i = 0; i < n; ++i) o[i] = 1.0f / (1.0f + std::exp(-x[i]));
+       },
+       &vmath::SigmoidVec},
+      {"gelu", 32.0,
+       [](const float* x, float* o, int64_t n) {
+         for (int64_t i = 0; i < n; ++i) {
+           o[i] = (0.5f * x[i]) * (1.0f + std::erf(x[i] * 0.70710678118654752440f));
+         }
+       },
+       &vmath::GeluVec},
+  };
+  // Gaussian(0, 2) inputs: the activation range these functions actually see, with
+  // occasional excursions into the clamp tails.
+  std::vector<float> tx(1 << 14), to_libm(1 << 14), to_scalar(1 << 14), to_simd(1 << 14);
+  {
+    Rng rng(0x7a9c);
+    for (float& v : tx) {
+      v = 2.0f * static_cast<float>(rng.NextGaussian());
+    }
+  }
+  bool vmath_bitwise_all = true;
+  TablePrinter trans({"function", "libm GFLOP/s", "vmath scalar", "vmath simd",
+                      "simd vs libm", "bitwise"});
+  const int64_t tn = static_cast<int64_t>(tx.size());
+  for (const VmathCase& c : vmath_cases) {
+    const double flops = c.flops_per_elem * static_cast<double>(tn);
+    const double libm_ms = TimeLoop([&] { c.libm(tx.data(), to_libm.data(), tn); });
+    double scalar_ms = 0.0, simd_ms = 0.0;
+    {
+      ScopedSimdBackend force(SimdBackend::kScalar);
+      c.vmath(tx.data(), to_scalar.data(), tn);
+      scalar_ms = TimeLoop([&] { c.vmath(tx.data(), to_scalar.data(), tn); });
+    }
+    {
+      ScopedSimdBackend force(fast);
+      c.vmath(tx.data(), to_simd.data(), tn);
+      simd_ms = TimeLoop([&] { c.vmath(tx.data(), to_simd.data(), tn); });
+    }
+    const bool bitwise = std::memcmp(to_scalar.data(), to_simd.data(),
+                                     to_scalar.size() * sizeof(float)) == 0;
+    vmath_bitwise_all = vmath_bitwise_all && bitwise;
+    trans.AddRow({c.name, TablePrinter::Fixed(flops / (libm_ms * 1e6), 2),
+                  TablePrinter::Fixed(flops / (scalar_ms * 1e6), 2),
+                  TablePrinter::Fixed(flops / (simd_ms * 1e6), 2),
+                  TablePrinter::Fixed(libm_ms / simd_ms, 2) + "x",
+                  bitwise ? "equal" : "DIFFER"});
+    json.AddBool(std::string(c.name) + "_bitwise", bitwise);
+    json.Add(std::string(c.name) + "_simd_speedup_vs_libm", libm_ms / simd_ms);
+  }
+  trans.Print();
+  json.AddBool("vmath_bitwise_all", vmath_bitwise_all);
+
+  // Op-level: softmax and gelu against a scalar-libm baseline (the recipe the ops
+  // used BEFORE vmath, written out here since the tree no longer contains it).
+  std::printf("\nop-level vs scalar-libm baseline (256x1024):\n");
+  TablePrinter oplvl({"op", "libm ms", "vmath scalar ms", "vmath simd ms",
+                      "simd vs libm", "bitwise"});
+  const Tensor act_in = RandTensor(Shape{256, 1024}, 0xf00d, 3.0f);
+  bool op_bitwise_all = true;
+  const auto op_vs_libm = [&](const char* name, const OpKernel& kernel,
+                              const Attrs& attrs,
+                              const std::function<void()>& libm_body) {
+    const std::vector<Tensor> inputs = {act_in};
+    const OpContext ctx{device, inputs, attrs};
+    const double libm_ms = TimeLoop(libm_body);
+    Tensor scalar_out, simd_out;
+    double scalar_ms = 0.0, simd_ms = 0.0;
+    {
+      ScopedSimdBackend force(SimdBackend::kScalar);
+      scalar_out = kernel.Forward(ctx);
+      scalar_ms = TimeLoop([&] { (void)kernel.Forward(ctx); });
+    }
+    {
+      ScopedSimdBackend force(fast);
+      simd_out = kernel.Forward(ctx);
+      simd_ms = TimeLoop([&] { (void)kernel.Forward(ctx); });
+    }
+    const bool bitwise = Bitwise(scalar_out, simd_out);
+    op_bitwise_all = op_bitwise_all && bitwise;
+    oplvl.AddRow({name, TablePrinter::Fixed(libm_ms, 3),
+                  TablePrinter::Fixed(scalar_ms, 3), TablePrinter::Fixed(simd_ms, 3),
+                  TablePrinter::Fixed(libm_ms / simd_ms, 2) + "x",
+                  bitwise ? "equal" : "DIFFER"});
+    json.Add(std::string(name) + "_op_simd_speedup_vs_libm", libm_ms / simd_ms);
+  };
+  {
+    // Softmax the way the op computed it pre-vmath: row max, exp(x - max) via
+    // libm, accumulate, divide.
+    const int64_t rows = 256, cols = 1024;
+    std::vector<float> out(static_cast<size_t>(rows * cols));
+    const auto xv = act_in.values();
+    Attrs attrs;
+    attrs.Set("axis", static_cast<int64_t>(-1));
+    op_vs_libm("softmax", OpRegistry::Instance().Get("softmax"), attrs, [&] {
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* x = xv.data() + r * cols;
+        float* o = out.data() + static_cast<size_t>(r * cols);
+        float m = x[0];
+        for (int64_t i = 1; i < cols; ++i) m = x[i] > m ? x[i] : m;
+        float sum = 0.0f;
+        for (int64_t i = 0; i < cols; ++i) {
+          o[i] = std::exp(x[i] - m);
+          sum += o[i];
+        }
+        const float inv = 1.0f / sum;
+        for (int64_t i = 0; i < cols; ++i) o[i] *= inv;
+      }
+    });
+  }
+  {
+    const int64_t n_elems = 256 * 1024;
+    std::vector<float> out(static_cast<size_t>(n_elems));
+    const auto xv = act_in.values();
+    op_vs_libm("gelu", OpRegistry::Instance().Get("gelu"), Attrs{}, [&] {
+      for (int64_t i = 0; i < n_elems; ++i) {
+        out[static_cast<size_t>(i)] =
+            (0.5f * xv[i]) * (1.0f + std::erf(xv[i] * 0.70710678118654752440f));
+      }
+    });
+  }
+  oplvl.Print();
+  json.AddBool("op_bitwise_all", op_bitwise_all);
+
   std::printf("\nDeterminism note: every \"equal\" above is bitwise FP32 equality on\n"
               "the timed tensors. The SIMD backend is not an approximation — it is the\n"
-              "same fixed reduction tree executed eight lanes at a time, so commitments\n"
+              "same fixed reduction tree (and, for transcendentals, the same fixed\n"
+              "polynomial arithmetic) executed eight lanes at a time, so commitments\n"
               "(C0 digests), traces, and verdicts are independent of the backend.\n");
-  return 0;
+  return json.Write() ? 0 : 1;
 }

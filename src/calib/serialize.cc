@@ -107,4 +107,22 @@ ThresholdSet DeserializeThresholds(const std::string& text,
   return thresholds;
 }
 
+ThresholdSet LoadThresholdsForFleet(const std::string& text,
+                                    const std::string& expected_fleet_signature) {
+  TAO_CHECK(!expected_fleet_signature.empty())
+      << "LoadThresholdsForFleet requires the live fleet's signature";
+  std::string file_fleet;
+  ThresholdSet thresholds = DeserializeThresholds(text, &file_fleet);
+  TAO_CHECK(!file_fleet.empty())
+      << "calibration rejected: v1 threshold file carries no fleet signature; "
+         "recalibrate against the live fleet (expected " << expected_fleet_signature
+      << ")";
+  TAO_CHECK(file_fleet == expected_fleet_signature)
+      << "calibration rejected: fleet signature mismatch\n  file:     " << file_fleet
+      << "\n  expected: " << expected_fleet_signature
+      << "\nthe fleet's arithmetic changed since this calibration was published "
+         "(device composition or vmath generation); recalibrate via src/calib";
+  return thresholds;
+}
+
 }  // namespace tao

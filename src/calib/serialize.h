@@ -33,6 +33,16 @@ std::string SerializeThresholds(const ThresholdSet& thresholds,
 ThresholdSet DeserializeThresholds(const std::string& text,
                                    std::string* fleet_signature = nullptr);
 
+// Strict load path for deployment: parses `text` and ABORTS (loudly, printing both
+// signatures) unless the file is a v2 calibration published against exactly
+// `expected_fleet_signature`. This is how stale calibrations fail when the fleet's
+// arithmetic moves underneath them — e.g. the vmath polynomial generation bump
+// changed every signature, so pre-vmath threshold files must be rejected rather
+// than silently under- or over-flagging. v1 files (no fleet line) are always
+// rejected here; they predate signature embedding.
+ThresholdSet LoadThresholdsForFleet(const std::string& text,
+                                    const std::string& expected_fleet_signature);
+
 }  // namespace tao
 
 #endif  // TAO_SRC_CALIB_SERIALIZE_H_

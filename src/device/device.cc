@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/device/simd.h"
+#include "src/device/vmath.h"
 #include "src/util/check.h"
 
 namespace tao {
@@ -163,15 +164,15 @@ float DeviceProfile::DotStrided(const float* a, int64_t stride_a, const float* b
   return 0.0f;
 }
 
-// Intrinsics: the float-native path uses libm float entry points; the double-rounded
-// path computes in double and rounds once, which is within 0.5 ulp of exact and differs
-// from the float path in the final ulp for a fraction of inputs — the same last-ulp
-// divergence the CUDA math library is permitted across architectures.
-float DeviceProfile::Exp(float x) const {
-  return intrinsics == IntrinsicFlavor::kFloatNative
-             ? std::exp(x)
-             : static_cast<float>(std::exp(static_cast<double>(x)));
-}
+// Intrinsics. exp/tanh/erf route through the pinned vmath polynomials for EVERY
+// profile and flavour: those three back the vectorized hot loops (softmax, gelu,
+// tanh/silu activations), and vmath's scalar and AVX2 bodies are bitwise identical by
+// construction, so all simulated devices now agree bit for bit on them — reductions
+// remain the sole cross-device nondeterminism source for transcendental-bearing ops.
+// The remaining intrinsics keep the two libm flavours (float-native vs
+// compute-in-double-then-round), modelling the last-ulp divergence the CUDA math
+// library is permitted across architectures.
+float DeviceProfile::Exp(float x) const { return vmath::Exp(x); }
 
 float DeviceProfile::Log(float x) const {
   return intrinsics == IntrinsicFlavor::kFloatNative
@@ -191,11 +192,7 @@ float DeviceProfile::Cos(float x) const {
              : static_cast<float>(std::cos(static_cast<double>(x)));
 }
 
-float DeviceProfile::Tanh(float x) const {
-  return intrinsics == IntrinsicFlavor::kFloatNative
-             ? std::tanh(x)
-             : static_cast<float>(std::tanh(static_cast<double>(x)));
-}
+float DeviceProfile::Tanh(float x) const { return vmath::Tanh(x); }
 
 float DeviceProfile::Sqrt(float x) const {
   // sqrt is correctly rounded in IEEE-754 on both paths.
@@ -214,25 +211,25 @@ float DeviceProfile::Pow(float x, float y) const {
              : static_cast<float>(std::pow(static_cast<double>(x), static_cast<double>(y)));
 }
 
-float DeviceProfile::Erf(float x) const {
-  return intrinsics == IntrinsicFlavor::kFloatNative
-             ? std::erf(x)
-             : static_cast<float>(std::erf(static_cast<double>(x)));
-}
+float DeviceProfile::Erf(float x) const { return vmath::Erf(x); }
 
-// ULP table mirroring the CUDA C Programming Guide's math accuracy table that the paper
-// uses for intrinsic terms in theoretical bounds (exp 2 ulp, log 1 ulp, tanh 1 ulp,
-// sin/cos 2 ulp, sqrt correctly rounded, rsqrt 2 ulp, pow 2 ulp, erf 2 ulp). The
-// double-rounded flavour achieves 0.5-1 ulp but bounds must hold for every admissible
-// device, so templates query the profile's stated maxima.
-double DeviceProfile::ExpUlp() const { return 2.0; }
+// ULP table for intrinsic terms in theoretical bounds, mirroring the CUDA C
+// Programming Guide's math accuracy table the paper uses. exp/tanh/erf now state the
+// vmath polynomials' conservative maxima versus the infinitely precise result
+// (empirically <= 2/3/5 ulp; stated as 4/4/8 so bounds stay sound with margin — all
+// devices agree BITWISE on these three, so the cross-device deviation they bound is
+// zero and the wider radius costs nothing in dispute power). The rest keep the CUDA
+// table values (log 1 ulp, sin/cos 2 ulp, sqrt correctly rounded, rsqrt 2 ulp,
+// pow 2 ulp); bounds must hold for every admissible device, so templates query the
+// profile's stated maxima.
+double DeviceProfile::ExpUlp() const { return 4.0; }
 double DeviceProfile::LogUlp() const { return 1.0; }
-double DeviceProfile::TanhUlp() const { return 1.0; }
+double DeviceProfile::TanhUlp() const { return 4.0; }
 double DeviceProfile::SinCosUlp() const { return 2.0; }
 double DeviceProfile::SqrtUlp() const { return 0.5; }
 double DeviceProfile::RsqrtUlp() const { return 2.0; }
 double DeviceProfile::PowUlp() const { return 2.0; }
-double DeviceProfile::ErfUlp() const { return 2.0; }
+double DeviceProfile::ErfUlp() const { return 8.0; }
 
 const DeviceProfile& DeviceRegistry::Reference() {
   static const DeviceProfile kReference{
@@ -275,7 +272,11 @@ const std::vector<DeviceProfile>& DeviceRegistry::Fleet() {
 }
 
 std::string FleetSignature(std::span<const DeviceProfile> fleet) {
-  std::string sig;
+  // The vmath version token leads the signature: the pinned transcendental
+  // polynomials are part of every device's arithmetic, so a coefficient change is a
+  // fleet change — calibrations published against a different vmath generation must
+  // be rejected by the v2 loader exactly like a device-composition change.
+  std::string sig = vmath::kVmathVersion;
   for (const DeviceProfile& d : fleet) {
     AccumulationOrder order = d.order;
     int64_t block = d.block;

@@ -43,7 +43,10 @@ enum class AccumulationOrder {
 
 // How a device evaluates transcendental intrinsics (CUDA math functions are allowed
 // vendor-specific ULP error; we model two table entries: a float-native path and a
-// compute-in-double-then-round path, which differ in the last ulp).
+// compute-in-double-then-round path, which differ in the last ulp). Exp/Tanh/Erf are
+// exempt: they route through the pinned vmath polynomials (src/device/vmath.h) on
+// every profile so the vectorized hot loops stay bitwise reproducible; the flavour
+// still differentiates Log/Sin/Cos/Rsqrt/Pow.
 enum class IntrinsicFlavor {
   kFloatNative,
   kDoubleRounded,
@@ -100,14 +103,17 @@ struct DeviceProfile {
   double ErfUlp() const;
 };
 
-// Canonical single-token signature of a fleet's *arithmetic* (one entry per device:
-// name, accumulation order, block, FMA policy, intrinsic flavour). Thresholds are
-// calibrated against a specific fleet, so serialized threshold files embed this
-// signature and a loader can detect that the fleet composition changed underneath a
-// published calibration (which requires recalibrating). Pure relabels that do not
-// change any bit of arithmetic hash identically: kStridedVector encodes as
-// kStrided(block=8) — they are the same reduction tree — so renaming a profile to
-// mark it vector-eligible does not invalidate existing calibrations.
+// Canonical single-token signature of a fleet's *arithmetic*: a leading vmath
+// version token (the pinned transcendental polynomials every profile shares — see
+// src/device/vmath.h) followed by one entry per device (name, accumulation order,
+// block, FMA policy, intrinsic flavour). Thresholds are calibrated against a
+// specific fleet, so serialized threshold files embed this signature and the loader
+// can detect that the arithmetic changed underneath a published calibration (which
+// requires recalibrating) — whether by fleet composition or by a vmath generation
+// bump. Pure relabels that do not change any bit of arithmetic hash identically:
+// kStridedVector encodes as kStrided(block=8) — they are the same reduction tree —
+// so renaming a profile to mark it vector-eligible does not invalidate existing
+// calibrations.
 std::string FleetSignature(std::span<const DeviceProfile> fleet);
 
 // The calibration fleet (stand-ins for RTX 4090, RTX 6000, A100, H100) plus the

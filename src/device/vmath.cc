@@ -1,0 +1,355 @@
+#include "src/device/vmath.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "src/device/simd.h"
+
+// Same build gating as src/device/simd.cc: the AVX2 bodies compile behind a target
+// attribute so this TU builds on any host, and are only called after
+// ActiveSimdBackend() says the instructions exist.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TAO_VMATH_X86 1
+#include <immintrin.h>
+#else
+#define TAO_VMATH_X86 0
+#endif
+
+#if TAO_VMATH_X86
+#define TAO_TARGET_AVX2 __attribute__((target("avx2")))
+#endif
+
+namespace tao {
+namespace vmath {
+namespace {
+
+// ---- Pinned coefficients -----------------------------------------------------------
+// These constants ARE the arithmetic: change any of them and every transcendental
+// commitment moves, which is why kVmathVersion participates in FleetSignature.
+
+// exp: base-2 range reduction exp(x) = 2^n * exp(f), |f| <= ln2/2, with the classic
+// Cody-Waite split of ln2 (C1 exactly representable, C2 the residual) and the
+// cephes/expf degree-5 polynomial for expm1 on the reduced interval.
+constexpr float kExpHi = 88.722839f;     // exp(x) overflows float above this
+constexpr float kExpLo = -87.3365448f;   // ~ -126*ln2: keeps 2^n scaling normal
+constexpr float kLog2e = 1.44269504088896341f;
+constexpr float kExpC1 = 0.693359375f;
+constexpr float kExpC2 = -2.12194440e-4f;
+constexpr float kExpP0 = 1.9875691500e-4f;
+constexpr float kExpP1 = 1.3981999507e-3f;
+constexpr float kExpP2 = 8.3334519073e-3f;
+constexpr float kExpP3 = 4.1665795894e-2f;
+constexpr float kExpP4 = 1.6666665459e-1f;
+constexpr float kExpP5 = 5.0000001201e-1f;
+
+// tanh: cephes/tanhf odd polynomial in x^2 below 0.625, exp identity
+// tanh(a) = 1 - 2/(exp(2a)+1) above, saturation to 1 at 9 (the identity value at 9
+// is already within one ulp of 1, so the clamp is monotone).
+constexpr float kTanhP0 = -5.70498872745e-3f;
+constexpr float kTanhP1 = 2.06390887954e-2f;
+constexpr float kTanhP2 = -5.37397155531e-2f;
+constexpr float kTanhP3 = 1.33314422036e-1f;
+constexpr float kTanhP4 = -3.33332819422e-1f;
+constexpr float kTanhSmall = 0.625f;
+constexpr float kTanhClamp = 9.0f;
+
+// erf: cephes/ndtrf odd series erf(a) = a * T(a^2) below 1, Abramowitz-Stegun 7.1.26
+// rational-exponential form above, saturation to 1 at 4 (where the A&S value rounds
+// to 1.0f exactly, so the clamp is seamless).
+constexpr float kErfT0 = 7.853861353153693e-5f;
+constexpr float kErfT1 = -8.010193625184903e-4f;
+constexpr float kErfT2 = 5.188327685732524e-3f;
+constexpr float kErfT3 = -2.685381193529856e-2f;
+constexpr float kErfT4 = 1.128358514861418e-1f;
+constexpr float kErfT5 = -3.761262582423300e-1f;
+constexpr float kErfT6 = 1.128379165726710f;
+constexpr float kErfP = 0.3275911f;
+constexpr float kErfA1 = 0.254829592f;
+constexpr float kErfA2 = -0.284496736f;
+constexpr float kErfA3 = 1.421413741f;
+constexpr float kErfA4 = -1.453152027f;
+constexpr float kErfA5 = 1.061405429f;
+constexpr float kErfSmall = 1.0f;
+constexpr float kErfClamp = 4.0f;
+
+constexpr float kInvSqrt2 = 0.70710678118654752440f;
+constexpr uint32_t kQNaNBits = 0x7FC00000u;
+constexpr uint32_t kInfBits = 0x7F800000u;
+constexpr uint32_t kSignMask = 0x80000000u;
+constexpr uint32_t kAbsMask = 0x7FFFFFFFu;
+
+inline float FromBits(uint32_t b) { return std::bit_cast<float>(b); }
+inline uint32_t Bits(float x) { return std::bit_cast<uint32_t>(x); }
+
+// 2^n for n in [-126, 128] as two exact power-of-two multiplies (one bit-built scale
+// cannot represent 2^128 and would go denormal for n < -126 near the low clamp;
+// splitting n keeps every scale factor a normal power of two, so both multiplies are
+// exact and the only rounding is the final result's, identically in both bodies).
+inline float ScalePow2(float t, int32_t n) {
+  const int32_t half = n >> 1;
+  const int32_t rest = n - half;
+  const float s1 = FromBits(static_cast<uint32_t>(half + 127) << 23);
+  const float s2 = FromBits(static_cast<uint32_t>(rest + 127) << 23);
+  return (t * s1) * s2;
+}
+
+// ---- Scalar reference bodies -------------------------------------------------------
+// Every select below is written to mirror one AVX2 instruction exactly:
+// (a > b ? a : b) is _mm256_max_ps(a, b) including the NaN-returns-second-operand
+// rule, and each trailing conditional is one _mm256_blendv_ps on an ordered compare
+// (NaN compares false). Arithmetic is plain mul/add/sub/div in the written order;
+// the build sets -ffp-contract=off so nothing fuses into FMA on either body.
+
+inline float ExpScalar(float x) {
+  float xc = (x > kExpLo) ? x : kExpLo;
+  xc = (xc < kExpHi) ? xc : kExpHi;
+  const float nf = std::floor(xc * kLog2e + 0.5f);
+  const float f = (xc - nf * kExpC1) - nf * kExpC2;
+  const float z = f * f;
+  float p = kExpP0;
+  p = p * f + kExpP1;
+  p = p * f + kExpP2;
+  p = p * f + kExpP3;
+  p = p * f + kExpP4;
+  p = p * f + kExpP5;
+  const float t = (p * z + f) + 1.0f;
+  float r = ScalePow2(t, static_cast<int32_t>(nf));
+  r = (x < kExpLo) ? 0.0f : r;
+  r = (x > kExpHi) ? FromBits(kInfBits) : r;
+  r = (x != x) ? FromBits(kQNaNBits) : r;
+  return r;
+}
+
+inline float TanhScalar(float x) {
+  const float a = FromBits(Bits(x) & kAbsMask);
+  const float z = a * a;
+  float p = kTanhP0;
+  p = p * z + kTanhP1;
+  p = p * z + kTanhP2;
+  p = p * z + kTanhP3;
+  p = p * z + kTanhP4;
+  const float small = (p * z) * a + a;
+  const float e = ExpScalar(a + a);
+  const float large = 1.0f - 2.0f / (e + 1.0f);
+  float r = (a < kTanhSmall) ? small : large;
+  r = (a >= kTanhClamp) ? 1.0f : r;
+  r = FromBits(Bits(r) | (Bits(x) & kSignMask));
+  r = (x != x) ? FromBits(kQNaNBits) : r;
+  return r;
+}
+
+inline float ErfScalar(float x) {
+  const float a = FromBits(Bits(x) & kAbsMask);
+  const float z = a * a;
+  float q = kErfT0;
+  q = q * z + kErfT1;
+  q = q * z + kErfT2;
+  q = q * z + kErfT3;
+  q = q * z + kErfT4;
+  q = q * z + kErfT5;
+  q = q * z + kErfT6;
+  const float small = a * q;
+  const float t = 1.0f / (kErfP * a + 1.0f);
+  float p = kErfA5;
+  p = p * t + kErfA4;
+  p = p * t + kErfA3;
+  p = p * t + kErfA2;
+  p = p * t + kErfA1;
+  p = p * t;
+  const float e = ExpScalar(-z);
+  const float mid = 1.0f - p * e;
+  float r = (a < kErfSmall) ? small : mid;
+  r = (a >= kErfClamp) ? 1.0f : r;
+  r = FromBits(Bits(r) | (Bits(x) & kSignMask));
+  r = (x != x) ? FromBits(kQNaNBits) : r;
+  return r;
+}
+
+inline float SigmoidScalar(float x) {
+  const float e = ExpScalar(FromBits(Bits(x) ^ kSignMask));
+  return 1.0f / (1.0f + e);
+}
+
+inline float GeluScalar(float x) {
+  const float e = ErfScalar(x * kInvSqrt2);
+  return (0.5f * x) * (1.0f + e);
+}
+
+inline float SiluScalar(float x) { return x * SigmoidScalar(x); }
+
+// ---- AVX2 twin bodies --------------------------------------------------------------
+// Instruction-for-statement transliterations of the scalar bodies above. No FMA, no
+// rcp/rsqrt approximations, no reassociation: mul/add/sub/div/max/min/floor/blend
+// only, all of which round identically to their scalar counterparts lane by lane.
+
+#if TAO_VMATH_X86
+
+TAO_TARGET_AVX2 inline __m256 ExpCoreAvx2(__m256 x) {
+  const __m256 lo = _mm256_set1_ps(kExpLo);
+  const __m256 hi = _mm256_set1_ps(kExpHi);
+  __m256 xc = _mm256_max_ps(x, lo);
+  xc = _mm256_min_ps(xc, hi);
+  const __m256 nf = _mm256_floor_ps(
+      _mm256_add_ps(_mm256_mul_ps(xc, _mm256_set1_ps(kLog2e)), _mm256_set1_ps(0.5f)));
+  __m256 f = _mm256_sub_ps(xc, _mm256_mul_ps(nf, _mm256_set1_ps(kExpC1)));
+  f = _mm256_sub_ps(f, _mm256_mul_ps(nf, _mm256_set1_ps(kExpC2)));
+  const __m256 z = _mm256_mul_ps(f, f);
+  __m256 p = _mm256_set1_ps(kExpP0);
+  p = _mm256_add_ps(_mm256_mul_ps(p, f), _mm256_set1_ps(kExpP1));
+  p = _mm256_add_ps(_mm256_mul_ps(p, f), _mm256_set1_ps(kExpP2));
+  p = _mm256_add_ps(_mm256_mul_ps(p, f), _mm256_set1_ps(kExpP3));
+  p = _mm256_add_ps(_mm256_mul_ps(p, f), _mm256_set1_ps(kExpP4));
+  p = _mm256_add_ps(_mm256_mul_ps(p, f), _mm256_set1_ps(kExpP5));
+  const __m256 t = _mm256_add_ps(_mm256_add_ps(_mm256_mul_ps(p, z), f),
+                                 _mm256_set1_ps(1.0f));
+  const __m256i n = _mm256_cvttps_epi32(nf);
+  const __m256i half = _mm256_srai_epi32(n, 1);
+  const __m256i rest = _mm256_sub_epi32(n, half);
+  const __m256i bias = _mm256_set1_epi32(127);
+  const __m256 s1 =
+      _mm256_castsi256_ps(_mm256_slli_epi32(_mm256_add_epi32(half, bias), 23));
+  const __m256 s2 =
+      _mm256_castsi256_ps(_mm256_slli_epi32(_mm256_add_epi32(rest, bias), 23));
+  __m256 r = _mm256_mul_ps(_mm256_mul_ps(t, s1), s2);
+  r = _mm256_blendv_ps(r, _mm256_setzero_ps(), _mm256_cmp_ps(x, lo, _CMP_LT_OQ));
+  r = _mm256_blendv_ps(r, _mm256_set1_ps(FromBits(kInfBits)),
+                       _mm256_cmp_ps(x, hi, _CMP_GT_OQ));
+  r = _mm256_blendv_ps(r, _mm256_set1_ps(FromBits(kQNaNBits)),
+                       _mm256_cmp_ps(x, x, _CMP_UNORD_Q));
+  return r;
+}
+
+TAO_TARGET_AVX2 inline __m256 TanhCoreAvx2(__m256 x) {
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(static_cast<int32_t>(kAbsMask)));
+  const __m256 sign_mask = _mm256_castsi256_ps(_mm256_set1_epi32(static_cast<int32_t>(kSignMask)));
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 a = _mm256_and_ps(x, abs_mask);
+  const __m256 z = _mm256_mul_ps(a, a);
+  __m256 p = _mm256_set1_ps(kTanhP0);
+  p = _mm256_add_ps(_mm256_mul_ps(p, z), _mm256_set1_ps(kTanhP1));
+  p = _mm256_add_ps(_mm256_mul_ps(p, z), _mm256_set1_ps(kTanhP2));
+  p = _mm256_add_ps(_mm256_mul_ps(p, z), _mm256_set1_ps(kTanhP3));
+  p = _mm256_add_ps(_mm256_mul_ps(p, z), _mm256_set1_ps(kTanhP4));
+  const __m256 small = _mm256_add_ps(_mm256_mul_ps(_mm256_mul_ps(p, z), a), a);
+  const __m256 e = ExpCoreAvx2(_mm256_add_ps(a, a));
+  const __m256 large =
+      _mm256_sub_ps(one, _mm256_div_ps(_mm256_set1_ps(2.0f), _mm256_add_ps(e, one)));
+  __m256 r = _mm256_blendv_ps(
+      large, small, _mm256_cmp_ps(a, _mm256_set1_ps(kTanhSmall), _CMP_LT_OQ));
+  r = _mm256_blendv_ps(r, one,
+                       _mm256_cmp_ps(a, _mm256_set1_ps(kTanhClamp), _CMP_GE_OQ));
+  r = _mm256_or_ps(r, _mm256_and_ps(x, sign_mask));
+  r = _mm256_blendv_ps(r, _mm256_set1_ps(FromBits(kQNaNBits)),
+                       _mm256_cmp_ps(x, x, _CMP_UNORD_Q));
+  return r;
+}
+
+TAO_TARGET_AVX2 inline __m256 ErfCoreAvx2(__m256 x) {
+  const __m256 abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(static_cast<int32_t>(kAbsMask)));
+  const __m256 sign_mask = _mm256_castsi256_ps(_mm256_set1_epi32(static_cast<int32_t>(kSignMask)));
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 a = _mm256_and_ps(x, abs_mask);
+  const __m256 z = _mm256_mul_ps(a, a);
+  __m256 q = _mm256_set1_ps(kErfT0);
+  q = _mm256_add_ps(_mm256_mul_ps(q, z), _mm256_set1_ps(kErfT1));
+  q = _mm256_add_ps(_mm256_mul_ps(q, z), _mm256_set1_ps(kErfT2));
+  q = _mm256_add_ps(_mm256_mul_ps(q, z), _mm256_set1_ps(kErfT3));
+  q = _mm256_add_ps(_mm256_mul_ps(q, z), _mm256_set1_ps(kErfT4));
+  q = _mm256_add_ps(_mm256_mul_ps(q, z), _mm256_set1_ps(kErfT5));
+  q = _mm256_add_ps(_mm256_mul_ps(q, z), _mm256_set1_ps(kErfT6));
+  const __m256 small = _mm256_mul_ps(a, q);
+  const __m256 t = _mm256_div_ps(
+      one, _mm256_add_ps(_mm256_mul_ps(_mm256_set1_ps(kErfP), a), one));
+  __m256 p = _mm256_set1_ps(kErfA5);
+  p = _mm256_add_ps(_mm256_mul_ps(p, t), _mm256_set1_ps(kErfA4));
+  p = _mm256_add_ps(_mm256_mul_ps(p, t), _mm256_set1_ps(kErfA3));
+  p = _mm256_add_ps(_mm256_mul_ps(p, t), _mm256_set1_ps(kErfA2));
+  p = _mm256_add_ps(_mm256_mul_ps(p, t), _mm256_set1_ps(kErfA1));
+  p = _mm256_mul_ps(p, t);
+  const __m256 e = ExpCoreAvx2(_mm256_xor_ps(z, sign_mask));
+  const __m256 mid = _mm256_sub_ps(one, _mm256_mul_ps(p, e));
+  __m256 r = _mm256_blendv_ps(
+      mid, small, _mm256_cmp_ps(a, _mm256_set1_ps(kErfSmall), _CMP_LT_OQ));
+  r = _mm256_blendv_ps(r, one,
+                       _mm256_cmp_ps(a, _mm256_set1_ps(kErfClamp), _CMP_GE_OQ));
+  r = _mm256_or_ps(r, _mm256_and_ps(x, sign_mask));
+  r = _mm256_blendv_ps(r, _mm256_set1_ps(FromBits(kQNaNBits)),
+                       _mm256_cmp_ps(x, x, _CMP_UNORD_Q));
+  return r;
+}
+
+TAO_TARGET_AVX2 inline __m256 SigmoidCoreAvx2(__m256 x) {
+  const __m256 sign_mask = _mm256_castsi256_ps(_mm256_set1_epi32(static_cast<int32_t>(kSignMask)));
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 e = ExpCoreAvx2(_mm256_xor_ps(x, sign_mask));
+  return _mm256_div_ps(one, _mm256_add_ps(one, e));
+}
+
+TAO_TARGET_AVX2 inline __m256 GeluCoreAvx2(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 e = ErfCoreAvx2(_mm256_mul_ps(x, _mm256_set1_ps(kInvSqrt2)));
+  return _mm256_mul_ps(_mm256_mul_ps(_mm256_set1_ps(0.5f), x), _mm256_add_ps(one, e));
+}
+
+TAO_TARGET_AVX2 inline __m256 SiluCoreAvx2(__m256 x) {
+  return _mm256_mul_ps(x, SigmoidCoreAvx2(x));
+}
+
+#endif  // TAO_VMATH_X86
+
+}  // namespace
+
+float Exp(float x) { return ExpScalar(x); }
+float Tanh(float x) { return TanhScalar(x); }
+float Erf(float x) { return ErfScalar(x); }
+float Sigmoid(float x) { return SigmoidScalar(x); }
+float Gelu(float x) { return GeluScalar(x); }
+float Silu(float x) { return SiluScalar(x); }
+
+// Array drivers: 8 lanes per AVX2 iteration, scalar-reference tail (bitwise identical
+// by construction, so results never depend on n % 8), scalar loop otherwise. Loads
+// and stores are unaligned; in-place (out == x) is safe because each iteration reads
+// its elements before writing them.
+#if TAO_VMATH_X86
+#define TAO_VMATH_DEFINE_VEC(Name, CoreAvx2, Scalar)                        \
+  namespace {                                                               \
+  TAO_TARGET_AVX2 void Name##Avx2(const float* x, float* out, int64_t n) {  \
+    int64_t i = 0;                                                          \
+    for (; i + 8 <= n; i += 8) {                                            \
+      _mm256_storeu_ps(out + i, CoreAvx2(_mm256_loadu_ps(x + i)));          \
+    }                                                                       \
+    for (; i < n; ++i) {                                                    \
+      out[i] = Scalar(x[i]);                                                \
+    }                                                                       \
+  }                                                                         \
+  } /* namespace */                                                         \
+  void Name(const float* x, float* out, int64_t n) {                        \
+    if (ActiveSimdBackend() == SimdBackend::kAvx2) {                        \
+      Name##Avx2(x, out, n);                                                \
+      return;                                                               \
+    }                                                                       \
+    for (int64_t i = 0; i < n; ++i) {                                       \
+      out[i] = Scalar(x[i]);                                                \
+    }                                                                       \
+  }
+#else
+#define TAO_VMATH_DEFINE_VEC(Name, CoreAvx2, Scalar)                        \
+  void Name(const float* x, float* out, int64_t n) {                        \
+    for (int64_t i = 0; i < n; ++i) {                                       \
+      out[i] = Scalar(x[i]);                                                \
+    }                                                                       \
+  }
+#endif
+
+TAO_VMATH_DEFINE_VEC(ExpVec, ExpCoreAvx2, ExpScalar)
+TAO_VMATH_DEFINE_VEC(TanhVec, TanhCoreAvx2, TanhScalar)
+TAO_VMATH_DEFINE_VEC(ErfVec, ErfCoreAvx2, ErfScalar)
+TAO_VMATH_DEFINE_VEC(SigmoidVec, SigmoidCoreAvx2, SigmoidScalar)
+TAO_VMATH_DEFINE_VEC(GeluVec, GeluCoreAvx2, GeluScalar)
+TAO_VMATH_DEFINE_VEC(SiluVec, SiluCoreAvx2, SiluScalar)
+
+#undef TAO_VMATH_DEFINE_VEC
+
+}  // namespace vmath
+}  // namespace tao

@@ -1,0 +1,80 @@
+// Bitwise-reproducible vector transcendental math.
+//
+// The protocol's commitments hash exact FP32 bytes, so the transcendental kernels
+// (softmax's exp, gelu's erf, tanh activations) could not be vectorized against libm:
+// libm gives no cross-ISA bit guarantee, and a vector expf that differs from scalar
+// expf in one lane of one element changes a commitment. This header fixes the
+// arithmetic instead of trusting the library: every function is ONE pinned polynomial
+// evaluation — fixed coefficients, fixed Horner order, fixed range reduction with
+// exact power-of-two scaling — implemented twice, as portable scalar code and as an
+// AVX2 body that performs the *same IEEE-754 operations in the same order* eight
+// lanes at a time. Scalar and vector paths are therefore bitwise identical by
+// construction, on every input, including the tails documented below.
+//
+// Accuracy versus the infinitely precise result (all empirically swept in
+// device_test):
+//   Exp   <= 2 ulp   (cephes-style expf polynomial, base-2 range reduction)
+//   Tanh  <= 3 ulp   (odd polynomial below 0.625, exp-based identity above)
+//   Erf   <= 5 ulp   (odd series below 1, Abramowitz-Stegun 7.1.26 above)
+// DeviceProfile's ULP table states 4/4/8 to keep theoretical bounds conservative.
+//
+// Documented tail behaviour (each clamp is monotone: the clamped value never moves
+// against the function's direction at the boundary):
+//   Exp:  inputs above 88.722839 return +inf; inputs below -87.336545 return +0.0f
+//         (the true value there is denormal; flushing avoids depending on FTZ/DAZ
+//         host configuration for the *input-dependent* part of the range while still
+//         producing denormals near the low clamp, where they are exact products of
+//         normal values). NaN returns the canonical quiet NaN 0x7FC00000.
+//   Tanh: |x| >= 9 returns copysign(1, x) (the formula value at 9 is already within
+//         one ulp of 1); tanh(+-0) = +-0; NaN returns the canonical quiet NaN.
+//   Erf:  |x| >= 4 returns copysign(1, x) (the mid-range formula at 4 rounds to 1.0f
+//         exactly, so the clamp is seamless); erf(+-0) = +-0; NaN canonical.
+// The seams between polynomial pieces (tanh at 0.625, erf at 1.0) agree to a few ulp
+// but are not exactly monotone across the seam; clamp boundaries are.
+//
+// Dispatch mirrors src/device/simd.h: ActiveSimdBackend() (test override >
+// TAO_DISABLE_SIMD > CPUID) picks the AVX2 body when available, and because the two
+// bodies are bit-identical this is a speed decision, never a numerics decision —
+// unlike the reductions in simd.h these elementwise functions have no ordering
+// freedom, so they are safe for EVERY DeviceProfile, not just vector_eligible() ones.
+
+#ifndef TAO_SRC_DEVICE_VMATH_H_
+#define TAO_SRC_DEVICE_VMATH_H_
+
+#include <cstdint>
+
+namespace tao {
+namespace vmath {
+
+// Version token folded into FleetSignature: the pinned polynomials ARE part of the
+// fleet's arithmetic, so changing any coefficient must read as a fleet change and
+// invalidate published calibrations (serialize v2 rejects mismatched signatures).
+inline constexpr const char* kVmathVersion = "vmath1";
+
+// --- Scalar reference bodies --------------------------------------------------------
+// These are the canonical definitions; the AVX2 arrays below reproduce them bit for
+// bit. DeviceProfile routes its Exp/Tanh/Erf intrinsics here for every profile, so
+// all simulated devices now agree bitwise on transcendentals (reductions remain the
+// sole source of cross-device nondeterminism for these ops).
+float Exp(float x);
+float Tanh(float x);
+float Erf(float x);
+float Sigmoid(float x);  // 1 / (1 + Exp(-x))
+float Gelu(float x);     // (0.5*x) * (1 + Erf(x * (1/sqrt(2))))
+float Silu(float x);     // x * Sigmoid(x)
+
+// --- Array forms --------------------------------------------------------------------
+// out[i] = f(x[i]) for i in [0, n). In-place safe (out may equal x). The AVX2 body
+// processes 8 lanes per iteration and finishes the tail with the scalar reference,
+// which is bitwise identical, so results never depend on n % 8 or on dispatch.
+void ExpVec(const float* x, float* out, int64_t n);
+void TanhVec(const float* x, float* out, int64_t n);
+void ErfVec(const float* x, float* out, int64_t n);
+void SigmoidVec(const float* x, float* out, int64_t n);
+void GeluVec(const float* x, float* out, int64_t n);
+void SiluVec(const float* x, float* out, int64_t n);
+
+}  // namespace vmath
+}  // namespace tao
+
+#endif  // TAO_SRC_DEVICE_VMATH_H_

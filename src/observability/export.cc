@@ -28,6 +28,15 @@ std::string FormatValue(double value) {
 
 }  // namespace
 
+void AppendJsonEscaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+}
+
 std::string PrometheusMetricName(const std::string& name) {
   std::string out = "tao_";
   out.reserve(name.size() + 4);
@@ -57,12 +66,7 @@ std::string CountersJson(const std::vector<NamedCounter>& counters) {
     }
     first = false;
     out += "\"";
-    for (const char c : counter.name) {  // names are slash/alnum; escape anyway
-      if (c == '"' || c == '\\') {
-        out.push_back('\\');
-      }
-      out.push_back(c);
-    }
+    AppendJsonEscaped(out, counter.name);  // names are slash/alnum; escape anyway
     out += "\":";
     const std::string value = FormatValue(counter.value);
     // JSON has no Inf/NaN literals.

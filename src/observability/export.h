@@ -24,6 +24,12 @@
 
 namespace tao {
 
+// Appends `text` to `out` with JSON string escaping: '"' and '\' get a
+// backslash prefix. The names this codebase emits (counter names, span kinds)
+// never carry control characters, so those are passed through untouched.
+// Shared by CountersJson below and TraceCollector::ChromeTraceJson.
+void AppendJsonEscaped(std::string& out, const std::string& text);
+
 // "tao_" + name with every character outside [a-zA-Z0-9_] replaced by '_'.
 std::string PrometheusMetricName(const std::string& name);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/observability/export.h"
+
 namespace tao {
 namespace {
 
@@ -12,15 +14,6 @@ thread_local size_t tls_context_count = 0;
 
 // The calling thread's span ring; registered with the tracer on first record.
 thread_local SpanRing* tls_ring = nullptr;
-
-void AppendEscaped(std::string& out, const std::string& text) {
-  for (const char c : text) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-    }
-    out.push_back(c);
-  }
-}
 
 }  // namespace
 
@@ -281,12 +274,13 @@ std::string TraceCollector::ChromeTraceJson() {
       const uint32_t tid = span.worker != kNoIndex ? span.worker
                            : span.shard != kNoIndex ? 1000 + span.shard
                                                     : 9999;
+      out += "{\"name\":\"";
+      AppendJsonEscaped(out, SpanKindName(span.kind));
       std::snprintf(buffer, sizeof(buffer),
-                    "{\"name\":\"%s\",\"cat\":\"claim\",\"ph\":\"X\","
+                    "\",\"cat\":\"claim\",\"ph\":\"X\","
                     "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%llu,\"tid\":%u,"
                     "\"args\":{\"sequence\":%llu,\"claim_id\":%llu,"
                     "\"detail\":%lld}}",
-                    SpanKindName(span.kind),
                     static_cast<double>(span.begin_ns) / 1e3,
                     static_cast<double>(span.end_ns - span.begin_ns) / 1e3,
                     static_cast<unsigned long long>(span.model), tid,
@@ -334,7 +328,6 @@ std::string TraceCollector::TextTable() {
       out += buffer;
     }
   }
-  (void)AppendEscaped;  // escaping is used by the JSON exporters in export.cc
   return out;
 }
 

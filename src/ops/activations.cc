@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "src/device/simd.h"
+#include "src/device/vmath.h"
 #include "src/ops/op_kernel.h"
 #include "src/util/check.h"
 
@@ -67,14 +68,16 @@ class GeluKernel : public ActivationKernel {
   std::string name() const override { return "gelu"; }
 
   Tensor Forward(const OpContext& ctx) const override {
+    // vmath::GeluVec performs exactly the scalar recipe (t = x/sqrt(2);
+    // y = (0.5*x)*(1 + erf(t)) with the pinned-polynomial erf every device
+    // routes through), so the vector path commits identical bits 8 lanes at a time.
     const Tensor& x = ctx.inputs[0];
-    Tensor out(x.shape());
+    Tensor out = ctx.AllocateOutput(x.shape());
     const auto xv = x.values();
     auto ov = out.mutable_values();
-    for (size_t i = 0; i < ov.size(); ++i) {
-      const float t = xv[i] * static_cast<float>(kInvSqrt2);
-      ov[i] = 0.5f * xv[i] * (1.0f + ctx.device.Erf(t));
-    }
+    ctx.For(out.numel(), [&](int64_t begin, int64_t end) {
+      vmath::GeluVec(xv.data() + begin, ov.data() + begin, end - begin);
+    });
     return out;
   }
 
@@ -126,14 +129,15 @@ class SiluKernel : public ActivationKernel {
   std::string name() const override { return "silu"; }
 
   Tensor Forward(const OpContext& ctx) const override {
+    // vmath::SiluVec is the scalar recipe (y = x * (1/(1 + exp(-x))) with the pinned
+    // exp) in 8-wide form; bits are identical by construction.
     const Tensor& x = ctx.inputs[0];
-    Tensor out(x.shape());
+    Tensor out = ctx.AllocateOutput(x.shape());
     const auto xv = x.values();
     auto ov = out.mutable_values();
-    for (size_t i = 0; i < ov.size(); ++i) {
-      const float sigmoid = 1.0f / (1.0f + ctx.device.Exp(-xv[i]));
-      ov[i] = xv[i] * sigmoid;
-    }
+    ctx.For(out.numel(), [&](int64_t begin, int64_t end) {
+      vmath::SiluVec(xv.data() + begin, ov.data() + begin, end - begin);
+    });
     return out;
   }
 

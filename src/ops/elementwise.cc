@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "src/device/simd.h"
+#include "src/device/vmath.h"
 #include "src/ops/broadcast.h"
 #include "src/ops/op_kernel.h"
 #include "src/util/check.h"
@@ -262,6 +263,19 @@ class ExpKernel : public UnaryKernel {
  public:
   std::string name() const override { return "exp"; }
 
+  // Vectorized override: device.Exp is the pinned vmath polynomial on every profile,
+  // so the 8-wide ExpVec commits the same bits as the per-element Apply fallback.
+  Tensor Forward(const OpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    Tensor out = ctx.AllocateOutput(x.shape());
+    const auto xv = x.values();
+    auto ov = out.mutable_values();
+    ctx.For(out.numel(), [&](int64_t begin, int64_t end) {
+      vmath::ExpVec(xv.data() + begin, ov.data() + begin, end - begin);
+    });
+    return out;
+  }
+
   DTensor Bound(const BoundContext& ctx) const override {
     return UlpBound(ctx.output, ctx.device.ExpUlp());
   }
@@ -338,6 +352,18 @@ class RsqrtKernel : public UnaryKernel {
 class TanhKernel : public UnaryKernel {
  public:
   std::string name() const override { return "tanh"; }
+
+  // Vectorized override, same argument as ExpKernel::Forward.
+  Tensor Forward(const OpContext& ctx) const override {
+    const Tensor& x = ctx.inputs[0];
+    Tensor out = ctx.AllocateOutput(x.shape());
+    const auto xv = x.values();
+    auto ov = out.mutable_values();
+    ctx.For(out.numel(), [&](int64_t begin, int64_t end) {
+      vmath::TanhVec(xv.data() + begin, ov.data() + begin, end - begin);
+    });
+    return out;
+  }
 
   DTensor Bound(const BoundContext& ctx) const override {
     return UlpBound(ctx.output, ctx.device.TanhUlp());

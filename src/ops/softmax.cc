@@ -9,6 +9,7 @@
 #include <cmath>
 
 #include "src/device/simd.h"
+#include "src/device/vmath.h"
 #include "src/ops/op_kernel.h"
 #include "src/util/check.h"
 
@@ -59,10 +60,12 @@ class SoftmaxKernel : public OpKernel {
     // scratch, drawn from the arena so chunks recycle each other's rows.
     if (view.inner == 1) {
       // Contiguous rows (the last-axis case every model in the zoo hits): vectorized
-      // max / subtract / divide around the scalar exp. Every committed output is
-      // bitwise unchanged — the subtract and divide are exact per-element operations,
-      // and a vector max can differ from the scalar fold only in the sign of a zero,
-      // which exp() erases (exp(±0) == 1.0f) before anything is committed.
+      // max / subtract / exp / divide, fully vector now that exp is a pinned vmath
+      // polynomial (device.Exp routes to the identical scalar body, so the in-place
+      // ExpVec over the scratch row commits the same bits 8 lanes at a time). The
+      // subtract and divide are exact per-element operations, and a vector max can
+      // differ from the scalar fold only in the sign of a zero, which exp() erases
+      // (exp(±0) == 1.0f) before anything is committed.
       ctx.For(view.outer, [&](int64_t begin, int64_t end) {
         Tensor exp_scratch = ctx.AllocateScratch(Shape{view.n});
         const std::span<float> exps = exp_scratch.mutable_values();
@@ -70,9 +73,7 @@ class SoftmaxKernel : public OpKernel {
           const float* row = xv.data() + o * view.n;
           const float max_val = simd::RowMax(row, view.n);
           simd::SubScalar(row, max_val, exps.data(), view.n);
-          for (int64_t i = 0; i < view.n; ++i) {
-            exps[static_cast<size_t>(i)] = ctx.device.Exp(exps[static_cast<size_t>(i)]);
-          }
+          vmath::ExpVec(exps.data(), exps.data(), view.n);
           const float denom = ctx.device.Accumulate(exps);
           simd::DivScalar(exps.data(), denom, ov.data() + o * view.n, view.n);
         }

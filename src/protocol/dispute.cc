@@ -140,6 +140,12 @@ DisputeResult DisputeGame::RunFromPhase1(const std::vector<Tensor>& inputs,
   // need fresh re-execution.
   std::map<NodeId, Tensor> challenger_cache;
   bool first_child_cached = false;
+  // Online ceiling learning (adaptive_slice_learning): per-game EWMA of observed
+  // speculative waste; the effective ceiling tracks it from the first speculated
+  // round on (until then it equals the static limit).
+  double waste_ewma = 0.0;
+  bool waste_seeded = false;
+  int64_t effective_slice_limit = options_.speculative_slice_limit;
   while (slice.size() > 1) {
     RoundStats round;
     round.round = result.rounds;
@@ -245,10 +251,13 @@ DisputeResult DisputeGame::RunFromPhase1(const std::vector<Tensor>& inputs,
     // partition is wide AND this round's slice is small enough that wasted
     // speculative children are cheap (see the DisputeOptions comment; the fig. 8
     // bench reports the DCR/latency tradeoff of the three policies).
+    const int64_t slice_limit_this_round = options_.adaptive_slice_learning
+                                               ? effective_slice_limit
+                                               : options_.speculative_slice_limit;
     const bool speculate_this_round =
         options_.speculative_reexecution ||
         (options_.adaptive_speculation && options_.partition_n > 2 &&
-         slice.size() <= options_.speculative_slice_limit);
+         slice.size() <= slice_limit_this_round);
     std::vector<std::map<NodeId, Tensor>> prefetched(records.size());
     std::vector<char> has_prefetch(records.size(), 0);
     if (speculate_this_round && pool != nullptr && records.size() > 1) {
@@ -334,6 +343,37 @@ DisputeResult DisputeGame::RunFromPhase1(const std::vector<Tensor>& inputs,
     round.challenger_selection_ms = selection_watch.ElapsedMillis();
     result.challenger_flops += round.reexec_flops;
 
+    // Waste observation for the learned ceiling: of the children this round
+    // actually prefetched, how many sat past the offender (a lazy challenger
+    // would never have touched them)? With no offender every child was needed
+    // regardless of policy, so the round's waste is 0.
+    if (options_.adaptive_slice_learning && speculate_this_round) {
+      int64_t prefetched_children = 0;
+      int64_t wasted_children = 0;
+      for (size_t j = 0; j < has_prefetch.size(); ++j) {
+        if (!has_prefetch[j]) {
+          continue;
+        }
+        ++prefetched_children;
+        if (selected >= 0 && static_cast<int64_t>(j) > selected) {
+          ++wasted_children;
+        }
+      }
+      if (prefetched_children > 0) {
+        const double waste =
+            static_cast<double>(wasted_children) / static_cast<double>(prefetched_children);
+        const double rate = options_.slice_learning_rate;
+        waste_ewma = waste_seeded ? (1.0 - rate) * waste_ewma + rate * waste : waste;
+        waste_seeded = true;
+        const int64_t base = options_.speculative_slice_limit;
+        const double scaled = static_cast<double>(base) * 2.0 * (1.0 - waste_ewma);
+        int64_t next = static_cast<int64_t>(scaled);
+        if (next < 1) next = 1;
+        if (next > 4 * base) next = 4 * base;
+        effective_slice_limit = next;
+      }
+    }
+
     if (selected < 0) {
       // No child exceeded its thresholds: the challenge does not hold up.
       no_offender_found = true;
@@ -350,6 +390,10 @@ DisputeResult DisputeGame::RunFromPhase1(const std::vector<Tensor>& inputs,
     result.rounds += 1;
     record_round_span(round.round, round_begin_ns);
     result.round_stats.push_back(round);
+  }
+  if (options_.adaptive_slice_learning && waste_seeded) {
+    result.speculative_waste_ewma = waste_ewma;
+    result.learned_slice_limit = effective_slice_limit;
   }
 
   if (no_offender_found) {

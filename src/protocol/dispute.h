@@ -61,6 +61,20 @@ struct DisputeOptions {
   bool adaptive_speculation = false;
   // Slice-size ceiling (in ops) below which adaptive speculation engages.
   int64_t speculative_slice_limit = 64;
+  // Learn the adaptive-speculation ceiling online instead of trusting the static
+  // default: every speculated round observes its waste fraction — prefetched
+  // children PAST the selected offender over all prefetched children (0 when no
+  // offender was found, since every child then had to be checked anyway) — and
+  // folds it into an EWMA w. Later rounds use an effective ceiling of
+  // speculative_slice_limit * 2 * (1 - w), clamped to [1, 4 * limit]: low observed
+  // waste widens the window (fan out on bigger slices), high waste shrinks it.
+  // Verdicts, rounds, and selections never move — the estimate only changes WHICH
+  // rounds fan out, i.e. DCR accounting and wall-clock, exactly like the static
+  // knob. Off by default; meaningful only with adaptive_speculation.
+  bool adaptive_slice_learning = false;
+  // EWMA smoothing weight for the waste observations above (0 < rate <= 1; the
+  // first observation seeds the estimate directly).
+  double slice_learning_rate = 0.25;
   // Advance the coordinator's logical clock by one tick per dispute round. The
   // BatchVerifier's concurrent-dispute mode turns this off so games sharing the
   // coordinator SHARD cannot push each other past round deadlines; the clock is
@@ -99,6 +113,11 @@ struct DisputeResult {
   int64_t challenger_flops = 0;
   double cost_ratio = 0.0;  // DCR / one model forward
   int64_t gas_used = 0;     // gas attributable to this claim's lifecycle
+  // Adaptive slice learning (DisputeOptions::adaptive_slice_learning): the waste
+  // EWMA after the game's last observation, and the effective ceiling it implies
+  // for a hypothetical next round. Zeros when learning is off or never observed.
+  double speculative_waste_ewma = 0.0;
+  int64_t learned_slice_limit = 0;
   std::vector<RoundStats> round_stats;
 };
 

@@ -80,6 +80,11 @@ struct GatewayOptions {
   // /metrics, /snapshot, /traces, and /healthz over its own NamedCounters plus the
   // process ResourceTracker, and turns span tracing on for its lifetime.
   MonitoringOptions monitoring;
+  // Pin the shared runtime pool's workers to cores (round-robin over
+  // hardware_concurrency; TAO_DISABLE_PINNING overrides; no-op on 1-core hosts).
+  // Placement only — outcomes never depend on it. When monitoring is also enabled
+  // the placement is exported as one `worker/<n>/core` gauge per pool worker.
+  bool pin_workers = false;
 };
 
 // Per-model slice of a gateway metrics snapshot.
@@ -174,6 +179,7 @@ class ServingGateway {
   const GatewayOptions options_;
   std::unique_ptr<MonitoringServer> monitoring_;  // null when disabled
   size_t pool_gauge_handle_ = 0;
+  std::vector<size_t> core_gauge_handles_;  // worker/<n>/core, when pinning+monitoring
 
   // Guards slots_ (the routing table). Submit share-locks only long enough to copy
   // the service pointer; blocking admission happens outside the lock, so a stalled

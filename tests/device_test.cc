@@ -15,6 +15,7 @@
 
 #include "src/device/device.h"
 #include "src/device/simd.h"
+#include "src/device/vmath.h"
 #include "src/util/rng.h"
 
 namespace tao {
@@ -129,20 +130,32 @@ TEST(DeviceTest, FmaChangesRounding) {
   EXPECT_NE(with_fma.Dot(a, b), without.Dot(a, b));
 }
 
-TEST(DeviceTest, IntrinsicFlavorsAgreeToOneUlp) {
+TEST(DeviceTest, IntrinsicFlavorsBitwiseOnVmathTranscendentals) {
+  // Exp/Tanh/Erf route through the fixed vmath polynomials on EVERY profile, so
+  // the two intrinsic flavors must agree bitwise there — while Log (still
+  // flavored libm) must keep genuinely diverging, or the flavor knob would be
+  // dead and the cross-device calibration envelopes for log-bearing ops vacuous.
   DeviceProfile native = DeviceRegistry::Reference();
   native.intrinsics = IntrinsicFlavor::kFloatNative;
   DeviceProfile rounded = DeviceRegistry::Reference();
   rounded.intrinsics = IntrinsicFlavor::kDoubleRounded;
   Rng rng(31);
+  bool log_diverged = false;
   for (int i = 0; i < 10000; ++i) {
     const float x = static_cast<float>(rng.NextUniform(-10.0, 10.0));
-    const float e1 = native.Exp(x);
-    const float e2 = rounded.Exp(x);
-    // At most a few ulps apart.
-    const float ulp = std::abs(std::nextafterf(e2, INFINITY) - e2);
-    EXPECT_LE(std::abs(e1 - e2), 4.0f * ulp) << "x=" << x;
+    EXPECT_EQ(std::bit_cast<uint32_t>(native.Exp(x)),
+              std::bit_cast<uint32_t>(rounded.Exp(x)))
+        << "x=" << x;
+    EXPECT_EQ(std::bit_cast<uint32_t>(native.Tanh(x)),
+              std::bit_cast<uint32_t>(rounded.Tanh(x)))
+        << "x=" << x;
+    EXPECT_EQ(std::bit_cast<uint32_t>(native.Erf(x)),
+              std::bit_cast<uint32_t>(rounded.Erf(x)))
+        << "x=" << x;
+    const float pos = std::abs(x) + 0.5f;
+    log_diverged = log_diverged || native.Log(pos) != rounded.Log(pos);
   }
+  EXPECT_TRUE(log_diverged);
 }
 
 TEST(DeviceTest, SqrtCorrectlyRoundedOnBothFlavors) {
@@ -434,6 +447,221 @@ TEST(FleetSignatureTest, StableUnderVectorRelabelOnly) {
   fleet[0].fma = !fleet[0].fma;
   fleet[1].order = AccumulationOrder::kReversed;
   EXPECT_NE(FleetSignature(fleet), sig);
+}
+
+
+// ---------------------------------------------------------------------------------
+// Vector transcendental math (src/device/vmath.h): the AVX2 bodies must be bitwise
+// identical to the scalar recipe, tails must clamp monotonically, and every fleet
+// profile must agree on these functions (they carry no ordering freedom).
+// ---------------------------------------------------------------------------------
+
+// Inputs that exercise every vmath code path: the active polynomial ranges, both
+// blend seams, the clamp tails on both sides, denormals, signed zeros, infinities,
+// and NaN. Scaled gaussians fill the rest.
+std::vector<float> VmathHardVector(size_t n, uint64_t seed) {
+  static const float kSpecials[] = {
+      0.0f,        -0.0f,       INFINITY,     -INFINITY,    NAN,
+      1e-40f,      -1e-40f,     1e-44f,       -1e-44f,  // denormals
+      0.625f,      -0.625f,     1.0f,         -1.0f,    // tanh/erf seams
+      4.0f,        -4.0f,       9.0f,         -9.0f,    // erf/tanh clamps
+      -87.3365448f, 88.722839f, -87.34f,      88.73f,   // exp flush/overflow
+      -100.0f,     100.0f,      3.40282347e38f, -3.40282347e38f};
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextU64() % 4 == 0) {
+      v[i] = kSpecials[rng.NextU64() % (sizeof(kSpecials) / sizeof(kSpecials[0]))];
+    } else {
+      v[i] = 4.0f * static_cast<float>(rng.NextGaussian());
+    }
+  }
+  return v;
+}
+
+class VmathEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!SimdBackendSupported(SimdBackend::kAvx2)) {
+      GTEST_SKIP() << "AVX2 unavailable; scalar fallback is the only backend";
+    }
+  }
+};
+
+TEST_F(VmathEquivalenceTest, ArrayFunctionsBitwiseAcrossSizesAndAlignments) {
+  struct Fn {
+    const char* name;
+    void (*fn)(const float*, float*, int64_t);
+  };
+  const Fn fns[] = {{"exp", &vmath::ExpVec},         {"tanh", &vmath::TanhVec},
+                    {"erf", &vmath::ErfVec},         {"sigmoid", &vmath::SigmoidVec},
+                    {"gelu", &vmath::GeluVec},       {"silu", &vmath::SiluVec}};
+  for (const Fn& f : fns) {
+    for (const size_t n : SimdSizes()) {
+      const auto xs = VmathHardVector(n + 9, 0x7a0 + n);
+      for (const size_t offset : {size_t{0}, size_t{1}, size_t{3}, size_t{9}}) {
+        std::vector<float> scalar_out(n), simd_out(n);
+        {
+          ScopedSimdBackend force(SimdBackend::kScalar);
+          f.fn(xs.data() + offset, scalar_out.data(), static_cast<int64_t>(n));
+        }
+        {
+          ScopedSimdBackend force(SimdBackend::kAvx2);
+          f.fn(xs.data() + offset, simd_out.data(), static_cast<int64_t>(n));
+        }
+        for (size_t i = 0; i < n; ++i) {
+          ASSERT_TRUE(BitEq(scalar_out[i], simd_out[i]))
+              << f.name << " n=" << n << " offset=" << offset << " i=" << i
+              << " x=" << xs[offset + i];
+        }
+      }
+    }
+  }
+}
+
+TEST_F(VmathEquivalenceTest, AvxPathMatchesScalarFunctions) {
+  // The 8-wide body must equal the one-float recipe element for element (the
+  // scalar functions are what the dispute game's reference semantics quote).
+  const auto xs = VmathHardVector(4096, 0xeef);
+  std::vector<float> out(xs.size());
+  ScopedSimdBackend force(SimdBackend::kAvx2);
+  vmath::ExpVec(xs.data(), out.data(), static_cast<int64_t>(xs.size()));
+  for (size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_TRUE(BitEq(out[i], vmath::Exp(xs[i]))) << "x=" << xs[i];
+  }
+  vmath::GeluVec(xs.data(), out.data(), static_cast<int64_t>(xs.size()));
+  for (size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_TRUE(BitEq(out[i], vmath::Gelu(xs[i]))) << "x=" << xs[i];
+  }
+}
+
+TEST(VmathTest, TailsAndSpecials) {
+  EXPECT_TRUE(BitEq(vmath::Exp(-INFINITY), 0.0f));
+  EXPECT_TRUE(BitEq(vmath::Exp(INFINITY), INFINITY));
+  EXPECT_TRUE(std::isnan(vmath::Exp(NAN)));
+  EXPECT_TRUE(BitEq(vmath::Exp(-100.0f), 0.0f));  // documented denormal flush
+  EXPECT_TRUE(BitEq(vmath::Exp(100.0f), INFINITY));
+  EXPECT_TRUE(BitEq(vmath::Exp(0.0f), 1.0f));
+
+  EXPECT_TRUE(BitEq(vmath::Tanh(0.0f), 0.0f));
+  EXPECT_TRUE(BitEq(vmath::Tanh(-0.0f), -0.0f));  // sign of zero survives
+  EXPECT_TRUE(BitEq(vmath::Tanh(50.0f), 1.0f));
+  EXPECT_TRUE(BitEq(vmath::Tanh(-50.0f), -1.0f));
+  EXPECT_TRUE(BitEq(vmath::Tanh(INFINITY), 1.0f));
+  EXPECT_TRUE(BitEq(vmath::Tanh(-INFINITY), -1.0f));
+  EXPECT_TRUE(std::isnan(vmath::Tanh(NAN)));
+
+  EXPECT_TRUE(BitEq(vmath::Erf(0.0f), 0.0f));
+  EXPECT_TRUE(BitEq(vmath::Erf(-0.0f), -0.0f));
+  EXPECT_TRUE(BitEq(vmath::Erf(INFINITY), 1.0f));
+  EXPECT_TRUE(BitEq(vmath::Erf(-INFINITY), -1.0f));
+  EXPECT_TRUE(std::isnan(vmath::Erf(NAN)));
+
+  EXPECT_TRUE(BitEq(vmath::Sigmoid(0.0f), 0.5f));
+  EXPECT_TRUE(BitEq(vmath::Sigmoid(INFINITY), 1.0f));
+  EXPECT_TRUE(BitEq(vmath::Sigmoid(-INFINITY), 0.0f));
+}
+
+TEST(VmathTest, ClampBoundariesAreMonotone) {
+  // Stepping ulp by ulp across each clamp seam must never reverse direction —
+  // a non-monotone seam would let an adversary place activations where scalar
+  // reference checks and batched re-execution could disagree on "close" values.
+  {
+    // exp flush: descending through -87.3365448 must be non-increasing.
+    float x = -87.33f;
+    float prev = vmath::Exp(x);
+    for (int i = 0; i < 2000; ++i) {
+      x = std::nextafterf(x, -INFINITY);
+      const float y = vmath::Exp(x);
+      ASSERT_LE(y, prev) << "x=" << x;
+      prev = y;
+    }
+    EXPECT_EQ(prev, 0.0f);  // ended inside the flush region
+  }
+  {
+    // exp overflow: ascending through 88.722839 must be non-decreasing.
+    float x = 88.71f;
+    float prev = vmath::Exp(x);
+    for (int i = 0; i < 4000; ++i) {
+      x = std::nextafterf(x, INFINITY);
+      const float y = vmath::Exp(x);
+      ASSERT_GE(y, prev) << "x=" << x;
+      prev = y;
+    }
+    EXPECT_EQ(prev, INFINITY);
+  }
+  {
+    // tanh clamp at 9: ascending must be non-decreasing and land exactly on 1.
+    float x = 8.999f;
+    float prev = vmath::Tanh(x);
+    for (int i = 0; i < 3000; ++i) {
+      x = std::nextafterf(x, INFINITY);
+      const float y = vmath::Tanh(x);
+      ASSERT_GE(y, prev) << "x=" << x;
+      prev = y;
+    }
+    EXPECT_EQ(prev, 1.0f);
+  }
+  {
+    // erf clamp at 4: same, and A&S 7.1.26 evaluates to exactly 1.0f at the seam.
+    float x = 3.9995f;
+    float prev = vmath::Erf(x);
+    for (int i = 0; i < 3000; ++i) {
+      x = std::nextafterf(x, INFINITY);
+      const float y = vmath::Erf(x);
+      ASSERT_GE(y, prev) << "x=" << x;
+      prev = y;
+    }
+    EXPECT_EQ(prev, 1.0f);
+  }
+}
+
+TEST(VmathTest, AccuracyAgainstDoubleLibm) {
+  // The stated ULP table (device.cc: exp 4, tanh 4, erf 8) must hold against
+  // double-precision references across the supported range.
+  Rng rng(0xacc2);
+  const auto ulps = [](float got, double want) {
+    const double w = want;
+    const float wf = static_cast<float>(w);
+    const float ulp = std::abs(std::nextafterf(wf, INFINITY) - wf);
+    return ulp == 0.0f ? 0.0 : std::abs(static_cast<double>(got) - w) / ulp;
+  };
+  for (int i = 0; i < 20000; ++i) {
+    const float xe = static_cast<float>(rng.NextUniform(-87.0, 88.0));
+    EXPECT_LE(ulps(vmath::Exp(xe), std::exp(static_cast<double>(xe))), 4.0)
+        << "x=" << xe;
+    const float xt = static_cast<float>(rng.NextUniform(-10.0, 10.0));
+    EXPECT_LE(ulps(vmath::Tanh(xt), std::tanh(static_cast<double>(xt))), 4.0)
+        << "x=" << xt;
+    EXPECT_LE(ulps(vmath::Erf(xt), std::erf(static_cast<double>(xt))), 8.0)
+        << "x=" << xt;
+  }
+}
+
+TEST(VmathTest, AllProfilesAgreeOnTranscendentals) {
+  // Unlike reductions, these are elementwise with a pinned recipe: every profile
+  // (any ordering, fma, intrinsic flavor) must return the same bits.
+  const auto& fleet = DeviceRegistry::Fleet();
+  Rng rng(0xfee7);
+  for (int i = 0; i < 2000; ++i) {
+    const float x = 6.0f * static_cast<float>(rng.NextGaussian());
+    const float e = fleet[0].Exp(x);
+    const float t = fleet[0].Tanh(x);
+    const float r = fleet[0].Erf(x);
+    for (size_t d = 1; d < fleet.size(); ++d) {
+      ASSERT_TRUE(BitEq(fleet[d].Exp(x), e)) << fleet[d].name << " x=" << x;
+      ASSERT_TRUE(BitEq(fleet[d].Tanh(x), t)) << fleet[d].name << " x=" << x;
+      ASSERT_TRUE(BitEq(fleet[d].Erf(x), r)) << fleet[d].name << " x=" << x;
+    }
+  }
+}
+
+TEST(FleetSignatureTest, CarriesVmathVersionToken) {
+  // Calibrations hash the arithmetic they were measured on; the vmath revision is
+  // part of that arithmetic, so the signature must lead with its version token
+  // (bumping kVmathVersion invalidates every published ThresholdSet).
+  const std::string sig = FleetSignature(DeviceRegistry::Fleet());
+  EXPECT_EQ(sig.rfind(std::string(vmath::kVmathVersion) + ";", 0), 0u) << sig;
 }
 
 }  // namespace

@@ -217,5 +217,34 @@ TEST(SerializeTest, V2CarriesFleetSignature) {
   EXPECT_TRUE(legacy_sig.empty());
 }
 
+TEST(SerializeTest, StrictLoaderAcceptsMatchingSignature) {
+  Bundle& bundle = BertBundle();
+  const std::string sig = FleetSignature(DeviceRegistry::Fleet());
+  const std::string text = SerializeThresholds(bundle.thresholds, sig);
+  const ThresholdSet loaded = LoadThresholdsForFleet(text, sig);
+  EXPECT_EQ(DigestToHex(loaded.CommitRoot()), DigestToHex(bundle.thresholds.CommitRoot()));
+}
+
+TEST(SerializeTest, StrictLoaderRejectsStaleSignatureLoudly) {
+  // A calibration serialized against a DIFFERENT fleet arithmetic — here a
+  // pre-vmath-style signature with no version token — must abort with both
+  // signatures in the message, not load quietly (stale envelopes would turn the
+  // soundness guarantee into silent false accepts/rejects).
+  Bundle& bundle = BertBundle();
+  const std::string current = FleetSignature(DeviceRegistry::Fleet());
+  const std::string stale = "H100:tree:0:fma1:dbl";  // no vmath token: pre-vmath era
+  const std::string text = SerializeThresholds(bundle.thresholds, stale);
+  EXPECT_DEATH((void)LoadThresholdsForFleet(text, current), "fleet signature mismatch");
+}
+
+TEST(SerializeTest, StrictLoaderRejectsV1FilesLoudly) {
+  // v1 files carry no signature at all, so the strict loader cannot prove they
+  // match this fleet: always rejected.
+  Bundle& bundle = BertBundle();
+  const std::string v1_text = SerializeThresholds(bundle.thresholds);
+  const std::string current = FleetSignature(DeviceRegistry::Fleet());
+  EXPECT_DEATH((void)LoadThresholdsForFleet(v1_text, current), "no fleet signature");
+}
+
 }  // namespace
 }  // namespace tao

@@ -541,6 +541,12 @@ std::vector<SoundnessCase> SimdSweepCases() {
   cases.push_back({"neg", {Shape{1001}}, {}, 1.0f});
   cases.push_back({"sub", {Shape{515}, Shape{515}}, {}, 1.0f});
   cases.push_back({"div", {Shape{515}, Shape{515}}, {}, 1.0f});
+  // Transcendentals route through src/device/vmath.h: odd lengths cross the
+  // AVX2 body's scalar tail, scale 3 pushes samples into the clamp regions.
+  cases.push_back({"exp", {Shape{1003}}, {}, 3.0f});
+  cases.push_back({"tanh", {Shape{1003}}, {}, 3.0f});
+  cases.push_back({"gelu", {Shape{1003}}, {}, 3.0f});
+  cases.push_back({"silu", {Shape{1003}}, {}, 3.0f});
   return cases;
 }
 
@@ -616,6 +622,43 @@ TEST(SimdZooTraceTest, FullTracesAndBoundsBitwiseStableAcrossBackends) {
     }
     // Equal per-node values means equal canonical serializations, hence equal C0
     // result commitments and identical threshold verdicts for any challenger.
+  }
+}
+
+TEST(VmathZooTraceTest, TracesAndBoundsBackendInvariantOnScalarOnlyProfile) {
+  // The H100 profile is NOT vector-eligible: its reductions never dispatch to the
+  // SIMD backend, so the ONLY backend-sensitive code on this profile is vmath's
+  // AVX2-vs-scalar dispatch. Bitwise-equal full-model traces here isolate the
+  // vmath bitwise-identity claim from the reduction-tree one SimdZooTraceTest
+  // already holds.
+  if (!SimdBackendSupported(SimdBackend::kAvx2)) {
+    GTEST_SKIP() << "AVX2 unavailable; only the scalar backend exists here";
+  }
+  RegisterAllOps();
+  const DeviceProfile& device = DeviceRegistry::ByName("H100");
+  ASSERT_FALSE(device.vector_eligible());
+  ExecutorOptions options;
+  options.with_bounds = true;
+  options.bound_mode = BoundMode::kDeterministic;
+  for (const Model& model : {BuildBertMini(), BuildResNetMini()}) {
+    Rng rng(0x3a7);
+    const std::vector<Tensor> input = model.sample_input(rng);
+    const Executor exec(*model.graph, device);
+    ExecutionTrace scalar_trace, simd_trace;
+    {
+      ScopedSimdBackend force(SimdBackend::kScalar);
+      scalar_trace = exec.Run(input, options);
+    }
+    {
+      ScopedSimdBackend force(SimdBackend::kAvx2);
+      simd_trace = exec.Run(input, options);
+    }
+    for (const NodeId id : model.graph->op_nodes()) {
+      ASSERT_TRUE(BitwiseEqual(scalar_trace.value(id), simd_trace.value(id)))
+          << model.name << " node " << id;
+      ASSERT_TRUE(BitwiseEqualD(scalar_trace.bound(id), simd_trace.bound(id)))
+          << model.name << " node " << id;
+    }
   }
 }
 
