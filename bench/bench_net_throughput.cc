@@ -1,0 +1,249 @@
+// Network front-end throughput bench: closed-loop loopback clients against the
+// framed RPC gateway (src/net), sweeping connection counts {1, 4, 16} x claim
+// payload sizes (WideMlp input_dim {1024, 16384} — ~4KB vs ~64KB Submit frames),
+// reporting claims/sec and p50/p99 submit->verdict latency per cell. Before any
+// number is reported, every cell's remote outcomes (claim id, C0 digest, flag,
+// verdict, per-claim gas) are cross-checked bitwise against an IN-PROCESS gateway
+// fed the same accepted order — the wire, the dispatcher, and the retry machinery
+// must add zero outcome drift. CI smoke-runs this binary and asserts the
+// bitwise_check flag in its --json= output.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/calib/calibrator.h"
+#include "src/net/client_channel.h"
+#include "src/registry/serving_gateway.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace tao {
+namespace {
+
+constexpr size_t kConnectionSweep[] = {1, 4, 16};
+
+std::vector<BatchClaim> MakeClaims(const Model& model, size_t count, uint64_t seed) {
+  const auto& fleet = DeviceRegistry::Fleet();
+  Rng rng(seed);
+  std::vector<BatchClaim> claims;
+  claims.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    BatchClaim claim;
+    claim.inputs = model.sample_input(rng);
+    claim.proposer_device = &fleet[rng.NextBounded(fleet.size())];
+    if (rng.NextDouble() < 0.25) {
+      claim.verifier_device = &fleet[rng.NextBounded(fleet.size())];
+    }
+    claims.push_back(std::move(claim));
+  }
+  return claims;
+}
+
+struct CommittedModel {
+  Model model;
+  std::unique_ptr<ThresholdSet> thresholds;
+  std::unique_ptr<ModelCommitment> commitment;
+};
+
+CommittedModel MakeCommitted(Model model) {
+  CommittedModel committed;
+  committed.model = std::move(model);
+  CalibrateOptions options;
+  options.num_samples = 3;
+  committed.thresholds = std::make_unique<ThresholdSet>(
+      Calibrate(committed.model, DeviceRegistry::Fleet(), options).MakeThresholds(3.0));
+  committed.commitment =
+      std::make_unique<ModelCommitment>(*committed.model.graph, *committed.thresholds);
+  return committed;
+}
+
+ServiceOptions MakeServiceOptions() {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.batching.initial_hint = 4;
+  options.verifier.reuse_buffers = true;
+  return options;
+}
+
+struct RemoteOutcome {
+  uint64_t ticket = 0;
+  size_t claim_index = 0;
+  WireVerdict verdict;
+};
+
+struct CellResult {
+  double elapsed_seconds = 0;
+  std::vector<double> latencies_ms;  // per-claim submit->verdict
+  std::vector<RemoteOutcome> outcomes;
+};
+
+// One sweep cell: `connections` closed-loop clients (each its own connection,
+// session, and thread) split `claims` round-robin and run submit -> ack ->
+// verdict per claim.
+CellResult RunRemoteCell(int port, ModelId model_id,
+                         const std::vector<BatchClaim>& claims, size_t connections) {
+  CellResult result;
+  std::mutex mu;
+  std::vector<std::thread> clients;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      RetriableChannel channel("127.0.0.1", port,
+                               /*session_id=*/0xBE4C0000 + c + 1);
+      std::vector<double> local_latencies;
+      std::vector<RemoteOutcome> local_outcomes;
+      for (size_t i = c; i < claims.size(); i += connections) {
+        const auto claim_start = std::chrono::steady_clock::now();
+        uint64_t request_id = 0;
+        const WireSubmitAck ack =
+            channel.Submit(model_id, /*submitter=*/c, claims[i], &request_id);
+        if (ack.status != WireStatus::kAccepted) {
+          std::fprintf(stderr, "submit rejected: %s\n", WireStatusName(ack.status));
+          std::exit(1);
+        }
+        WireVerdict verdict;
+        if (!channel.WaitVerdict(request_id, verdict)) {
+          std::fprintf(stderr, "verdict lost for request %llu\n",
+                       static_cast<unsigned long long>(request_id));
+          std::exit(1);
+        }
+        const auto claim_end = std::chrono::steady_clock::now();
+        local_latencies.push_back(
+            std::chrono::duration<double, std::milli>(claim_end - claim_start).count());
+        local_outcomes.push_back({ack.ticket, i, verdict});
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      result.latencies_ms.insert(result.latencies_ms.end(), local_latencies.begin(),
+                                 local_latencies.end());
+      result.outcomes.insert(result.outcomes.end(), local_outcomes.begin(),
+                             local_outcomes.end());
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return result;
+}
+
+// Replays the cell's ACCEPTED order (ticket-sorted) through a plain in-process
+// gateway and compares every outcome bitwise. Returns false on any drift.
+bool CrossCheckCell(const CommittedModel& committed,
+                    const std::vector<BatchClaim>& claims, CellResult& cell) {
+  std::sort(cell.outcomes.begin(), cell.outcomes.end(),
+            [](const RemoteOutcome& a, const RemoteOutcome& b) {
+              return a.ticket < b.ticket;
+            });
+  for (size_t i = 0; i < cell.outcomes.size(); ++i) {
+    if (cell.outcomes[i].ticket != i) {
+      std::printf("ACCEPTED ORDER NOT DENSE at ticket %zu\n", i);
+      return false;
+    }
+  }
+  ModelRegistry registry;
+  ServingGateway gateway(registry);
+  const ModelId id = registry.Register(committed.model);
+  registry.Commit(id, *committed.commitment, *committed.thresholds);
+  gateway.Serve(id, MakeServiceOptions());
+  std::vector<std::shared_ptr<ClaimTicket>> tickets;
+  for (const RemoteOutcome& outcome : cell.outcomes) {
+    GatewaySubmitResult result = gateway.Submit(id, claims[outcome.claim_index]);
+    if (!result.accepted()) {
+      std::printf("IN-PROCESS REPLAY REJECTED claim %zu\n", outcome.claim_index);
+      return false;
+    }
+    tickets.push_back(std::move(result.ticket));
+  }
+  gateway.DrainAll();
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const BatchClaimOutcome& want = tickets[i]->Wait();
+    const WireVerdict& got = cell.outcomes[i].verdict;
+    if (got.claim_id != want.claim_id || got.c0 != want.c0 ||
+        got.flagged != want.flagged || got.proposer_guilty != want.proposer_guilty ||
+        got.final_state != static_cast<uint32_t>(want.final_state) ||
+        got.gas_used != want.gas_used) {
+      std::printf("DETERMINISM VIOLATION at accepted position %zu\n", i);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace tao
+
+int main(int argc, char** argv) {
+  using namespace tao;
+  bench::JsonSummary json(argc, argv, "net_throughput");
+  std::printf("RPC gateway loopback throughput (closed-loop clients)\n");
+  std::printf("Every cell's remote outcomes are cross-checked bitwise against an\n");
+  std::printf("in-process gateway fed the same accepted order before reporting.\n\n");
+
+  TablePrinter table({"input_dim", "payload_kb", "conns", "claims", "claims_per_s",
+                      "p50_ms", "p99_ms"});
+  const int64_t dims[] = {1024, 16384};
+  for (const int64_t dim : dims) {
+    WideMlpConfig config;
+    config.input_dim = dim;
+    config.hidden_dim = 64;
+    config.num_classes = 32;
+    const CommittedModel committed = MakeCommitted(BuildWideMlp(config));
+    const size_t total_claims = dim <= 1024 ? 32 : 16;
+    const std::vector<BatchClaim> claims =
+        MakeClaims(committed.model, total_claims, 0x7a0 + static_cast<uint64_t>(dim));
+    // Representative Submit frame size for the table (all claims share a shape).
+    WireSubmit probe;
+    probe.model_id = 1;
+    probe.claim = WireClaimFromBatchClaim(claims[0]);
+    const double payload_kb = static_cast<double>(EncodeSubmit(probe).size()) / 1024.0;
+
+    for (const size_t connections : kConnectionSweep) {
+      // Fresh server per cell so claim ids, tickets, and the ledger all start
+      // from zero — the in-process replay then mirrors the cell exactly.
+      ModelRegistry registry;
+      GatewayOptions gateway_options;
+      gateway_options.rpc.enabled = true;
+      ServingGateway gateway(registry, gateway_options);
+      const ModelId id = registry.Register(committed.model);
+      registry.Commit(id, *committed.commitment, *committed.thresholds);
+      gateway.Serve(id, MakeServiceOptions());
+
+      CellResult cell =
+          RunRemoteCell(gateway.rpc()->port(), id, claims, connections);
+      gateway.DrainAll();
+      if (cell.outcomes.size() != claims.size() ||
+          !CrossCheckCell(committed, claims, cell)) {
+        return 1;
+      }
+
+      const double claims_per_s =
+          static_cast<double>(claims.size()) / cell.elapsed_seconds;
+      const double p50 = Percentile(cell.latencies_ms, 0.5);
+      const double p99 = Percentile(cell.latencies_ms, 0.99);
+      table.AddRow({std::to_string(dim), TablePrinter::Fixed(payload_kb, 1),
+                    std::to_string(connections), std::to_string(claims.size()),
+                    TablePrinter::Fixed(claims_per_s, 1), TablePrinter::Fixed(p50, 2),
+                    TablePrinter::Fixed(p99, 2)});
+      const std::string key =
+          "d" + std::to_string(dim) + "/c" + std::to_string(connections);
+      json.Add(key + "/claims_per_s", claims_per_s);
+      json.Add(key + "/p50_ms", p50);
+      json.Add(key + "/p99_ms", p99);
+    }
+  }
+  table.Print();
+  json.AddBool("bitwise_check", true);  // any violation returned 1 above
+  if (!json.Write()) {
+    return 1;
+  }
+  std::printf("\nAll cells bitwise-identical to the in-process gateway: the wire\n");
+  std::printf("adds latency, never outcome drift.\n");
+  return 0;
+}

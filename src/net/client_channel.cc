@@ -1,0 +1,388 @@
+#include "src/net/client_channel.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace tao {
+namespace {
+
+constexpr int kReadPollTimeoutMs = 100;
+
+// Blocking send of the whole buffer; false on any error.
+bool SendAll(int fd, const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ClientChannel::ClientChannel(const std::string& host, int port,
+                             uint64_t session_id,
+                             std::chrono::milliseconds handshake_timeout) {
+  TAO_CHECK(session_id != 0) << "session id 0 is reserved";
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return;  // broken_ stays true
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  // Synchronous handshake: Hello out, HelloAck (and nothing else) back.
+  std::vector<uint8_t> hello;
+  AppendWireFrame(hello, MessageType::kHello, 0, EncodeHello({session_id}));
+  if (!SendAll(fd_, hello.data(), hello.size())) {
+    return;
+  }
+  std::vector<uint8_t> buffer;
+  const auto deadline = std::chrono::steady_clock::now() + handshake_timeout;
+  while (true) {
+    size_t offset = 0;
+    WireFrame frame;
+    const WireDecodeStatus status = DecodeWireFrame(buffer, offset, frame);
+    if (status == WireDecodeStatus::kOk) {
+      if (frame.type != MessageType::kHelloAck ||
+          !DecodeHelloAck(frame.payload, hello_ack_)) {
+        return;
+      }
+      buffer.erase(buffer.begin(), buffer.begin() + static_cast<std::ptrdiff_t>(offset));
+      break;
+    }
+    if (status != WireDecodeStatus::kTorn) {
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return;
+    }
+    const int wait_ms = static_cast<int>(std::min<int64_t>(
+        kReadPollTimeoutMs,
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count() + 1));
+    pollfd pfd{fd_, POLLIN, 0};
+    if (::poll(&pfd, 1, wait_ms) < 0) {
+      return;
+    }
+    uint8_t chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (n > 0) {
+      buffer.insert(buffer.end(), chunk, chunk + n);
+    } else if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK)) {
+      return;
+    }
+  }
+  broken_.store(false);
+  // Any bytes past the HelloAck (an eager server push) belong to the reader.
+  reader_ = std::thread([this, leftover = std::move(buffer)]() mutable {
+    ReaderLoop(std::move(leftover));
+  });
+}
+
+ClientChannel::~ClientChannel() {
+  stop_.store(true);
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+  if (reader_.joinable()) {
+    reader_.join();
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void ClientChannel::ReaderLoop(std::vector<uint8_t> buffer) {
+  bool corrupt = false;
+  while (!stop_.load() && !corrupt) {
+    // Drain every complete frame currently buffered (the handshake may have left
+    // some behind), then block for more bytes.
+    size_t offset = 0;
+    bool routed = false;
+    while (!corrupt) {
+      WireFrame frame;
+      const WireDecodeStatus status = DecodeWireFrame(buffer, offset, frame);
+      if (status == WireDecodeStatus::kTorn) {
+        break;
+      }
+      if (status != WireDecodeStatus::kOk) {
+        corrupt = true;
+        break;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      switch (frame.type) {
+        case MessageType::kSubmitAck: {
+          WireSubmitAck ack;
+          if (DecodeSubmitAck(frame.payload, ack)) {
+            acks_[frame.request_id] = ack;
+            routed = true;
+          } else {
+            corrupt = true;
+          }
+          break;
+        }
+        case MessageType::kVerdict: {
+          WireVerdict verdict;
+          if (DecodeVerdict(frame.payload, verdict)) {
+            verdicts_[frame.request_id] = verdict;
+            routed = true;
+          } else {
+            corrupt = true;
+          }
+          break;
+        }
+        case MessageType::kPong:
+          pongs_[frame.request_id] = true;
+          routed = true;
+          break;
+        default:
+          corrupt = true;  // the server never sends anything else
+          break;
+      }
+    }
+    buffer.erase(buffer.begin(), buffer.begin() + static_cast<std::ptrdiff_t>(offset));
+    if (routed) {
+      cv_.notify_all();
+    }
+    if (corrupt) {
+      break;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kReadPollTimeoutMs);
+    if (ready < 0) {
+      break;
+    }
+    if (ready == 0) {
+      continue;
+    }
+    uint8_t chunk[16 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      break;  // peer closed or Shutdown() tore the socket down
+    }
+    buffer.insert(buffer.end(), chunk, chunk + n);
+  }
+  broken_.store(true);
+  cv_.notify_all();
+}
+
+bool ClientChannel::SendFrame(MessageType type, uint64_t request_id,
+                              std::span<const uint8_t> payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(kWireHeaderBytes + payload.size());
+  AppendWireFrame(frame, type, request_id, payload);
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (broken_.load()) {
+    return false;
+  }
+  if (!SendAll(fd_, frame.data(), frame.size())) {
+    broken_.store(true);
+    cv_.notify_all();
+    return false;
+  }
+  return true;
+}
+
+bool ClientChannel::SendSubmit(uint64_t request_id,
+                               std::span<const uint8_t> payload) {
+  return SendFrame(MessageType::kSubmit, request_id, payload);
+}
+
+bool ClientChannel::WaitAck(uint64_t request_id, WireSubmitAck& ack,
+                            std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, timeout,
+               [&] { return broken_.load() || acks_.count(request_id) > 0; });
+  const auto it = acks_.find(request_id);
+  if (it == acks_.end()) {
+    return false;
+  }
+  ack = it->second;
+  acks_.erase(it);
+  return true;
+}
+
+bool ClientChannel::WaitVerdict(uint64_t request_id, WireVerdict& verdict,
+                                std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, timeout,
+               [&] { return broken_.load() || verdicts_.count(request_id) > 0; });
+  const auto it = verdicts_.find(request_id);
+  if (it == verdicts_.end()) {
+    return false;
+  }
+  verdict = it->second;
+  verdicts_.erase(it);
+  return true;
+}
+
+bool ClientChannel::Ping(uint64_t request_id, std::chrono::milliseconds timeout) {
+  if (!SendFrame(MessageType::kPing, request_id, {})) {
+    return false;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, timeout,
+               [&] { return broken_.load() || pongs_.count(request_id) > 0; });
+  return pongs_.erase(request_id) > 0;
+}
+
+void ClientChannel::SendGoodbye() {
+  SendFrame(MessageType::kGoodbye, 0, {});
+}
+
+void ClientChannel::Shutdown() {
+  broken_.store(true);
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+  }
+  cv_.notify_all();
+}
+
+RetriableChannel::RetriableChannel(std::string host, int port,
+                                   uint64_t session_id, RetryOptions options)
+    : host_(std::move(host)),
+      port_(port),
+      session_id_(session_id),
+      options_(options),
+      rng_(options.seed) {}
+
+RetriableChannel::~RetriableChannel() {
+  if (channel_ != nullptr && channel_->ok()) {
+    channel_->SendGoodbye();
+  }
+}
+
+void RetriableChannel::Backoff(int attempt) {
+  const int64_t base = options_.base_backoff_ms;
+  const int64_t capped_shift = std::min<int64_t>(attempt, 16);
+  const int64_t backoff =
+      std::min<int64_t>(options_.max_backoff_ms, base << capped_shift);
+  // Full jitter from the seeded stream: retries desynchronize without wall-clock
+  // or hardware entropy (the platform's no-std::random rule).
+  const int64_t jitter = static_cast<int64_t>(
+      rng_.NextBounded(static_cast<uint64_t>(backoff) + 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(backoff + jitter));
+}
+
+bool RetriableChannel::EnsureConnected() {
+  if (channel_ != nullptr && channel_->ok()) {
+    return true;
+  }
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0 || channel_ != nullptr) {
+      Backoff(attempt);  // no backoff before the very first connect
+    }
+    channel_ = std::make_unique<ClientChannel>(host_, port_, session_id_);
+    if (!channel_->ok()) {
+      continue;
+    }
+    ++reconnects_;
+    // Resubmit everything unfinished. The server's dedup window answers already-
+    // admitted ids from its cache (replaying the verdict too, if it landed), so
+    // this is idempotent by construction.
+    for (const auto& [request_id, payload] : pending_) {
+      channel_->SendSubmit(request_id, payload);
+      ++resubmissions_;
+    }
+    return true;
+  }
+  return false;
+}
+
+WireSubmitAck RetriableChannel::Submit(uint64_t model_id, uint64_t submitter,
+                                       const BatchClaim& claim,
+                                       uint64_t* request_id_out) {
+  const uint64_t request_id = next_request_id_++;
+  if (request_id_out != nullptr) {
+    *request_id_out = request_id;
+  }
+  WireSubmit submit;
+  submit.model_id = model_id;
+  submit.submitter = submitter;
+  submit.claim = WireClaimFromBatchClaim(claim);
+  pending_[request_id] = EncodeSubmit(submit);
+
+  WireSubmitAck ack{WireStatus::kMalformed, 0};  // placeholder: "unreachable"
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (!EnsureConnected()) {
+      break;
+    }
+    // A duplicate of the reconnect-resubmission is possible here; the server
+    // drops in-flight duplicates and answers completed ones from the cache.
+    if (!channel_->SendSubmit(request_id, pending_[request_id])) {
+      continue;
+    }
+    WireSubmitAck got;
+    if (!channel_->WaitAck(request_id, got, options_.ack_timeout)) {
+      continue;  // broke or timed out: reconnect + resubmit
+    }
+    if (IsRetriableStatus(got.status)) {
+      ack = got;
+      Backoff(attempt);
+      continue;  // the server erased the reject, same request id re-admits
+    }
+    if (got.status != WireStatus::kAccepted) {
+      pending_.erase(request_id);  // terminal reject: nothing to recover later
+    }
+    return got;
+  }
+  pending_.erase(request_id);
+  return ack;
+}
+
+bool RetriableChannel::WaitVerdict(uint64_t request_id, WireVerdict& verdict) {
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (!EnsureConnected()) {
+      return false;
+    }
+    if (channel_->WaitVerdict(request_id, verdict, options_.verdict_timeout)) {
+      pending_.erase(request_id);
+      return true;
+    }
+    if (channel_->ok()) {
+      return false;  // a genuine timeout on a live channel: the caller's problem
+    }
+  }
+  return false;
+}
+
+const WireHelloAck& RetriableChannel::hello_ack() const {
+  TAO_CHECK(channel_ != nullptr) << "never connected";
+  return channel_->hello_ack();
+}
+
+void RetriableChannel::InjectFaultForTest() {
+  if (channel_ != nullptr) {
+    channel_->Shutdown();
+  }
+}
+
+}  // namespace tao

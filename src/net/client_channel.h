@@ -1,0 +1,168 @@
+// Client side of the wire protocol (docs/net.md).
+//
+// ClientChannel is the raw blocking channel: one TCP connection, a synchronous
+// Hello handshake in the constructor, then a reader thread that routes inbound
+// SubmitAcks / Verdicts / Pongs into per-request slots a caller Wait*()s on.
+// A decode error, peer close, or Shutdown() marks the channel broken (ok() ==
+// false) — every Wait unblocks with failure and the caller decides what to do.
+//
+// RetriableChannel is what submitters actually use: it owns reconnection with
+// bounded exponential backoff + seeded jitter, and resubmission of every
+// submission that has not completed yet, keyed by request id. Safety rests on the
+// server's per-session dedup window: a resubmitted request id is answered from
+// the cache, never re-admitted, so the claim stream the model sees — and with it
+// every verdict, gas charge, C0 digest, claim id, and ledger entry — is
+// unchanged by any crash/retry pattern the client goes through. One
+// RetriableChannel is single-threaded by design (one submitter identity); run
+// many instances for concurrent load.
+
+#ifndef TAO_SRC_NET_CLIENT_CHANNEL_H_
+#define TAO_SRC_NET_CLIENT_CHANNEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/frame.h"
+#include "src/util/rng.h"
+
+namespace tao {
+
+class ClientChannel {
+ public:
+  // Connects and performs the Hello handshake synchronously; ok() tells whether
+  // it worked (no exceptions — the retry layer treats failure as data).
+  ClientChannel(const std::string& host, int port, uint64_t session_id,
+                std::chrono::milliseconds handshake_timeout =
+                    std::chrono::milliseconds(5000));
+  ~ClientChannel();
+
+  ClientChannel(const ClientChannel&) = delete;
+  ClientChannel& operator=(const ClientChannel&) = delete;
+
+  bool ok() const { return !broken_.load(); }
+  const WireHelloAck& hello_ack() const { return hello_ack_; }
+
+  // Sends one Submit frame (payload = EncodeSubmit bytes). False on IO failure.
+  bool SendSubmit(uint64_t request_id, std::span<const uint8_t> payload);
+
+  // Blocks until the ack/verdict for `request_id` arrived, the timeout expired,
+  // or the channel broke. The slot is consumed on success.
+  bool WaitAck(uint64_t request_id, WireSubmitAck& ack,
+               std::chrono::milliseconds timeout);
+  bool WaitVerdict(uint64_t request_id, WireVerdict& verdict,
+                   std::chrono::milliseconds timeout);
+
+  // Round-trip liveness probe.
+  bool Ping(uint64_t request_id, std::chrono::milliseconds timeout);
+
+  // Orderly close: the server flushes pending pushes, then disconnects.
+  void SendGoodbye();
+
+  // Hard-kills the socket mid-whatever (fault injection for the retry tests).
+  void Shutdown();
+
+ private:
+  void ReaderLoop(std::vector<uint8_t> buffer);
+  bool SendFrame(MessageType type, uint64_t request_id,
+                 std::span<const uint8_t> payload);
+
+  int fd_ = -1;
+  std::atomic<bool> broken_{true};  // cleared after a successful handshake
+  std::atomic<bool> stop_{false};
+  WireHelloAck hello_ack_;
+
+  std::mutex send_mu_;  // serializes writes (Submit vs Ping vs Goodbye)
+
+  std::mutex mu_;  // guards the routing tables below
+  std::condition_variable cv_;
+  std::unordered_map<uint64_t, WireSubmitAck> acks_;
+  std::unordered_map<uint64_t, WireVerdict> verdicts_;
+  std::unordered_map<uint64_t, bool> pongs_;
+
+  std::thread reader_;
+};
+
+struct RetryOptions {
+  // Reconnect attempts per operation before giving up (each with backoff).
+  int max_attempts = 10;
+  int base_backoff_ms = 5;
+  int max_backoff_ms = 500;
+  // Seed of the jitter stream — like everything else in the platform, retry
+  // timing is deterministic given the seed (no std::random, no wall clock).
+  uint64_t seed = 0x7a0c0de5ULL;
+  std::chrono::milliseconds ack_timeout{10000};
+  std::chrono::milliseconds verdict_timeout{120000};
+};
+
+class RetriableChannel {
+ public:
+  RetriableChannel(std::string host, int port, uint64_t session_id,
+                   RetryOptions options = {});
+  ~RetriableChannel();
+
+  RetriableChannel(const RetriableChannel&) = delete;
+  RetriableChannel& operator=(const RetriableChannel&) = delete;
+
+  // Submits one claim and blocks until it is ACKED (reconnecting and
+  // resubmitting as needed; retriable rejects — kOverloaded/kDraining — back off
+  // and retry up to max_attempts). Returns the final ack; `request_id_out`
+  // receives the id to WaitVerdict on. A kMalformed result with attempts
+  // exhausted means the server stayed unreachable.
+  WireSubmitAck Submit(uint64_t model_id, uint64_t submitter,
+                       const BatchClaim& claim, uint64_t* request_id_out = nullptr);
+
+  // Blocks until the verdict for an accepted submission arrives (reconnecting as
+  // needed; the server replays cached verdicts on re-attach). False only when
+  // attempts are exhausted.
+  bool WaitVerdict(uint64_t request_id, WireVerdict& verdict);
+
+  // The most recent HelloAck (served models, dedup window). Requires at least
+  // one successful connection.
+  const WireHelloAck& hello_ack() const;
+
+  // Connection is otherwise lazy (the first Submit dials); Connect() forces the
+  // handshake now — e.g. to read hello_ack() before deciding what to submit.
+  // False when attempts are exhausted.
+  bool Connect() { return EnsureConnected(); }
+
+  bool connected() const { return channel_ != nullptr && channel_->ok(); }
+
+  // Kills the current connection as if the network dropped it; the next
+  // operation reconnects and resubmits. Fault injection for tests/benches.
+  void InjectFaultForTest();
+
+  int64_t reconnects() const { return reconnects_; }
+  int64_t resubmissions() const { return resubmissions_; }
+
+ private:
+  // Connects (with backoff) if not connected; resubmits every pending
+  // submission. False when attempts are exhausted.
+  bool EnsureConnected();
+  void Backoff(int attempt);
+
+  const std::string host_;
+  const int port_;
+  const uint64_t session_id_;
+  const RetryOptions options_;
+  Rng rng_;
+
+  std::unique_ptr<ClientChannel> channel_;
+  // Submissions sent but not completed (acked-terminal or verdict-received):
+  // request id -> encoded Submit payload, resubmitted verbatim on reconnect.
+  std::unordered_map<uint64_t, std::vector<uint8_t>> pending_;
+  uint64_t next_request_id_ = 1;
+  int64_t reconnects_ = 0;
+  int64_t resubmissions_ = 0;
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_NET_CLIENT_CHANNEL_H_

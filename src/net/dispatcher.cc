@@ -1,0 +1,325 @@
+#include "src/net/dispatcher.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+#include "src/observability/resource_tracker.h"
+#include "src/util/check.h"
+
+namespace tao {
+namespace {
+
+constexpr int kEpollTimeoutMs = 100;  // shutdown latency bound
+constexpr int kMaxEvents = 64;
+
+}  // namespace
+
+Connection::Connection(Dispatcher& dispatcher, int fd, uint64_t id,
+                       std::unique_ptr<ConnectionHandler> handler)
+    : dispatcher_(dispatcher), fd_(fd), id_(id), handler_(std::move(handler)) {}
+
+Connection::~Connection() {
+  // Normally the dispatcher closed the fd in CloseConnection; this catches a
+  // connection whose adopt op never ran (dispatcher torn down first).
+  if (!closed_.load()) {
+    ::close(fd_);
+  }
+}
+
+bool Connection::Send(std::span<const uint8_t> data) {
+  bool request_attention = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_.load() || overflowed_ || close_after_flush_) {
+      return false;
+    }
+    outbound_.insert(outbound_.end(), data.begin(), data.end());
+    if (outbound_.size() - outbound_offset_ > dispatcher_.options_.max_outbound_bytes) {
+      // Slow reader: the peer stopped draining while pushes kept coming. Cap the
+      // buffer by dropping the CONNECTION (the client's retry path re-attaches
+      // and recovers its acks/verdicts from the dedup cache) — never by blocking
+      // the sender, which is a resolve lane.
+      overflowed_ = true;
+    }
+    request_attention = !attention_requested_;
+    attention_requested_ = true;
+  }
+  if (request_attention) {
+    auto self = shared_from_this();
+    dispatcher_.Post([self] { self->dispatcher_.FlushOrClose(self); });
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return !overflowed_;
+}
+
+void Connection::CloseAfterFlush() {
+  bool request_attention = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_.load()) {
+      return;
+    }
+    close_after_flush_ = true;
+    request_attention = !attention_requested_;
+    attention_requested_ = true;
+  }
+  if (request_attention) {
+    auto self = shared_from_this();
+    dispatcher_.Post([self] { self->dispatcher_.FlushOrClose(self); });
+  }
+}
+
+void Connection::Close() {
+  if (closed_.load()) {
+    return;
+  }
+  auto self = shared_from_this();
+  dispatcher_.Post([self] { self->dispatcher_.CloseConnection(self); });
+}
+
+Dispatcher::Dispatcher(DispatcherOptions options) : options_(std::move(options)) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    throw std::runtime_error("dispatcher: epoll_create1 failed");
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw std::runtime_error("dispatcher: eventfd failed");
+  }
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = wake_fd_;
+  TAO_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event) == 0);
+  loop_thread_ = std::thread([this] { Loop(); });
+}
+
+Dispatcher::~Dispatcher() {
+  stop_.store(true);
+  Wake();
+  loop_thread_.join();
+  // Backstop for connections whose owner did not Close+Sync first: tear them down
+  // on this thread (their handlers must still be alive, which holds because
+  // owners destroy their server object — and with it this dispatcher reference —
+  // before the handler's referents).
+  for (auto& [fd, connection] : connections_) {
+    connection->closed_.store(true);
+    ::close(fd);
+    connection->handler_->OnClosed(*connection);
+  }
+  connections_.clear();
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+std::shared_ptr<Connection> Dispatcher::Adopt(
+    int fd, std::unique_ptr<ConnectionHandler> handler) {
+  std::shared_ptr<Connection> connection(
+      new Connection(*this, fd, next_id_.fetch_add(1), std::move(handler)));
+  Post([this, fd, connection] {
+    epoll_event event{};
+    event.events = EPOLLIN | EPOLLRDHUP;
+    event.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+      connection->closed_.store(true);
+      ::close(fd);
+      connection->handler_->OnClosed(*connection);
+      return;
+    }
+    connections_.emplace(fd, connection);
+    num_connections_.fetch_add(1);
+    connections_opened_.fetch_add(1);
+  });
+  return connection;
+}
+
+void Dispatcher::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(ops_mu_);
+    ops_.push_back(std::move(fn));
+  }
+  Wake();
+}
+
+void Dispatcher::Sync(std::function<void()> fn) {
+  std::promise<void> done;
+  std::future<void> future = done.get_future();
+  Post([&done, &fn] {
+    if (fn) {
+      fn();
+    }
+    done.set_value();
+  });
+  future.get();
+}
+
+size_t Dispatcher::num_connections() const { return num_connections_.load(); }
+
+std::vector<NamedCounter> Dispatcher::Counters(const std::string& prefix) const {
+  return {
+      {prefix + "/connections_open", static_cast<double>(num_connections_.load())},
+      {prefix + "/connections_opened", static_cast<double>(connections_opened_.load())},
+      {prefix + "/connections_closed", static_cast<double>(connections_closed_.load())},
+      {prefix + "/backpressure_disconnects",
+       static_cast<double>(backpressure_disconnects_.load())},
+      {prefix + "/bytes_read", static_cast<double>(bytes_read_.load())},
+      {prefix + "/bytes_written", static_cast<double>(bytes_written_.load())},
+  };
+}
+
+void Dispatcher::Wake() {
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Dispatcher::Loop() {
+  ResourceTracker::ScopedThread tracked(options_.thread_role);
+  epoll_event events[kMaxEvents];
+  while (!stop_.load()) {
+    const int count = ::epoll_wait(epoll_fd_, events, kMaxEvents, kEpollTimeoutMs);
+    for (int i = 0; i < count; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t n =
+            ::read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      const auto it = connections_.find(fd);
+      if (it == connections_.end()) {
+        continue;  // closed earlier in this batch
+      }
+      const std::shared_ptr<Connection> connection = it->second;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        CloseConnection(connection);
+        continue;
+      }
+      if (events[i].events & (EPOLLIN | EPOLLRDHUP)) {
+        ReadFrom(connection);
+      }
+      if (!connection->closed_.load() && (events[i].events & EPOLLOUT)) {
+        FlushOrClose(connection);
+      }
+    }
+    RunOps();
+  }
+  RunOps();  // ops enqueued between the last pass and stop (e.g. a final Sync)
+}
+
+void Dispatcher::RunOps() {
+  std::deque<std::function<void()>> ops;
+  {
+    std::lock_guard<std::mutex> lock(ops_mu_);
+    ops.swap(ops_);
+  }
+  for (std::function<void()>& op : ops) {
+    op();
+  }
+}
+
+void Dispatcher::ReadFrom(const std::shared_ptr<Connection>& connection) {
+  bool got_bytes = false;
+  bool peer_gone = false;
+  uint8_t buffer[16 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(connection->fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      connection->inbound_.insert(connection->inbound_.end(), buffer, buffer + n);
+      bytes_read_.fetch_add(n);
+      got_bytes = true;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    peer_gone = true;  // orderly close (0) or hard error
+    break;
+  }
+  if (got_bytes) {
+    connection->handler_->OnReadable(*connection, connection->inbound_);
+  }
+  if (peer_gone && !connection->closed_.load()) {
+    CloseConnection(connection);
+  }
+}
+
+bool Dispatcher::FlushLocked(Connection& connection) {
+  // Caller holds connection.mu_. Loop thread only (epoll_out_armed_ is unlocked).
+  while (connection.outbound_offset_ < connection.outbound_.size()) {
+    const ssize_t n = ::send(
+        connection.fd_, connection.outbound_.data() + connection.outbound_offset_,
+        connection.outbound_.size() - connection.outbound_offset_,
+        MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      connection.outbound_offset_ += static_cast<size_t>(n);
+      bytes_written_.fetch_add(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    return false;  // peer went away mid-write
+  }
+  const bool drained = connection.outbound_offset_ == connection.outbound_.size();
+  if (drained) {
+    connection.outbound_.clear();
+    connection.outbound_offset_ = 0;
+  }
+  if (connection.overflowed_) {
+    return false;
+  }
+  if (drained && connection.close_after_flush_) {
+    return false;
+  }
+  if (drained == connection.epoll_out_armed_) {
+    // Arm EPOLLOUT while bytes wait on a full socket; disarm once drained.
+    epoll_event event{};
+    event.events = EPOLLIN | EPOLLRDHUP | (drained ? 0u : EPOLLOUT);
+    event.data.fd = connection.fd_;
+    TAO_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, connection.fd_, &event) == 0);
+    connection.epoll_out_armed_ = !drained;
+  }
+  return true;
+}
+
+void Dispatcher::FlushOrClose(const std::shared_ptr<Connection>& connection) {
+  if (connection->closed_.load() ||
+      connections_.find(connection->fd_) == connections_.end()) {
+    return;
+  }
+  bool alive;
+  bool overflowed;
+  {
+    std::lock_guard<std::mutex> lock(connection->mu_);
+    connection->attention_requested_ = false;
+    alive = FlushLocked(*connection);
+    overflowed = connection->overflowed_;
+  }
+  if (!alive) {
+    if (overflowed) {
+      backpressure_disconnects_.fetch_add(1);
+    }
+    CloseConnection(connection);
+  }
+}
+
+void Dispatcher::CloseConnection(const std::shared_ptr<Connection>& connection) {
+  if (connections_.erase(connection->fd_) == 0) {
+    return;  // already closed
+  }
+  connection->closed_.store(true);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, connection->fd_, nullptr);
+  ::close(connection->fd_);
+  num_connections_.fetch_sub(1);
+  connections_closed_.fetch_add(1);
+  connection->handler_->OnClosed(*connection);
+}
+
+}  // namespace tao

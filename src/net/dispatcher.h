@@ -1,0 +1,187 @@
+// Epoll event loop + connection abstraction of the net layer (docs/net.md).
+//
+// One Dispatcher runs ONE loop thread that owns every socket it was handed via
+// Adopt(): it reads inbound bytes into a per-connection buffer and hands them to
+// the connection's ConnectionHandler, and it flushes the per-connection outbound
+// buffer when the socket drains. The design splits responsibilities so no protocol
+// work ever blocks a verification thread and no verification thread ever touches a
+// socket directly:
+//
+//   * OnReadable/OnClosed run exclusively on the loop thread — handlers parse
+//     frames and enqueue work, they never execute claims;
+//   * Connection::Send is callable from ANY thread (resolve lanes push verdicts):
+//     it appends to the outbound buffer under the connection's own mutex and wakes
+//     the loop via an eventfd — it NEVER blocks on the socket;
+//   * slow-reader policy: the outbound buffer is bounded. A peer that stops
+//     reading while the server keeps pushing hits the bound and is DISCONNECTED
+//     (counted as a backpressure_disconnect) — one stalled client costs one
+//     connection, never a resolve lane's progress.
+//
+// The loop thread registers with the ResourceTracker under options.thread_role, so
+// its CPU shows up per-role in /metrics alongside workers and lanes.
+
+#ifndef TAO_SRC_NET_DISPATCHER_H_
+#define TAO_SRC_NET_DISPATCHER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/service/metrics.h"
+
+namespace tao {
+
+class Connection;
+class Dispatcher;
+
+// Protocol callbacks. Both run on the dispatcher's loop thread only.
+class ConnectionHandler {
+ public:
+  virtual ~ConnectionHandler() = default;
+
+  // More bytes arrived. `buffer` is the connection's cumulative inbound buffer;
+  // the handler consumes complete frames by erasing the prefix it processed and
+  // leaves any torn tail in place for the next call.
+  virtual void OnReadable(Connection& connection, std::vector<uint8_t>& buffer) = 0;
+
+  // The connection left the dispatcher (peer close, error, overflow, or an
+  // explicit Close). Called exactly once; the Connection is dead afterwards.
+  virtual void OnClosed(Connection& connection) {}
+};
+
+struct DispatcherOptions {
+  // ResourceTracker role of the loop thread ("<role>/<n>/cpu_seconds" in /metrics).
+  std::string thread_role = "net_poll";
+  // Slow-reader bound: a connection whose un-flushed outbound bytes exceed this is
+  // disconnected instead of growing without bound.
+  size_t max_outbound_bytes = 8u << 20;
+};
+
+// One adopted socket. Created by Dispatcher::Adopt; destroyed after OnClosed.
+// Thread contract: Send/CloseAfterFlush/Close/closed() are any-thread; everything
+// else is loop-thread-only.
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  ~Connection();
+
+  // Queues `data` for transmission and wakes the loop. Returns false (dropping
+  // the bytes) when the connection is already closed or this write overflowed the
+  // outbound bound — the connection is then being torn down anyway. Never blocks.
+  bool Send(std::span<const uint8_t> data);
+
+  // Closes once the outbound buffer has fully drained (orderly Goodbye / HTTP
+  // response). Further Sends are dropped.
+  void CloseAfterFlush();
+
+  // Closes at the loop's next pass, flushed or not.
+  void Close();
+
+  bool closed() const { return closed_.load(); }
+  uint64_t id() const { return id_; }
+
+ private:
+  friend class Dispatcher;
+
+  Connection(Dispatcher& dispatcher, int fd, uint64_t id,
+             std::unique_ptr<ConnectionHandler> handler);
+
+  Dispatcher& dispatcher_;
+  const int fd_;
+  const uint64_t id_;
+  std::unique_ptr<ConnectionHandler> handler_;
+
+  // Loop-thread-only state.
+  std::vector<uint8_t> inbound_;
+  bool epoll_out_armed_ = false;
+
+  // Cross-thread state (guarded by mu_). `outbound_` is drained from the front by
+  // the loop's flush; `outbound_offset_` avoids erasing the prefix per partial
+  // send.
+  std::mutex mu_;
+  std::vector<uint8_t> outbound_;
+  size_t outbound_offset_ = 0;
+  bool close_after_flush_ = false;
+  bool overflowed_ = false;
+  bool attention_requested_ = false;  // a FlushOrClose op is already queued
+
+  std::atomic<bool> closed_{false};
+};
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(DispatcherOptions options = {});
+  // Joins the loop and closes any connection still adopted (their OnClosed runs
+  // on the destroying thread). Servers normally Close + Sync their connections
+  // first, so this is a backstop.
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  // Takes ownership of connected, non-blocking `fd` and starts dispatching it to
+  // `handler`. Callable from any thread (the acceptor). Returns the connection.
+  std::shared_ptr<Connection> Adopt(int fd,
+                                    std::unique_ptr<ConnectionHandler> handler);
+
+  // Enqueues `fn` to run on the loop thread (FIFO with every other op) and wakes
+  // the loop. Any thread.
+  void Post(std::function<void()> fn);
+
+  // Runs `fn` on the loop thread and returns after it ran — a barrier proving
+  // every callback enqueued before it has completed. Deadlocks if called FROM the
+  // loop thread; handlers never need it.
+  void Sync(std::function<void()> fn = nullptr);
+
+  size_t num_connections() const;
+
+  // net/... counters: connections opened/closed, bytes, backpressure disconnects.
+  std::vector<NamedCounter> Counters(const std::string& prefix = "net") const;
+
+ private:
+  friend class Connection;
+
+  void Loop();
+  void Wake();
+  // Loop-thread helpers.
+  void ReadFrom(const std::shared_ptr<Connection>& connection);
+  // Flushes what the socket accepts; arms EPOLLOUT when bytes remain. Returns
+  // false when the connection must die (write error / overflow / flushed close).
+  bool FlushLocked(Connection& connection);
+  void FlushOrClose(const std::shared_ptr<Connection>& connection);
+  void CloseConnection(const std::shared_ptr<Connection>& connection);
+  void RunOps();
+
+  const DispatcherOptions options_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: cross-thread Send/ops wake the epoll_wait
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> next_id_{1};
+
+  // Loop-thread-only connection table (fd -> connection).
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+  std::atomic<size_t> num_connections_{0};
+
+  // Cross-thread op queue, drained FIFO by the loop after each epoll pass.
+  std::mutex ops_mu_;
+  std::deque<std::function<void()>> ops_;
+
+  std::atomic<int64_t> connections_opened_{0};
+  std::atomic<int64_t> connections_closed_{0};
+  std::atomic<int64_t> backpressure_disconnects_{0};
+  std::atomic<int64_t> bytes_read_{0};
+  std::atomic<int64_t> bytes_written_{0};
+
+  std::thread loop_thread_;
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_NET_DISPATCHER_H_

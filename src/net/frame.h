@@ -1,0 +1,222 @@
+// Wire protocol of the RPC gateway (docs/net.md).
+//
+// Every message on a tao connection is one frame:
+//
+//     u32 magic "TAON" | u32 version | u32 type | u64 request_id
+//     | u32 payload_len | u32 payload_len ^ kWireLengthXor | u32 crc32(payload)
+//     | payload bytes
+//
+// all little-endian. The framing discipline is the durability changelog's
+// (src/durability/framing.h), lifted onto a socket: the redundant length check is
+// what distinguishes a TORN stream (more bytes still in flight — wait) from
+// CORRUPTION (a full header is present but inconsistent — a typed error, never a
+// silent resync), and the CRC covers the payload so bit rot anywhere surfaces as
+// kBadCrc instead of a garbage decode. Unlike the changelog, a frame also carries a
+// protocol version (old clients get kBadVersion, not undefined behaviour) and a
+// request id that correlates a Submit with its SubmitAck and eventual Verdict push.
+//
+// Payload codecs are CANONICAL in the sense of src/crypto/canonical.h: decoding is
+// total (arbitrary bytes never crash or read out of bounds — the decode fuzz test
+// drives this), and every ACCEPTED payload re-encodes byte-identical, so two
+// distinct byte strings can never decode to the same value ("accept-but-differ is
+// impossible"). Anything else is a typed malformed-payload reject.
+//
+// Message vocabulary:
+//   Hello / HelloAck   session attach: client names its session id, server answers
+//                      with its dedup window and the currently served model list
+//   Submit / SubmitAck one claim submission; the ack carries the admission ticket
+//                      (the service's global sequence number) or a typed reject
+//                      mirroring every GatewayStatus code — kOverloaded IS the
+//                      backpressure signal on the wire
+//   Verdict            server push when the claim's lifecycle completes
+//   Ping / Pong        liveness probe (empty payloads)
+//   Goodbye            orderly close (server flushes, then disconnects)
+
+#ifndef TAO_SRC_NET_FRAME_H_
+#define TAO_SRC_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+#include "src/tensor/tensor.h"
+
+namespace tao {
+
+struct BatchClaim;       // src/protocol/batch_verifier.h
+enum class GatewayStatus;  // src/registry/serving_gateway.h
+
+inline constexpr uint32_t kWireMagic = 0x4E4F4154u;  // "TAON" once little-endian
+inline constexpr uint32_t kWireVersion = 1;
+// Distinct from the changelog's kLengthCheckXor so a WAL file replayed at a socket
+// (or vice versa) dies on kBadMagic/kBadLength instead of half-parsing.
+inline constexpr uint32_t kWireLengthXor = 0xC0DE5A17u;
+inline constexpr size_t kWireHeaderBytes = 4 * 6 + 8;  // 32
+// Ceiling on one frame's payload; a header claiming more is corrupt, which also
+// bounds the memory a malicious peer can make the decoder reserve.
+inline constexpr uint32_t kMaxWirePayloadBytes = 16u << 20;
+
+// Decode-side resource bounds (checked BEFORE any allocation sized from the wire).
+inline constexpr uint32_t kMaxWireStringBytes = 256;
+inline constexpr uint32_t kMaxWireTensorRank = 16;
+inline constexpr uint64_t kMaxWireTensorElems = 1ull << 24;
+inline constexpr uint32_t kMaxWireClaimInputs = 64;
+inline constexpr uint32_t kMaxWireClaimPerturbations = 256;
+inline constexpr uint32_t kMaxWireModelEntries = 4096;
+
+enum class MessageType : uint32_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kSubmit = 3,
+  kSubmitAck = 4,
+  kVerdict = 5,
+  kPing = 6,
+  kPong = 7,
+  kGoodbye = 8,
+};
+
+// Outcome of decoding the frame at `data[offset...]`. kTorn means "incomplete —
+// keep the bytes and wait for more"; every other non-kOk status means the stream
+// is unrecoverable and the connection must drop (there is no resync point).
+enum class WireDecodeStatus {
+  kOk,
+  kTorn,
+  kBadMagic,
+  kBadVersion,
+  kBadType,
+  kBadLength,  // length check mismatch or payload over the ceiling
+  kBadCrc,
+};
+
+const char* WireDecodeStatusName(WireDecodeStatus status);
+
+struct WireFrame {
+  MessageType type = MessageType::kPing;
+  uint64_t request_id = 0;
+  std::span<const uint8_t> payload;  // view into the decoded buffer
+};
+
+// Appends one framed message to `out`. Payload must fit kMaxWirePayloadBytes.
+void AppendWireFrame(std::vector<uint8_t>& out, MessageType type,
+                     uint64_t request_id, std::span<const uint8_t> payload);
+
+// Decodes one frame. On kOk, `frame.payload` views into `data` and `offset`
+// advances past the frame; on any other status `offset` is untouched. Never reads
+// out of bounds.
+WireDecodeStatus DecodeWireFrame(std::span<const uint8_t> data, size_t& offset,
+                                 WireFrame& frame);
+
+// Admission status on the wire. The first seven values mirror GatewayStatus
+// one-to-one (ToWireStatus is a static_assert-guarded exhaustive switch, so adding
+// a GatewayStatus without a wire mapping fails at compile time); the tail values
+// are wire-layer rejects that never reach the gateway.
+enum class WireStatus : uint32_t {
+  kAccepted = 0,
+  kUnknownModel = 1,
+  kNotCommitted = 2,
+  kNotServing = 3,
+  kDraining = 4,
+  kRetired = 5,
+  kOverloaded = 6,    // the gateway's backpressure signal, surfaced to the client
+  kMalformed = 7,     // Submit payload failed the canonical decode
+  kUnknownDevice = 8, // claim names a device outside DeviceRegistry::Fleet()
+  kCount,
+};
+
+const char* WireStatusName(WireStatus status);
+
+// Statuses a client should back off and resubmit on (the condition is transient:
+// load sheds recover, drains may be followed by a re-serve). Everything else is
+// terminal for that submission.
+bool IsRetriableStatus(WireStatus status);
+
+WireStatus ToWireStatus(GatewayStatus status);
+
+// --- payloads ---------------------------------------------------------------------
+
+struct WireHello {
+  uint64_t session_id = 0;  // client-chosen, nonzero; names the dedup session
+};
+
+struct WireModelEntry {
+  uint64_t id = 0;
+  std::string name;
+};
+
+struct WireHelloAck {
+  uint32_t dedup_window = 0;            // server's per-session idempotency depth
+  std::vector<WireModelEntry> models;   // models in kServing at attach time
+};
+
+struct WirePerturbation {
+  int64_t node = -1;
+  Tensor delta;
+};
+
+// A BatchClaim with device POINTERS replaced by fleet device NAMES (empty verifier
+// name = unsupervised). The tensor codec is CanonicalBytes' layout — dtype tag,
+// rank, dims, f32 element bits — with wire-side resource bounds.
+struct WireClaim {
+  std::vector<Tensor> inputs;
+  std::vector<WirePerturbation> perturbations;
+  std::string proposer_device;
+  std::string verifier_device;
+};
+
+struct WireSubmit {
+  uint64_t model_id = 0;
+  uint64_t submitter = 0;
+  WireClaim claim;
+};
+
+struct WireSubmitAck {
+  WireStatus status = WireStatus::kMalformed;
+  uint64_t ticket = 0;  // service sequence number; meaningful (and nonzero-or-first)
+                        // only when status == kAccepted, 0 otherwise
+};
+
+struct WireVerdict {
+  uint64_t ticket = 0;    // echoes the SubmitAck ticket
+  uint64_t claim_id = 0;
+  uint64_t model_id = 0;
+  Digest c0{};
+  uint32_t final_state = 0;  // ClaimState, validated < the enum's cardinality
+  bool supervised = false;
+  bool flagged = false;
+  bool proposer_guilty = false;
+  int64_t gas_used = 0;
+};
+
+// Canonical payload codecs. Every Decode* returns false (leaving `out`
+// unspecified) on any deviation — short buffer, trailing bytes, bound overflow,
+// non-canonical flag bits — and every accepted payload re-encodes byte-identical.
+std::vector<uint8_t> EncodeHello(const WireHello& hello);
+bool DecodeHello(std::span<const uint8_t> payload, WireHello& out);
+
+std::vector<uint8_t> EncodeHelloAck(const WireHelloAck& ack);
+bool DecodeHelloAck(std::span<const uint8_t> payload, WireHelloAck& out);
+
+std::vector<uint8_t> EncodeSubmit(const WireSubmit& submit);
+bool DecodeSubmit(std::span<const uint8_t> payload, WireSubmit& out);
+
+std::vector<uint8_t> EncodeSubmitAck(const WireSubmitAck& ack);
+bool DecodeSubmitAck(std::span<const uint8_t> payload, WireSubmitAck& out);
+
+std::vector<uint8_t> EncodeVerdict(const WireVerdict& verdict);
+bool DecodeVerdict(std::span<const uint8_t> payload, WireVerdict& out);
+
+// --- BatchClaim bridging ----------------------------------------------------------
+
+// Names the claim's devices for the wire. Devices must be null or fleet members.
+WireClaim WireClaimFromBatchClaim(const BatchClaim& claim);
+
+// Resolves device names against DeviceRegistry::Fleet(). Returns false when a
+// nonempty name is not in the fleet (the kUnknownDevice reject); never aborts.
+bool BatchClaimFromWireClaim(const WireClaim& wire, BatchClaim& out);
+
+}  // namespace tao
+
+#endif  // TAO_SRC_NET_FRAME_H_

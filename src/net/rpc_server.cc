@@ -1,0 +1,413 @@
+#include "src/net/rpc_server.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "src/net/frame.h"
+#include "src/observability/resource_tracker.h"
+#include "src/registry/serving_gateway.h"
+#include "src/util/check.h"
+
+namespace tao {
+
+// One client session: the unit of retry idempotency. A session survives its
+// connections — a client that reconnects re-attaches by Hello'ing the same id and
+// finds its dedup state (and any verdicts that landed while it was away) intact.
+struct RpcServer::Session {
+  explicit Session(uint64_t session_id) : id(session_id) {}
+
+  const uint64_t id;
+
+  std::mutex mu;
+  // The session's CURRENT connection; acks and verdicts go here. Weak: a dead
+  // connection must never be kept alive just because verdicts are pending.
+  std::weak_ptr<Connection> connection;
+
+  struct Entry {
+    bool acked = false;           // false = the pump has it in flight
+    std::vector<uint8_t> ack_frame;
+    bool verdict_sent = false;
+    std::vector<uint8_t> verdict_frame;
+  };
+  std::unordered_map<uint64_t, Entry> entries;  // request id -> completed state
+  std::deque<uint64_t> completed_order;         // acked ids, oldest first
+};
+
+struct RpcServer::Core : std::enable_shared_from_this<Core> {
+  Core(ServingGateway& gateway_in, ModelRegistry& registry_in,
+       const RpcServerOptions& options_in)
+      : gateway(gateway_in), registry(registry_in), options(options_in) {}
+
+  ServingGateway& gateway;
+  ModelRegistry& registry;
+  const RpcServerOptions options;
+
+  std::mutex sessions_mu;
+  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions;
+
+  // The pump's bounded arrival queue. FIFO order here IS the accepted-submission
+  // order the determinism contract is stated over.
+  struct PendingSubmit {
+    std::shared_ptr<Session> session;
+    uint64_t request_id = 0;
+    std::vector<uint8_t> payload;
+  };
+  std::mutex pump_mu;
+  std::condition_variable pump_cv;
+  std::deque<PendingSubmit> pump_queue;
+  bool pump_stop = false;
+
+  std::atomic<int64_t> frames_received{0};
+  std::atomic<int64_t> submits_received{0};
+  std::atomic<int64_t> submits_accepted{0};
+  std::atomic<int64_t> submits_rejected{0};
+  std::atomic<int64_t> submits_malformed{0};
+  std::atomic<int64_t> dedup_hits{0};
+  std::atomic<int64_t> verdicts_pushed{0};
+  std::atomic<int64_t> protocol_errors{0};
+  std::atomic<int64_t> queue_overflow_rejects{0};
+
+  // --- loop-thread side -------------------------------------------------------
+
+  // Handles one decoded frame. Returns false on a protocol violation (the
+  // connection is then dropped — there is no in-band error channel for a peer
+  // that does not speak the protocol).
+  bool HandleFrame(std::shared_ptr<Session>& session, Connection& connection,
+                   const WireFrame& frame);
+
+  // --- pump-thread side -------------------------------------------------------
+
+  void PumpLoop();
+  void ProcessSubmit(const PendingSubmit& item);
+
+  // --- shared helpers ---------------------------------------------------------
+
+  static void SendFrame(Connection& connection, MessageType type,
+                        uint64_t request_id, std::span<const uint8_t> payload) {
+    std::vector<uint8_t> frame;
+    frame.reserve(kWireHeaderBytes + payload.size());
+    AppendWireFrame(frame, type, request_id, payload);
+    connection.Send(frame);
+  }
+
+  // Sends a (non-cached) reject ack to the session's current connection and
+  // forgets the request id, so a retry re-attempts admission.
+  void RejectSubmit(Session& session, uint64_t request_id, WireStatus status) {
+    const std::vector<uint8_t> payload = EncodeSubmitAck({status, 0});
+    std::shared_ptr<Connection> connection;
+    {
+      std::lock_guard<std::mutex> lock(session.mu);
+      session.entries.erase(request_id);
+      connection = session.connection.lock();
+    }
+    if (connection != nullptr) {
+      SendFrame(*connection, MessageType::kSubmitAck, request_id, payload);
+    }
+  }
+
+  // Caller holds session.mu. Evicts the oldest completed entries beyond the
+  // window; an entry whose verdict has not been pushed yet is never evicted (the
+  // client may still be waiting for it).
+  void EvictLocked(Session& session) {
+    while (session.completed_order.size() > options.dedup_window) {
+      const uint64_t oldest = session.completed_order.front();
+      const auto it = session.entries.find(oldest);
+      if (it != session.entries.end() && !it->second.verdict_sent) {
+        break;
+      }
+      session.entries.erase(oldest);
+      session.completed_order.pop_front();
+    }
+  }
+};
+
+// Per-connection protocol state machine, driven by the dispatcher loop thread.
+class RpcServer::Handler : public ConnectionHandler {
+ public:
+  explicit Handler(std::shared_ptr<Core> core) : core_(std::move(core)) {}
+
+  void OnReadable(Connection& connection, std::vector<uint8_t>& buffer) override {
+    size_t offset = 0;
+    while (!connection.closed()) {
+      WireFrame frame;
+      const WireDecodeStatus status = DecodeWireFrame(buffer, offset, frame);
+      if (status == WireDecodeStatus::kTorn) {
+        break;  // incomplete frame: keep the tail, wait for more bytes
+      }
+      if (status != WireDecodeStatus::kOk) {
+        // Corrupt stream — there is no resync point past a bad header.
+        core_->protocol_errors.fetch_add(1);
+        connection.Close();
+        break;
+      }
+      core_->frames_received.fetch_add(1);
+      if (!core_->HandleFrame(session_, connection, frame)) {
+        core_->protocol_errors.fetch_add(1);
+        connection.Close();
+        break;
+      }
+    }
+    buffer.erase(buffer.begin(),
+                 buffer.begin() + static_cast<std::ptrdiff_t>(offset));
+  }
+
+ private:
+  std::shared_ptr<Core> core_;
+  std::shared_ptr<Session> session_;  // attached by Hello
+};
+
+bool RpcServer::Core::HandleFrame(std::shared_ptr<Session>& session,
+                                  Connection& connection,
+                                  const WireFrame& frame) {
+  switch (frame.type) {
+    case MessageType::kHello: {
+      WireHello hello;
+      if (!DecodeHello(frame.payload, hello)) {
+        return false;
+      }
+      {
+        std::lock_guard<std::mutex> lock(sessions_mu);
+        auto& slot = sessions[hello.session_id];
+        if (slot == nullptr) {
+          slot = std::make_shared<Session>(hello.session_id);
+        }
+        session = slot;
+      }
+      {
+        std::lock_guard<std::mutex> lock(session->mu);
+        session->connection = connection.shared_from_this();
+      }
+      WireHelloAck ack;
+      ack.dedup_window = static_cast<uint32_t>(options.dedup_window);
+      for (const ModelId id : registry.ids()) {
+        if (registry.state(id) == ModelLifecycle::kServing) {
+          ack.models.push_back({id, registry.model(id).name});
+        }
+      }
+      SendFrame(connection, MessageType::kHelloAck, frame.request_id,
+                EncodeHelloAck(ack));
+      return true;
+    }
+    case MessageType::kSubmit: {
+      if (session == nullptr) {
+        return false;  // Submit before Hello
+      }
+      submits_received.fetch_add(1);
+      {
+        std::lock_guard<std::mutex> lock(session->mu);
+        const auto it = session->entries.find(frame.request_id);
+        if (it != session->entries.end()) {
+          if (!it->second.acked) {
+            return true;  // already in flight on the pump: drop the duplicate
+          }
+          // Idempotent retry: replay the cached ack (and the verdict, if it
+          // already landed) instead of re-admitting the claim.
+          dedup_hits.fetch_add(1);
+          connection.Send(it->second.ack_frame);
+          if (it->second.verdict_sent) {
+            connection.Send(it->second.verdict_frame);
+          }
+          return true;
+        }
+        session->entries.emplace(frame.request_id, Session::Entry{});
+      }
+      {
+        std::lock_guard<std::mutex> lock(pump_mu);
+        if (!pump_stop && pump_queue.size() < options.submit_queue_capacity) {
+          pump_queue.push_back(
+              {session, frame.request_id,
+               std::vector<uint8_t>(frame.payload.begin(), frame.payload.end())});
+          pump_cv.notify_one();
+          return true;
+        }
+      }
+      // Pump backlog full: shed at the wire exactly like a gateway overload.
+      queue_overflow_rejects.fetch_add(1);
+      submits_rejected.fetch_add(1);
+      RejectSubmit(*session, frame.request_id, WireStatus::kOverloaded);
+      return true;
+    }
+    case MessageType::kPing:
+      SendFrame(connection, MessageType::kPong, frame.request_id, {});
+      return true;
+    case MessageType::kGoodbye:
+      connection.CloseAfterFlush();
+      return true;
+    case MessageType::kHelloAck:
+    case MessageType::kSubmitAck:
+    case MessageType::kVerdict:
+    case MessageType::kPong:
+      return false;  // server-to-client messages; a client sending them is broken
+  }
+  return false;
+}
+
+void RpcServer::Core::PumpLoop() {
+  ResourceTracker::ScopedThread tracked("net_submit");
+  while (true) {
+    PendingSubmit item;
+    {
+      std::unique_lock<std::mutex> lock(pump_mu);
+      pump_cv.wait(lock, [&] { return pump_stop || !pump_queue.empty(); });
+      if (pump_stop) {
+        // Unprocessed submissions are dropped UNACKED: the client never saw an
+        // admission, so its retry path (or timeout) owns them — dropping here
+        // can never duplicate or lose an accepted claim.
+        return;
+      }
+      item = std::move(pump_queue.front());
+      pump_queue.pop_front();
+    }
+    ProcessSubmit(item);
+  }
+}
+
+void RpcServer::Core::ProcessSubmit(const PendingSubmit& item) {
+  WireSubmit submit;
+  if (!DecodeSubmit(item.payload, submit)) {
+    submits_malformed.fetch_add(1);
+    RejectSubmit(*item.session, item.request_id, WireStatus::kMalformed);
+    return;
+  }
+  BatchClaim claim;
+  if (!BatchClaimFromWireClaim(submit.claim, claim)) {
+    submits_rejected.fetch_add(1);
+    RejectSubmit(*item.session, item.request_id, WireStatus::kUnknownDevice);
+    return;
+  }
+  GatewaySubmitResult result =
+      gateway.Submit(submit.model_id, std::move(claim), submit.submitter);
+  if (!result.accepted()) {
+    submits_rejected.fetch_add(1);
+    RejectSubmit(*item.session, item.request_id, ToWireStatus(result.status));
+    return;
+  }
+  submits_accepted.fetch_add(1);
+  // The wire ticket is the service's global sequence number — the client sorts
+  // accepted claims by it to replay the reference order.
+  const uint64_t wire_ticket = result.ticket->sequence();
+  std::vector<uint8_t> ack_frame;
+  AppendWireFrame(ack_frame, MessageType::kSubmitAck, item.request_id,
+                  EncodeSubmitAck({WireStatus::kAccepted, wire_ticket}));
+  std::shared_ptr<Connection> connection;
+  {
+    std::lock_guard<std::mutex> lock(item.session->mu);
+    Session::Entry& entry = item.session->entries[item.request_id];
+    entry.acked = true;
+    entry.ack_frame = ack_frame;
+    item.session->completed_order.push_back(item.request_id);
+    EvictLocked(*item.session);
+    connection = item.session->connection.lock();
+  }
+  if (connection != nullptr) {
+    connection->Send(ack_frame);
+  }
+  // Verdict push. Runs on the delivering resolve lane (or inline right here if
+  // the verdict already landed); encode + cache + non-blocking Send only. The
+  // callback holds the Core and Session shared_ptrs, so it stays safe even after
+  // the RpcServer itself is gone.
+  std::shared_ptr<Session> session = item.session;
+  const uint64_t request_id = item.request_id;
+  std::shared_ptr<Core> self = shared_from_this();
+  result.ticket->OnDelivered([self, session, request_id,
+                              wire_ticket](const BatchClaimOutcome& outcome) {
+    WireVerdict verdict;
+    verdict.ticket = wire_ticket;
+    verdict.claim_id = outcome.claim_id;
+    verdict.model_id = outcome.model;
+    verdict.c0 = outcome.c0;
+    verdict.final_state = static_cast<uint32_t>(outcome.final_state);
+    verdict.supervised = outcome.supervised;
+    verdict.flagged = outcome.flagged;
+    verdict.proposer_guilty = outcome.proposer_guilty;
+    verdict.gas_used = outcome.gas_used;
+    std::vector<uint8_t> verdict_frame;
+    AppendWireFrame(verdict_frame, MessageType::kVerdict, request_id,
+                    EncodeVerdict(verdict));
+    std::shared_ptr<Connection> push_connection;
+    {
+      std::lock_guard<std::mutex> lock(session->mu);
+      const auto it = session->entries.find(request_id);
+      if (it != session->entries.end()) {
+        it->second.verdict_sent = true;
+        it->second.verdict_frame = verdict_frame;
+      }
+      push_connection = session->connection.lock();
+    }
+    if (push_connection != nullptr) {
+      push_connection->Send(verdict_frame);
+    }
+    self->verdicts_pushed.fetch_add(1);
+  });
+}
+
+RpcServer::RpcServer(ServingGateway& gateway, ModelRegistry& registry,
+                     const RpcServerOptions& options,
+                     std::shared_ptr<Dispatcher> dispatcher)
+    : core_(std::make_shared<Core>(gateway, registry, options)) {
+  TcpServerOptions server_options;
+  server_options.bind_address = options.bind_address;
+  server_options.port = options.port;
+  server_options.accept_role = "net_accept";
+  if (dispatcher == nullptr) {
+    DispatcherOptions dispatcher_options;
+    dispatcher_options.thread_role = "net_poll";
+    dispatcher_options.max_outbound_bytes = options.max_outbound_bytes;
+    dispatcher = std::make_shared<Dispatcher>(dispatcher_options);
+  }
+  std::shared_ptr<Core> core = core_;
+  server_ = std::make_unique<TcpServer>(
+      server_options, [core] { return std::make_unique<Handler>(core); },
+      std::move(dispatcher));
+  pump_ = std::thread([core] { core->PumpLoop(); });
+}
+
+RpcServer::~RpcServer() {
+  // Pump first: it calls into the gateway, which must not be mid-teardown.
+  {
+    std::lock_guard<std::mutex> lock(core_->pump_mu);
+    core_->pump_stop = true;
+  }
+  core_->pump_cv.notify_all();
+  pump_.join();
+  // Then the acceptor + connections (Sync'd), leaving only verdict callbacks,
+  // which hold the Core alive on their own and no-op on dead connections.
+  server_.reset();
+}
+
+std::vector<NamedCounter> RpcServer::Counters() const {
+  size_t queue_depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(core_->pump_mu);
+    queue_depth = core_->pump_queue.size();
+  }
+  size_t num_sessions = 0;
+  {
+    std::lock_guard<std::mutex> lock(core_->sessions_mu);
+    num_sessions = core_->sessions.size();
+  }
+  std::vector<NamedCounter> counters = {
+      {"net/rpc/sessions", static_cast<double>(num_sessions)},
+      {"net/rpc/frames_received", static_cast<double>(core_->frames_received.load())},
+      {"net/rpc/submits_received", static_cast<double>(core_->submits_received.load())},
+      {"net/rpc/submits_accepted", static_cast<double>(core_->submits_accepted.load())},
+      {"net/rpc/submits_rejected", static_cast<double>(core_->submits_rejected.load())},
+      {"net/rpc/submits_malformed", static_cast<double>(core_->submits_malformed.load())},
+      {"net/rpc/dedup_hits", static_cast<double>(core_->dedup_hits.load())},
+      {"net/rpc/verdicts_pushed", static_cast<double>(core_->verdicts_pushed.load())},
+      {"net/rpc/protocol_errors", static_cast<double>(core_->protocol_errors.load())},
+      {"net/rpc/queue_overflow_rejects",
+       static_cast<double>(core_->queue_overflow_rejects.load())},
+      {"net/rpc/submit_queue_depth", static_cast<double>(queue_depth)},
+  };
+  std::vector<NamedCounter> dispatcher_counters = server_->dispatcher().Counters();
+  counters.insert(counters.end(), dispatcher_counters.begin(),
+                  dispatcher_counters.end());
+  return counters;
+}
+
+}  // namespace tao

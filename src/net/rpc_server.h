@@ -1,0 +1,97 @@
+// Framed RPC front-end over the ServingGateway (docs/net.md).
+//
+// The RpcServer turns remote Submit frames into ServingGateway::Submit calls and
+// pushes each claim's Verdict back on the session's connection when the service
+// delivers it. Threading:
+//
+//   * the dispatcher loop thread parses frames and answers everything cheap
+//     (Hello, Ping, dedup-cache hits) inline — it NEVER runs a gateway Submit;
+//   * one submit-pump thread ("net_submit") drains a bounded queue of decoded
+//     Submits in arrival order and calls the gateway. The pump is what defines
+//     the platform's accepted order for remote traffic: whatever interleaving the
+//     connections produce, each model's outcomes are a bitwise function of the
+//     ACCEPTED subsequence the pump created (see the determinism argument in
+//     docs/net.md). A full pump queue is answered kOverloaded — backpressure on
+//     the wire, exactly like the gateway's own admission shed;
+//   * verdict pushes run on the service's resolve lanes via
+//     ClaimTicket::OnDelivered — encode + enqueue-to-connection only, never a
+//     blocking send (a slow reader is disconnected by the dispatcher's outbound
+//     bound, not waited on).
+//
+// Sessions & idempotent retries: a client attaches a session (its Hello's nonzero
+// session id). Per session the server keeps a bounded dedup window of completed
+// request ids -> cached SubmitAck (and Verdict, once pushed). A client that
+// resubmits after a reconnect gets the CACHED ack — the claim is admitted at most
+// once, so retries can never duplicate a claim or perturb the ledger. Rejected
+// submissions are NOT cached: a kOverloaded retry re-attempts admission with the
+// same request id.
+
+#ifndef TAO_SRC_NET_RPC_SERVER_H_
+#define TAO_SRC_NET_RPC_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/tcp_server.h"
+
+namespace tao {
+
+class ModelRegistry;
+class ServingGateway;
+
+struct RpcServerOptions {
+  bool enabled = false;  // off by default: opt-in via GatewayOptions::rpc
+  int port = 0;          // 0 = ephemeral
+  std::string bind_address = "127.0.0.1";
+  // Completed submissions remembered per session for idempotent retries. A
+  // resubmission older than the window re-admits (a second claim) — clients must
+  // bound their in-flight submissions below this.
+  size_t dedup_window = 1024;
+  // Dispatcher slow-reader bound (per connection).
+  size_t max_outbound_bytes = 8u << 20;
+  // Decoded Submits waiting for the pump; overflow is answered kOverloaded.
+  size_t submit_queue_capacity = 4096;
+};
+
+class RpcServer {
+ public:
+  // `gateway` and `registry` outlive the server. A null `dispatcher` makes the
+  // server own one; the gateway passes its shared net dispatcher so RPC and
+  // monitoring traffic multiplex onto a single loop thread.
+  RpcServer(ServingGateway& gateway, ModelRegistry& registry,
+            const RpcServerOptions& options,
+            std::shared_ptr<Dispatcher> dispatcher = nullptr);
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  int port() const { return server_->port(); }
+
+  // net/rpc/... counters (sessions, submits, dedup hits, verdicts, protocol
+  // errors). The dispatcher's byte/connection counters are separate
+  // (Dispatcher::Counters).
+  std::vector<NamedCounter> Counters() const;
+
+  Dispatcher& dispatcher() { return server_->dispatcher(); }
+
+ private:
+  class Handler;
+  struct Session;
+  struct Core;
+
+  // Core holds everything handlers and verdict callbacks touch, behind a
+  // shared_ptr: a verdict callback captured by a long-lived ClaimTicket can
+  // outlive the RpcServer (teardown drains, but defensively the callback must
+  // never dangle). Sends to closed connections are no-ops.
+  std::shared_ptr<Core> core_;
+  std::unique_ptr<TcpServer> server_;
+  std::thread pump_;
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_NET_RPC_SERVER_H_

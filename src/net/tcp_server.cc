@@ -1,0 +1,134 @@
+#include "src/net/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "src/observability/resource_tracker.h"
+
+namespace tao {
+namespace {
+
+constexpr int kAcceptPollTimeoutMs = 100;
+
+}  // namespace
+
+// Forwards to the factory handler; the extra OnClosed hook keeps the server's
+// live-connection table exact without the protocol handler knowing about it.
+class TcpServer::TrackingHandler : public ConnectionHandler {
+ public:
+  TrackingHandler(TcpServer& server, std::unique_ptr<ConnectionHandler> inner)
+      : server_(server), inner_(std::move(inner)) {}
+
+  void OnReadable(Connection& connection, std::vector<uint8_t>& buffer) override {
+    inner_->OnReadable(connection, buffer);
+  }
+
+  void OnClosed(Connection& connection) override {
+    inner_->OnClosed(connection);
+    server_.Untrack(connection.id());
+  }
+
+ private:
+  TcpServer& server_;
+  std::unique_ptr<ConnectionHandler> inner_;
+};
+
+TcpServer::TcpServer(TcpServerOptions options, HandlerFactory factory,
+                     std::shared_ptr<Dispatcher> dispatcher)
+    : options_(std::move(options)),
+      factory_(std::move(factory)),
+      dispatcher_(std::move(dispatcher)) {
+  if (dispatcher_ == nullptr) {
+    DispatcherOptions dispatcher_options;
+    dispatcher_options.thread_role = options_.accept_role;
+    dispatcher_ = std::make_shared<Dispatcher>(dispatcher_options);
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("tcp_server: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("tcp_server: bad bind address " +
+                             options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, options_.backlog) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("tcp_server: bind/listen failed on " +
+                             options_.bind_address + ":" +
+                             std::to_string(options_.port));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+TcpServer::~TcpServer() {
+  stop_.store(true);
+  accept_thread_.join();
+  ::close(listen_fd_);
+  // Close every connection this server accepted, then barrier the loop: after
+  // Sync returns, no handler callback of ours is running or queued.
+  std::vector<std::shared_ptr<Connection>> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, weak] : live_) {
+      if (std::shared_ptr<Connection> connection = weak.lock()) {
+        live.push_back(std::move(connection));
+      }
+    }
+  }
+  for (const std::shared_ptr<Connection>& connection : live) {
+    connection->Close();
+  }
+  dispatcher_->Sync();
+}
+
+void TcpServer::AcceptLoop() {
+  ResourceTracker::ScopedThread tracked(options_.accept_role);
+  while (!stop_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kAcceptPollTimeoutMs);
+    if (ready <= 0 || !(pfd.revents & POLLIN)) {
+      continue;
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::shared_ptr<Connection> connection = dispatcher_->Adopt(
+        fd, std::make_unique<TrackingHandler>(*this, factory_()));
+    accepted_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu_);
+    live_.emplace(connection->id(), connection);
+  }
+}
+
+void TcpServer::Untrack(uint64_t connection_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_.erase(connection_id);
+}
+
+}  // namespace tao

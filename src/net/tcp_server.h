@@ -1,0 +1,81 @@
+// TCP acceptor over a Dispatcher (docs/net.md).
+//
+// One acceptor thread polls the listen socket (poll()-gated so shutdown never
+// parks in accept) and hands every accepted fd — made non-blocking, TCP_NODELAY —
+// to the dispatcher with a fresh ConnectionHandler from the factory. The
+// dispatcher may be OWNED (default: this server spins up its own loop) or SHARED
+// (several servers — e.g. the RPC gateway and the monitoring HTTP endpoint —
+// multiplex their connections onto one loop thread).
+//
+// The destructor stops accepting, closes every connection this server accepted,
+// and Syncs the dispatcher, so by the time it returns no handler callback created
+// by this server can still be running — the owner's state may then be torn down.
+
+#ifndef TAO_SRC_NET_TCP_SERVER_H_
+#define TAO_SRC_NET_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "src/net/dispatcher.h"
+
+namespace tao {
+
+struct TcpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral; read the bound port from the server
+  int backlog = 64;
+  // ResourceTracker role of the acceptor thread.
+  std::string accept_role = "net_accept";
+};
+
+class TcpServer {
+ public:
+  using HandlerFactory = std::function<std::unique_ptr<ConnectionHandler>()>;
+
+  // Binds and starts accepting immediately; throws std::runtime_error when the
+  // socket cannot be bound. A null `dispatcher` makes the server own one (with
+  // the accept role as its loop role).
+  TcpServer(TcpServerOptions options, HandlerFactory factory,
+            std::shared_ptr<Dispatcher> dispatcher = nullptr);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  int port() const { return port_; }
+  Dispatcher& dispatcher() { return *dispatcher_; }
+  size_t connections_accepted() const { return accepted_.load(); }
+
+ private:
+  // Wraps the factory handler so the server can track its own live connections
+  // (a shared dispatcher also carries other servers' connections).
+  class TrackingHandler;
+
+  void AcceptLoop();
+  void Untrack(uint64_t connection_id);
+
+  const TcpServerOptions options_;
+  const HandlerFactory factory_;
+  std::shared_ptr<Dispatcher> dispatcher_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> accepted_{0};
+
+  std::mutex mu_;
+  std::unordered_map<uint64_t, std::weak_ptr<Connection>> live_;
+
+  std::thread accept_thread_;
+};
+
+}  // namespace tao
+
+#endif  // TAO_SRC_NET_TCP_SERVER_H_

@@ -1,14 +1,8 @@
 #include "src/observability/http_endpoint.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <cstring>
-#include <stdexcept>
+#include <string_view>
+#include <utility>
 
 #include "src/observability/export.h"
 #include "src/observability/resource_tracker.h"
@@ -16,170 +10,123 @@
 namespace tao {
 namespace {
 
-constexpr int kPollTimeoutMs = 100;  // shutdown latency bound for both loops
+constexpr size_t kMaxRequestBytes = 16 * 1024;
 
-void SendAll(int fd, const char* data, size_t size) {
-  size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      return;  // peer went away; nothing to do for a monitoring scrape
-    }
-    sent += static_cast<size_t>(n);
+std::string BuildResponse(int status, const char* reason, const char* content_type,
+                          const std::string& body, bool head) {
+  std::string response = "HTTP/1.1 " + std::to_string(status) + " " + reason +
+                         "\r\nContent-Type: " + std::string(content_type) +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n";
+  if (!head) {
+    response += body;
   }
-}
-
-void WriteResponse(int fd, int status, const char* reason,
-                   const char* content_type, const std::string& body) {
-  std::string head = "HTTP/1.1 " + std::to_string(status) + " " + reason +
-                     "\r\nContent-Type: " + content_type +
-                     "\r\nContent-Length: " + std::to_string(body.size()) +
-                     "\r\nConnection: close\r\n\r\n";
-  SendAll(fd, head.data(), head.size());
-  SendAll(fd, body.data(), body.size());
+  return response;
 }
 
 }  // namespace
 
+// One handler per accepted connection: accumulate the (bodiless GET/HEAD)
+// request until the header terminator, answer once, close after the flush. All
+// of it runs on the dispatcher loop thread; Dispatch is cheap (string rendering
+// over a counters snapshot), so scrapes never stall the RPC traffic sharing the
+// loop for longer than one render.
+class MonitoringServer::HttpHandler : public ConnectionHandler {
+ public:
+  explicit HttpHandler(MonitoringServer& server) : server_(server) {}
+
+  void OnReadable(Connection& connection, std::vector<uint8_t>& buffer) override {
+    if (answered_) {
+      buffer.clear();  // trailing bytes after the request: ignore
+      return;
+    }
+    if (buffer.size() > kMaxRequestBytes) {
+      Respond(connection, 400, "Bad Request", "text/plain", "bad request\n", false);
+      return;
+    }
+    const std::string_view request(reinterpret_cast<const char*>(buffer.data()),
+                                   buffer.size());
+    if (request.find("\r\n\r\n") == std::string_view::npos) {
+      return;  // torn: wait for the rest of the header
+    }
+    const size_t method_end = request.find(' ');
+    const size_t target_end = method_end == std::string_view::npos
+                                  ? std::string_view::npos
+                                  : request.find(' ', method_end + 1);
+    if (method_end == std::string_view::npos ||
+        target_end == std::string_view::npos) {
+      Respond(connection, 400, "Bad Request", "text/plain", "bad request\n", false);
+      return;
+    }
+    const std::string method(request.substr(0, method_end));
+    const std::string target(
+        request.substr(method_end + 1, target_end - method_end - 1));
+    if (method != "GET" && method != "HEAD") {
+      Respond(connection, 405, "Method Not Allowed", "text/plain", "GET only\n",
+              false);
+      return;
+    }
+    server_.requests_.fetch_add(1);
+    const char* content_type =
+        (target == "/snapshot" || target == "/traces.json") ? "application/json"
+                                                            : "text/plain";
+    const std::string body = server_.Dispatch(target);
+    if (body.empty() && target != "/") {
+      Respond(connection, 404, "Not Found", "text/plain", "not found\n",
+              method == "HEAD");
+    } else {
+      Respond(connection, 200, "OK", content_type, body, method == "HEAD");
+    }
+  }
+
+ private:
+  void Respond(Connection& connection, int status, const char* reason,
+               const char* content_type, const std::string& body, bool head) {
+    answered_ = true;
+    const std::string response =
+        BuildResponse(status, reason, content_type, body, head);
+    connection.Send(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(response.data()), response.size()));
+    connection.CloseAfterFlush();
+  }
+
+  MonitoringServer& server_;
+  bool answered_ = false;
+};
+
 MonitoringServer::MonitoringServer(const MonitoringOptions& options,
-                                   CountersFn counters)
+                                   CountersFn counters,
+                                   std::shared_ptr<Dispatcher> dispatcher)
     : options_(options),
       counters_(std::move(counters)),
       collector_(options.trace),
       owns_tracing_(options.enable_tracing && !Tracer::enabled()) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    throw std::runtime_error("monitoring: socket() failed");
-  }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    throw std::runtime_error("monitoring: bad bind address " + options_.bind_address);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 16) != 0) {
-    ::close(listen_fd_);
-    throw std::runtime_error("monitoring: bind/listen failed on " +
-                             options_.bind_address + ":" +
-                             std::to_string(options_.port));
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
-  port_ = ntohs(bound.sin_port);
+  TcpServerOptions server_options;
+  server_options.bind_address = options_.bind_address;
+  server_options.port = options_.port;
+  server_options.backlog = 16;
+  server_options.accept_role = "monitoring";
+  server_ = std::make_unique<TcpServer>(
+      std::move(server_options),
+      [this] { return std::make_unique<HttpHandler>(*this); },
+      std::move(dispatcher));
 
   if (owns_tracing_) {
     Tracer::Get().Enable();
   }
   ResourceTracker::Get().StartSampler(
       std::chrono::milliseconds(options_.sampler_period_ms));
-
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  handler_thread_ = std::thread([this] { HandlerLoop(); });
 }
 
 MonitoringServer::~MonitoringServer() {
-  stop_.store(true);
-  cv_.notify_all();
-  accept_thread_.join();
-  handler_thread_.join();
-  ::close(listen_fd_);
-  for (const int fd : pending_) {
-    ::close(fd);
-  }
+  // The TcpServer dtor closes this server's connections and Syncs the
+  // dispatcher, so no HttpHandler callback (hence no counters_() call) survives
+  // this line.
+  server_.reset();
   ResourceTracker::Get().StopSampler();
   if (owns_tracing_) {
     Tracer::Get().Disable();
   }
-}
-
-void MonitoringServer::AcceptLoop() {
-  ResourceTracker::ScopedThread self("monitoring");
-  while (!stop_.load()) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kPollTimeoutMs);
-    if (ready <= 0 || !(pfd.revents & POLLIN)) {
-      continue;
-    }
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      continue;
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      pending_.push_back(fd);
-    }
-    cv_.notify_one();
-  }
-}
-
-void MonitoringServer::HandlerLoop() {
-  ResourceTracker::ScopedThread self("monitoring");
-  while (true) {
-    int fd = -1;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stop_.load() || !pending_.empty(); });
-      if (pending_.empty()) {
-        return;  // stop requested and drained
-      }
-      fd = pending_.front();
-      pending_.pop_front();
-    }
-    HandleConnection(fd);
-  }
-}
-
-void MonitoringServer::HandleConnection(int fd) {
-  // One request per connection: read until the header terminator (requests here
-  // are bodiless GETs), answer, close.
-  std::string request;
-  char buffer[2048];
-  while (request.size() < 16 * 1024 &&
-         request.find("\r\n\r\n") == std::string::npos) {
-    pollfd pfd{fd, POLLIN, 0};
-    if (::poll(&pfd, 1, 1000) <= 0) {
-      break;
-    }
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n <= 0) {
-      break;
-    }
-    request.append(buffer, static_cast<size_t>(n));
-  }
-  const size_t method_end = request.find(' ');
-  const size_t target_end =
-      method_end == std::string::npos ? std::string::npos
-                                      : request.find(' ', method_end + 1);
-  if (method_end == std::string::npos || target_end == std::string::npos) {
-    WriteResponse(fd, 400, "Bad Request", "text/plain", "bad request\n");
-    ::close(fd);
-    return;
-  }
-  const std::string method = request.substr(0, method_end);
-  const std::string target =
-      request.substr(method_end + 1, target_end - method_end - 1);
-  if (method != "GET" && method != "HEAD") {
-    WriteResponse(fd, 405, "Method Not Allowed", "text/plain",
-                  "GET only\n");
-    ::close(fd);
-    return;
-  }
-  requests_.fetch_add(1);
-  const char* content_type =
-      (target == "/snapshot" || target == "/traces.json") ? "application/json"
-                                                          : "text/plain";
-  const std::string body = Dispatch(target);
-  if (body.empty() && target != "/") {
-    WriteResponse(fd, 404, "Not Found", "text/plain", "not found\n");
-  } else {
-    WriteResponse(fd, 200, "OK", content_type, method == "HEAD" ? "" : body);
-  }
-  ::close(fd);
 }
 
 std::string MonitoringServer::Dispatch(const std::string& target) {

@@ -1,10 +1,13 @@
 // Embedded HTTP/1.1 monitoring endpoint (docs/observability.md).
 //
-// A deliberately minimal server — POSIX sockets, no external deps, no TLS, no
-// keep-alive — meant for localhost scrapes and curl, NOT as the claim-submission
-// front-end (that is the ROADMAP's separate RPC gateway item). One accept thread
-// (poll()-gated so shutdown never hangs in accept) feeds a small handler thread
-// over an fd queue; each request is read, answered, and the connection closed.
+// A deliberately minimal server — no external deps, no TLS, no keep-alive —
+// meant for localhost scrapes and curl, NOT as the claim-submission front-end
+// (that is src/net's RpcServer). Since the net subsystem landed, the endpoint is
+// a thin ConnectionHandler over the shared TcpServer/Dispatcher: the gateway
+// passes its net dispatcher so monitoring scrapes and RPC traffic multiplex onto
+// ONE epoll loop thread, and a standalone MonitoringServer owns a dispatcher of
+// its own (thread role "monitoring" either way for the accept thread). Each
+// request is read, answered, and the connection closed after the flush.
 //
 // Routes:
 //   /healthz      "ok" while the server runs
@@ -20,16 +23,13 @@
 #define TAO_SRC_OBSERVABILITY_HTTP_ENDPOINT_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "src/net/tcp_server.h"
 #include "src/observability/trace.h"
 #include "src/service/metrics.h"
 
@@ -54,14 +54,17 @@ class MonitoringServer {
 
   // Binds and starts serving immediately; throws std::runtime_error when the
   // socket cannot be bound. `counters` is called per /metrics//snapshot request
-  // from the handler thread and must be safe until the server is destroyed.
-  MonitoringServer(const MonitoringOptions& options, CountersFn counters);
+  // from the dispatcher loop thread and must be safe until the server is
+  // destroyed. A null `dispatcher` makes the server own one (thread role
+  // "monitoring"); the gateway passes its shared net dispatcher instead.
+  MonitoringServer(const MonitoringOptions& options, CountersFn counters,
+                   std::shared_ptr<Dispatcher> dispatcher = nullptr);
   ~MonitoringServer();
 
   MonitoringServer(const MonitoringServer&) = delete;
   MonitoringServer& operator=(const MonitoringServer&) = delete;
 
-  int port() const { return port_; }
+  int port() const { return server_->port(); }
   TraceCollector& collector() { return collector_; }
 
   int64_t requests_served() const { return requests_.load(); }
@@ -70,27 +73,18 @@ class MonitoringServer {
   std::string HandleForTest(const std::string& target) { return Dispatch(target); }
 
  private:
-  void AcceptLoop();
-  void HandlerLoop();
-  void HandleConnection(int fd);
+  class HttpHandler;
+  friend class HttpHandler;
+
   std::string Dispatch(const std::string& target);
 
   const MonitoringOptions options_;
   const CountersFn counters_;
   TraceCollector collector_;
   const bool owns_tracing_;
-
-  int listen_fd_ = -1;
-  int port_ = 0;
-  std::atomic<bool> stop_{false};
   std::atomic<int64_t> requests_{0};
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<int> pending_;  // accepted fds awaiting the handler
-
-  std::thread accept_thread_;
-  std::thread handler_thread_;
+  std::unique_ptr<TcpServer> server_;
 };
 
 }  // namespace tao

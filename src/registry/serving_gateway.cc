@@ -25,6 +25,8 @@ const char* GatewayStatusName(GatewayStatus status) {
       return "retired";
     case GatewayStatus::kOverloaded:
       return "overloaded";
+    case GatewayStatus::kStatusCount:
+      break;  // sentinel, never a value
   }
   return "unknown";
 }
@@ -57,6 +59,15 @@ ServingGateway::ServingGateway(ModelRegistry& registry, GatewayOptions options)
   if (options_.pin_workers) {
     ThreadPool::Shared().PinWorkers();
   }
+  if (options_.rpc.enabled || options_.monitoring.enabled) {
+    DispatcherOptions dispatcher_options;
+    dispatcher_options.thread_role = options_.rpc.enabled ? "net_poll" : "monitoring";
+    dispatcher_options.max_outbound_bytes = options_.rpc.max_outbound_bytes;
+    net_dispatcher_ = std::make_shared<Dispatcher>(dispatcher_options);
+  }
+  if (options_.rpc.enabled) {
+    rpc_ = std::make_unique<RpcServer>(*this, registry_, options_.rpc, net_dispatcher_);
+  }
   if (options_.monitoring.enabled) {
     pool_gauge_handle_ = ResourceTracker::Get().RegisterGauge(
         "resource/pool_queue_depth",
@@ -73,14 +84,26 @@ ServingGateway::ServingGateway(ModelRegistry& registry, GatewayOptions options)
       }
     }
     monitoring_ = std::make_unique<MonitoringServer>(
-        options_.monitoring, [this] { return metrics().NamedCounters(); });
+        options_.monitoring,
+        [this] {
+          std::vector<NamedCounter> counters = metrics().NamedCounters();
+          if (rpc_ != nullptr) {
+            std::vector<NamedCounter> net = rpc_->Counters();
+            counters.insert(counters.end(), net.begin(), net.end());
+          }
+          return counters;
+        },
+        net_dispatcher_);
   }
 }
 
 ServingGateway::~ServingGateway() {
-  // Endpoint first: its handler thread calls back into metrics(), so it must be
-  // gone before any teardown below.
+  // Endpoint first: its handler thread calls back into metrics() (and rpc_'s
+  // counters), so it must be gone before any teardown below. The RPC front-end
+  // next: its pump calls Submit on this gateway, so it must stop while every
+  // service is still alive.
   monitoring_.reset();
+  rpc_.reset();
   if (pool_gauge_handle_ != 0) {
     ResourceTracker::Get().UnregisterGauge(pool_gauge_handle_);
   }

@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/net/rpc_server.h"
 #include "src/observability/http_endpoint.h"
 #include "src/registry/model_registry.h"
 #include "src/service/verification_service.h"
@@ -52,6 +53,9 @@ enum class GatewayStatus {
   kDraining,       // the model is draining; admission closed
   kRetired,        // the model is retired; admission closed forever
   kOverloaded,     // the model's service shed it (queue full or latency SLO)
+  // Cardinality sentinel, never a value. The wire mapping in src/net/frame.cc
+  // static_asserts against it so a new status cannot ship without a WireStatus.
+  kStatusCount,
 };
 
 const char* GatewayStatusName(GatewayStatus status);
@@ -80,6 +84,11 @@ struct GatewayOptions {
   // /metrics, /snapshot, /traces, and /healthz over its own NamedCounters plus the
   // process ResourceTracker, and turns span tracing on for its lifetime.
   MonitoringOptions monitoring;
+  // Framed TCP/RPC front-end (off by default; docs/net.md). When enabled, remote
+  // submitters reach Submit over the wire, verdicts push back on their
+  // connections, and `net/...` counters join the gateway's NamedCounters. When
+  // monitoring is ALSO enabled, both servers share one epoll dispatcher thread.
+  RpcServerOptions rpc;
   // Pin the shared runtime pool's workers to cores (round-robin over
   // hardware_concurrency; TAO_DISABLE_PINNING overrides; no-op on 1-core hosts).
   // Placement only — outcomes never depend on it. When monitoring is also enabled
@@ -163,6 +172,9 @@ class ServingGateway {
   // enabled it. Lives exactly as long as the gateway.
   MonitoringServer* monitoring() { return monitoring_.get(); }
 
+  // The RPC front-end; null unless GatewayOptions::rpc enabled it.
+  RpcServer* rpc() { return rpc_.get(); }
+
  private:
   struct ServingSlot {
     std::shared_ptr<VerificationService> service;  // null once retired
@@ -177,6 +189,11 @@ class ServingGateway {
 
   ModelRegistry& registry_;
   const GatewayOptions options_;
+  // One loop thread for all of the gateway's network traffic (RPC + monitoring);
+  // created when either server is enabled. Declared before the servers so it is
+  // destroyed after them.
+  std::shared_ptr<Dispatcher> net_dispatcher_;
+  std::unique_ptr<RpcServer> rpc_;                // null when disabled
   std::unique_ptr<MonitoringServer> monitoring_;  // null when disabled
   size_t pool_gauge_handle_ = 0;
   std::vector<size_t> core_gauge_handles_;  // worker/<n>/core, when pinning+monitoring

@@ -17,14 +17,35 @@ bool ClaimTicket::done() const {
   return done_;
 }
 
+void ClaimTicket::OnDelivered(std::function<void(const BatchClaimOutcome&)> callback) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (done_) {
+    // Already delivered: run inline. outcome_ is immutable once done_ is set (it
+    // is written exactly once, under mu_), so reading it unlocked here is safe —
+    // this thread observed done_ under the lock.
+    lock.unlock();
+    callback(outcome_);
+    return;
+  }
+  TAO_CHECK(!on_delivered_) << "ticket already has a delivery callback";
+  on_delivered_ = std::move(callback);
+}
+
 void ClaimTicket::Deliver(BatchClaimOutcome outcome) {
+  std::function<void(const BatchClaimOutcome&)> callback;
   {
     std::lock_guard<std::mutex> lock(mu_);
     TAO_CHECK(!done_) << "ticket delivered twice";
     outcome_ = std::move(outcome);
     done_ = true;
+    callback = std::move(on_delivered_);
   }
   cv_.notify_all();
+  // Outside the lock: the callback may take its own locks (the RPC session's),
+  // and Wait()ers are already released above.
+  if (callback) {
+    callback(outcome_);
+  }
 }
 
 SubmissionQueue::SubmissionQueue(size_t capacity, AdmissionPolicy policy,

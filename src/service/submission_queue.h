@@ -22,6 +22,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -56,6 +57,14 @@ class ClaimTicket {
   // returned; the determinism tests replay claims in this order.
   uint64_t sequence() const { return sequence_; }
 
+  // Push-style delivery for callers that must not park a thread per ticket (the
+  // RPC gateway pushes verdicts for thousands of in-flight claims). The callback
+  // runs exactly once — on the delivering resolve lane, or inline right here when
+  // the verdict already landed — and MUST be non-blocking: it executes on the
+  // lane that every later claim of that shard is waiting behind. At most one
+  // callback per ticket.
+  void OnDelivered(std::function<void(const BatchClaimOutcome&)> callback);
+
  private:
   friend class SubmissionQueue;
   friend class VerificationService;
@@ -67,6 +76,7 @@ class ClaimTicket {
   bool done_ = false;
   uint64_t sequence_ = 0;
   BatchClaimOutcome outcome_;
+  std::function<void(const BatchClaimOutcome&)> on_delivered_;
 };
 
 // One accepted submission in flight through the service.
